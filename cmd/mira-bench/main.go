@@ -1,0 +1,159 @@
+// Command mira-bench regenerates the paper's evaluation tables and
+// figures (Sec. IV) and prints them with paper-vs-measured context.
+//
+// Usage:
+//
+//	mira-bench [-table I|II|III|IV|V] [-figure 6|7] [-prediction]
+//	           [-ablation] [-all] [-paper-sizes]
+//
+// Dynamic (VM) runs default to scaled sizes; -paper-sizes additionally
+// evaluates the static model at the paper's full problem sizes (cheap:
+// the model is closed-form).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mira/internal/arch"
+	"mira/internal/experiments"
+)
+
+func main() {
+	table := flag.String("table", "", "table to regenerate: I, II, III, IV, V")
+	figure := flag.String("figure", "", "figure to regenerate: 6, 7")
+	prediction := flag.Bool("prediction", false, "arithmetic-intensity prediction (Sec. IV-D2)")
+	ablation := flag.Bool("ablation", false, "PBound vs Mira ablation")
+	all := flag.Bool("all", false, "everything")
+	paperSizes := flag.Bool("paper-sizes", false, "also evaluate the static model at the paper's full sizes")
+	flag.Parse()
+
+	any := false
+	run := func(name string, f func() error) {
+		any = true
+		fmt.Printf("==== %s ====\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "mira-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	wantTable := func(t string) bool { return *all || *table == t }
+	wantFigure := func(f string) bool { return *all || *figure == f }
+
+	// The paper's exact miniFE configurations: 30x30x30 and 35x40x45.
+	// Unlike STREAM/DGEMM, these run at full size on the VM in seconds.
+	miniSmall := experiments.MiniFESizes{NX: 30, NY: 30, NZ: 30, MaxIter: 20, NnzRowAnnotation: 25}
+	miniLarge := experiments.MiniFESizes{NX: 35, NY: 40, NZ: 45, MaxIter: 20, NnzRowAnnotation: 25}
+
+	if wantTable("I") {
+		run("Table I: loop coverage", func() error {
+			rows, err := experiments.TableI()
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatTableI(rows))
+			return nil
+		})
+	}
+	if wantTable("II") || wantFigure("6") {
+		run("Table II + Fig. 6: cg_solve instruction categories", func() error {
+			rows, err := experiments.TableII(miniSmall)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatTableII(rows))
+			return nil
+		})
+	}
+	if wantTable("III") {
+		run("Table III: STREAM FPI (paper: err <= 0.47%)", func() error {
+			rows, err := experiments.TableIII([]int64{2_000_000, 5_000_000, 10_000_000})
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatTable("STREAM validation (dynamic at scaled sizes)", rows))
+			if *paperSizes {
+				for _, n := range []int64{2_000_000, 50_000_000, 100_000_000} {
+					static, err := experiments.StreamStaticFPI(n)
+					if err != nil {
+						return err
+					}
+					fmt.Printf("static-only at paper size %-12d Mira=%.4g (paper Mira: 8.20E7 / 4.100E9 / 2.050E10)\n",
+						n, float64(static))
+				}
+			}
+			return nil
+		})
+	}
+	if wantTable("IV") {
+		run("Table IV: DGEMM FPI (paper: err <= 0.05%)", func() error {
+			rows, err := experiments.TableIV([]int64{64, 96, 128}, 4)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatTable("DGEMM validation (dynamic at scaled sizes, nrep=4)", rows))
+			if *paperSizes {
+				for _, n := range []int64{256, 512, 1024} {
+					static, err := experiments.DgemmStaticFPI(n, 30)
+					if err != nil {
+						return err
+					}
+					fmt.Printf("static-only at paper size %-6d (nrep=30) Mira=%.5g (paper Mira: 1.0125E9 / 8.0769E9 / 6.4519E10)\n",
+						n, float64(static))
+				}
+			}
+			return nil
+		})
+	}
+	if wantTable("V") {
+		run("Table V: miniFE per-function FPI (paper: err 0.011% - 3.08%)", func() error {
+			rows, err := experiments.TableV([]experiments.MiniFESizes{miniSmall, miniLarge})
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatTable("miniFE validation (nnz_row annotation = 25)", rows))
+			return nil
+		})
+	}
+	if wantFigure("7") {
+		run("Fig. 7: validation series", func() error {
+			series, err := experiments.Fig7(
+				[]int64{1_000_000, 2_000_000, 5_000_000},
+				[]int64{48, 64, 96}, 4,
+				[]experiments.MiniFESizes{miniSmall, miniLarge},
+			)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatFig7(series))
+			return nil
+		})
+	}
+	if *all || *prediction {
+		run("Prediction: instruction-based arithmetic intensity (paper: 0.53)", func() error {
+			an, err := experiments.Prediction(miniSmall, arch.Arya())
+			if err != nil {
+				return err
+			}
+			fmt.Println(an.String())
+			return nil
+		})
+	}
+	if *all || *ablation {
+		run("Ablation: PBound (source-only) vs Mira (source+binary)", func() error {
+			rows, err := experiments.Ablation([]int64{1024, 4096, 16384})
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatAblation(rows))
+			return nil
+		})
+	}
+	if !any {
+		fmt.Fprintln(os.Stderr, "nothing selected; use -all or see -help")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,94 @@
+// Command mira-run executes a MiniC program on the virtual machine with
+// TAU-style per-function profiling — the dynamic-measurement side of the
+// validation experiments.
+//
+// Usage:
+//
+//	mira-run [flags] file.c
+//
+//	-fn name        entry function (default main)
+//	-args v,...     entry arguments: integers, or f:1.5 for doubles
+//	-arch name      architecture description (FP counters only where real)
+//	-max-steps n    instruction budget
+//
+// Array/pointer arguments cannot be staged from the command line; use the
+// Go API (see examples/) or the benches for workloads that need them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mira"
+	"mira/internal/arch"
+	"mira/internal/dynamic"
+	"mira/internal/vm"
+)
+
+func main() {
+	fn := flag.String("fn", "main", "entry function")
+	args := flag.String("args", "", "comma-separated arguments (ints, or f:<value> for doubles)")
+	archName := flag.String("arch", "frankenstein", "architecture description")
+	maxSteps := flag.Uint64("max-steps", 0, "instruction budget (0 = default)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mira-run [flags] file.c")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	res, err := mira.Analyze(flag.Arg(0), string(src), mira.Options{Lenient: true, Arch: *archName})
+	if err != nil {
+		fatal(err)
+	}
+	d, err := arch.Lookup(*archName)
+	if err != nil {
+		fatal(err)
+	}
+
+	m := res.Machine()
+	if *maxSteps > 0 {
+		m.MaxSteps = *maxSteps
+	}
+	var vmArgs []vm.Value
+	if *args != "" {
+		for _, a := range strings.Split(*args, ",") {
+			a = strings.TrimSpace(a)
+			if f, ok := strings.CutPrefix(a, "f:"); ok {
+				v, err := strconv.ParseFloat(f, 64)
+				if err != nil {
+					fatal(err)
+				}
+				vmArgs = append(vmArgs, vm.Float(v))
+				continue
+			}
+			v, err := strconv.ParseInt(a, 10, 64)
+			if err != nil {
+				fatal(err)
+			}
+			vmArgs = append(vmArgs, vm.Int(v))
+		}
+	}
+	ret, err := m.Run(*fn, vmArgs...)
+	if err != nil {
+		fatal(err)
+	}
+	if ret.IsFloat {
+		fmt.Printf("%s returned %g\n", *fn, ret.F)
+	} else {
+		fmt.Printf("%s returned %d\n", *fn, ret.I)
+	}
+	fmt.Printf("instructions retired: %d\n\n", m.Steps())
+	fmt.Print(dynamic.New(m, d).Report().String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mira-run:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,142 @@
+// Command mira runs the static analysis pipeline on a MiniC source file:
+// it generates the parametric performance model and either evaluates it
+// for given parameter values or emits artifacts (the Python model, dot
+// graphs of the source/binary ASTs, a disassembly listing).
+//
+// Usage:
+//
+//	mira [flags] file.c
+//
+//	-fn name        function to evaluate/inspect (default: main)
+//	-args k=v,...   integer parameter bindings for evaluation
+//	-emit kind      python | dot-src | dot-bin | asm | model (default model)
+//	-arch name      arya | frankenstein | generic
+//	-lenient        downgrade unanalyzable branches to warnings
+//	-no-opt         compile without optimizations
+//
+// Examples:
+//
+//	mira -fn stream -args n=2000000 stream.c
+//	mira -fn cg_solve -emit python minife.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mira"
+)
+
+func main() {
+	fn := flag.String("fn", "main", "function to evaluate or inspect")
+	args := flag.String("args", "", "comma-separated integer parameter bindings, e.g. n=1000,m=4")
+	emit := flag.String("emit", "model", "artifact: model | python | dot-src | dot-bin | asm")
+	archName := flag.String("arch", "generic", "architecture description: arya | frankenstein | generic")
+	lenient := flag.Bool("lenient", false, "treat unanalyzable branches as always taken")
+	noOpt := flag.Bool("no-opt", false, "compile without optimizations")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mira [flags] file.c")
+		flag.Usage()
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+
+	res, err := mira.Analyze(path, string(src), mira.Options{
+		Unoptimized: *noOpt,
+		Lenient:     *lenient,
+		Arch:        *archName,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for _, w := range res.Warnings() {
+		fmt.Fprintln(os.Stderr, "warning:", w)
+	}
+
+	switch *emit {
+	case "python":
+		fmt.Print(res.PythonModel())
+	case "dot-src":
+		fmt.Print(res.SourceDot())
+	case "dot-bin":
+		out, err := res.BinaryDot(*fn)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+	case "asm":
+		out, err := res.Disassembly(*fn)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+	case "model":
+		env, err := parseArgs(*args)
+		if err != nil {
+			fatal(err)
+		}
+		met, err := res.Static(*fn, env)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Static metrics for %s (%s):\n", *fn, bindingString(*args))
+		fmt.Printf("  %-40s %d\n", "Total instructions", met.Instrs)
+		fmt.Printf("  %-40s %d\n", "Floating-point instructions (FPI)", met.FPI())
+		fmt.Printf("  %-40s %d\n", "Floating-point operations", met.Flops)
+		cats, err := res.CategoryCounts(*fn, env)
+		if err != nil {
+			fatal(err)
+		}
+		names := make([]string, 0, len(cats))
+		for c := range cats {
+			names = append(names, c)
+		}
+		sort.Slice(names, func(i, j int) bool { return cats[names[i]] > cats[names[j]] })
+		for _, c := range names {
+			fmt.Printf("  %-40s %d\n", c, cats[c])
+		}
+	default:
+		fatal(fmt.Errorf("unknown -emit kind %q", *emit))
+	}
+}
+
+func parseArgs(s string) (mira.Env, error) {
+	vals := map[string]int64{}
+	if s == "" {
+		return mira.IntArgs(vals), nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		parts := strings.SplitN(strings.TrimSpace(kv), "=", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad binding %q (want name=value)", kv)
+		}
+		v, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value in %q: %v", kv, err)
+		}
+		vals[parts[0]] = v
+	}
+	return mira.IntArgs(vals), nil
+}
+
+func bindingString(s string) string {
+	if s == "" {
+		return "no parameters"
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mira:", err)
+	os.Exit(1)
+}

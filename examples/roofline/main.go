@@ -1,0 +1,41 @@
+// Roofline example: the paper's Sec. IV-D2 prediction. Computes
+// instruction-based arithmetic intensity for cg_solve from the static
+// model and places it on the rooflines of the two evaluation machines —
+// including the Haswell box whose missing FP hardware counters make the
+// static route the only one available (Sec. IV-D1).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mira/internal/arch"
+	"mira/internal/dynamic"
+	"mira/internal/experiments"
+	"mira/internal/vm"
+)
+
+func main() {
+	s := experiments.MiniFESizes{NX: 10, NY: 10, NZ: 10, MaxIter: 10, NnzRowAnnotation: 19}
+
+	for _, d := range []*arch.Description{arch.Arya(), arch.Frankenstein()} {
+		an, err := experiments.Prediction(s, d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s (peak %.0f GF/s, bw %.0f GB/s):\n  %s\n\n",
+			d.Name, d.PeakGFlops(), d.MemBandwidthGBs, an)
+	}
+
+	// The hardware-counter angle: on arya (Haswell-like) PAPI_FP_INS does
+	// not exist, so a dynamic profiler cannot produce the number the
+	// static model just did.
+	p, err := experiments.MiniFEPipeline()
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof := dynamic.New(vm.New(p.Obj), arch.Arya())
+	if _, err := prof.Read("cg_solve", dynamic.PAPI_FP_INS); err != nil {
+		fmt.Printf("Dynamic measurement on arya fails as the paper describes:\n  %v\n", err)
+	}
+}

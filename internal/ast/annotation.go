@@ -1,0 +1,199 @@
+package ast
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mira/internal/token"
+)
+
+// Annotation is a parsed "#pragma @Annotation {...}" directive (paper
+// Sec. III-C4). The paper defines three annotation kinds, all supported:
+//
+//  1. an estimated branch proportion or an explicit iteration count that
+//     short-circuits loop/branch modeling ("br_frac", "br_count",
+//     "lp_iter"),
+//  2. variables supplying a loop's initial value, condition bound, or step
+//     so the polyhedral model can be completed ("lp_init", "lp_cond",
+//     "lp_step"), and
+//  3. a skip flag excluding a structure from the model ("skip").
+//
+// Values may be integers, floating-point fractions, or identifiers; an
+// identifier value becomes a parameter of the generated model, exactly as
+// variables x and y do in the paper's Listing 6.
+type Annotation struct {
+	Pos  token.Pos
+	Raw  string // the payload text inside {...}
+	Skip bool   // {skip:yes}
+
+	LoopInit *AnnotValue // {lp_init:...} loop initial value
+	LoopCond *AnnotValue // {lp_cond:...} loop bound (inclusive upper bound)
+	LoopStep *AnnotValue // {lp_step:...} loop step
+	LoopIter *AnnotValue // {lp_iter:...} explicit iteration count
+
+	BranchFrac  *AnnotValue // {br_frac:...} fraction of iterations taking the branch
+	BranchCount *AnnotValue // {br_count:...} explicit branch-taken count
+}
+
+// AnnotValue is a single annotation value: either a numeric constant or a
+// parameter name.
+type AnnotValue struct {
+	Param   string  // parameter name when the value is an identifier
+	Num     float64 // numeric value when Param == ""
+	IsParam bool
+}
+
+func (v *AnnotValue) String() string {
+	if v == nil {
+		return "<nil>"
+	}
+	if v.IsParam {
+		return v.Param
+	}
+	return strconv.FormatFloat(v.Num, 'g', -1, 64)
+}
+
+// IsAnnotationPragma reports whether a pragma payload is an @Annotation
+// directive (as opposed to, e.g., "#pragma omp ...", which Mira ignores).
+func IsAnnotationPragma(payload string) bool {
+	return strings.HasPrefix(strings.TrimSpace(payload), "@Annotation")
+}
+
+// ParseAnnotation parses the payload of "#pragma @Annotation {k:v, ...}".
+func ParseAnnotation(payload string, pos token.Pos) (*Annotation, error) {
+	body := strings.TrimSpace(payload)
+	if !strings.HasPrefix(body, "@Annotation") {
+		return nil, fmt.Errorf("%s: not an @Annotation pragma: %q", pos, payload)
+	}
+	body = strings.TrimSpace(strings.TrimPrefix(body, "@Annotation"))
+	if !strings.HasPrefix(body, "{") || !strings.HasSuffix(body, "}") {
+		return nil, fmt.Errorf("%s: annotation body must be {key:value,...}, got %q", pos, body)
+	}
+	inner := body[1 : len(body)-1]
+	ann := &Annotation{Pos: pos, Raw: inner}
+	if strings.TrimSpace(inner) == "" {
+		return nil, fmt.Errorf("%s: empty annotation", pos)
+	}
+	for _, kv := range splitTopLevel(inner, ',') {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		parts := strings.SplitN(kv, ":", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("%s: malformed annotation entry %q", pos, kv)
+		}
+		key := strings.TrimSpace(parts[0])
+		val := strings.TrimSpace(parts[1])
+		if err := ann.set(key, val, pos); err != nil {
+			return nil, err
+		}
+	}
+	return ann, nil
+}
+
+func (a *Annotation) set(key, val string, pos token.Pos) error {
+	switch key {
+	case "skip":
+		switch val {
+		case "yes", "true", "1":
+			a.Skip = true
+		case "no", "false", "0":
+			a.Skip = false
+		default:
+			return fmt.Errorf("%s: skip must be yes/no, got %q", pos, val)
+		}
+		return nil
+	case "lp_init", "lp_cond", "lp_step", "lp_iter", "br_frac", "br_count":
+		v, err := parseAnnotValue(val, pos)
+		if err != nil {
+			return err
+		}
+		switch key {
+		case "lp_init":
+			a.LoopInit = v
+		case "lp_cond":
+			a.LoopCond = v
+		case "lp_step":
+			a.LoopStep = v
+		case "lp_iter":
+			a.LoopIter = v
+		case "br_frac":
+			if !v.IsParam && (v.Num < 0 || v.Num > 1) {
+				return fmt.Errorf("%s: br_frac must be in [0,1], got %g", pos, v.Num)
+			}
+			a.BranchFrac = v
+		case "br_count":
+			a.BranchCount = v
+		}
+		return nil
+	}
+	return fmt.Errorf("%s: unknown annotation key %q", pos, key)
+}
+
+func parseAnnotValue(val string, pos token.Pos) (*AnnotValue, error) {
+	if val == "" {
+		return nil, fmt.Errorf("%s: empty annotation value", pos)
+	}
+	if n, err := strconv.ParseFloat(val, 64); err == nil {
+		return &AnnotValue{Num: n}, nil
+	}
+	if !isIdentText(val) {
+		return nil, fmt.Errorf("%s: annotation value %q is neither a number nor an identifier", pos, val)
+	}
+	return &AnnotValue{Param: val, IsParam: true}, nil
+}
+
+func isIdentText(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// splitTopLevel splits s on sep, ignoring separators nested inside (), [],
+// or {} groups.
+func splitTopLevel(s string, sep byte) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(', '[', '{':
+			depth++
+		case ')', ']', '}':
+			depth--
+		case sep:
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+// Params returns the parameter names referenced by the annotation, in a
+// stable order.
+func (a *Annotation) Params() []string {
+	var out []string
+	add := func(v *AnnotValue) {
+		if v != nil && v.IsParam {
+			out = append(out, v.Param)
+		}
+	}
+	add(a.LoopInit)
+	add(a.LoopCond)
+	add(a.LoopStep)
+	add(a.LoopIter)
+	add(a.BranchFrac)
+	add(a.BranchCount)
+	return out
+}

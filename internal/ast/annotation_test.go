@@ -1,0 +1,94 @@
+package ast
+
+import (
+	"testing"
+
+	"mira/internal/token"
+)
+
+var annPos = token.Pos{Line: 5, Col: 1}
+
+func TestParseAnnotationSkip(t *testing.T) {
+	ann, err := ParseAnnotation("@Annotation {skip:yes}", annPos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ann.Skip {
+		t.Error("Skip = false, want true")
+	}
+}
+
+func TestParseAnnotationLoopVars(t *testing.T) {
+	// The paper's Listing 6 example: {lp_init:x,lp_cond:y}.
+	ann, err := ParseAnnotation("@Annotation {lp_init:x,lp_cond:y}", annPos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ann.LoopInit == nil || !ann.LoopInit.IsParam || ann.LoopInit.Param != "x" {
+		t.Errorf("LoopInit = %v, want param x", ann.LoopInit)
+	}
+	if ann.LoopCond == nil || !ann.LoopCond.IsParam || ann.LoopCond.Param != "y" {
+		t.Errorf("LoopCond = %v, want param y", ann.LoopCond)
+	}
+	params := ann.Params()
+	if len(params) != 2 || params[0] != "x" || params[1] != "y" {
+		t.Errorf("Params() = %v", params)
+	}
+}
+
+func TestParseAnnotationNumeric(t *testing.T) {
+	ann, err := ParseAnnotation("@Annotation {lp_iter:100, br_frac:0.25}", annPos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ann.LoopIter == nil || ann.LoopIter.IsParam || ann.LoopIter.Num != 100 {
+		t.Errorf("LoopIter = %v", ann.LoopIter)
+	}
+	if ann.BranchFrac == nil || ann.BranchFrac.Num != 0.25 {
+		t.Errorf("BranchFrac = %v", ann.BranchFrac)
+	}
+}
+
+func TestParseAnnotationErrors(t *testing.T) {
+	cases := []string{
+		"@Annotation",               // no body
+		"@Annotation {}",            // empty
+		"@Annotation {bogus:1}",     // unknown key
+		"@Annotation {skip:maybe}",  // bad bool
+		"@Annotation {br_frac:1.5}", // out of range
+		"@Annotation {lp_iter:}",    // empty value
+		"@Annotation {lp_iter:a+b}", // not ident or number
+		"@Annotation lp_iter:5",     // missing braces
+		"@Annotation {lp_iter}",     // missing colon
+		"@NotAnnotation {skip:yes}", // wrong directive
+	}
+	for _, c := range cases {
+		if _, err := ParseAnnotation(c, annPos); err == nil {
+			t.Errorf("ParseAnnotation(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestIsAnnotationPragma(t *testing.T) {
+	if !IsAnnotationPragma("@Annotation {skip:yes}") {
+		t.Error("@Annotation not recognized")
+	}
+	if IsAnnotationPragma("omp parallel for") {
+		t.Error("omp pragma misrecognized as annotation")
+	}
+}
+
+func TestAnnotValueString(t *testing.T) {
+	v := &AnnotValue{Param: "n", IsParam: true}
+	if v.String() != "n" {
+		t.Errorf("String() = %q", v.String())
+	}
+	v = &AnnotValue{Num: 2.5}
+	if v.String() != "2.5" {
+		t.Errorf("String() = %q", v.String())
+	}
+	var nilv *AnnotValue
+	if nilv.String() != "<nil>" {
+		t.Errorf("nil String() = %q", nilv.String())
+	}
+}

@@ -1,0 +1,212 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dot renders the subtree rooted at n as a Graphviz dot graph, mirroring the
+// ROSE-generated dot output shown in the paper's Fig. 2. Node labels use
+// ROSE-style Sg names (SgForStatement, SgExprStatement, ...) so that the
+// output is directly comparable with the paper's figures.
+func Dot(n Node) string {
+	var b strings.Builder
+	b.WriteString("digraph ast {\n  node [shape=box, fontname=\"Helvetica\"];\n")
+	id := 0
+	var emit func(n Node) int
+	emit = func(n Node) int {
+		my := id
+		id++
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", my, roseName(n))
+		for _, c := range children(n) {
+			ci := emit(c)
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", my, ci)
+		}
+		return my
+	}
+	if n != nil {
+		emit(n)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// roseName maps our node types to ROSE-like class names with a short
+// descriptive payload.
+func roseName(n Node) string {
+	switch x := n.(type) {
+	case *File:
+		return "SgSourceFile " + x.Name
+	case *ClassDecl:
+		return "SgClassDeclaration " + x.Name
+	case *FuncDecl:
+		return "SgFunctionDeclaration " + x.QualifiedName()
+	case *Param:
+		return "SgInitializedName " + x.Name
+	case *VarDecl:
+		names := make([]string, len(x.Names))
+		for i, d := range x.Names {
+			names[i] = d.Name
+		}
+		return "SgVariableDeclaration " + strings.Join(names, ",")
+	case *Declarator:
+		return "SgInitializedName " + x.Name
+	case *BlockStmt:
+		return "SgBasicBlock"
+	case *ExprStmt:
+		return "SgExprStatement"
+	case *EmptyStmt:
+		return "SgNullStatement"
+	case *IfStmt:
+		return "SgIfStmt"
+	case *ForStmt:
+		return "SgForStatement"
+	case *WhileStmt:
+		return "SgWhileStmt"
+	case *ReturnStmt:
+		return "SgReturnStmt"
+	case *BreakStmt:
+		return "SgBreakStmt"
+	case *ContinueStmt:
+		return "SgContinueStmt"
+	case *Ident:
+		return "SgVarRefExp " + x.Name
+	case *IntLit:
+		return fmt.Sprintf("SgIntVal %d", x.Value)
+	case *FloatLit:
+		return fmt.Sprintf("SgDoubleVal %g", x.Value)
+	case *BoolLit:
+		return fmt.Sprintf("SgBoolValExp %t", x.Value)
+	case *StringLit:
+		return "SgStringVal"
+	case *BinaryExpr:
+		return "SgBinaryOp " + x.Op.String()
+	case *UnaryExpr:
+		if x.Op.String() == "++" {
+			return "SgPlusPlusOp"
+		}
+		if x.Op.String() == "--" {
+			return "SgMinusMinusOp"
+		}
+		return "SgUnaryOp " + x.Op.String()
+	case *AssignExpr:
+		return "SgAssignOp " + x.Op.String()
+	case *CallExpr:
+		return "SgFunctionCallExp"
+	case *IndexExpr:
+		return "SgPntrArrRefExp"
+	case *MemberExpr:
+		return "SgDotExp ." + x.Sel
+	case *ParenExpr:
+		return "SgParenExp"
+	case *CondExpr:
+		return "SgConditionalExp"
+	}
+	return fmt.Sprintf("%T", n)
+}
+
+// children returns the direct child nodes of n in source order.
+func children(n Node) []Node {
+	var out []Node
+	add := func(c Node) {
+		switch v := c.(type) {
+		case nil:
+		case Expr:
+			if v != nil {
+				out = append(out, c)
+			}
+		case Stmt:
+			if v != nil {
+				out = append(out, c)
+			}
+		default:
+			out = append(out, c)
+		}
+	}
+	switch x := n.(type) {
+	case *File:
+		for _, d := range x.Decls {
+			add(d)
+		}
+	case *ClassDecl:
+		for _, f := range x.Fields {
+			add(f)
+		}
+		for _, m := range x.Methods {
+			add(m)
+		}
+	case *FuncDecl:
+		for _, p := range x.Params {
+			add(p)
+		}
+		if x.Body != nil {
+			add(x.Body)
+		}
+	case *VarDecl:
+		for _, d := range x.Names {
+			add(d)
+		}
+	case *Declarator:
+		for _, dim := range x.Dims {
+			add(dim)
+		}
+		if x.Init != nil {
+			add(x.Init)
+		}
+	case *BlockStmt:
+		for _, s := range x.Stmts {
+			add(s)
+		}
+	case *ExprStmt:
+		add(x.X)
+	case *IfStmt:
+		add(x.Cond)
+		add(x.Then)
+		if x.Else != nil {
+			add(x.Else)
+		}
+	case *ForStmt:
+		if x.Init != nil {
+			add(x.Init)
+		}
+		if x.Cond != nil {
+			add(x.Cond)
+		}
+		if x.Post != nil {
+			add(x.Post)
+		}
+		add(x.Body)
+	case *WhileStmt:
+		add(x.Cond)
+		add(x.Body)
+	case *ReturnStmt:
+		if x.X != nil {
+			add(x.X)
+		}
+	case *BinaryExpr:
+		add(x.X)
+		add(x.Y)
+	case *UnaryExpr:
+		add(x.X)
+	case *AssignExpr:
+		add(x.LHS)
+		add(x.RHS)
+	case *CallExpr:
+		add(x.Fun)
+		for _, a := range x.Args {
+			add(a)
+		}
+	case *IndexExpr:
+		add(x.X)
+		add(x.Index)
+	case *MemberExpr:
+		add(x.X)
+	case *ParenExpr:
+		add(x.X)
+	case *CondExpr:
+		add(x.Cond)
+		add(x.Then)
+		add(x.Else)
+	}
+	return out
+}

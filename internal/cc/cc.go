@@ -1,0 +1,255 @@
+// Package cc compiles MiniC source (via the sema-analyzed AST) into a Mira
+// object file: synthetic x86-flavoured instructions, a symbol table, a
+// .data image for globals, and a DWARF-style line table tagging every
+// instruction with the source line *and column* that produced it.
+//
+// The compiler stands in for gcc/icc in the paper's pipeline. It performs
+// the optimizations whose effects separate binary-level analysis (Mira)
+// from source-only analysis (PBound): constant folding, strength
+// reduction, dead-code elision on redundant moves, and loop-invariant code
+// motion of floating-point subexpressions (hoisted code is tagged to the
+// loop's init clause, which is also where the static model attributes
+// once-per-loop-entry cost).
+//
+// Calling convention: arguments are staged with ARGI/ARGF in parameter
+// order (methods receive `this` first), CALL transfers them into the
+// callee's registers r0..rk, and RETI/RETF place the return value where
+// GETRETI/GETRETF retrieve it. Local arrays (C99 VLA style) and objects
+// are carved from the heap with ALLOC; CALL/RET save and restore the heap
+// top, giving stack discipline.
+package cc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mira/internal/ast"
+	"mira/internal/dwarfline"
+	"mira/internal/ir"
+	"mira/internal/objfile"
+	"mira/internal/sema"
+	"mira/internal/token"
+)
+
+// Options controls compilation.
+type Options struct {
+	// SourceName is recorded in the object file for diagnostics.
+	SourceName string
+	// DisableOpt turns off constant folding across expressions, strength
+	// reduction, and LICM — the "unoptimized binary" used by ablations.
+	DisableOpt bool
+}
+
+// Error is a compile error with position information.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Compile translates an analyzed program into an object file.
+func Compile(prog *sema.Program, opts Options) (*objfile.File, error) {
+	g := &globalCtx{
+		prog:       prog,
+		opts:       opts,
+		globalAddr: map[string]uint64{},
+	}
+	if err := g.layoutGlobals(); err != nil {
+		return nil, err
+	}
+
+	type compiled struct {
+		name   string
+		instrs []ir.Instr
+		tags   []token.Pos
+		sym    objfile.Symbol
+	}
+	var fns []compiled
+
+	var compileErr error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if e, ok := r.(*Error); ok {
+					compileErr = e
+					return
+				}
+				panic(r)
+			}
+		}()
+		for _, q := range prog.FuncOrder {
+			fi := prog.Funcs[q]
+			if fi.Decl.IsExtern {
+				continue // linked from the builtin library below
+			}
+			g.curFnIdx = len(fns)
+			fc := newFuncCompiler(g, fi)
+			fc.compile()
+			fns = append(fns, compiled{
+				name:   q,
+				instrs: fc.instrs,
+				tags:   fc.tags,
+				sym: objfile.Symbol{
+					Name:     q,
+					RegCount: uint32(fc.nextReg),
+					Params:   fc.paramKinds(),
+					Ret:      retKind(fi.Decl.RetType),
+				},
+			})
+		}
+	}()
+	if compileErr != nil {
+		return nil, compileErr
+	}
+
+	// Link builtin library bodies for every extern declaration.
+	for _, q := range prog.FuncOrder {
+		fi := prog.Funcs[q]
+		if !fi.Decl.IsExtern {
+			continue
+		}
+		body, ok := libBody(q)
+		if !ok {
+			return nil, &Error{Pos: fi.Decl.Pos(), Msg: fmt.Sprintf("extern function %q has no library implementation", q)}
+		}
+		var kinds []objfile.ParamKind
+		for _, p := range fi.Decl.Params {
+			kinds = append(kinds, paramKind(p.Type))
+		}
+		regCount := int32(len(kinds))
+		for _, in := range body {
+			for _, r := range []int32{in.Rd, in.Rs1, in.Rs2} {
+				if r != ir.NoReg && r+1 > regCount {
+					regCount = r + 1
+				}
+			}
+		}
+		tags := make([]token.Pos, len(body))
+		for i := range tags {
+			tags[i] = fi.Decl.Pos()
+		}
+		fns = append(fns, compiled{
+			name:   q,
+			instrs: body,
+			tags:   tags,
+			sym: objfile.Symbol{
+				Name:     q,
+				RegCount: uint32(regCount),
+				Params:   kinds,
+				Ret:      retKind(fi.Decl.RetType),
+				Extern:   true,
+			},
+		})
+	}
+
+	// Layout: concatenate function bodies, resolve call targets, emit the
+	// line table.
+	symIndex := map[string]int64{}
+	for i, fn := range fns {
+		symIndex[fn.name] = int64(i)
+	}
+	f := &objfile.File{SourceName: opts.SourceName, MemWords: g.memTop}
+	var lb dwarfline.Builder
+	for i := range fns {
+		fn := &fns[i]
+		fn.sym.Start = uint64(len(f.Text))
+		fn.sym.Count = uint64(len(fn.instrs))
+		for j, in := range fn.instrs {
+			if in.Op == ir.CALL {
+				// The compiler stores callee names positionally via
+				// callFixups; resolve to symbol indexes.
+				name := g.callNames[callKey{fnIdx: i, instr: j}]
+				idx, ok := symIndex[name]
+				if !ok {
+					return nil, fmt.Errorf("cc: call to unknown symbol %q", name)
+				}
+				in.Imm = idx
+				fn.instrs[j] = in
+			}
+			addr := fn.sym.Start + uint64(j)
+			pos := fn.tags[j]
+			if !pos.Valid() {
+				pos = token.Pos{Line: 1, Col: 1}
+			}
+			lb.Add(addr, int32(pos.Line), int32(pos.Col))
+		}
+		f.Text = append(f.Text, fn.instrs...)
+		f.Syms = append(f.Syms, fn.sym)
+	}
+	f.Line = lb.Table()
+	f.Data = g.dataEntries()
+	return f, nil
+}
+
+// callKey identifies a CALL instruction before symbol indexes exist.
+type callKey struct {
+	fnIdx int
+	instr int
+}
+
+// globalCtx is compiler state shared across functions.
+type globalCtx struct {
+	prog       *sema.Program
+	opts       Options
+	globalAddr map[string]uint64
+	memTop     uint64
+	callNames  map[callKey]string
+	curFnIdx   int
+}
+
+func (g *globalCtx) layoutGlobals() error {
+	g.callNames = map[callKey]string{}
+	addr := uint64(0)
+	for _, name := range g.prog.GlobalOrder {
+		gi := g.prog.Globals[name]
+		if gi.IsConst && gi.HasConst && len(gi.Dims) == 0 {
+			continue // folded, occupies no memory
+		}
+		g.globalAddr[name] = addr
+		addr += uint64(gi.Size)
+	}
+	g.memTop = addr
+	return nil
+}
+
+func (g *globalCtx) dataEntries() []objfile.DataEntry {
+	var out []objfile.DataEntry
+	names := make([]string, 0, len(g.globalAddr))
+	for n := range g.globalAddr {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return g.globalAddr[names[i]] < g.globalAddr[names[j]] })
+	for _, n := range names {
+		gi := g.prog.Globals[n]
+		d := objfile.DataEntry{Name: n, Addr: g.globalAddr[n], Size: uint64(gi.Size)}
+		if gi.HasConst && len(gi.Dims) == 0 {
+			switch gi.Type.Kind {
+			case ast.Double:
+				d.Init = []uint64{math.Float64bits(gi.ConstF)}
+			default:
+				d.Init = []uint64{uint64(gi.ConstI)}
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func paramKind(t ast.Type) objfile.ParamKind {
+	if t.Ptr > 0 || t.Kind == ast.Int || t.Kind == ast.Bool || t.Kind == ast.Class {
+		return objfile.KindInt
+	}
+	if t.Kind == ast.Double {
+		return objfile.KindFloat
+	}
+	return objfile.KindVoid
+}
+
+func retKind(t ast.Type) objfile.ParamKind {
+	if t.Kind == ast.Void {
+		return objfile.KindVoid
+	}
+	return paramKind(t)
+}

@@ -1,0 +1,679 @@
+package cc_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"mira/internal/cc"
+	"mira/internal/ir"
+	"mira/internal/objfile"
+	"mira/internal/parser"
+	"mira/internal/sema"
+	"mira/internal/vm"
+)
+
+// build compiles source through the full pipeline INCLUDING an object-file
+// encode/decode round trip, so every test also exercises the on-disk
+// format the downstream tools consume.
+func build(t *testing.T, src string) *objfile.File {
+	t.Helper()
+	return buildOpts(t, src, cc.Options{SourceName: "test.c"})
+}
+
+func buildOpts(t *testing.T, src string, opts cc.Options) *objfile.File {
+	t.Helper()
+	file, err := parser.ParseFile(opts.SourceName, src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := sema.Analyze(file)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	obj, err := cc.Compile(prog, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := obj.Encode(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	decoded, err := objfile.Decode(buf.Bytes())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return decoded
+}
+
+func run(t *testing.T, obj *objfile.File, entry string, args ...vm.Value) (vm.Value, *vm.Machine) {
+	t.Helper()
+	m := vm.New(obj)
+	v, err := m.Run(entry, args...)
+	if err != nil {
+		t.Fatalf("run %s: %v", entry, err)
+	}
+	return v, m
+}
+
+func TestReturnConstant(t *testing.T) {
+	obj := build(t, `int main() { return 42; }`)
+	v, _ := run(t, obj, "main")
+	if v.I != 42 {
+		t.Errorf("main() = %d", v.I)
+	}
+}
+
+func TestIntArithmetic(t *testing.T) {
+	obj := build(t, `
+int f(int a, int b) {
+	return (a + b) * (a - b) / 2 + a % b;
+}`)
+	for _, c := range [][3]int64{{10, 3, 0}, {7, 2, 0}, {-5, 3, 0}} {
+		a, b := c[0], c[1]
+		want := (a+b)*(a-b)/2 + a%b
+		v, _ := run(t, obj, "f", vm.Int(a), vm.Int(b))
+		if v.I != want {
+			t.Errorf("f(%d,%d) = %d, want %d", a, b, v.I, want)
+		}
+	}
+}
+
+func TestFloatArithmetic(t *testing.T) {
+	obj := build(t, `
+double f(double x, double y) {
+	return x*y + x/y - 1.5;
+}`)
+	v, _ := run(t, obj, "f", vm.Float(3.0), vm.Float(2.0))
+	want := 3.0*2.0 + 3.0/2.0 - 1.5
+	if v.F != want {
+		t.Errorf("f = %g, want %g", v.F, want)
+	}
+}
+
+func TestMixedArithmeticPromotion(t *testing.T) {
+	obj := build(t, `
+double f(int n, double x) {
+	return n * x + n;
+}`)
+	v, _ := run(t, obj, "f", vm.Int(3), vm.Float(2.5))
+	if v.F != 3*2.5+3 {
+		t.Errorf("f = %g", v.F)
+	}
+}
+
+func TestBasicLoopSum(t *testing.T) {
+	obj := build(t, `
+int sum(int n) {
+	int s;
+	int i;
+	s = 0;
+	for (i = 1; i <= n; i++) {
+		s = s + i;
+	}
+	return s;
+}`)
+	v, _ := run(t, obj, "sum", vm.Int(100))
+	if v.I != 5050 {
+		t.Errorf("sum(100) = %d", v.I)
+	}
+	// Empty loop.
+	v, _ = run(t, obj, "sum", vm.Int(0))
+	if v.I != 0 {
+		t.Errorf("sum(0) = %d", v.I)
+	}
+}
+
+func TestNestedTriangularLoop(t *testing.T) {
+	// Listing 2 shape: counts (i,j) pairs.
+	obj := build(t, `
+int count() {
+	int c; int i; int j;
+	c = 0;
+	for(i = 1; i <= 4; i++)
+		for(j = i + 1; j <= 6; j++)
+		{
+			c++;
+		}
+	return c;
+}`)
+	v, _ := run(t, obj, "count")
+	if v.I != 14 {
+		t.Errorf("count = %d, want 14", v.I)
+	}
+}
+
+func TestLocalArray1D(t *testing.T) {
+	obj := build(t, `
+double f(int n) {
+	double a[n];
+	int i;
+	for (i = 0; i < n; i++) {
+		a[i] = i * 2.0;
+	}
+	double s;
+	s = 0.0;
+	for (i = 0; i < n; i++) {
+		s += a[i];
+	}
+	return s;
+}`)
+	v, _ := run(t, obj, "f", vm.Int(10))
+	if v.F != 90.0 {
+		t.Errorf("f(10) = %g, want 90", v.F)
+	}
+}
+
+func TestLocalArray2D(t *testing.T) {
+	obj := build(t, `
+int f() {
+	int a[3][4];
+	int i; int j; int s;
+	for (i = 0; i < 3; i++)
+		for (j = 0; j < 4; j++)
+			a[i][j] = i * 10 + j;
+	s = 0;
+	for (i = 0; i < 3; i++)
+		for (j = 0; j < 4; j++)
+			s += a[i][j];
+	return s;
+}`)
+	v, _ := run(t, obj, "f")
+	// sum over i of 4*(10i) + (0+1+2+3) = 0+6 + 40+6 + 80+6
+	if v.I != 138 {
+		t.Errorf("f() = %d, want 138", v.I)
+	}
+}
+
+func TestGlobalScalarAndArray(t *testing.T) {
+	obj := build(t, `
+const int N = 8;
+int counter = 5;
+double table[N];
+void bump() { counter = counter + 1; }
+int f() {
+	int i;
+	for (i = 0; i < N; i++) { table[i] = i; }
+	bump();
+	bump();
+	double s; s = 0.0;
+	for (i = 0; i < N; i++) { s += table[i]; }
+	return counter * 100 + s;
+}`)
+	v, _ := run(t, obj, "f")
+	if v.I != 7*100+28 {
+		t.Errorf("f() = %d, want 728", v.I)
+	}
+}
+
+func TestPointerParams(t *testing.T) {
+	obj := build(t, `
+void fill(double *x, int n, double v) {
+	int i;
+	for (i = 0; i < n; i++) { x[i] = v; }
+}
+double total(double *x, int n) {
+	double s; int i;
+	s = 0.0;
+	for (i = 0; i < n; i++) { s += x[i]; }
+	return s;
+}
+double f(int n) {
+	double a[n];
+	fill(a, n, 2.5);
+	return total(a, n);
+}`)
+	v, _ := run(t, obj, "f", vm.Int(12))
+	if v.F != 30.0 {
+		t.Errorf("f(12) = %g, want 30", v.F)
+	}
+}
+
+func TestClassMethodsAndOperator(t *testing.T) {
+	obj := build(t, `
+class Acc {
+public:
+	int n;
+	double total;
+	void add(double v) {
+		total = total + v;
+		n = n + 1;
+	}
+	double operator()(int k) {
+		return total * k;
+	}
+};
+double f() {
+	Acc a;
+	a.n = 0;
+	a.total = 0.0;
+	a.add(1.5);
+	a.add(2.5);
+	return a(10) + a.n;
+}`)
+	v, _ := run(t, obj, "f")
+	if v.F != 40.0+2.0 {
+		t.Errorf("f() = %g, want 42", v.F)
+	}
+}
+
+func TestClassPointerField(t *testing.T) {
+	obj := build(t, `
+class Vec {
+public:
+	int n;
+	double *coefs;
+};
+double dotself(Vec v) {
+	double s; int i;
+	s = 0.0;
+	for (i = 0; i < v.n; i++) { s += v.coefs[i] * v.coefs[i]; }
+	return s;
+}
+double f(int n) {
+	Vec v;
+	double data[n];
+	int i;
+	for (i = 0; i < n; i++) { data[i] = 2.0; }
+	v.n = n;
+	v.coefs = data;
+	return dotself(v);
+}`)
+	v, _ := run(t, obj, "f", vm.Int(5))
+	if v.F != 20.0 {
+		t.Errorf("f(5) = %g, want 20", v.F)
+	}
+}
+
+func TestExternLibraryCalls(t *testing.T) {
+	obj := build(t, `
+extern double sqrt(double x);
+extern int min(int a, int b);
+extern int max(int a, int b);
+extern double fabs(double x);
+double f(double x) {
+	return sqrt(x) + fabs(0.0 - 3.0) + min(2, 5) + max(2, 5);
+}`)
+	v, _ := run(t, obj, "f", vm.Float(16.0))
+	if math.Abs(v.F-(4.0+3+2+5)) > 1e-9 {
+		t.Errorf("f(16) = %g, want 14", v.F)
+	}
+	// Library bodies are marked extern in the symbol table.
+	sym, ok := obj.LookupSym("sqrt")
+	if !ok || !sym.Extern {
+		t.Error("sqrt symbol missing or not extern")
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	obj := build(t, `
+int f(int n) {
+	int i; int s;
+	s = 0;
+	for (i = 0; i < n; i++) {
+		if (i == 2) { continue; }
+		if (i == 5) { break; }
+		s += i;
+	}
+	return s;
+}`)
+	v, _ := run(t, obj, "f", vm.Int(100))
+	if v.I != 0+1+3+4 {
+		t.Errorf("f = %d, want 8", v.I)
+	}
+}
+
+func TestWhileLoop(t *testing.T) {
+	obj := build(t, `
+int collatzSteps(int n) {
+	int steps;
+	steps = 0;
+	while (n != 1) {
+		if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+		steps++;
+	}
+	return steps;
+}`)
+	v, _ := run(t, obj, "collatzSteps", vm.Int(6))
+	if v.I != 8 {
+		t.Errorf("collatz(6) = %d, want 8", v.I)
+	}
+}
+
+func TestTernaryAndLogicalOps(t *testing.T) {
+	obj := build(t, `
+int f(int a, int b) {
+	int big;
+	big = a > b ? a : b;
+	if (a > 0 && b > 0 || a == b) { big = big + 100; }
+	return big;
+}`)
+	v, _ := run(t, obj, "f", vm.Int(3), vm.Int(7))
+	if v.I != 107 {
+		t.Errorf("f(3,7) = %d, want 107", v.I)
+	}
+	v, _ = run(t, obj, "f", vm.Int(-2), vm.Int(-2))
+	if v.I != 98 {
+		t.Errorf("f(-2,-2) = %d, want 98", v.I)
+	}
+	v, _ = run(t, obj, "f", vm.Int(-3), vm.Int(-7))
+	if v.I != -3 {
+		t.Errorf("f(-3,-7) = %d, want -3", v.I)
+	}
+}
+
+func TestIncDecSemantics(t *testing.T) {
+	obj := build(t, `
+int f() {
+	int i; int a;
+	i = 5;
+	a = i++;      // a=5, i=6
+	a = a + ++i;  // i=7, a=12
+	a = a - i--;  // a=5, i=6
+	return a * 10 + i;
+}`)
+	v, _ := run(t, obj, "f")
+	if v.I != 56 {
+		t.Errorf("f() = %d, want 56", v.I)
+	}
+}
+
+func TestCompoundAssignOnArrayElem(t *testing.T) {
+	obj := build(t, `
+double f() {
+	double a[4];
+	a[0] = 1.0;
+	a[0] += 2.0;
+	a[0] *= 3.0;
+	a[0] -= 1.0;
+	a[0] /= 2.0;
+	return a[0];
+}`)
+	v, _ := run(t, obj, "f")
+	if v.F != 4.0 {
+		t.Errorf("f() = %g, want 4", v.F)
+	}
+}
+
+func TestStridedLoop(t *testing.T) {
+	obj := build(t, `
+int f(int n) {
+	int i; int c;
+	c = 0;
+	for (i = 0; i < n; i += 3) { c++; }
+	return c;
+}`)
+	v, _ := run(t, obj, "f", vm.Int(10))
+	if v.I != 4 {
+		t.Errorf("f(10) = %d, want 4", v.I)
+	}
+}
+
+func TestDownwardLoop(t *testing.T) {
+	obj := build(t, `
+int f(int n) {
+	int i; int s;
+	s = 0;
+	for (i = n; i >= 1; i--) { s += i; }
+	return s;
+}`)
+	v, _ := run(t, obj, "f", vm.Int(4))
+	if v.I != 10 {
+		t.Errorf("f(4) = %d, want 10", v.I)
+	}
+}
+
+func TestCallChainAndRecursionRejected(t *testing.T) {
+	// Deep call chain works.
+	obj := build(t, `
+int c(int x) { return x + 1; }
+int b(int x) { return c(x) * 2; }
+int a(int x) { return b(x) + c(x); }
+int f(int x) { return a(x); }
+`)
+	v, _ := run(t, obj, "f", vm.Int(5))
+	if v.I != (5+1)*2+(5+1) {
+		t.Errorf("f(5) = %d, want 18", v.I)
+	}
+
+	// Recursion must be rejected at sema time.
+	file, err := parser.ParseFile("r.c", `int r(int n) { return r(n-1); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sema.Analyze(file); err == nil {
+		t.Error("recursive program accepted")
+	}
+}
+
+func TestConstantFoldingEmitsSingleLoad(t *testing.T) {
+	obj := buildOpts(t, `
+double f(double x) {
+	return x * (2.0 * 3.141592653589793 / 360.0);
+}`, cc.Options{SourceName: "fold.c"})
+	sym, _ := obj.LookupSym("f")
+	var fpi int
+	for _, in := range obj.FuncText(sym) {
+		if in.Op.IsFPI() {
+			fpi++
+		}
+	}
+	// Folded: exactly one MULSD survives.
+	if fpi != 1 {
+		t.Errorf("optimized FPI per call = %d, want 1", fpi)
+	}
+	// Unoptimized keeps the source structure (mul, div, mul = 3).
+	obj0 := buildOpts(t, `
+double f(double x) {
+	return x * (2.0 * 3.141592653589793 / 360.0);
+}`, cc.Options{SourceName: "fold.c", DisableOpt: true})
+	sym0, _ := obj0.LookupSym("f")
+	var fpi0 int
+	for _, in := range obj0.FuncText(sym0) {
+		if in.Op.IsFPI() {
+			fpi0++
+		}
+	}
+	if fpi0 != 3 {
+		t.Errorf("unoptimized FPI per call = %d, want 3", fpi0)
+	}
+	// Semantics must agree.
+	v1, _ := run(t, obj, "f", vm.Float(90))
+	v0, _ := run(t, obj0, "f", vm.Float(90))
+	if math.Abs(v1.F-v0.F) > 1e-12 {
+		t.Errorf("optimized %g != unoptimized %g", v1.F, v0.F)
+	}
+}
+
+func TestStrengthReduction(t *testing.T) {
+	obj := build(t, `int f(int x) { return x * 8 + x / 4; }`)
+	sym, _ := obj.LookupSym("f")
+	var shifts, muls int
+	for _, in := range obj.FuncText(sym) {
+		switch in.Op {
+		case ir.SHLI, ir.SARI:
+			shifts++
+		case ir.IMUL, ir.IMULI, ir.IDIV:
+			muls++
+		}
+	}
+	if shifts != 2 || muls != 0 {
+		t.Errorf("shifts=%d muls=%d, want 2/0", shifts, muls)
+	}
+	v, _ := run(t, obj, "f", vm.Int(100))
+	if v.I != 825 {
+		t.Errorf("f(100) = %d, want 825", v.I)
+	}
+}
+
+func TestLICMHoistsInvariant(t *testing.T) {
+	src := `
+double f(double *x, int n, double alpha, double beta) {
+	int i;
+	double s;
+	s = 0.0;
+	for (i = 0; i < n; i++) {
+		s += x[i] * (alpha * beta + 2.0);
+	}
+	return s;
+}`
+	obj := build(t, src)
+	m := vm.New(obj)
+	base := m.Alloc(8)
+	for i := 0; i < 8; i++ {
+		m.SetF(base+uint64(i), 1.0)
+	}
+	v, err := m.Run("f", vm.Int(int64(base)), vm.Int(8), vm.Float(2.0), vm.Float(3.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.F != 8*(2.0*3.0+2.0) {
+		t.Errorf("f = %g, want 64", v.F)
+	}
+	// With LICM the loop body performs 2 FPI per element (mul + add);
+	// alpha*beta+2.0 is hoisted. Without, 4 FPI per element.
+	st, _ := m.FuncStatsByName("f")
+	gotFPI := st.FPIExclusive()
+	if gotFPI != 2+8*2 { // 2 hoisted + 16 in-loop
+		t.Errorf("optimized FPI = %d, want 18", gotFPI)
+	}
+
+	obj0 := buildOpts(t, src, cc.Options{SourceName: "licm.c", DisableOpt: true})
+	m0 := vm.New(obj0)
+	base0 := m0.Alloc(8)
+	for i := 0; i < 8; i++ {
+		m0.SetF(base0+uint64(i), 1.0)
+	}
+	v0, err := m0.Run("f", vm.Int(int64(base0)), vm.Int(8), vm.Float(2.0), vm.Float(3.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v0.F != v.F {
+		t.Errorf("unoptimized result %g != %g", v0.F, v.F)
+	}
+	st0, _ := m0.FuncStatsByName("f")
+	if st0.FPIExclusive() != 8*4 {
+		t.Errorf("unoptimized FPI = %d, want 32", st0.FPIExclusive())
+	}
+}
+
+func TestInclusiveVsExclusiveCounts(t *testing.T) {
+	obj := build(t, `
+double inner(double x) { return x * x; }
+double outer(double x) {
+	double s; int i;
+	s = 0.0;
+	for (i = 0; i < 10; i++) {
+		s += inner(x);
+	}
+	return s;
+}`)
+	v, m := run(t, obj, "outer", vm.Float(2.0))
+	if v.F != 40.0 {
+		t.Errorf("outer = %g, want 40", v.F)
+	}
+	in, _ := m.FuncStatsByName("inner")
+	out, _ := m.FuncStatsByName("outer")
+	if in.Calls != 10 {
+		t.Errorf("inner calls = %d", in.Calls)
+	}
+	if in.FPIExclusive() != 10 { // one MULSD per call
+		t.Errorf("inner FPI = %d, want 10", in.FPIExclusive())
+	}
+	if out.FPIExclusive() != 10 { // one ADDSD per iteration
+		t.Errorf("outer exclusive FPI = %d, want 10", out.FPIExclusive())
+	}
+	if out.FPIInclusive() != 20 {
+		t.Errorf("outer inclusive FPI = %d, want 20", out.FPIInclusive())
+	}
+}
+
+func TestVMFaults(t *testing.T) {
+	obj := build(t, `
+int div(int a, int b) { return a / b; }
+double oob(int n) {
+	double a[4];
+	return a[n];
+}`)
+	m := vm.New(obj)
+	if _, err := m.Run("div", vm.Int(1), vm.Int(0)); err == nil {
+		t.Error("division by zero not faulted")
+	}
+	m = vm.New(obj)
+	if _, err := m.Run("oob", vm.Int(1000000)); err == nil {
+		t.Error("out-of-bounds access not faulted")
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	obj := build(t, `
+int spin() {
+	int i;
+	i = 0;
+	while (i < 1000000000) { i++; }
+	return i;
+}`)
+	m := vm.New(obj)
+	m.MaxSteps = 1000
+	if _, err := m.Run("spin"); err == nil {
+		t.Error("step limit not enforced")
+	}
+}
+
+func TestLineTableCoversAllInstructions(t *testing.T) {
+	obj := build(t, `
+int f(int n) {
+	int s; int i;
+	s = 0;
+	for (i = 0; i < n; i++) { s += i; }
+	return s;
+}`)
+	if obj.Line == nil {
+		t.Fatal("no line table")
+	}
+	for addr := uint64(0); addr < uint64(len(obj.Text)); addr++ {
+		if _, ok := obj.Line.Lookup(addr); !ok {
+			t.Fatalf("no line info for instruction %d", addr)
+		}
+	}
+	// The for header instructions must span at least three distinct
+	// columns on the same line (init / cond / post).
+	sym, _ := obj.LookupSym("f")
+	cols := map[int32]bool{}
+	var headerLine int32
+	for a := sym.Start; a < sym.End(); a++ {
+		row, _ := obj.Line.Lookup(a)
+		if row.Line == 5 { // the for statement's line
+			cols[row.Col] = true
+			headerLine = row.Line
+		}
+	}
+	if headerLine != 5 || len(cols) < 3 {
+		t.Errorf("for header columns = %v (line %d), want >= 3 distinct", cols, headerLine)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []string{
+		`int f() { return g(); }`,                                           // undefined function
+		`int f(int a) { return a + b; }`,                                    // undefined variable
+		`extern double mystery(double x); int f() { return mystery(1.0); }`, // no lib body
+		`int f() { double a[4]; a = 0; return 0; }`,                         // assign to array
+		`const int N = 5; int f() { N = 6; return N; }`,                     // assign to const
+		`int f() { break; return 0; }`,                                      // break outside loop
+		`class C { public: int x; }; int f() { C c; return c.y; }`,          // no field
+	}
+	for _, src := range cases {
+		file, err := parser.ParseFile("bad.c", src)
+		if err != nil {
+			continue // parse-time rejection also fine
+		}
+		prog, err := sema.Analyze(file)
+		if err != nil {
+			continue
+		}
+		if _, err := cc.Compile(prog, cc.Options{SourceName: "bad.c"}); err == nil {
+			t.Errorf("Compile(%q) succeeded, want error", src)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package cc
+
+import (
+	"mira/internal/ast"
+	"mira/internal/token"
+)
+
+// exprKey is the structural identity used for common-subexpression reuse of
+// hoisted values.
+func exprKey(e ast.Expr) string { return ast.ExprString(e) }
+
+// hoistInvariants performs loop-invariant code motion for floating-point
+// subexpressions of a for loop: maximal invariant FP binary subtrees and FP
+// literals are evaluated once in the loop preheader. Hoisted instructions
+// are tagged with the init-clause position, which is exactly where the
+// static model attributes once-per-loop-entry cost — so binary-level
+// analysis (Mira) remains exact under this optimization while source-only
+// analysis (PBound) overcounts the hoisted work on every iteration.
+func (fc *funcCompiler) hoistInvariants(st *ast.ForStmt, initPos token.Pos) {
+	assigned := map[string]bool{}
+	collectAssigned(st.Body, assigned)
+	if st.Post != nil {
+		collectAssignedExpr(st.Post, assigned)
+	}
+	if st.Cond != nil {
+		collectAssignedExpr(st.Cond, assigned)
+	}
+	hasCall := containsCall(st.Body)
+
+	var candidates []ast.Expr
+	seen := map[string]bool{}
+	var scan func(e ast.Expr)
+	scan = func(e ast.Expr) {
+		if e == nil {
+			return
+		}
+		if fc.isInvariantFP(e, assigned, hasCall) {
+			key := exprKey(e)
+			if !seen[key] && worthHoisting(e) {
+				seen[key] = true
+				candidates = append(candidates, e)
+			}
+			return // maximal subtree found; don't descend
+		}
+		switch x := e.(type) {
+		case *ast.BinaryExpr:
+			scan(x.X)
+			scan(x.Y)
+		case *ast.UnaryExpr:
+			scan(x.X)
+		case *ast.ParenExpr:
+			scan(x.X)
+		case *ast.AssignExpr:
+			scan(x.RHS)
+			// LHS index expressions may hold invariants too.
+			if ix, ok := x.LHS.(*ast.IndexExpr); ok {
+				scan(ix.Index)
+			}
+		case *ast.IndexExpr:
+			scan(x.X)
+			scan(x.Index)
+		case *ast.CallExpr:
+			for _, a := range x.Args {
+				scan(a)
+			}
+		case *ast.CondExpr:
+			scan(x.Cond)
+			scan(x.Then)
+			scan(x.Else)
+		}
+	}
+	var scanStmt func(s ast.Stmt)
+	scanStmt = func(s ast.Stmt) {
+		switch x := s.(type) {
+		case *ast.BlockStmt:
+			for _, ss := range x.Stmts {
+				scanStmt(ss)
+			}
+		case *ast.ExprStmt:
+			scan(x.X)
+		case *ast.IfStmt:
+			scan(x.Cond)
+			scanStmt(x.Then)
+			if x.Else != nil {
+				scanStmt(x.Else)
+			}
+		case *ast.ForStmt:
+			// Nested loops hoist into their own preheaders.
+		case *ast.WhileStmt:
+		case *ast.ReturnStmt:
+			if x.X != nil {
+				scan(x.X)
+			}
+		case *ast.VarDecl:
+			for _, d := range x.Names {
+				if d.Init != nil {
+					scan(d.Init)
+				}
+			}
+		}
+	}
+	scanStmt(st.Body)
+
+	if len(candidates) == 0 {
+		return
+	}
+	// Evaluate candidates in the preheader, tagged at the init clause.
+	saved := fc.curPos
+	fc.setPos(initPos)
+	newCache := make(map[string]value, len(fc.licmCache)+len(candidates))
+	for k, v := range fc.licmCache {
+		newCache[k] = v
+	}
+	for _, cand := range candidates {
+		key := exprKey(cand)
+		if _, dup := newCache[key]; dup {
+			continue
+		}
+		v := fc.compileExpr(cand)
+		newCache[key] = v
+	}
+	fc.licmCache = newCache
+	fc.setPos(saved)
+}
+
+// worthHoisting limits hoisting to expressions that actually save
+// instructions per iteration: FP literals (a MOVSDI each use) and FP
+// binary subtrees.
+func worthHoisting(e ast.Expr) bool {
+	switch e.(type) {
+	case *ast.FloatLit:
+		return true
+	case *ast.BinaryExpr:
+		return true
+	case *ast.ParenExpr:
+		return worthHoisting(e.(*ast.ParenExpr).X)
+	}
+	return false
+}
+
+// isInvariantFP reports whether e is a loop-invariant floating-point
+// expression: every leaf is an FP literal, an int literal, or a scalar
+// local/param register variable not assigned in the loop. Globals are
+// excluded when the body contains calls (callees may write them); array
+// and field loads are always excluded (stores may alias).
+func (fc *funcCompiler) isInvariantFP(e ast.Expr, assigned map[string]bool, hasCall bool) bool {
+	if !isFloatExpr(e) {
+		return false
+	}
+	ok := true
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		if !ok || e == nil {
+			return
+		}
+		switch x := e.(type) {
+		case *ast.FloatLit, *ast.IntLit, *ast.BoolLit:
+		case *ast.Ident:
+			if assigned[x.Name] {
+				ok = false
+				return
+			}
+			if l, found := fc.lookup(x.Name); found {
+				if l.isArr || l.isObj {
+					ok = false
+				}
+				return
+			}
+			if g, found := fc.g.prog.Globals[x.Name]; found {
+				if !(g.IsConst && g.HasConst) && hasCall {
+					ok = false
+				}
+				if len(g.Dims) > 0 {
+					ok = false
+				}
+				return
+			}
+			ok = false // fields, unknowns
+		case *ast.BinaryExpr:
+			if x.Op.IsCmpOp() || x.Op == token.ANDAND || x.Op == token.OROR {
+				ok = false
+				return
+			}
+			walk(x.X)
+			walk(x.Y)
+		case *ast.UnaryExpr:
+			if x.Op == token.INC || x.Op == token.DEC {
+				ok = false
+				return
+			}
+			walk(x.X)
+		case *ast.ParenExpr:
+			walk(x.X)
+		default:
+			ok = false
+		}
+	}
+	walk(e)
+	return ok
+}
+
+func collectAssigned(s ast.Stmt, out map[string]bool) {
+	ast.Walk(s, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignExpr:
+			markAssignedTarget(x.LHS, out)
+		case *ast.UnaryExpr:
+			if x.Op == token.INC || x.Op == token.DEC {
+				markAssignedTarget(x.X, out)
+			}
+		}
+		return true
+	})
+}
+
+func collectAssignedExpr(e ast.Expr, out map[string]bool) {
+	switch x := e.(type) {
+	case *ast.AssignExpr:
+		markAssignedTarget(x.LHS, out)
+		collectAssignedExpr(x.RHS, out)
+	case *ast.UnaryExpr:
+		if x.Op == token.INC || x.Op == token.DEC {
+			markAssignedTarget(x.X, out)
+		}
+	case *ast.BinaryExpr:
+		collectAssignedExpr(x.X, out)
+		collectAssignedExpr(x.Y, out)
+	case *ast.ParenExpr:
+		collectAssignedExpr(x.X, out)
+	}
+}
+
+func markAssignedTarget(e ast.Expr, out map[string]bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			out[x.Name] = true
+			return
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.MemberExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return
+		}
+	}
+}
+
+func containsCall(s ast.Stmt) bool {
+	found := false
+	ast.Walk(s, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

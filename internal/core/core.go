@@ -1,0 +1,155 @@
+// Package core orchestrates the full Mira pipeline of the paper's Fig. 1:
+// Input Processor (parse source; compile; decode the object file back from
+// bytes), Metric Generator (bridge + polyhedral contexts), and Model
+// Generator (parametric model, Python emission), plus access to the
+// dynamic-validation machinery.
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"mira/internal/arch"
+	"mira/internal/ast"
+	"mira/internal/cc"
+	"mira/internal/disasm"
+	"mira/internal/expr"
+	"mira/internal/metrics"
+	"mira/internal/model"
+	"mira/internal/objfile"
+	"mira/internal/parser"
+	"mira/internal/sema"
+	"mira/internal/vm"
+)
+
+// Options configures an analysis run.
+type Options struct {
+	// DisableOpt compiles without optimizations (ablation mode).
+	DisableOpt bool
+	// Lenient downgrades unanalyzable branches to warnings.
+	Lenient bool
+	// Arch selects the architecture description; nil means generic.
+	Arch *arch.Description
+}
+
+// Pipeline is a fully analyzed program.
+type Pipeline struct {
+	Name     string
+	Source   string
+	File     *ast.File
+	Prog     *sema.Program
+	Obj      *objfile.File
+	Model    *model.Model
+	Arch     *arch.Description
+	Warnings []string
+}
+
+// Analyze runs the whole static pipeline on MiniC source text. The object
+// file is round-tripped through its byte encoding so the model is
+// genuinely derived from the binary artifact.
+func Analyze(name, source string, opts Options) (*Pipeline, error) {
+	file, err := parser.ParseFile(name, source)
+	if err != nil {
+		return nil, fmt.Errorf("core: parse: %w", err)
+	}
+	prog, err := sema.Analyze(file)
+	if err != nil {
+		return nil, fmt.Errorf("core: sema: %w", err)
+	}
+	obj, err := cc.Compile(prog, cc.Options{SourceName: name, DisableOpt: opts.DisableOpt})
+	if err != nil {
+		return nil, fmt.Errorf("core: compile: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := obj.Encode(&buf); err != nil {
+		return nil, fmt.Errorf("core: encode: %w", err)
+	}
+	decoded, err := objfile.Decode(buf.Bytes())
+	if err != nil {
+		return nil, fmt.Errorf("core: decode: %w", err)
+	}
+	m, warns, err := metrics.Generate(prog, decoded, metrics.Config{Lenient: opts.Lenient})
+	if err != nil {
+		return nil, err
+	}
+	a := opts.Arch
+	if a == nil {
+		a = arch.Generic()
+	}
+	return &Pipeline{
+		Name:     name,
+		Source:   source,
+		File:     file,
+		Prog:     prog,
+		Obj:      decoded,
+		Model:    m,
+		Arch:     a,
+		Warnings: warns,
+	}, nil
+}
+
+// StaticMetrics evaluates the model of fn (inclusive) under env.
+func (p *Pipeline) StaticMetrics(fn string, env expr.Env) (model.Metrics, error) {
+	return p.Model.Evaluate(fn, env)
+}
+
+// StaticMetricsExclusive evaluates body-only metrics.
+func (p *Pipeline) StaticMetricsExclusive(fn string, env expr.Env) (model.Metrics, error) {
+	return p.Model.EvaluateExclusive(fn, env)
+}
+
+// NewMachine returns a fresh VM over the compiled binary for dynamic
+// validation runs.
+func (p *Pipeline) NewMachine() *vm.Machine { return vm.New(p.Obj) }
+
+// PythonModel emits the generated model as Python source (paper Fig. 5).
+func (p *Pipeline) PythonModel() string { return p.Model.EmitPython() }
+
+// Disassembly returns an objdump-style listing of fn.
+func (p *Pipeline) Disassembly(fn string) (string, error) {
+	sym, ok := p.Obj.LookupSym(fn)
+	if !ok {
+		return "", fmt.Errorf("core: no symbol %q", fn)
+	}
+	return disasm.Print(disasm.DisassembleFunc(p.Obj, sym)), nil
+}
+
+// SourceDot renders the source AST as a dot graph (paper Fig. 2).
+func (p *Pipeline) SourceDot() string { return ast.Dot(p.File) }
+
+// BinaryDot renders fn's binary AST as a dot graph (paper Fig. 3).
+func (p *Pipeline) BinaryDot(fn string) (string, error) {
+	sym, ok := p.Obj.LookupSym(fn)
+	if !ok {
+		return "", fmt.Errorf("core: no symbol %q", fn)
+	}
+	return disasm.Dot(disasm.DisassembleFunc(p.Obj, sym)), nil
+}
+
+// FineCategoryCounts buckets fn's static per-opcode counts into the
+// architecture description's fine-grained (64-way) categories.
+func (p *Pipeline) FineCategoryCounts(fn string, env expr.Env) (map[string]int64, error) {
+	ops, err := p.Model.EvaluateOpcodes(fn, env)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]int64{}
+	for op, n := range ops {
+		out[p.Arch.FineCategory(op)] += n
+	}
+	return out, nil
+}
+
+// TableIICounts aggregates fn's static metrics into the seven rows the
+// paper's Table II reports.
+func (p *Pipeline) TableIICounts(fn string, env expr.Env) (map[string]int64, error) {
+	ops, err := p.Model.EvaluateOpcodes(fn, env)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]int64{}
+	for op, n := range ops {
+		out[arch.TableIICategory(op).String()] += n
+	}
+	return out, nil
+}

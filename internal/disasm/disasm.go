@@ -1,0 +1,133 @@
+// Package disasm decodes the .text of a Mira object file into a binary
+// AST: functions of basic blocks of instructions, each annotated with the
+// source position recovered from the DWARF-style line table.
+//
+// This is the counterpart of ROSE's disassembler in the paper's Input
+// Processor (Fig. 3 shows the SgAsmFunction / SgAsmBlock /
+// SgAsmX86Instruction shape this package reproduces).
+package disasm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mira/internal/ir"
+	"mira/internal/objfile"
+)
+
+// AsmInstruction is one decoded instruction with provenance.
+type AsmInstruction struct {
+	Addr  uint64 // global instruction index
+	Instr ir.Instr
+	Line  int32
+	Col   int32
+}
+
+// AsmBlock is a straight-line run of instructions (leader-based basic
+// blocks: boundaries at jump targets and after control transfers).
+type AsmBlock struct {
+	Start  uint64
+	Instrs []AsmInstruction
+}
+
+// AsmFunction is one function of the binary AST.
+type AsmFunction struct {
+	Sym    objfile.Symbol
+	Blocks []*AsmBlock
+}
+
+// Instrs returns the function's instructions in address order.
+func (f *AsmFunction) Instrs() []AsmInstruction {
+	var out []AsmInstruction
+	for _, b := range f.Blocks {
+		out = append(out, b.Instrs...)
+	}
+	return out
+}
+
+// Disassemble decodes every function in the object file.
+func Disassemble(obj *objfile.File) []*AsmFunction {
+	var out []*AsmFunction
+	for i := range obj.Syms {
+		out = append(out, DisassembleFunc(obj, &obj.Syms[i]))
+	}
+	return out
+}
+
+// DisassembleFunc decodes one function into basic blocks.
+func DisassembleFunc(obj *objfile.File, sym *objfile.Symbol) *AsmFunction {
+	text := obj.FuncText(sym)
+	leaders := map[int64]bool{0: true}
+	for idx, in := range text {
+		if in.IsJump() {
+			leaders[in.Imm] = true
+			leaders[int64(idx)+1] = true
+		}
+		if in.IsReturn() {
+			leaders[int64(idx)+1] = true
+		}
+	}
+	var cuts []int64
+	for l := range leaders {
+		if l >= 0 && l < int64(len(text)) {
+			cuts = append(cuts, l)
+		}
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+
+	fn := &AsmFunction{Sym: *sym}
+	for ci, start := range cuts {
+		end := int64(len(text))
+		if ci+1 < len(cuts) {
+			end = cuts[ci+1]
+		}
+		blk := &AsmBlock{Start: sym.Start + uint64(start)}
+		for idx := start; idx < end; idx++ {
+			ai := AsmInstruction{
+				Addr:  sym.Start + uint64(idx),
+				Instr: text[idx],
+			}
+			if obj.Line != nil {
+				if row, ok := obj.Line.Lookup(ai.Addr); ok {
+					ai.Line, ai.Col = row.Line, row.Col
+				}
+			}
+			blk.Instrs = append(blk.Instrs, ai)
+		}
+		fn.Blocks = append(fn.Blocks, blk)
+	}
+	return fn
+}
+
+// Print renders an objdump-style listing of the function.
+func Print(fn *AsmFunction) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s:  (%d instructions, %d blocks)\n",
+		fn.Sym.Name, fn.Sym.Count, len(fn.Blocks))
+	for _, b := range fn.Blocks {
+		fmt.Fprintf(&sb, ".L%d:\n", b.Start-fn.Sym.Start)
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "  %6d:  %-36s ; line %d:%d  [%s]\n",
+				in.Addr, in.Instr.String(), in.Line, in.Col, in.Instr.Op.Cat())
+		}
+	}
+	return sb.String()
+}
+
+// Dot renders the binary AST fragment as a Graphviz graph in the style of
+// the paper's Fig. 3 (SgAsmFunction -> SgAsmBlock -> SgAsmX86Instruction).
+func Dot(fn *AsmFunction) string {
+	var sb strings.Builder
+	sb.WriteString("digraph binast {\n  node [shape=box, fontname=\"Helvetica\"];\n")
+	fmt.Fprintf(&sb, "  f [label=\"SgAsmFunction %s\"];\n", fn.Sym.Name)
+	for bi, b := range fn.Blocks {
+		fmt.Fprintf(&sb, "  b%d [label=\"SgAsmBlock 0x%x\"];\n  f -> b%d;\n", bi, b.Start, bi)
+		for ii, in := range b.Instrs {
+			fmt.Fprintf(&sb, "  b%d_i%d [label=\"SgAsmX86Instruction %s\"];\n  b%d -> b%d_i%d;\n",
+				bi, ii, in.Instr.Op.Mnemonic(), bi, bi, ii)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,142 @@
+package disasm_test
+
+import (
+	"strings"
+	"testing"
+
+	"mira/internal/cc"
+	"mira/internal/disasm"
+	"mira/internal/ir"
+	"mira/internal/objfile"
+	"mira/internal/parser"
+	"mira/internal/sema"
+)
+
+func compile(t *testing.T, src string) *objfile.File {
+	t.Helper()
+	file, err := parser.ParseFile("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := sema.Analyze(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := cc.Compile(prog, cc.Options{SourceName: "t.c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obj
+}
+
+const loopSrc = `
+double f(int n) {
+	double s; int i;
+	s = 0.0;
+	for (i = 0; i < n; i++) {
+		s = s + 1.0;
+	}
+	return s;
+}`
+
+func TestBasicBlockStructure(t *testing.T) {
+	obj := compile(t, loopSrc)
+	fns := disasm.Disassemble(obj)
+	if len(fns) != 1 {
+		t.Fatalf("got %d functions", len(fns))
+	}
+	fn := fns[0]
+	// A counted loop yields at least 4 blocks: entry, cond, body+post, exit.
+	if len(fn.Blocks) < 4 {
+		t.Errorf("blocks = %d, want >= 4", len(fn.Blocks))
+	}
+	// Block boundaries: every jump target starts a block.
+	starts := map[uint64]bool{}
+	for _, b := range fn.Blocks {
+		starts[b.Start] = true
+	}
+	for _, in := range fn.Instrs() {
+		if in.Instr.IsJump() {
+			if !starts[uint64(in.Instr.Imm)+fn.Sym.Start] {
+				t.Errorf("jump target %d does not start a block", in.Instr.Imm)
+			}
+		}
+	}
+	// Instruction count must match the symbol.
+	if got := len(fn.Instrs()); got != int(fn.Sym.Count) {
+		t.Errorf("instr count = %d, want %d", got, fn.Sym.Count)
+	}
+}
+
+func TestLineInfoAttached(t *testing.T) {
+	obj := compile(t, loopSrc)
+	fn := disasm.Disassemble(obj)[0]
+	var fpLine int32
+	for _, in := range fn.Instrs() {
+		if in.Instr.Op == ir.ADDSD {
+			fpLine = in.Line
+		}
+	}
+	if fpLine != 6 { // "s = s + 1.0;" line
+		t.Errorf("ADDSD at line %d, want 6", fpLine)
+	}
+}
+
+func TestPrintListing(t *testing.T) {
+	obj := compile(t, loopSrc)
+	fn := disasm.Disassemble(obj)[0]
+	out := disasm.Print(fn)
+	for _, want := range []string{"f:", "addsd", "jge", "ret", "line 6", ".L0:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	obj := compile(t, loopSrc)
+	fn := disasm.Disassemble(obj)[0]
+	dot := disasm.Dot(fn)
+	for _, want := range []string{"SgAsmFunction f", "SgAsmBlock", "SgAsmX86Instruction mov", "digraph"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("dot missing %q", want)
+		}
+	}
+}
+
+func TestMultiFunctionDisassembly(t *testing.T) {
+	obj := compile(t, `
+extern double sqrt(double x);
+double a(double x) { return sqrt(x); }
+double b(double x) { return a(x) * 2.0; }
+`)
+	fns := disasm.Disassemble(obj)
+	names := map[string]bool{}
+	for _, fn := range fns {
+		names[fn.Sym.Name] = true
+	}
+	for _, want := range []string{"a", "b", "sqrt"} {
+		if !names[want] {
+			t.Errorf("missing function %q", want)
+		}
+	}
+	// The call in b references a's symbol index.
+	var bFn *disasm.AsmFunction
+	for _, fn := range fns {
+		if fn.Sym.Name == "b" {
+			bFn = fn
+		}
+	}
+	foundCall := false
+	for _, in := range bFn.Instrs() {
+		if in.Instr.Op == ir.CALL {
+			callee := obj.Syms[in.Instr.Imm].Name
+			if callee == "a" {
+				foundCall = true
+			}
+		}
+	}
+	if !foundCall {
+		t.Error("call to a not found in b")
+	}
+}

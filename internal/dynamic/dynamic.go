@@ -1,0 +1,159 @@
+// Package dynamic provides a TAU-like instrumentation interface over the
+// virtual machine: per-function profiles with PAPI-style counter names.
+// It is the reproduction's counterpart of "TAU in instrumentation mode
+// with PAPI counters" (paper Sec. IV): the measurement side of every
+// validation table.
+//
+// Architecture fidelity: when profiling under a description whose
+// HasFPCounters is false (the paper's Haswell machine), requesting
+// PAPI_FP_INS fails exactly the way the paper describes ("in modern Intel
+// Haswell servers, there is no support for FLOP or FPI performance
+// hardware counters. Hence, static performance analysis may be the only
+// way to produce floating-point-based metrics").
+package dynamic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mira/internal/arch"
+	"mira/internal/ir"
+	"mira/internal/vm"
+)
+
+// Counter names the PAPI-style hardware counters the profiler exposes.
+type Counter string
+
+// Supported counters.
+const (
+	PAPI_TOT_INS Counter = "PAPI_TOT_INS" // total instructions
+	PAPI_FP_INS  Counter = "PAPI_FP_INS"  // floating-point instructions
+	PAPI_FP_OPS  Counter = "PAPI_FP_OPS"  // floating-point operations
+	PAPI_BR_INS  Counter = "PAPI_BR_INS"  // branch (control transfer) instructions
+	PAPI_LST_INS Counter = "PAPI_LST_INS" // load/store (data movement) instructions
+)
+
+// Profile is a TAU-style per-function measurement report.
+type Profile struct {
+	Arch    *arch.Description
+	Machine *vm.Machine
+	Rows    []ProfileRow
+}
+
+// ProfileRow is one function's measurements.
+type ProfileRow struct {
+	Function  string
+	Calls     uint64
+	Exclusive map[Counter]int64
+	Inclusive map[Counter]int64
+}
+
+// Profiler wraps a machine with counter semantics.
+type Profiler struct {
+	M    *vm.Machine
+	Arch *arch.Description
+}
+
+// New creates a profiler; a nil description defaults to frankenstein
+// (the paper's counter-capable Nehalem machine).
+func New(m *vm.Machine, d *arch.Description) *Profiler {
+	if d == nil {
+		d = arch.Frankenstein()
+	}
+	return &Profiler{M: m, Arch: d}
+}
+
+// Available reports whether the architecture supports a counter.
+func (p *Profiler) Available(c Counter) bool {
+	switch c {
+	case PAPI_FP_INS, PAPI_FP_OPS:
+		return p.Arch.HasFPCounters
+	}
+	return true
+}
+
+// Read returns the inclusive value of a counter for one function.
+func (p *Profiler) Read(fn string, c Counter) (int64, error) {
+	if !p.Available(c) {
+		return 0, fmt.Errorf("dynamic: %s is not supported on %s (no FP hardware counters; see paper Sec. IV-D1)",
+			c, p.Arch.Name)
+	}
+	st, ok := p.M.FuncStatsByName(fn)
+	if !ok {
+		return 0, fmt.Errorf("dynamic: no function %q", fn)
+	}
+	return counterValue(st, c, true), nil
+}
+
+func counterValue(st *vm.FuncStats, c Counter, inclusive bool) int64 {
+	cats := st.Exclusive
+	flops := st.FlopsExcl
+	total := st.Total()
+	if inclusive {
+		cats = st.Inclusive
+		flops = st.FlopsIncl
+		total = st.TotalInclusive()
+	}
+	switch c {
+	case PAPI_TOT_INS:
+		return int64(total)
+	case PAPI_FP_INS:
+		return int64(cats[ir.CatSSEArith])
+	case PAPI_FP_OPS:
+		return int64(flops)
+	case PAPI_BR_INS:
+		return int64(cats[ir.CatIntControl])
+	case PAPI_LST_INS:
+		return int64(cats[ir.CatIntData] + cats[ir.CatSSEMove])
+	}
+	return 0
+}
+
+// Report builds the full per-function profile, sorted by inclusive total.
+func (p *Profiler) Report() *Profile {
+	prof := &Profile{Arch: p.Arch, Machine: p.M}
+	for i := range p.M.Stats() {
+		st := &p.M.Stats()[i]
+		if st.Calls == 0 {
+			continue
+		}
+		row := ProfileRow{
+			Function:  st.Name,
+			Calls:     st.Calls,
+			Exclusive: map[Counter]int64{},
+			Inclusive: map[Counter]int64{},
+		}
+		for _, c := range []Counter{PAPI_TOT_INS, PAPI_FP_INS, PAPI_FP_OPS, PAPI_BR_INS, PAPI_LST_INS} {
+			if !p.Available(c) {
+				continue
+			}
+			row.Exclusive[c] = counterValue(st, c, false)
+			row.Inclusive[c] = counterValue(st, c, true)
+		}
+		prof.Rows = append(prof.Rows, row)
+	}
+	sort.Slice(prof.Rows, func(i, j int) bool {
+		return prof.Rows[i].Inclusive[PAPI_TOT_INS] > prof.Rows[j].Inclusive[PAPI_TOT_INS]
+	})
+	return prof
+}
+
+// String renders the profile in a pprof/TAU-like table.
+func (p *Profile) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "TAU-style profile on %s (FP counters: %t)\n", p.Arch.Name, p.Arch.HasFPCounters)
+	fmt.Fprintf(&sb, "%-28s %-8s %-14s %-14s %-14s\n",
+		"Function", "Calls", "TOT_INS(incl)", "FP_INS(incl)", "FP_INS(excl)")
+	for _, r := range p.Rows {
+		fp := "n/a"
+		fpe := "n/a"
+		if v, ok := r.Inclusive[PAPI_FP_INS]; ok {
+			fp = fmt.Sprintf("%d", v)
+			fpe = fmt.Sprintf("%d", r.Exclusive[PAPI_FP_INS])
+		}
+		fmt.Fprintf(&sb, "%-28s %-8d %-14d %-14s %-14s\n",
+			r.Function, r.Calls, r.Inclusive[PAPI_TOT_INS], fp, fpe)
+	}
+	return sb.String()
+}

@@ -1,0 +1,117 @@
+package dynamic_test
+
+import (
+	"strings"
+	"testing"
+
+	"mira/internal/arch"
+	"mira/internal/cc"
+	"mira/internal/dynamic"
+	"mira/internal/parser"
+	"mira/internal/sema"
+	"mira/internal/vm"
+)
+
+func machine(t *testing.T, src string) *vm.Machine {
+	t.Helper()
+	file, err := parser.ParseFile("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := sema.Analyze(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := cc.Compile(prog, cc.Options{SourceName: "t.c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm.New(obj)
+}
+
+const profSrc = `
+double inner(double x) { return x * x; }
+double outer(int n) {
+	double s; int i;
+	s = 0.0;
+	for (i = 0; i < n; i++) { s = s + inner(1.5); }
+	return s;
+}`
+
+func TestCountersOnNehalem(t *testing.T) {
+	m := machine(t, profSrc)
+	if _, err := m.Run("outer", vm.Int(10)); err != nil {
+		t.Fatal(err)
+	}
+	p := dynamic.New(m, arch.Frankenstein())
+	fp, err := p.Read("outer", dynamic.PAPI_FP_INS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp != 20 { // 10 adds + 10 muls (inclusive)
+		t.Errorf("FP_INS = %d, want 20", fp)
+	}
+	tot, err := p.Read("outer", dynamic.PAPI_TOT_INS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tot <= fp {
+		t.Errorf("TOT_INS = %d", tot)
+	}
+	br, err := p.Read("outer", dynamic.PAPI_BR_INS)
+	if err != nil || br == 0 {
+		t.Errorf("BR_INS = %d, %v", br, err)
+	}
+}
+
+func TestHaswellRefusesFPCounters(t *testing.T) {
+	m := machine(t, profSrc)
+	if _, err := m.Run("outer", vm.Int(3)); err != nil {
+		t.Fatal(err)
+	}
+	p := dynamic.New(m, arch.Arya())
+	if _, err := p.Read("outer", dynamic.PAPI_FP_INS); err == nil {
+		t.Error("FP_INS readable on Haswell-like arch")
+	}
+	// Non-FP counters still work.
+	if _, err := p.Read("outer", dynamic.PAPI_TOT_INS); err != nil {
+		t.Errorf("TOT_INS failed: %v", err)
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	m := machine(t, profSrc)
+	if _, err := m.Run("outer", vm.Int(5)); err != nil {
+		t.Fatal(err)
+	}
+	rep := dynamic.New(m, arch.Frankenstein()).Report()
+	if len(rep.Rows) != 2 { // outer + inner (called functions only)
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	if rep.Rows[0].Function != "outer" {
+		t.Errorf("rows not sorted by inclusive total: %+v", rep.Rows[0])
+	}
+	out := rep.String()
+	for _, want := range []string{"TAU-style profile", "outer", "inner", "FP_INS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// On Haswell the FP columns render n/a.
+	m2 := machine(t, profSrc)
+	if _, err := m2.Run("outer", vm.Int(5)); err != nil {
+		t.Fatal(err)
+	}
+	out2 := dynamic.New(m2, arch.Arya()).Report().String()
+	if !strings.Contains(out2, "n/a") {
+		t.Errorf("Haswell report shows FP numbers:\n%s", out2)
+	}
+}
+
+func TestUnknownFunction(t *testing.T) {
+	m := machine(t, profSrc)
+	p := dynamic.New(m, nil)
+	if _, err := p.Read("ghost", dynamic.PAPI_TOT_INS); err == nil {
+		t.Error("unknown function accepted")
+	}
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestStreamStaticMatchesDynamic: STREAM is fully affine with no external
+// calls, so the static model must match the VM exactly at any size.
+func TestStreamStaticMatchesDynamic(t *testing.T) {
+	for _, n := range []int64{1000, 10000} {
+		dyn, err := StreamDynamicFPI(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		static, err := StreamStaticFPI(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dyn != static {
+			t.Errorf("n=%d: dynamic=%d static=%d", n, dyn, static)
+		}
+		// FPI magnitude: scale(1) + add(1) + triad(2) per element per
+		// NTIMES iteration = 40n.
+		if want := 40 * n; static != want {
+			t.Errorf("n=%d: FPI=%d, want %d", n, static, want)
+		}
+	}
+}
+
+// TestStreamStaticAtPaperSizes evaluates the closed-form model at the
+// paper's full sizes instantly (Table III static column).
+func TestStreamStaticAtPaperSizes(t *testing.T) {
+	for _, c := range []struct {
+		n    int64
+		want int64
+	}{
+		{2_000_000, 80_000_000},      // paper: Mira 8.20E7
+		{50_000_000, 2_000_000_000},  // paper: Mira 4.100E9 (2 flops/elem counted per kernel pass differs; see EXPERIMENTS.md)
+		{100_000_000, 4_000_000_000}, // paper: Mira 2.050E10
+	} {
+		got, err := StreamStaticFPI(c.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("n=%d: FPI=%d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestDgemmStaticMatchesDynamic(t *testing.T) {
+	for _, n := range []int64{8, 24} {
+		dyn, err := DgemmDynamicFPI(n, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		static, err := DgemmStaticFPI(n, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dyn != static {
+			t.Errorf("n=%d: dynamic=%d static=%d", n, dyn, static)
+		}
+		// 2n^3 (inner mul+add) + 3n^2 (beta*c[ij] mul, alpha*t mul, add).
+		if want := 3 * (2*n*n*n + 3*n*n); static != want {
+			t.Errorf("n=%d: FPI=%d, want %d", n, static, want)
+		}
+	}
+}
+
+func TestMiniFEValidation(t *testing.T) {
+	s := MiniFESizes{NX: 6, NY: 6, NZ: 6, MaxIter: 8}
+	// Bind the annotation to the rounded true average row length, the
+	// best value a careful user could supply.
+	s.NnzRowAnnotation = (s.TrueNNZ() + s.Rows()/2) / s.Rows()
+	rows, err := TableV([]MiniFESizes{s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Dynamic == 0 || r.Static == 0 {
+			t.Errorf("%s: zero counts: %+v", r.Function, r)
+		}
+		// Residual error: annotation rounding plus the invisible sqrt
+		// library body. Both are small (paper's Table V band is <= 3.08%).
+		if r.ErrorPct() > 5 {
+			t.Errorf("%s: error %.2f%% too large (dyn=%d static=%d)",
+				r.Function, r.ErrorPct(), r.Dynamic, r.Static)
+		}
+	}
+	// waxpby is fully affine: error must be ~0 (only call-free body).
+	for _, r := range rows {
+		if r.Function == "waxpby" && r.Dynamic != r.Static {
+			t.Errorf("waxpby: dyn=%d static=%d, want exact", r.Dynamic, r.Static)
+		}
+	}
+}
+
+// TestMiniFEExactAnnotation: binding nnz_row to the true average makes the
+// matvec prediction land within the rounding of the average.
+func TestMiniFEExactAnnotation(t *testing.T) {
+	s := MiniFESizes{NX: 6, NY: 6, NZ: 6, MaxIter: 4, NnzRowAnnotation: 0}
+	// True average nnz/row for 6^3: (16^3)/216 = 18.96 -> use rounded 19.
+	s.NnzRowAnnotation = (s.TrueNNZ() + s.Rows()/2) / s.Rows()
+	dyn, err := MiniFEDynamic(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := MiniFEStatic(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ValidationRow{Dynamic: dyn["MatVec::operator()"], Static: static["MatVec::operator()"]}
+	if r.ErrorPct() > 2.0 {
+		t.Errorf("matvec with exact annotation: err=%.3f%% (dyn=%d static=%d)",
+			r.ErrorPct(), r.Dynamic, r.Static)
+	}
+}
+
+func TestValidationRowFormatting(t *testing.T) {
+	r := ValidationRow{Label: "2M", Function: "stream", Dynamic: 100, Static: 99}
+	if r.ErrorPct() != 1.0 {
+		t.Errorf("ErrorPct = %g", r.ErrorPct())
+	}
+	if r.SignedErrorPct() != -1.0 {
+		t.Errorf("SignedErrorPct = %g", r.SignedErrorPct())
+	}
+	out := FormatTable("Table X", []ValidationRow{r})
+	if len(out) == 0 {
+		t.Error("empty table")
+	}
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mira/internal/benchprogs"
+	"mira/internal/core"
+	"mira/internal/expr"
+	"mira/internal/vm"
+)
+
+// MiniFEPipeline analyzes the miniFE workload.
+func MiniFEPipeline() (*core.Pipeline, error) {
+	return analyzed("minife.c", benchprogs.MiniFE)
+}
+
+// MiniFESizes describes one miniFE configuration.
+type MiniFESizes struct {
+	NX, NY, NZ int64
+	MaxIter    int64
+	// NnzRowAnnotation is the lp_iter value the user supplies for the
+	// CSR matvec inner loop. The paper-faithful choice is the interior
+	// estimate 25 (see EXPERIMENTS.md): the true average row length
+	// approaches 27 from below as the grid grows, which is what makes the
+	// static estimate undercount more at larger sizes, matching Table V's
+	// error growth.
+	NnzRowAnnotation int64
+}
+
+// Rows returns nx*ny*nz.
+func (s MiniFESizes) Rows() int64 { return s.NX * s.NY * s.NZ }
+
+// TrueNNZ returns the exact stencil nonzero count (3n-2 per dimension).
+func (s MiniFESizes) TrueNNZ() int64 {
+	return (3*s.NX - 2) * (3*s.NY - 2) * (3*s.NZ - 2)
+}
+
+// MiniFEEnv builds the model evaluation environment.
+func (s MiniFESizes) MiniFEEnv() expr.Env {
+	return expr.EnvFromInts(map[string]int64{
+		"nx": s.NX, "ny": s.NY, "nz": s.NZ,
+		"n":        s.Rows(),
+		"max_iter": s.MaxIter,
+		"nnz_row":  s.NnzRowAnnotation,
+	})
+}
+
+// MiniFEDynamic executes miniFE on the VM and returns per-function
+// inclusive FPI for the three functions Table V reports. waxpby and the
+// matvec operator are reported per single invocation (total / calls),
+// matching the paper's per-call magnitudes.
+func MiniFEDynamic(s MiniFESizes) (map[string]int64, error) {
+	p, err := MiniFEPipeline()
+	if err != nil {
+		return nil, err
+	}
+	m := p.NewMachine()
+	n := s.Rows()
+	maxNNZ := uint64(27 * n)
+
+	rowStart := m.Alloc(uint64(n + 1))
+	cols := m.Alloc(maxNNZ)
+	vals := m.Alloc(maxNNZ)
+
+	// CSRMatrix object: fields nrows, row_start, cols, vals.
+	A := m.Alloc(4)
+	m.SetI(A+0, n)
+	m.SetI(A+1, int64(rowStart))
+	m.SetI(A+2, int64(cols))
+	m.SetI(A+3, int64(vals))
+
+	mkVec := func() uint64 {
+		coefs := m.Alloc(uint64(n))
+		v := m.Alloc(2)
+		m.SetI(v+0, n)
+		m.SetI(v+1, int64(coefs))
+		return v
+	}
+	b, x, r, pp, ap := mkVec(), mkVec(), mkVec(), mkVec(), mkVec()
+
+	if _, err := m.Run("minife",
+		vm.Int(s.NX), vm.Int(s.NY), vm.Int(s.NZ), vm.Int(s.MaxIter),
+		vm.Int(int64(A)), vm.Int(int64(b)), vm.Int(int64(x)),
+		vm.Int(int64(r)), vm.Int(int64(pp)), vm.Int(int64(ap))); err != nil {
+		return nil, err
+	}
+
+	out := map[string]int64{}
+	for _, fn := range tableVFuncs {
+		st, ok := m.FuncStatsByName(fn)
+		if !ok {
+			return nil, fmt.Errorf("no stats for %s", fn)
+		}
+		fpi := int64(st.FPIInclusive())
+		switch fn {
+		case "waxpby", "MatVec::operator()":
+			if st.Calls > 0 {
+				fpi /= int64(st.Calls)
+			}
+		}
+		out[fn] = fpi
+	}
+	return out, nil
+}
+
+// MiniFEStatic evaluates the static model for the same three functions.
+// Per-invocation functions are evaluated with their own parameters bound
+// the way cg_solve binds them.
+func MiniFEStatic(s MiniFESizes) (map[string]int64, error) {
+	p, err := MiniFEPipeline()
+	if err != nil {
+		return nil, err
+	}
+	env := s.MiniFEEnv()
+	out := map[string]int64{}
+	for _, fn := range tableVFuncs {
+		met, err := p.StaticMetrics(fn, env)
+		if err != nil {
+			return nil, err
+		}
+		out[fn] = met.FPI()
+	}
+	return out, nil
+}
+
+// tableVFuncs are the functions Table V reports (dot is included for the
+// Fig. 7 call-tree context). Evaluating assemble's boundary-guarded
+// six-deep nest is supported but slow (parametric Sum enumeration), so the
+// per-table path sticks to the solver chain.
+var tableVFuncs = []string{"waxpby", "MatVec::operator()", "cg_solve", "dot"}
+
+// TableV reproduces the miniFE per-function FPI validation rows.
+func TableV(sizes []MiniFESizes) ([]ValidationRow, error) {
+	var rows []ValidationRow
+	for _, s := range sizes {
+		dyn, err := MiniFEDynamic(s)
+		if err != nil {
+			return nil, err
+		}
+		static, err := MiniFEStatic(s)
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("%dx%dx%d", s.NX, s.NY, s.NZ)
+		for _, fn := range []string{"waxpby", "MatVec::operator()", "cg_solve"} {
+			rows = append(rows, ValidationRow{
+				Label: label, Function: fn,
+				Dynamic: dyn[fn], Static: static[fn],
+			})
+		}
+	}
+	return rows, nil
+}

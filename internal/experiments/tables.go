@@ -1,0 +1,352 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mira/internal/arch"
+	"mira/internal/benchprogs"
+	"mira/internal/core"
+	"mira/internal/expr"
+	"mira/internal/ir"
+	"mira/internal/loopcov"
+	"mira/internal/parser"
+	"mira/internal/pbound"
+	"mira/internal/roofline"
+	"mira/internal/sema"
+	"mira/internal/synth"
+	"mira/internal/vm"
+)
+
+// ---------------------------------------------------------------------------
+// Table I: loop coverage survey
+
+// TableIRow is one loop-coverage row.
+type TableIRow struct {
+	Application string
+	Loops       int
+	Statements  int
+	InLoops     int
+	Percentage  float64
+}
+
+// TableI regenerates the loop-coverage survey: synthesize each surveyed
+// application's profile, parse it with the real front end, and measure.
+func TableI() ([]TableIRow, error) {
+	var rows []TableIRow
+	for _, p := range synth.TableIProfiles {
+		src, err := synth.Generate(p)
+		if err != nil {
+			return nil, err
+		}
+		file, err := parser.ParseFile(p.Name+".c", src)
+		if err != nil {
+			return nil, err
+		}
+		st := loopcov.Measure(file)
+		rows = append(rows, TableIRow{
+			Application: p.Name,
+			Loops:       st.Loops,
+			Statements:  st.Statements,
+			InLoops:     st.InLoops,
+			Percentage:  st.Percentage(),
+		})
+	}
+	return rows, nil
+}
+
+// FormatTableI renders Table I.
+func FormatTableI(rows []TableIRow) string {
+	var sb strings.Builder
+	sb.WriteString("Table I: Loop coverage in high-performance applications\n")
+	fmt.Fprintf(&sb, "%-12s %-8s %-12s %-12s %s\n",
+		"Application", "Loops", "Statements", "InLoops", "Percentage")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-12s %-8d %-12d %-12d %.0f%%\n",
+			r.Application, r.Loops, r.Statements, r.InLoops, r.Percentage)
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table II + Fig. 6: categorized instruction counts of cg_solve
+
+// CategoryRow is one Table II row.
+type CategoryRow struct {
+	Category string
+	Count    int64
+	Fraction float64 // of total, for Fig. 6's distribution
+}
+
+// TableII evaluates the static model of cg_solve and buckets counts into
+// the paper's seven aggregate categories.
+func TableII(s MiniFESizes) ([]CategoryRow, error) {
+	p, err := MiniFEPipeline()
+	if err != nil {
+		return nil, err
+	}
+	ops, err := p.Model.EvaluateOpcodes("cg_solve", s.MiniFEEnv())
+	if err != nil {
+		return nil, err
+	}
+	byCat := map[string]int64{}
+	var total int64
+	for op, n := range ops {
+		byCat[arch.TableIICategory(op).String()] += n
+		total += n
+	}
+	var rows []CategoryRow
+	for cat, n := range byCat {
+		rows = append(rows, CategoryRow{Category: cat, Count: n})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Count > rows[j].Count })
+	for i := range rows {
+		rows[i].Fraction = float64(rows[i].Count) / float64(total)
+	}
+	return rows, nil
+}
+
+// Fine64Categories evaluates cg_solve against the architecture description
+// file's full fine-grained categorization.
+func Fine64Categories(s MiniFESizes, d *arch.Description) (map[string]int64, error) {
+	p, err := MiniFEPipeline()
+	if err != nil {
+		return nil, err
+	}
+	ops, err := p.Model.EvaluateOpcodes("cg_solve", s.MiniFEEnv())
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]int64{}
+	for op, n := range ops {
+		out[d.FineCategory(op)] += n
+	}
+	return out, nil
+}
+
+// FormatTableII renders the category table and Fig. 6 distribution.
+func FormatTableII(rows []CategoryRow) string {
+	var sb strings.Builder
+	sb.WriteString("Table II: Categorized Instruction Counts of Function cg_solve\n")
+	fmt.Fprintf(&sb, "%-42s %-14s %s\n", "Category", "Count", "Share (Fig. 6)")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-42s %-14.3g %.1f%%\n", r.Category, float64(r.Count), r.Fraction*100)
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 7: validation series
+
+// Fig7Series holds one validation sweep (sizes vs static/dynamic FPI).
+type Fig7Series struct {
+	Title  string
+	Labels []string
+	TAU    []int64
+	Mira   []int64
+}
+
+// Fig7 collects the four panels' series: STREAM sweep, DGEMM sweep, and
+// the two miniFE configurations.
+func Fig7(streamSizes []int64, dgemmSizes []int64, dgemmReps int64, minife []MiniFESizes) ([]Fig7Series, error) {
+	var out []Fig7Series
+
+	sStream := Fig7Series{Title: "Fig 7(a): STREAM FPI"}
+	for _, n := range streamSizes {
+		dyn, err := StreamDynamicFPI(n)
+		if err != nil {
+			return nil, err
+		}
+		static, err := StreamStaticFPI(n)
+		if err != nil {
+			return nil, err
+		}
+		sStream.Labels = append(sStream.Labels, fmt.Sprintf("%d", n))
+		sStream.TAU = append(sStream.TAU, dyn)
+		sStream.Mira = append(sStream.Mira, static)
+	}
+	out = append(out, sStream)
+
+	sDgemm := Fig7Series{Title: "Fig 7(b): DGEMM FPI"}
+	for _, n := range dgemmSizes {
+		dyn, err := DgemmDynamicFPI(n, dgemmReps)
+		if err != nil {
+			return nil, err
+		}
+		static, err := DgemmStaticFPI(n, dgemmReps)
+		if err != nil {
+			return nil, err
+		}
+		sDgemm.Labels = append(sDgemm.Labels, fmt.Sprintf("%d", n))
+		sDgemm.TAU = append(sDgemm.TAU, dyn)
+		sDgemm.Mira = append(sDgemm.Mira, static)
+	}
+	out = append(out, sDgemm)
+
+	for pi, cfg := range minife {
+		s := Fig7Series{Title: fmt.Sprintf("Fig 7(%c): miniFE FPI %dx%dx%d", 'c'+pi, cfg.NX, cfg.NY, cfg.NZ)}
+		dyn, err := MiniFEDynamic(cfg)
+		if err != nil {
+			return nil, err
+		}
+		static, err := MiniFEStatic(cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, fn := range []string{"waxpby", "MatVec::operator()", "cg_solve"} {
+			s.Labels = append(s.Labels, fn)
+			s.TAU = append(s.TAU, dyn[fn])
+			s.Mira = append(s.Mira, static[fn])
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// FormatFig7 renders the series as aligned text ("plots" in row form).
+func FormatFig7(series []Fig7Series) string {
+	var sb strings.Builder
+	for _, s := range series {
+		sb.WriteString(s.Title + "\n")
+		fmt.Fprintf(&sb, "  %-24s %-14s %-14s %s\n", "x", "TAU", "Mira", "err")
+		for i := range s.Labels {
+			r := ValidationRow{Dynamic: s.TAU[i], Static: s.Mira[i]}
+			fmt.Fprintf(&sb, "  %-24s %-14.4g %-14.4g %.3f%%\n",
+				s.Labels[i], float64(s.TAU[i]), float64(s.Mira[i]), r.ErrorPct())
+		}
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------------
+// Prediction (Sec. IV-D2): arithmetic intensity
+
+// Prediction computes cg_solve's instruction-based arithmetic intensity
+// and roofline assessment on an architecture description.
+func Prediction(s MiniFESizes, d *arch.Description) (*roofline.Analysis, error) {
+	p, err := MiniFEPipeline()
+	if err != nil {
+		return nil, err
+	}
+	met, err := p.StaticMetrics("cg_solve", s.MiniFEEnv())
+	if err != nil {
+		return nil, err
+	}
+	return roofline.Analyze("cg_solve", met, d)
+}
+
+// ---------------------------------------------------------------------------
+// Ablation: PBound (source-only) vs Mira (source+binary)
+
+// AblationRow compares estimators against the VM ground truth.
+type AblationRow struct {
+	N            int64
+	Dynamic      int64 // VM-measured FPI
+	Mira         int64 // binary-aware static FPI
+	PBound       int64 // source-only FP-operation bound
+	MiraErrPct   float64
+	PBoundErrPct float64
+}
+
+// Ablation runs the smooth kernel: its body carries constant-foldable and
+// loop-invariant FP subexpressions, so source-only counting overestimates
+// what the optimized binary executes, while Mira tracks the binary.
+func Ablation(sizes []int64) ([]AblationRow, error) {
+	p, err := analyzed("ablation.c", ablationSrc)
+	if err != nil {
+		return nil, err
+	}
+	file, err := parser.ParseFile("ablation.c", ablationSrc)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := sema.Analyze(file)
+	if err != nil {
+		return nil, err
+	}
+	pb, err := pbound.Analyze(prog)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []AblationRow
+	for _, n := range sizes {
+		env := expr.EnvFromInts(map[string]int64{"n": n})
+		met, err := p.StaticMetrics("smooth", env)
+		if err != nil {
+			return nil, err
+		}
+		pbFlops, err := pb.EvalFlops("smooth", env)
+		if err != nil {
+			return nil, err
+		}
+		dyn, err := ablationDynamic(p, n)
+		if err != nil {
+			return nil, err
+		}
+		row := AblationRow{N: n, Dynamic: dyn, Mira: met.FPI(), PBound: pbFlops}
+		row.MiraErrPct = pctErr(row.Mira, dyn)
+		row.PBoundErrPct = pctErr(row.PBound, dyn)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func pctErr(got, want int64) float64 {
+	if want == 0 {
+		return 0
+	}
+	d := float64(got-want) / float64(want) * 100
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+func ablationDynamic(p *core.Pipeline, n int64) (int64, error) {
+	m := p.NewMachine()
+	u := m.Alloc(uint64(n))
+	f := m.Alloc(uint64(n))
+	for i := int64(0); i < n; i++ {
+		m.SetF(u+uint64(i), 1.0)
+		m.SetF(f+uint64(i), 0.5)
+	}
+	if _, err := m.Run("smooth", vm.Int(int64(u)), vm.Int(int64(f)), vm.Int(n), vm.Float(0.01)); err != nil {
+		return 0, err
+	}
+	st, ok := m.FuncStatsByName("smooth")
+	if !ok {
+		return 0, fmt.Errorf("no stats for smooth")
+	}
+	return int64(st.FPIInclusive()), nil
+}
+
+// FormatAblation renders the ablation table.
+func FormatAblation(rows []AblationRow) string {
+	var sb strings.Builder
+	sb.WriteString("Ablation: source-only (PBound) vs source+binary (Mira) FPI estimates\n")
+	fmt.Fprintf(&sb, "%-10s %-14s %-14s %-12s %-14s %s\n",
+		"n", "VM measured", "Mira", "Mira err", "PBound", "PBound err")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10d %-14d %-14d %-12s %-14d %s\n",
+			r.N, r.Dynamic, r.Mira, fmt.Sprintf("%.2f%%", r.MiraErrPct),
+			r.PBound, fmt.Sprintf("%.2f%%", r.PBoundErrPct))
+	}
+	return sb.String()
+}
+
+// ablationSrc aliases the benchprogs kernel.
+var ablationSrc = benchprogs.Ablation
+
+// categoriesString formats per-category counts.
+func categoriesString(c [ir.NumCategories]int64) string {
+	var sb strings.Builder
+	for i, n := range c {
+		if n == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "%s=%d ", ir.Category(i), n)
+	}
+	return sb.String()
+}

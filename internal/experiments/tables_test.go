@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mira/internal/arch"
+)
+
+func TestTableIRegeneratesSurvey(t *testing.T) {
+	rows, err := TableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("got %d rows, want 10", len(rows))
+	}
+	// Spot-check the paper's extremes.
+	byName := map[string]TableIRow{}
+	for _, r := range rows {
+		byName[r.Application] = r
+	}
+	if r := byName["quake"]; int(r.Percentage+0.5) != 77 {
+		t.Errorf("quake coverage = %.0f%%, want 77%%", r.Percentage)
+	}
+	if r := byName["mgrid"]; r.Percentage != 100 {
+		t.Errorf("mgrid coverage = %.0f%%, want 100%%", r.Percentage)
+	}
+	if r := byName["lucas"]; r.Statements != 2070 || r.InLoops != 2050 {
+		t.Errorf("lucas = %+v", r)
+	}
+	out := FormatTableI(rows)
+	if !strings.Contains(out, "applu") || !strings.Contains(out, "84%") {
+		t.Errorf("formatted table missing rows:\n%s", out)
+	}
+}
+
+func TestTableIICategoriesAndFig6(t *testing.T) {
+	s := MiniFESizes{NX: 6, NY: 6, NZ: 6, MaxIter: 8, NnzRowAnnotation: 19}
+	rows, err := TableII(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"Integer arithmetic instruction":       false,
+		"Integer control transfer instruction": false,
+		"Integer data transfer instruction":    false,
+		"SSE2 data movement instruction":       false,
+		"SSE2 packed arithmetic instruction":   false,
+		"64-bit mode instruction":              false,
+	}
+	var totalFrac float64
+	for _, r := range rows {
+		if _, ok := want[r.Category]; ok {
+			want[r.Category] = true
+		}
+		if r.Count <= 0 {
+			t.Errorf("category %q has count %d", r.Category, r.Count)
+		}
+		totalFrac += r.Fraction
+	}
+	for cat, seen := range want {
+		if !seen {
+			t.Errorf("Table II missing category %q", cat)
+		}
+	}
+	if totalFrac < 0.999 || totalFrac > 1.001 {
+		t.Errorf("Fig. 6 fractions sum to %g", totalFrac)
+	}
+	// Like the paper, integer data transfer dominates cg_solve.
+	if rows[0].Category != "Integer data transfer instruction" {
+		t.Errorf("top category = %q, want integer data transfer", rows[0].Category)
+	}
+	out := FormatTableII(rows)
+	if !strings.Contains(out, "SSE2 packed arithmetic") {
+		t.Errorf("format missing rows:\n%s", out)
+	}
+}
+
+func TestFine64Categories(t *testing.T) {
+	s := MiniFESizes{NX: 5, NY: 5, NZ: 5, MaxIter: 4, NnzRowAnnotation: 18}
+	d := arch.Arya()
+	fine, err := Fine64Categories(s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cat := range []string{
+		"SSE2 packed arithmetic", "SSE2 data movement",
+		"GP data transfer: mov", "GP control transfer: jcc",
+		"System: 64-bit mode (movsxd)",
+	} {
+		if fine[cat] <= 0 {
+			t.Errorf("fine category %q empty", cat)
+		}
+	}
+	// Every fine name must come from the description's 64-entry list.
+	known := map[string]bool{}
+	for _, c := range d.Categories {
+		known[c] = true
+	}
+	for cat := range fine {
+		if !known[cat] {
+			t.Errorf("unknown fine category %q", cat)
+		}
+	}
+	if len(d.Categories) != 64 {
+		t.Errorf("description has %d categories, want 64", len(d.Categories))
+	}
+}
+
+func TestFig7Series(t *testing.T) {
+	series, err := Fig7(
+		[]int64{1000, 2000},
+		[]int64{8, 12}, 2,
+		[]MiniFESizes{{NX: 5, NY: 5, NZ: 5, MaxIter: 4, NnzRowAnnotation: 18}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("got %d series", len(series))
+	}
+	for _, s := range series {
+		if len(s.TAU) != len(s.Mira) || len(s.TAU) == 0 {
+			t.Errorf("%s: bad series lengths", s.Title)
+		}
+		for i := range s.TAU {
+			r := ValidationRow{Dynamic: s.TAU[i], Static: s.Mira[i]}
+			if r.ErrorPct() > 10 {
+				t.Errorf("%s[%s]: error %.2f%%", s.Title, s.Labels[i], r.ErrorPct())
+			}
+		}
+	}
+	if out := FormatFig7(series); !strings.Contains(out, "Fig 7(a)") {
+		t.Errorf("format missing panels:\n%s", out)
+	}
+}
+
+func TestPredictionArithmeticIntensity(t *testing.T) {
+	s := MiniFESizes{NX: 6, NY: 6, NZ: 6, MaxIter: 8, NnzRowAnnotation: 19}
+	an, err := Prediction(s, arch.Arya())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper computes 0.53 for cg_solve; our compiled binary's ratio
+	// must land in the same regime (an FP-arithmetic-per-FP-move ratio
+	// well below 1: CG is memory bound).
+	if an.InstrAI <= 0.2 || an.InstrAI >= 1.0 {
+		t.Errorf("instruction AI = %.3f, want in (0.2, 1.0)", an.InstrAI)
+	}
+	if !an.MemoryBound {
+		t.Error("cg_solve not classified memory-bound")
+	}
+	if an.String() == "" {
+		t.Error("empty analysis string")
+	}
+}
+
+func TestAblationPBoundVsMira(t *testing.T) {
+	rows, err := Ablation([]int64{64, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Mira (binary-aware) must be exact: the kernel is affine.
+		if r.Mira != r.Dynamic {
+			t.Errorf("n=%d: Mira=%d dynamic=%d, want exact", r.N, r.Mira, r.Dynamic)
+		}
+		// PBound must overestimate: it counts the folded constants and
+		// hoisted invariants every iteration.
+		if r.PBound <= r.Dynamic {
+			t.Errorf("n=%d: PBound=%d not an overestimate of %d", r.N, r.PBound, r.Dynamic)
+		}
+		if r.PBoundErrPct < 10 {
+			t.Errorf("n=%d: PBound error only %.1f%%; optimization gap not visible", r.N, r.PBoundErrPct)
+		}
+	}
+	if out := FormatAblation(rows); !strings.Contains(out, "PBound") {
+		t.Errorf("format broken:\n%s", out)
+	}
+}

@@ -1,0 +1,528 @@
+// Package expr implements the symbolic expression engine behind Mira's
+// parametric performance models.
+//
+// A model that depends on unknown inputs (array sizes, annotation
+// parameters) is represented as an expression tree over exact rationals,
+// parameters, and bound summation variables. The engine provides:
+//
+//   - smart constructors with algebraic simplification (constant folding,
+//     flattening, like-term collection),
+//   - closed-form summation via Faulhaber polynomials so that loop-nest
+//     counts evaluate in O(1) rather than by enumeration (paper Sec. IV-D1:
+//     "the model ... can be evaluated at low computational cost"),
+//   - exact evaluation under a parameter binding, and
+//   - Python source emission, matching the paper's generated-model artifact
+//     (Fig. 5).
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mira/internal/rational"
+)
+
+// Expr is a symbolic expression. Implementations are immutable; build them
+// with the package constructors, which simplify eagerly.
+type Expr interface {
+	// String renders a human-readable form.
+	String() string
+	isExpr()
+}
+
+// Num is an exact rational constant.
+type Num struct{ Val rational.Rat }
+
+// Param is a free model parameter (function argument, annotation variable).
+type Param struct{ Name string }
+
+// Var is a summation-bound variable; it only appears beneath a Sum that
+// binds it.
+type Var struct{ Name string }
+
+// Add is a flattened n-ary sum.
+type Add struct{ Terms []Expr }
+
+// Mul is a flattened n-ary product.
+type Mul struct{ Factors []Expr }
+
+// FloorDiv is floor(X / D) with D a nonzero constant.
+type FloorDiv struct {
+	X Expr
+	D rational.Rat
+}
+
+// Min is the minimum of two expressions.
+type Min struct{ A, B Expr }
+
+// Max is the maximum of two expressions.
+type Max struct{ A, B Expr }
+
+// Sum is an inclusive summation: sum over Var in [Lo, Hi] of Body. When
+// Hi < Lo the sum is empty (zero).
+type Sum struct {
+	Var    string
+	Lo, Hi Expr
+	Body   Expr
+}
+
+func (Num) isExpr()      {}
+func (Param) isExpr()    {}
+func (Var) isExpr()      {}
+func (Add) isExpr()      {}
+func (Mul) isExpr()      {}
+func (FloorDiv) isExpr() {}
+func (Min) isExpr()      {}
+func (Max) isExpr()      {}
+func (Sum) isExpr()      {}
+
+// ---------------------------------------------------------------------------
+// Constructors
+
+// Const returns the integer constant n.
+func Const(n int64) Expr { return Num{rational.FromInt(n)} }
+
+// ConstRat returns the rational constant r.
+func ConstRat(r rational.Rat) Expr { return Num{r} }
+
+// P returns the parameter named name.
+func P(name string) Expr { return Param{name} }
+
+// V returns the bound variable named name.
+func V(name string) Expr { return Var{name} }
+
+// IsZero reports whether e is the constant 0.
+func IsZero(e Expr) bool {
+	n, ok := e.(Num)
+	return ok && n.Val.Sign() == 0
+}
+
+// IsOne reports whether e is the constant 1.
+func IsOne(e Expr) bool {
+	n, ok := e.(Num)
+	return ok && n.Val.Equal(rational.One)
+}
+
+// ConstVal returns the constant value of e if e is a Num.
+func ConstVal(e Expr) (rational.Rat, bool) {
+	n, ok := e.(Num)
+	if !ok {
+		return rational.Rat{}, false
+	}
+	return n.Val, true
+}
+
+// NewAdd returns the simplified sum of terms.
+func NewAdd(terms ...Expr) Expr {
+	var flat []Expr
+	c := rational.Zero
+	for _, t := range terms {
+		switch x := t.(type) {
+		case Num:
+			c = c.Add(x.Val)
+		case Add:
+			for _, tt := range x.Terms {
+				if n, ok := tt.(Num); ok {
+					c = c.Add(n.Val)
+				} else {
+					flat = append(flat, tt)
+				}
+			}
+		default:
+			flat = append(flat, t)
+		}
+	}
+	flat = collectLikeTerms(flat)
+	if c.Sign() != 0 || len(flat) == 0 {
+		flat = append(flat, Num{c})
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	sortExprs(flat)
+	return Add{Terms: flat}
+}
+
+// collectLikeTerms merges structurally identical non-constant terms k*t
+// into single terms with summed coefficients.
+func collectLikeTerms(terms []Expr) []Expr {
+	type entry struct {
+		base  Expr
+		coeff rational.Rat
+	}
+	var order []string
+	byKey := map[string]*entry{}
+	for _, t := range terms {
+		coeff, base := splitCoeff(t)
+		key := base.String()
+		if e, ok := byKey[key]; ok {
+			e.coeff = e.coeff.Add(coeff)
+			continue
+		}
+		byKey[key] = &entry{base: base, coeff: coeff}
+		order = append(order, key)
+	}
+	var out []Expr
+	for _, k := range order {
+		e := byKey[k]
+		if e.coeff.Sign() == 0 {
+			continue
+		}
+		if e.coeff.Equal(rational.One) {
+			out = append(out, e.base)
+		} else {
+			out = append(out, NewMul(Num{e.coeff}, e.base))
+		}
+	}
+	return out
+}
+
+// splitCoeff splits t into (constant coefficient, residual factor).
+func splitCoeff(t Expr) (rational.Rat, Expr) {
+	m, ok := t.(Mul)
+	if !ok {
+		return rational.One, t
+	}
+	c := rational.One
+	var rest []Expr
+	for _, f := range m.Factors {
+		if n, ok := f.(Num); ok {
+			c = c.Mul(n.Val)
+		} else {
+			rest = append(rest, f)
+		}
+	}
+	switch len(rest) {
+	case 0:
+		return c, Const(1)
+	case 1:
+		return c, rest[0]
+	default:
+		return c, Mul{Factors: rest}
+	}
+}
+
+// NewMul returns the simplified product of factors.
+func NewMul(factors ...Expr) Expr {
+	var flat []Expr
+	c := rational.One
+	for _, f := range factors {
+		switch x := f.(type) {
+		case Num:
+			c = c.Mul(x.Val)
+		case Mul:
+			for _, ff := range x.Factors {
+				if n, ok := ff.(Num); ok {
+					c = c.Mul(n.Val)
+				} else {
+					flat = append(flat, ff)
+				}
+			}
+		default:
+			flat = append(flat, f)
+		}
+	}
+	if c.Sign() == 0 {
+		return Const(0)
+	}
+	if len(flat) == 0 {
+		return Num{c}
+	}
+	// Distribute a constant over a single Add factor: 3*(a+b) -> 3a+3b.
+	// This keeps count expressions in expanded (collectible) form.
+	if len(flat) == 1 {
+		if add, ok := flat[0].(Add); ok && !c.Equal(rational.One) {
+			terms := make([]Expr, len(add.Terms))
+			for i, t := range add.Terms {
+				terms[i] = NewMul(Num{c}, t)
+			}
+			return NewAdd(terms...)
+		}
+	}
+	if !c.Equal(rational.One) {
+		flat = append([]Expr{Num{c}}, flat...)
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	sortExprs(flat[boolToInt(!c.Equal(rational.One)):])
+	return Mul{Factors: flat}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// NewSub returns a - b.
+func NewSub(a, b Expr) Expr { return NewAdd(a, NewMul(Const(-1), b)) }
+
+// NewNeg returns -a.
+func NewNeg(a Expr) Expr { return NewMul(Const(-1), a) }
+
+// NewFloorDiv returns floor(x / d) for nonzero constant d.
+func NewFloorDiv(x Expr, d rational.Rat) Expr {
+	if d.Sign() == 0 {
+		panic("expr: floor division by zero")
+	}
+	if d.Equal(rational.One) {
+		// floor of an integer-valued expression; count expressions are
+		// integer-valued by construction.
+		return x
+	}
+	if n, ok := x.(Num); ok {
+		return Num{n.Val.FloorDiv(d)}
+	}
+	return FloorDiv{X: x, D: d}
+}
+
+// NewMin returns min(a, b), folding constants.
+func NewMin(a, b Expr) Expr {
+	na, oka := a.(Num)
+	nb, okb := b.(Num)
+	if oka && okb {
+		return Num{na.Val.Min(nb.Val)}
+	}
+	if a.String() == b.String() {
+		return a
+	}
+	return Min{A: a, B: b}
+}
+
+// NewMax returns max(a, b), folding constants.
+func NewMax(a, b Expr) Expr {
+	na, oka := a.(Num)
+	nb, okb := b.(Num)
+	if oka && okb {
+		return Num{na.Val.Max(nb.Val)}
+	}
+	if a.String() == b.String() {
+		return a
+	}
+	return Max{A: a, B: b}
+}
+
+// NewSum returns sum_{v=lo}^{hi} body, simplified:
+//
+//   - empty or single-point ranges fold,
+//   - a body independent of v becomes trips(lo,hi) * body,
+//   - a polynomial body is replaced by its Faulhaber closed form,
+//   - otherwise a Sum node remains and evaluation enumerates the range.
+func NewSum(v string, lo, hi, body Expr) Expr {
+	if IsZero(body) {
+		return Const(0)
+	}
+	if cl, okl := ConstVal(lo); okl {
+		if ch, okh := ConstVal(hi); okh {
+			if ch.Cmp(cl) < 0 {
+				return Const(0)
+			}
+			if ch.Equal(cl) {
+				return Substitute(body, v, Num{cl})
+			}
+		}
+	}
+	if !DependsOn(body, v) {
+		trips := NewAdd(NewSub(hi, lo), Const(1))
+		return NewMul(trips, body)
+	}
+	// Try the polynomial (Faulhaber) closed form.
+	if closed, ok := sumPolynomial(v, lo, hi, body); ok {
+		return closed
+	}
+	return Sum{Var: v, Lo: lo, Hi: hi, Body: body}
+}
+
+// Trips returns the count of v in [lo, hi] stepping by step (> 0), clamped
+// at zero: max(0, floor((hi-lo)/step) + 1).
+func Trips(lo, hi Expr, step int64) Expr {
+	if step <= 0 {
+		panic("expr: Trips requires positive step")
+	}
+	span := NewSub(hi, lo)
+	var trips Expr
+	if step == 1 {
+		trips = NewAdd(span, Const(1))
+	} else {
+		trips = NewAdd(NewFloorDiv(span, rational.FromInt(step)), Const(1))
+	}
+	return NewMax(Const(0), trips)
+}
+
+// DependsOn reports whether e references the variable or parameter name.
+func DependsOn(e Expr, name string) bool {
+	switch x := e.(type) {
+	case Num:
+		return false
+	case Param:
+		return x.Name == name
+	case Var:
+		return x.Name == name
+	case Add:
+		for _, t := range x.Terms {
+			if DependsOn(t, name) {
+				return true
+			}
+		}
+	case Mul:
+		for _, f := range x.Factors {
+			if DependsOn(f, name) {
+				return true
+			}
+		}
+	case FloorDiv:
+		return DependsOn(x.X, name)
+	case Min:
+		return DependsOn(x.A, name) || DependsOn(x.B, name)
+	case Max:
+		return DependsOn(x.A, name) || DependsOn(x.B, name)
+	case Sum:
+		if DependsOn(x.Lo, name) || DependsOn(x.Hi, name) {
+			return true
+		}
+		if x.Var == name {
+			return false // shadowed
+		}
+		return DependsOn(x.Body, name)
+	}
+	return false
+}
+
+// Substitute replaces every occurrence of the variable or parameter name
+// with repl, rebuilding (and thus re-simplifying) the tree.
+func Substitute(e Expr, name string, repl Expr) Expr {
+	switch x := e.(type) {
+	case Num:
+		return x
+	case Param:
+		if x.Name == name {
+			return repl
+		}
+		return x
+	case Var:
+		if x.Name == name {
+			return repl
+		}
+		return x
+	case Add:
+		terms := make([]Expr, len(x.Terms))
+		for i, t := range x.Terms {
+			terms[i] = Substitute(t, name, repl)
+		}
+		return NewAdd(terms...)
+	case Mul:
+		fs := make([]Expr, len(x.Factors))
+		for i, f := range x.Factors {
+			fs[i] = Substitute(f, name, repl)
+		}
+		return NewMul(fs...)
+	case FloorDiv:
+		return NewFloorDiv(Substitute(x.X, name, repl), x.D)
+	case Min:
+		return NewMin(Substitute(x.A, name, repl), Substitute(x.B, name, repl))
+	case Max:
+		return NewMax(Substitute(x.A, name, repl), Substitute(x.B, name, repl))
+	case Sum:
+		lo := Substitute(x.Lo, name, repl)
+		hi := Substitute(x.Hi, name, repl)
+		body := x.Body
+		if x.Var != name {
+			body = Substitute(body, name, repl)
+		}
+		return NewSum(x.Var, lo, hi, body)
+	}
+	return e
+}
+
+// Params returns the free parameter names of e, sorted.
+func Params(e Expr) []string {
+	set := map[string]bool{}
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case Param:
+			set[x.Name] = true
+		case Add:
+			for _, t := range x.Terms {
+				walk(t)
+			}
+		case Mul:
+			for _, f := range x.Factors {
+				walk(f)
+			}
+		case FloorDiv:
+			walk(x.X)
+		case Min:
+			walk(x.A)
+			walk(x.B)
+		case Max:
+			walk(x.A)
+			walk(x.B)
+		case Sum:
+			walk(x.Lo)
+			walk(x.Hi)
+			walk(x.Body)
+		}
+	}
+	walk(e)
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortExprs(es []Expr) {
+	sort.SliceStable(es, func(i, j int) bool {
+		return exprSortKey(es[i]) < exprSortKey(es[j])
+	})
+}
+
+// exprSortKey orders constants first, then lexicographically.
+func exprSortKey(e Expr) string {
+	if _, ok := e.(Num); ok {
+		return "0" // constants first
+	}
+	return "1" + e.String()
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+
+func (e Num) String() string   { return e.Val.String() }
+func (e Param) String() string { return e.Name }
+func (e Var) String() string   { return e.Name }
+
+func (e Add) String() string {
+	parts := make([]string, len(e.Terms))
+	for i, t := range e.Terms {
+		parts[i] = t.String()
+	}
+	return "(" + strings.Join(parts, " + ") + ")"
+}
+
+func (e Mul) String() string {
+	parts := make([]string, len(e.Factors))
+	for i, f := range e.Factors {
+		parts[i] = f.String()
+	}
+	return strings.Join(parts, "*")
+}
+
+func (e FloorDiv) String() string {
+	return fmt.Sprintf("floor(%s / %s)", e.X, e.D)
+}
+
+func (e Min) String() string { return fmt.Sprintf("min(%s, %s)", e.A, e.B) }
+func (e Max) String() string { return fmt.Sprintf("max(%s, %s)", e.A, e.B) }
+
+func (e Sum) String() string {
+	return fmt.Sprintf("sum(%s=%s..%s)[%s]", e.Var, e.Lo, e.Hi, e.Body)
+}
+
+// Equal reports structural equality after simplification.
+func Equal(a, b Expr) bool { return a.String() == b.String() }

@@ -1,0 +1,372 @@
+package expr
+
+import (
+	"sort"
+	"strings"
+
+	"mira/internal/rational"
+)
+
+// maxFaulhaberDegree bounds the polynomial degree the closed-form summation
+// will attempt; deeper nests fall back to enumerated Sum nodes.
+const maxFaulhaberDegree = 12
+
+// mono is a monomial: a product of variables raised to positive powers.
+type mono struct {
+	key  string // canonical "x^2*y" form, "" for the constant monomial
+	vars map[string]int
+}
+
+func monoOf(vars map[string]int) mono {
+	names := make([]string, 0, len(vars))
+	for v, p := range vars {
+		if p > 0 {
+			names = append(names, v)
+		}
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for i, v := range names {
+		if i > 0 {
+			sb.WriteByte('*')
+		}
+		sb.WriteString(v)
+		if p := vars[v]; p > 1 {
+			sb.WriteByte('^')
+			sb.WriteString(itoa(p))
+		}
+	}
+	return mono{key: sb.String(), vars: vars}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// poly is a multivariate polynomial with rational coefficients.
+type poly struct {
+	terms map[string]polyTerm
+}
+
+type polyTerm struct {
+	coeff rational.Rat
+	m     mono
+}
+
+func newPoly() poly { return poly{terms: map[string]polyTerm{}} }
+
+func polyConst(r rational.Rat) poly {
+	p := newPoly()
+	if r.Sign() != 0 {
+		p.terms[""] = polyTerm{coeff: r, m: monoOf(nil)}
+	}
+	return p
+}
+
+func polyVar(name string) poly {
+	p := newPoly()
+	m := monoOf(map[string]int{name: 1})
+	p.terms[m.key] = polyTerm{coeff: rational.One, m: m}
+	return p
+}
+
+func (p poly) addTerm(c rational.Rat, m mono) {
+	if c.Sign() == 0 {
+		return
+	}
+	if t, ok := p.terms[m.key]; ok {
+		nc := t.coeff.Add(c)
+		if nc.Sign() == 0 {
+			delete(p.terms, m.key)
+		} else {
+			p.terms[m.key] = polyTerm{coeff: nc, m: m}
+		}
+		return
+	}
+	p.terms[m.key] = polyTerm{coeff: c, m: m}
+}
+
+func (p poly) add(q poly) poly {
+	r := newPoly()
+	for _, t := range p.terms {
+		r.addTerm(t.coeff, t.m)
+	}
+	for _, t := range q.terms {
+		r.addTerm(t.coeff, t.m)
+	}
+	return r
+}
+
+func (p poly) mul(q poly) poly {
+	r := newPoly()
+	for _, a := range p.terms {
+		for _, b := range q.terms {
+			vars := map[string]int{}
+			for v, e := range a.m.vars {
+				vars[v] += e
+			}
+			for v, e := range b.m.vars {
+				vars[v] += e
+			}
+			r.addTerm(a.coeff.Mul(b.coeff), monoOf(vars))
+		}
+	}
+	return r
+}
+
+func (p poly) scale(c rational.Rat) poly {
+	r := newPoly()
+	for _, t := range p.terms {
+		r.addTerm(t.coeff.Mul(c), t.m)
+	}
+	return r
+}
+
+func (p poly) pow(n int) poly {
+	r := polyConst(rational.One)
+	for i := 0; i < n; i++ {
+		r = r.mul(p)
+	}
+	return r
+}
+
+// degreeIn returns the highest power of v appearing in p.
+func (p poly) degreeIn(v string) int {
+	d := 0
+	for _, t := range p.terms {
+		if e := t.m.vars[v]; e > d {
+			d = e
+		}
+	}
+	return d
+}
+
+// totalDegree returns the maximum total degree across terms.
+func (p poly) totalDegree() int {
+	d := 0
+	for _, t := range p.terms {
+		td := 0
+		for _, e := range t.m.vars {
+			td += e
+		}
+		if td > d {
+			d = td
+		}
+	}
+	return d
+}
+
+// coeffOfPower collects the coefficient polynomial of v^k in p.
+func (p poly) coeffOfPower(v string, k int) poly {
+	r := newPoly()
+	for _, t := range p.terms {
+		if t.m.vars[v] != k {
+			continue
+		}
+		vars := map[string]int{}
+		for name, e := range t.m.vars {
+			if name != v {
+				vars[name] = e
+			}
+		}
+		r.addTerm(t.coeff, monoOf(vars))
+	}
+	return r
+}
+
+// substVar substitutes q for v in p.
+func (p poly) substVar(v string, q poly) poly {
+	r := newPoly()
+	for _, t := range p.terms {
+		e := t.m.vars[v]
+		vars := map[string]int{}
+		for name, pw := range t.m.vars {
+			if name != v {
+				vars[name] = pw
+			}
+		}
+		base := newPoly()
+		base.addTerm(t.coeff, monoOf(vars))
+		if e > 0 {
+			base = base.mul(q.pow(e))
+		}
+		r = r.add(base)
+	}
+	return r
+}
+
+// toExpr converts the polynomial back to a simplified expression.
+func (p poly) toExpr() Expr {
+	keys := make([]string, 0, len(p.terms))
+	for k := range p.terms {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var terms []Expr
+	for _, k := range keys {
+		t := p.terms[k]
+		factors := []Expr{Num{t.coeff}}
+		names := make([]string, 0, len(t.m.vars))
+		for v := range t.m.vars {
+			names = append(names, v)
+		}
+		sort.Strings(names)
+		for _, v := range names {
+			for i := 0; i < t.m.vars[v]; i++ {
+				factors = append(factors, symbolExpr(v))
+			}
+		}
+		terms = append(terms, NewMul(factors...))
+	}
+	if len(terms) == 0 {
+		return Const(0)
+	}
+	return NewAdd(terms...)
+}
+
+// symbolExpr decides whether a polynomial symbol is a Param or a Var. Since
+// a Sum closed form eliminates the bound variable, remaining symbols are
+// free: render them as Params (evaluation treats both identically through
+// the environment).
+func symbolExpr(name string) Expr { return Param{name} }
+
+// toPoly converts an expression into polynomial form; ok is false when the
+// expression contains non-polynomial operations (floor, min, max, sum).
+func toPoly(e Expr) (poly, bool) {
+	switch x := e.(type) {
+	case Num:
+		return polyConst(x.Val), true
+	case Param:
+		return polyVar(x.Name), true
+	case Var:
+		return polyVar(x.Name), true
+	case Add:
+		r := newPoly()
+		for _, t := range x.Terms {
+			p, ok := toPoly(t)
+			if !ok {
+				return poly{}, false
+			}
+			r = r.add(p)
+		}
+		return r, true
+	case Mul:
+		r := polyConst(rational.One)
+		for _, f := range x.Factors {
+			p, ok := toPoly(f)
+			if !ok {
+				return poly{}, false
+			}
+			r = r.mul(p)
+		}
+		return r, true
+	}
+	return poly{}, false
+}
+
+// bernoulliPlus returns the Bernoulli numbers B+_0..B+_n (B1 = +1/2
+// convention), memoized.
+var bernoulliMemo []rational.Rat
+
+func bernoulliPlus(n int) []rational.Rat {
+	for len(bernoulliMemo) <= n {
+		m := len(bernoulliMemo)
+		if m == 0 {
+			bernoulliMemo = append(bernoulliMemo, rational.One)
+			continue
+		}
+		// B-_m = -1/(m+1) * sum_{j=0}^{m-1} C(m+1, j) B-_j, then flip B1.
+		sum := rational.Zero
+		for j := 0; j < m; j++ {
+			bj := bernoulliMemo[j]
+			if j == 1 {
+				// memo stores B+_1 = 1/2; the recurrence needs B-_1 = -1/2.
+				bj = bj.Neg()
+			}
+			sum = sum.Add(binomial(m+1, j).Mul(bj))
+		}
+		bm := sum.Neg().Div(rational.FromInt(int64(m + 1)))
+		if m == 1 {
+			bm = bm.Neg() // B+_1 = +1/2
+		}
+		bernoulliMemo = append(bernoulliMemo, bm)
+	}
+	return bernoulliMemo[:n+1]
+}
+
+func binomial(n, k int) rational.Rat {
+	if k < 0 || k > n {
+		return rational.Zero
+	}
+	r := rational.One
+	for i := 0; i < k; i++ {
+		r = r.Mul(rational.FromInt(int64(n - i))).Div(rational.FromInt(int64(i + 1)))
+	}
+	return r
+}
+
+// faulhaber returns S_k as a polynomial in the symbol n, where
+// S_k(n) = sum_{v=1}^{n} v^k. The polynomial identity
+// S_k(n) - S_k(n-1) = n^k holds for all integers, so
+// sum_{v=lo}^{hi} v^k = S_k(hi) - S_k(lo-1) whenever hi >= lo-1.
+func faulhaber(k int, n string) poly {
+	b := bernoulliPlus(k)
+	r := newPoly()
+	nv := polyVar(n)
+	for j := 0; j <= k; j++ {
+		c := binomial(k+1, j).Mul(b[j]).Div(rational.FromInt(int64(k + 1)))
+		r = r.add(nv.pow(k + 1 - j).scale(c))
+	}
+	return r
+}
+
+// sumPolynomial computes the closed form of sum_{v=lo}^{hi} body when body,
+// lo, and hi are polynomial. The result is only a valid identity when the
+// range is not "anti-empty" (hi >= lo-1); callers establish that invariant
+// (loop trip counts are clamped before reaching here).
+func sumPolynomial(v string, lo, hi, body Expr) (Expr, bool) {
+	bp, ok := toPoly(body)
+	if !ok {
+		return nil, false
+	}
+	lp, ok := toPoly(lo)
+	if !ok {
+		return nil, false
+	}
+	hp, ok := toPoly(hi)
+	if !ok {
+		return nil, false
+	}
+	deg := bp.degreeIn(v)
+	if deg > maxFaulhaberDegree || lp.totalDegree() > 2 || hp.totalDegree() > 2 {
+		return nil, false
+	}
+	loMinus1 := lp.add(polyConst(rational.FromInt(-1)))
+	total := newPoly()
+	for k := 0; k <= deg; k++ {
+		ck := bp.coeffOfPower(v, k)
+		if len(ck.terms) == 0 {
+			continue
+		}
+		var rangeSum poly
+		if k == 0 {
+			// sum of 1 = hi - lo + 1
+			rangeSum = hp.add(lp.scale(rational.FromInt(-1))).add(polyConst(rational.One))
+		} else {
+			f := faulhaber(k, v)
+			rangeSum = f.substVar(v, hp).add(f.substVar(v, loMinus1).scale(rational.FromInt(-1)))
+		}
+		total = total.add(ck.mul(rangeSum))
+	}
+	return total.toExpr(), true
+}

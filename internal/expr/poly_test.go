@@ -1,0 +1,175 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mira/internal/rational"
+)
+
+func TestBernoulliNumbers(t *testing.T) {
+	b := bernoulliPlus(8)
+	want := []rational.Rat{
+		rational.FromInt(1),
+		rational.FromFrac(1, 2),
+		rational.FromFrac(1, 6),
+		rational.Zero,
+		rational.FromFrac(-1, 30),
+		rational.Zero,
+		rational.FromFrac(1, 42),
+		rational.Zero,
+		rational.FromFrac(-1, 30),
+	}
+	for i := range want {
+		if !b[i].Equal(want[i]) {
+			t.Errorf("B+_%d = %s, want %s", i, b[i], want[i])
+		}
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want int64
+	}{
+		{5, 2, 10}, {6, 0, 1}, {6, 6, 1}, {10, 3, 120}, {4, 5, 0}, {4, -1, 0},
+	}
+	for _, c := range cases {
+		got, _ := binomial(c.n, c.k).Int64()
+		if got != c.want {
+			t.Errorf("C(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+// TestFaulhaberMatchesEnumeration is the central property test: for every
+// power k and range [lo,hi], the Faulhaber closed form equals brute-force
+// enumeration.
+func TestFaulhaberMatchesEnumeration(t *testing.T) {
+	for k := 0; k <= 6; k++ {
+		e := NewSum("v", P("lo"), P("hi"), powExpr("v", k))
+		if _, isSum := e.(Sum); isSum {
+			t.Fatalf("k=%d: sum not closed: %s", k, e)
+		}
+		for lo := int64(-4); lo <= 4; lo++ {
+			for hi := lo - 1; hi <= 8; hi++ {
+				env := EnvFromInts(map[string]int64{"lo": lo, "hi": hi})
+				got := evalInt(t, e, env)
+				var want int64
+				for v := lo; v <= hi; v++ {
+					p := int64(1)
+					for i := 0; i < k; i++ {
+						p *= v
+					}
+					want += p
+				}
+				if got != want {
+					t.Errorf("k=%d lo=%d hi=%d: closed=%d brute=%d", k, lo, hi, got, want)
+				}
+			}
+		}
+	}
+}
+
+func powExpr(v string, k int) Expr {
+	e := Expr(Const(1))
+	for i := 0; i < k; i++ {
+		e = NewMul(e, V(v))
+	}
+	return e
+}
+
+// TestRandomPolynomialSums cross-checks closed-form summation of random
+// polynomials against enumeration (property-based).
+func TestRandomPolynomialSums(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		deg := rng.Intn(4)
+		coeffs := make([]int64, deg+1)
+		for i := range coeffs {
+			coeffs[i] = int64(rng.Intn(11) - 5)
+		}
+		var body Expr = Const(0)
+		for k, c := range coeffs {
+			body = NewAdd(body, NewMul(Const(c), powExpr("v", k)))
+		}
+		lo := int64(rng.Intn(9) - 4)
+		hi := lo + int64(rng.Intn(10)) - 1 // may be lo-1 (empty)
+		closed := NewSum("v", Const(lo), Const(hi), body)
+		if _, isSum := closed.(Sum); isSum {
+			t.Fatalf("trial %d: not closed: %s", trial, closed)
+		}
+		got := evalInt(t, closed, nil)
+		var want int64
+		for v := lo; v <= hi; v++ {
+			var pv int64
+			vp := int64(1)
+			for _, c := range coeffs {
+				pv += c * vp
+				vp *= v
+			}
+			want += pv
+		}
+		if got != want {
+			t.Errorf("trial %d (deg %d, lo %d, hi %d): closed=%d brute=%d",
+				trial, deg, lo, hi, got, want)
+		}
+	}
+}
+
+func TestPolyRoundTrip(t *testing.T) {
+	// (n+1)^2 expands to n^2 + 2n + 1.
+	np1 := NewAdd(P("n"), Const(1))
+	sq := NewMul(np1, np1)
+	p, ok := toPoly(sq)
+	if !ok {
+		t.Fatal("toPoly failed")
+	}
+	back := p.toExpr()
+	for n := int64(-3); n <= 3; n++ {
+		env := EnvFromInts(map[string]int64{"n": n})
+		a := evalInt(t, sq, env)
+		b := evalInt(t, back, env)
+		if a != b {
+			t.Errorf("n=%d: %d != %d", n, a, b)
+		}
+	}
+}
+
+func TestToPolyRejectsNonPolynomial(t *testing.T) {
+	if _, ok := toPoly(NewMax(P("a"), P("b"))); ok {
+		t.Error("max treated as polynomial")
+	}
+	if _, ok := toPoly(NewFloorDiv(P("a"), rational.FromInt(2))); ok {
+		t.Error("floordiv treated as polynomial")
+	}
+}
+
+func TestDegreeLimit(t *testing.T) {
+	// Degree beyond maxFaulhaberDegree must fall back to a Sum node.
+	body := powExpr("v", maxFaulhaberDegree+1)
+	e := NewSum("v", Const(1), P("n"), body)
+	if _, isSum := e.(Sum); !isSum {
+		t.Errorf("over-degree sum closed unexpectedly: %T", e)
+	}
+}
+
+func TestQuickSumLinear(t *testing.T) {
+	// Property: sum_{v=1}^{n} (a*v + b) == a*n(n+1)/2 + b*n for n >= 0.
+	f := func(a, b int16, nRaw uint8) bool {
+		n := int64(nRaw % 50)
+		body := NewAdd(NewMul(Const(int64(a)), V("v")), Const(int64(b)))
+		e := NewSum("v", Const(1), P("n"), body)
+		env := EnvFromInts(map[string]int64{"n": n})
+		got, err := EvalInt64(e, env)
+		if err != nil {
+			return false
+		}
+		want := int64(a)*n*(n+1)/2 + int64(b)*n
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,47 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Python renders e as a Python expression, the notation the paper's
+// generated models use (Fig. 5). Floor division uses //; unresolved
+// summations become generator expressions over range().
+func Python(e Expr) string {
+	switch x := e.(type) {
+	case Num:
+		return x.Val.PythonString()
+	case Param:
+		return x.Name
+	case Var:
+		return x.Name
+	case Add:
+		parts := make([]string, len(x.Terms))
+		for i, t := range x.Terms {
+			parts[i] = Python(t)
+		}
+		return "(" + strings.Join(parts, " + ") + ")"
+	case Mul:
+		parts := make([]string, len(x.Factors))
+		for i, f := range x.Factors {
+			parts[i] = Python(f)
+		}
+		return strings.Join(parts, "*")
+	case FloorDiv:
+		if x.D.IsInt() {
+			return fmt.Sprintf("((%s) // %s)", Python(x.X), x.D)
+		}
+		// floor(X / (p/q)) == floor(X*q / p); X is integer-valued here.
+		p, q := x.D.NumDen()
+		return fmt.Sprintf("((%s) * %d // %d)", Python(x.X), q, p)
+	case Min:
+		return fmt.Sprintf("min(%s, %s)", Python(x.A), Python(x.B))
+	case Max:
+		return fmt.Sprintf("max(%s, %s)", Python(x.A), Python(x.B))
+	case Sum:
+		return fmt.Sprintf("sum((%s) for %s in range(%s, (%s) + 1))",
+			Python(x.Body), x.Var, Python(x.Lo), Python(x.Hi))
+	}
+	return "0"
+}

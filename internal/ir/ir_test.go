@@ -1,0 +1,103 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEveryOpcodeHasMetadata(t *testing.T) {
+	for op := Op(0); op < Op(OpCount()); op++ {
+		if !op.Valid() {
+			t.Errorf("opcode %d invalid (gap in table)", op)
+			continue
+		}
+		if op.Mnemonic() == "" {
+			t.Errorf("opcode %d has no mnemonic", op)
+		}
+		if op.Cat() >= NumCategories {
+			t.Errorf("opcode %d has bad category", op)
+		}
+	}
+	if Op(OpCount()).Valid() {
+		t.Error("sentinel opcode reported valid")
+	}
+	if Op(9999).Cat() != CatMisc {
+		t.Error("invalid opcode category not Misc")
+	}
+}
+
+func TestFPIDefinition(t *testing.T) {
+	// The paper's FPI metric counts SSE2 packed/scalar arithmetic only.
+	fpi := []Op{ADDSD, SUBSD, MULSD, DIVSD, SQRTSD, ADDPD, SUBPD, MULPD, DIVPD}
+	for _, op := range fpi {
+		if !op.IsFPI() {
+			t.Errorf("%s not FPI", op.Mnemonic())
+		}
+	}
+	notFPI := []Op{MOVSDLD, MOVSDST, UCOMISD, CVTSI2SD, ADD, IMUL, CALL, MOVSXD}
+	for _, op := range notFPI {
+		if op.IsFPI() {
+			t.Errorf("%s wrongly FPI", op.Mnemonic())
+		}
+	}
+}
+
+func TestPackedFlops(t *testing.T) {
+	if ADDSD.Flops() != 1 || ADDPD.Flops() != 2 {
+		t.Errorf("flops: addsd=%d addpd=%d", ADDSD.Flops(), ADDPD.Flops())
+	}
+	if MOVSDLD.Flops() != 0 {
+		t.Error("movsd has flops")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: MOVRI, Rd: 3, Imm: 42}, "mov"},
+		{Instr{Op: MOVSDLD, Rd: 1, Rs1: 2, Rs2: NoReg, Imm: 8}, "movsd"},
+		{Instr{Op: JLE, Imm: 7}, ".7"},
+		{Instr{Op: CALL, Imm: 2}, "fn2"},
+		{Instr{Op: RETV}, "ret"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); !strings.Contains(got, c.want) {
+			t.Errorf("String(%v) = %q, want containing %q", c.in.Op, got, c.want)
+		}
+	}
+}
+
+func TestJumpAndReturnClassification(t *testing.T) {
+	for _, op := range []Op{JMP, JE, JNE, JL, JLE, JG, JGE} {
+		if !(Instr{Op: op}).IsJump() {
+			t.Errorf("%s not a jump", op.Mnemonic())
+		}
+	}
+	if (Instr{Op: CALL}).IsJump() {
+		t.Error("call classified as intra-function jump")
+	}
+	for _, op := range []Op{RETV, RETI, RETF} {
+		if !(Instr{Op: op}).IsReturn() {
+			t.Errorf("%s not a return", op.Mnemonic())
+		}
+	}
+}
+
+func TestCategoryNames(t *testing.T) {
+	want := map[Category]string{
+		CatIntArith:   "Integer arithmetic instruction",
+		CatIntControl: "Integer control transfer instruction",
+		CatIntData:    "Integer data transfer instruction",
+		CatSSEMove:    "SSE2 data movement instruction",
+		CatSSEArith:   "SSE2 packed arithmetic instruction",
+		Cat64Bit:      "64-bit mode instruction",
+		CatMisc:       "Misc Instruction",
+	}
+	for cat, name := range want {
+		if cat.String() != name {
+			t.Errorf("%d = %q, want %q", cat, cat.String(), name)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package loopcov_test
+
+import (
+	"testing"
+
+	"mira/internal/loopcov"
+	"mira/internal/parser"
+)
+
+func measure(t *testing.T, src string) loopcov.Stats {
+	t.Helper()
+	f, err := parser.ParseFile("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loopcov.Measure(f)
+}
+
+func TestEmptyFile(t *testing.T) {
+	st := measure(t, `void f() { }`)
+	if st.Loops != 0 || st.Statements != 0 || st.Percentage() != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestStraightLineOnly(t *testing.T) {
+	st := measure(t, `
+void f() {
+	double a;
+	a = 1.0;
+	a = a + 2.0;
+}`)
+	if st.Loops != 0 || st.Statements != 2 || st.InLoops != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestFullCoverage(t *testing.T) {
+	// Everything executable sits inside loops: 100% (the survey's mgrid
+	// and swim rows).
+	st := measure(t, `
+void f(int n) {
+	int i;
+	double a;
+	for (i = 0; i < n; i++) {
+		a = a + 1.0;
+		a = a * 2.0;
+	}
+}`)
+	if st.Percentage() != 100 {
+		t.Errorf("coverage = %g, want 100", st.Percentage())
+	}
+	if st.Loops != 1 || st.Statements != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestBranchesAndDeclsCounted(t *testing.T) {
+	st := measure(t, `
+void f(int n) {
+	int i;
+	int started = 1;
+	for (i = 0; i < n; i++) {
+		if (i > 2) {
+			started = 0;
+		}
+	}
+	if (n > 0) { started = 2; }
+}`)
+	// Counted: started decl-with-init (top), if (in), started=0 (in),
+	// if (top), started=2 (top).
+	if st.Statements != 5 || st.InLoops != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestNestedLoopsCountOnce(t *testing.T) {
+	st := measure(t, `
+void f(int n) {
+	int i; int j;
+	double a;
+	for (i = 0; i < n; i++)
+		for (j = 0; j < n; j++)
+			a = a + 1.0;
+	while (n > 0) {
+		a = a - 1.0;
+		n = n - 1;
+	}
+}`)
+	if st.Loops != 3 {
+		t.Errorf("loops = %d, want 3", st.Loops)
+	}
+	if st.InLoops != 3 || st.Statements != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestMultipleFunctionsAggregate(t *testing.T) {
+	st := measure(t, `
+void a(int n) {
+	int i; double x;
+	for (i = 0; i < n; i++) { x = x + 1.0; }
+}
+void b() {
+	double y;
+	y = 0.0;
+}`)
+	if st.Loops != 1 || st.Statements != 2 || st.InLoops != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Percentage() != 50 {
+		t.Errorf("coverage = %g", st.Percentage())
+	}
+}
+
+func TestStringer(t *testing.T) {
+	st := measure(t, `void f() { int i; for (i = 0; i < 3; i++) { i = i; } }`)
+	if s := st.String(); s == "" {
+		t.Error("empty string")
+	}
+}

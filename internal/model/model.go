@@ -1,0 +1,329 @@
+// Package model defines Mira's generated performance model: per-function
+// metric programs over symbolic multiplicities (paper Sec. III-C, Fig. 5).
+//
+// A Func mirrors one source function. Each Site pairs the instruction
+// counts of one source position (from the bridge) with a symbolic
+// execution-count expression (from the polyhedral model). Each Call records
+// a callee invocation with its multiplicity and argument bindings; calls
+// combine caller and callee metrics exactly like the paper's
+// handle_function_call helper.
+//
+// The model is dual-form: it evaluates directly in Go (used by the
+// validation harness and benches), and it emits Python source matching the
+// paper's artifact style (see python.go).
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"mira/internal/expr"
+	"mira/internal/ir"
+	"mira/internal/rational"
+)
+
+// Metrics is an evaluated instruction-count vector.
+type Metrics struct {
+	ByCategory [ir.NumCategories]int64
+	Flops      int64
+	Instrs     int64
+}
+
+// FPI returns the floating-point instruction count (PAPI_FP_INS analogue:
+// the SSE2 packed/scalar arithmetic category).
+func (m Metrics) FPI() int64 { return m.ByCategory[ir.CatSSEArith] }
+
+// Add accumulates other scaled by mult.
+func (m *Metrics) Add(other Metrics, mult int64) {
+	for c := range m.ByCategory {
+		m.ByCategory[c] += other.ByCategory[c] * mult
+	}
+	m.Flops += other.Flops * mult
+	m.Instrs += other.Instrs * mult
+}
+
+// Site is the cost of one source position.
+type Site struct {
+	Line, Col int
+	Desc      string // source fragment or role, for readability
+	Counts    [ir.NumCategories]int64
+	Ops       map[ir.Op]int64 // per-opcode counts, for fine categorization
+	Flops     int64
+	Instrs    int64
+	Mult      expr.Expr
+}
+
+// Call is one call site.
+type Call struct {
+	Callee    string
+	Line, Col int
+	Mult      expr.Expr
+	// Args binds callee parameter names to caller-side expressions. A nil
+	// entry means the argument could not be derived statically; its value
+	// is looked up in the environment under MangledParam(name, line) — the
+	// paper's "y_16" convention.
+	Args map[string]expr.Expr
+	// ArgOrder preserves the callee's declared parameter order.
+	ArgOrder []string
+}
+
+// MangledParam names an unresolved call argument after the paper's
+// convention: parameter name + call line.
+func MangledParam(param string, line int) string {
+	return fmt.Sprintf("%s_%d", param, line)
+}
+
+// Func is the model of one source function.
+type Func struct {
+	Name   string
+	Params []string // declared numeric parameters, in order
+	Extern bool     // library function: no visible body (counts are zero)
+	Sites  []*Site
+	Calls  []*Call
+	// AnnotParams lists annotation-introduced parameters.
+	AnnotParams []string
+}
+
+// Model is the whole-program model.
+type Model struct {
+	SourceName string
+	Order      []string
+	Funcs      map[string]*Func
+}
+
+// Lookup returns a function model.
+func (m *Model) Lookup(name string) (*Func, bool) {
+	f, ok := m.Funcs[name]
+	return f, ok
+}
+
+// FreeParams returns every parameter name the function's expressions
+// reference, sorted — the values callers (or users) must supply.
+func (f *Func) FreeParams() []string {
+	set := map[string]bool{}
+	for _, s := range f.Sites {
+		for _, p := range expr.Params(s.Mult) {
+			set[p] = true
+		}
+	}
+	for _, c := range f.Calls {
+		for _, p := range expr.Params(c.Mult) {
+			set[p] = true
+		}
+		for _, a := range c.Args {
+			if a != nil {
+				for _, p := range expr.Params(a) {
+					set[p] = true
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EvalOptions tunes evaluation.
+type EvalOptions struct {
+	// Exclusive skips callee contributions.
+	Exclusive bool
+	// MaxDepth bounds call recursion (defensive; sema rejects recursion).
+	MaxDepth int
+}
+
+// Evaluate computes the inclusive metrics of function name under the given
+// parameter environment. Callee environments inherit the caller's and are
+// overridden by statically derived argument bindings; unresolved arguments
+// are looked up under their mangled names.
+func (m *Model) Evaluate(name string, env expr.Env) (Metrics, error) {
+	return m.eval(name, env, EvalOptions{MaxDepth: 64}, 0)
+}
+
+// EvaluateExclusive computes body-only metrics.
+func (m *Model) EvaluateExclusive(name string, env expr.Env) (Metrics, error) {
+	return m.eval(name, env, EvalOptions{Exclusive: true, MaxDepth: 64}, 0)
+}
+
+func (m *Model) eval(name string, env expr.Env, opts EvalOptions, depth int) (Metrics, error) {
+	var out Metrics
+	if depth > opts.MaxDepth {
+		return out, fmt.Errorf("model: call depth exceeds %d at %q", opts.MaxDepth, name)
+	}
+	f, ok := m.Funcs[name]
+	if !ok {
+		return out, fmt.Errorf("model: no function %q", name)
+	}
+	if f.Extern {
+		return out, nil // invisible to static analysis (paper Sec. IV-D1)
+	}
+	for _, s := range f.Sites {
+		mult, err := expr.Eval(s.Mult, env)
+		if err != nil {
+			return out, fmt.Errorf("model: %s line %d: %w", name, s.Line, err)
+		}
+		mi, okInt := mult.Int64()
+		if !okInt {
+			// Fractional multiplicities arise from br_frac annotations;
+			// round to nearest.
+			mi, _ = mult.Add(rational.FromFrac(1, 2)).Floor().Int64()
+		}
+		for c := range s.Counts {
+			out.ByCategory[c] += s.Counts[c] * mi
+		}
+		out.Flops += s.Flops * mi
+		out.Instrs += s.Instrs * mi
+	}
+	if opts.Exclusive {
+		return out, nil
+	}
+	for _, call := range f.Calls {
+		mult, err := expr.Eval(call.Mult, env)
+		if err != nil {
+			return out, fmt.Errorf("model: %s call to %s at line %d: %w", name, call.Callee, call.Line, err)
+		}
+		mi, okInt := mult.Int64()
+		if !okInt {
+			mi, _ = mult.Add(rational.FromFrac(1, 2)).Floor().Int64()
+		}
+		if mi == 0 {
+			continue
+		}
+		childEnv := make(expr.Env, len(env)+len(call.Args))
+		for k, v := range env {
+			childEnv[k] = v
+		}
+		var unresolved []string
+		for param, argE := range call.Args {
+			if argE == nil {
+				mangled := MangledParam(param, call.Line)
+				if v, okM := env[mangled]; okM {
+					childEnv[param] = v
+				} else {
+					delete(childEnv, param)
+					unresolved = append(unresolved, mangled)
+				}
+				continue
+			}
+			v, err := expr.Eval(argE, env)
+			if err != nil {
+				// Not computable in this environment; fall back to the
+				// mangled-name convention.
+				mangled := MangledParam(param, call.Line)
+				if mv, okM := env[mangled]; okM {
+					childEnv[param] = mv
+					continue
+				}
+				return out, fmt.Errorf("model: %s: argument %q of %s at line %d: %w (bind %q to supply it)",
+					name, param, call.Callee, call.Line, err, MangledParam(param, call.Line))
+			}
+			childEnv[param] = v
+		}
+		sub, err := m.eval(call.Callee, childEnv, opts, depth+1)
+		if err != nil {
+			if len(unresolved) > 0 {
+				return out, fmt.Errorf("%w (call at line %d has statically unresolved arguments; "+
+					"bind them in the environment as %v — the paper's y_16 convention)",
+					err, call.Line, unresolved)
+			}
+			return out, err
+		}
+		out.Add(sub, mi)
+	}
+	return out, nil
+}
+
+// EvaluateOpcodes computes inclusive per-opcode counts of function name
+// under env — the granularity the architecture description file's 64
+// categories (and Table II / Fig. 6) consume.
+func (m *Model) EvaluateOpcodes(name string, env expr.Env) (map[ir.Op]int64, error) {
+	out := map[ir.Op]int64{}
+	err := m.evalOpcodes(name, env, 0, out)
+	return out, err
+}
+
+func (m *Model) evalOpcodes(name string, env expr.Env, depth int, acc map[ir.Op]int64) error {
+	if depth > 64 {
+		return fmt.Errorf("model: call depth exceeded at %q", name)
+	}
+	f, ok := m.Funcs[name]
+	if !ok {
+		return fmt.Errorf("model: no function %q", name)
+	}
+	if f.Extern {
+		return nil
+	}
+	for _, s := range f.Sites {
+		mult, err := expr.Eval(s.Mult, env)
+		if err != nil {
+			return fmt.Errorf("model: %s line %d: %w", name, s.Line, err)
+		}
+		mi, okInt := mult.Int64()
+		if !okInt {
+			mi, _ = mult.Add(rational.FromFrac(1, 2)).Floor().Int64()
+		}
+		for op, n := range s.Ops {
+			acc[op] += n * mi
+		}
+	}
+	for _, call := range f.Calls {
+		mult, err := expr.Eval(call.Mult, env)
+		if err != nil {
+			return err
+		}
+		mi, _ := mult.Int64()
+		if mi == 0 {
+			continue
+		}
+		childEnv := make(expr.Env, len(env)+len(call.Args))
+		for k, v := range env {
+			childEnv[k] = v
+		}
+		for param, argE := range call.Args {
+			if argE == nil {
+				if v, okM := env[MangledParam(param, call.Line)]; okM {
+					childEnv[param] = v
+				} else {
+					delete(childEnv, param)
+				}
+				continue
+			}
+			if v, err := expr.Eval(argE, env); err == nil {
+				childEnv[param] = v
+			}
+		}
+		sub := map[ir.Op]int64{}
+		if err := m.evalOpcodes(call.Callee, childEnv, depth+1, sub); err != nil {
+			return err
+		}
+		for op, n := range sub {
+			acc[op] += n * mi
+		}
+	}
+	return nil
+}
+
+// CategoryTable returns the evaluated metrics as sorted (category, count)
+// rows — the shape of the paper's Table II.
+func CategoryTable(met Metrics) []struct {
+	Category string
+	Count    int64
+} {
+	var rows []struct {
+		Category string
+		Count    int64
+	}
+	for c := 0; c < int(ir.NumCategories); c++ {
+		if met.ByCategory[c] == 0 {
+			continue
+		}
+		rows = append(rows, struct {
+			Category string
+			Count    int64
+		}{ir.Category(c).String(), met.ByCategory[c]})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Count > rows[j].Count })
+	return rows
+}

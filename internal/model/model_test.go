@@ -1,0 +1,196 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"mira/internal/expr"
+	"mira/internal/ir"
+)
+
+// buildModel constructs a small two-function model by hand:
+//
+//	inner(m): loop of m ADDSD
+//	outer(n): calls inner(n*2) five times
+func buildModel() *Model {
+	inner := &Func{
+		Name:   "inner",
+		Params: []string{"m"},
+		Sites: []*Site{
+			{
+				Line: 2, Col: 1, Desc: "s = s + 1.0",
+				Counts: catVec(ir.CatSSEArith, 1),
+				Ops:    map[ir.Op]int64{ir.ADDSD: 1},
+				Flops:  1, Instrs: 1,
+				Mult: expr.P("m"),
+			},
+		},
+	}
+	outer := &Func{
+		Name:   "outer",
+		Params: []string{"n"},
+		Sites: []*Site{
+			{
+				Line: 10, Col: 1, Desc: "prologue",
+				Counts: catVec(ir.CatIntData, 2),
+				Ops:    map[ir.Op]int64{ir.PUSH: 1, ir.POP: 1},
+				Instrs: 2,
+				Mult:   expr.Const(1),
+			},
+		},
+		Calls: []*Call{
+			{
+				Callee: "inner", Line: 12,
+				Mult:     expr.Const(5),
+				Args:     map[string]expr.Expr{"m": expr.NewMul(expr.Const(2), expr.P("n"))},
+				ArgOrder: []string{"m"},
+			},
+		},
+	}
+	lib := &Func{Name: "sqrt", Params: []string{"x"}, Extern: true}
+	return &Model{
+		SourceName: "hand.c",
+		Order:      []string{"inner", "outer", "sqrt"},
+		Funcs:      map[string]*Func{"inner": inner, "outer": outer, "sqrt": lib},
+	}
+}
+
+func catVec(c ir.Category, n int64) [ir.NumCategories]int64 {
+	var v [ir.NumCategories]int64
+	v[c] = n
+	return v
+}
+
+func TestEvaluateInclusive(t *testing.T) {
+	m := buildModel()
+	env := expr.EnvFromInts(map[string]int64{"n": 10})
+	met, err := m.Evaluate("outer", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 calls x (2*10) ADDSD = 100 FPI plus 2 prologue instructions.
+	if met.FPI() != 100 {
+		t.Errorf("FPI = %d, want 100", met.FPI())
+	}
+	if met.Instrs != 102 {
+		t.Errorf("instrs = %d, want 102", met.Instrs)
+	}
+}
+
+func TestEvaluateExclusive(t *testing.T) {
+	m := buildModel()
+	env := expr.EnvFromInts(map[string]int64{"n": 10})
+	met, err := m.EvaluateExclusive("outer", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.FPI() != 0 || met.Instrs != 2 {
+		t.Errorf("exclusive = %+v", met)
+	}
+}
+
+func TestEvaluateOpcodes(t *testing.T) {
+	m := buildModel()
+	env := expr.EnvFromInts(map[string]int64{"n": 3})
+	ops, err := m.EvaluateOpcodes("outer", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops[ir.ADDSD] != 30 || ops[ir.PUSH] != 1 {
+		t.Errorf("ops = %v", ops)
+	}
+}
+
+func TestExternIsZero(t *testing.T) {
+	m := buildModel()
+	met, err := m.Evaluate("sqrt", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.Instrs != 0 {
+		t.Errorf("extern metrics = %+v", met)
+	}
+}
+
+func TestMissingFunction(t *testing.T) {
+	m := buildModel()
+	if _, err := m.Evaluate("ghost", nil); err == nil {
+		t.Error("missing function accepted")
+	}
+}
+
+func TestUnboundParameterError(t *testing.T) {
+	m := buildModel()
+	_, err := m.Evaluate("outer", nil) // n unbound
+	if err == nil || !strings.Contains(err.Error(), "n") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFreeParams(t *testing.T) {
+	m := buildModel()
+	ps := m.Funcs["outer"].FreeParams()
+	if len(ps) != 1 || ps[0] != "n" {
+		t.Errorf("free params = %v", ps)
+	}
+}
+
+func TestMetricsAdd(t *testing.T) {
+	var a Metrics
+	b := Metrics{Flops: 2, Instrs: 5}
+	b.ByCategory[ir.CatSSEArith] = 3
+	a.Add(b, 4)
+	if a.Flops != 8 || a.Instrs != 20 || a.FPI() != 12 {
+		t.Errorf("a = %+v", a)
+	}
+}
+
+func TestCategoryTable(t *testing.T) {
+	met := Metrics{}
+	met.ByCategory[ir.CatSSEArith] = 5
+	met.ByCategory[ir.CatIntData] = 50
+	rows := CategoryTable(met)
+	if len(rows) != 2 || rows[0].Count != 50 {
+		t.Errorf("rows = %+v", rows)
+	}
+}
+
+func TestMangledParam(t *testing.T) {
+	if got := MangledParam("y", 16); got != "y_16" {
+		t.Errorf("MangledParam = %q, want y_16 (the paper's convention)", got)
+	}
+}
+
+func TestPythonEmission(t *testing.T) {
+	m := buildModel()
+	py := m.EmitPython()
+	for _, want := range []string{
+		"def handle_function_call(caller, callee, count):",
+		"def inner_1(m):",
+		"def outer_1(n):",
+		"def sqrt_1(x):",
+		"external library function",
+		"handle_function_call(metrics, inner_1(2*n), 5)",
+		"SSE2 packed arithmetic instruction",
+	} {
+		if !strings.Contains(py, want) {
+			t.Errorf("python missing %q\n----\n%s", want, py)
+		}
+	}
+}
+
+func TestPyFuncNameConventions(t *testing.T) {
+	cases := []struct {
+		f    *Func
+		want string
+	}{
+		{&Func{Name: "A::foo", Params: []string{"x", "y"}}, "A_foo_2"},
+		{&Func{Name: "main"}, "main_0"},
+		{&Func{Name: "MatVec::operator()", Params: []string{"n", "A", "x", "y"}}, "MatVec_operator_call_4"},
+	}
+	for _, c := range cases {
+		if got := PyFuncName(c.f); got != c.want {
+			t.Errorf("PyFuncName(%s) = %q, want %q", c.f.Name, got, c.want)
+		}
+	}
+}

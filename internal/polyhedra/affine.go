@@ -1,0 +1,286 @@
+package polyhedra
+
+import (
+	"fmt"
+
+	"mira/internal/expr"
+	"mira/internal/rational"
+)
+
+// affineForm is a linear form c0 + sum coeff[v]*v over loop variables and
+// parameters.
+type affineForm struct {
+	c      rational.Rat
+	coeffs map[string]rational.Rat
+}
+
+func (a affineForm) coeff(v string) rational.Rat {
+	if r, ok := a.coeffs[v]; ok {
+		return r
+	}
+	return rational.Zero
+}
+
+// toAffine decomposes e into an affine form. It fails for products of
+// symbols, floors, mins, maxes, and sums.
+func toAffine(e expr.Expr) (affineForm, error) {
+	a := affineForm{c: rational.Zero, coeffs: map[string]rational.Rat{}}
+	if err := addAffine(&a, e, rational.One); err != nil {
+		return affineForm{}, err
+	}
+	return a, nil
+}
+
+func addAffine(a *affineForm, e expr.Expr, scale rational.Rat) error {
+	switch x := e.(type) {
+	case expr.Num:
+		a.c = a.c.Add(x.Val.Mul(scale))
+		return nil
+	case expr.Param:
+		a.coeffs[x.Name] = a.coeff(x.Name).Add(scale)
+		return nil
+	case expr.Var:
+		a.coeffs[x.Name] = a.coeff(x.Name).Add(scale)
+		return nil
+	case expr.Add:
+		for _, t := range x.Terms {
+			if err := addAffine(a, t, scale); err != nil {
+				return err
+			}
+		}
+		return nil
+	case expr.Mul:
+		// Exactly one non-constant factor allowed.
+		c := scale
+		var sym expr.Expr
+		for _, f := range x.Factors {
+			if n, ok := f.(expr.Num); ok {
+				c = c.Mul(n.Val)
+				continue
+			}
+			if sym != nil {
+				return fmt.Errorf("%w: product of symbols in %s", ErrNotAffine, e)
+			}
+			sym = f
+		}
+		if sym == nil {
+			a.c = a.c.Add(c)
+			return nil
+		}
+		return addAffine(a, sym, c)
+	}
+	return fmt.Errorf("%w: %s", ErrNotAffine, e)
+}
+
+// toExpr converts the affine form back to an expression. Symbols render as
+// params; the expression engine treats vars and params identically during
+// evaluation, and summation binding is by name.
+func (a affineForm) toExpr() expr.Expr {
+	terms := []expr.Expr{expr.ConstRat(a.c)}
+	for v, c := range a.coeffs {
+		if c.Sign() == 0 {
+			continue
+		}
+		terms = append(terms, expr.NewMul(expr.ConstRat(c), expr.P(v)))
+	}
+	return expr.NewAdd(terms...)
+}
+
+// tightenBounds intersects the affine constraint E >= 0 with the range of
+// variable v, returning updated inclusive bounds:
+//
+//	a*v + rest >= 0, a > 0  =>  v >= ceil(-rest / a)
+//	a*v + rest >= 0, a < 0  =>  v <= floor(rest / -a)
+//
+// The ceil/floor are exact for integer-valued affine rest with integer a;
+// rational coefficients route through FloorDiv expressions.
+func tightenBounds(E expr.Expr, v string, lo, hi expr.Expr) (expr.Expr, expr.Expr, error) {
+	a, err := toAffine(E)
+	if err != nil {
+		return nil, nil, err
+	}
+	av := a.coeff(v)
+	if av.Sign() == 0 {
+		return nil, nil, fmt.Errorf("%w: guard %s does not constrain %q", ErrUnsupported, E, v)
+	}
+	rest := affineForm{c: a.c, coeffs: map[string]rational.Rat{}}
+	for name, c := range a.coeffs {
+		if name != v {
+			rest.coeffs[name] = c
+		}
+	}
+	restE := rest.toExpr()
+	if av.Sign() > 0 {
+		// v >= -rest/a  =>  v >= ceil(-rest/a) = -floor(rest/a) when a
+		// divides; use -FloorDiv(rest, a) == ceil(-rest/a) identity:
+		// ceil(x/d) == -floor(-x/d).
+		bound := ceilDivExpr(expr.NewNeg(restE), av)
+		return expr.NewMax(lo, bound), hi, nil
+	}
+	bound := floorDivExpr(restE, av.Neg())
+	return lo, expr.NewMin(hi, bound), nil
+}
+
+// floorDivExpr builds floor(x/d), folding when d == 1.
+func floorDivExpr(x expr.Expr, d rational.Rat) expr.Expr {
+	if d.Equal(rational.One) {
+		return x
+	}
+	return expr.NewFloorDiv(x, d)
+}
+
+// ceilDivExpr builds ceil(x/d) == -floor(-x/d).
+func ceilDivExpr(x expr.Expr, d rational.Rat) expr.Expr {
+	if d.Equal(rational.One) {
+		return x
+	}
+	return expr.NewNeg(expr.NewFloorDiv(expr.NewNeg(x), d))
+}
+
+// proveNonNeg attempts to show e >= 0 over the box described by the outer
+// loops, assuming free parameters are nonnegative (problem sizes). The
+// proof substitutes each loop variable by the endpoint minimizing the
+// affine form (lower bound for positive coefficients, upper for negative),
+// repeating until no loop variables remain, then requires every parameter
+// coefficient and the constant to be nonnegative. Sound but incomplete:
+// failures fall back to explicit max(0, ·) guards.
+func proveNonNeg(e expr.Expr, outer []*Loop) bool {
+	byVar := map[string]*Loop{}
+	for _, l := range outer {
+		byVar[l.Var] = l
+	}
+	cur := e
+	for iter := 0; iter <= len(outer)+1; iter++ {
+		a, err := toAffine(cur)
+		if err != nil {
+			return false
+		}
+		// Find the innermost loop var still present; substituting inner
+		// vars first keeps remaining bounds expressible in outer vars.
+		var pick *Loop
+		for i := len(outer) - 1; i >= 0; i-- {
+			if a.coeff(outer[i].Var).Sign() != 0 {
+				pick = outer[i]
+				break
+			}
+		}
+		if pick == nil {
+			// Only params and constant remain.
+			if a.c.Sign() < 0 {
+				return false
+			}
+			for _, c := range a.coeffs {
+				if c.Sign() < 0 {
+					return false
+				}
+			}
+			return true
+		}
+		c := a.coeff(pick.Var)
+		var repl expr.Expr
+		if c.Sign() > 0 {
+			repl = pick.Lo
+		} else {
+			repl = pick.Hi
+		}
+		// Bounds containing min/max would not be affine; bail out.
+		cur = expr.Substitute(cur, pick.Var, repl)
+	}
+	return false
+}
+
+// tripsWithMods counts points of a unit-step loop over [lo,hi] subject to
+// congruence guards, using the exact multiples-counting identity
+//
+//	#{v in [lo,hi] : v ≡ r (mod m)} = floor((hi-r)/m) - floor((lo-1-r)/m)
+//
+// and the paper's complement trick for != congruences.
+func tripsWithMods(l *Loop, lo, hi expr.Expr, mods []*Guard, outer []*Loop) (expr.Expr, error) {
+	total := tripCount(lo, hi, 1, outer)
+	if len(mods) == 1 {
+		g := mods[0]
+		cong, err := congruentCount(g, l.Var, lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		if g.Kind == ModEq {
+			return cong, nil
+		}
+		return expr.NewSub(total, cong), nil
+	}
+	return nil, fmt.Errorf("%w: multiple congruence guards on loop %q", ErrUnsupported, l.Var)
+}
+
+// congruentCount counts v in [lo,hi] with E(v) ≡ Rem (mod Mod), where E is
+// affine with coefficient exactly 1 on v (forms like v, v+c, v+i+c).
+func congruentCount(g *Guard, v string, lo, hi expr.Expr) (expr.Expr, error) {
+	a, err := toAffine(g.E)
+	if err != nil {
+		return nil, err
+	}
+	if !a.coeff(v).Equal(rational.One) {
+		return nil, fmt.Errorf("%w: congruence %s needs unit coefficient on %q",
+			ErrUnsupported, g.E, v)
+	}
+	if g.Mod <= 0 {
+		return nil, fmt.Errorf("%w: modulus %d", ErrUnsupported, g.Mod)
+	}
+	// E = v + rest; E ≡ Rem  <=>  v ≡ Rem - rest (mod m). rest must be a
+	// constant for a closed form; otherwise enumeration handles it.
+	rest := affineForm{c: a.c, coeffs: map[string]rational.Rat{}}
+	for name, c := range a.coeffs {
+		if name != v {
+			rest.coeffs[name] = c
+		}
+	}
+	if len(rest.coeffs) != 0 {
+		return nil, fmt.Errorf("%w: congruence %s mixes loop variables", ErrUnsupported, g.E)
+	}
+	rc, ok := rest.c.Int64()
+	if !ok {
+		return nil, fmt.Errorf("%w: non-integer congruence offset %s", ErrUnsupported, rest.c)
+	}
+	m := g.Mod
+	r := (((g.Rem - rc) % m) + m) % m
+	// floor((hi-r)/m) - floor((lo-1-r)/m)
+	mRat := rational.FromInt(m)
+	hiPart := expr.NewFloorDiv(expr.NewSub(hi, expr.Const(r)), mRat)
+	loPart := expr.NewFloorDiv(expr.NewSub(expr.NewSub(lo, expr.Const(1)), expr.Const(r)), mRat)
+	count := expr.NewSub(hiPart, loPart)
+	return expr.NewMax(expr.Const(0), count), nil
+}
+
+// sumWithModsEnumerated handles the rare combination of congruence guards
+// and a var-dependent body by an explicit summation with an indicator
+// rewritten through the complement form: indicator of v ≡ r (mod m) is
+// floor((v-r)/m) - floor((v-1-r)/m).
+func sumWithModsEnumerated(l *Loop, lo, hi expr.Expr, mods []*Guard, inner expr.Expr) (expr.Expr, error) {
+	body := inner
+	for _, g := range mods {
+		a, err := toAffine(g.E)
+		if err != nil {
+			return nil, err
+		}
+		if !a.coeff(l.Var).Equal(rational.One) {
+			return nil, fmt.Errorf("%w: congruence %s needs unit coefficient on %q",
+				ErrUnsupported, g.E, l.Var)
+		}
+		offset, ok := a.c.Int64()
+		if !ok || len(a.coeffs) > 1 {
+			return nil, fmt.Errorf("%w: congruence %s too complex", ErrUnsupported, g.E)
+		}
+		m := g.Mod
+		r := (((g.Rem - offset) % m) + m) % m
+		mRat := rational.FromInt(m)
+		vE := expr.V(l.Var)
+		ind := expr.NewSub(
+			expr.NewFloorDiv(expr.NewSub(vE, expr.Const(r)), mRat),
+			expr.NewFloorDiv(expr.NewSub(expr.NewSub(vE, expr.Const(1)), expr.Const(r)), mRat),
+		)
+		if g.Kind == ModNeq {
+			ind = expr.NewSub(expr.Const(1), ind)
+		}
+		body = expr.NewMul(ind, body)
+	}
+	return expr.NewSum(l.Var, lo, hi, body), nil
+}

@@ -1,0 +1,173 @@
+// Package rational provides exact rational arithmetic for the polyhedral
+// model and the symbolic expression engine.
+//
+// It is a thin veneer over math/big.Rat with value semantics tuned for how
+// Mira uses numbers: loop bounds, lattice-point counts, and Faulhaber
+// (Bernoulli) coefficients. Exactness matters — iteration counts are
+// integers and the generated model must reproduce them without float
+// drift even at 1e10-scale counts.
+package rational
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Rat is an immutable exact rational number. The zero value is 0.
+type Rat struct {
+	r *big.Rat // nil means zero
+}
+
+// Zero and One are the common constants.
+var (
+	Zero = FromInt(0)
+	One  = FromInt(1)
+)
+
+// FromInt returns the rational n/1.
+func FromInt(n int64) Rat { return Rat{big.NewRat(n, 1)} }
+
+// FromFrac returns the rational num/den. It panics if den == 0.
+func FromFrac(num, den int64) Rat {
+	if den == 0 {
+		panic("rational: zero denominator")
+	}
+	return Rat{big.NewRat(num, den)}
+}
+
+// FromFloat converts a float64 exactly; NaN/Inf yield an error.
+func FromFloat(f float64) (Rat, error) {
+	r := new(big.Rat)
+	if r.SetFloat64(f) == nil {
+		return Rat{}, fmt.Errorf("rational: cannot represent %g", f)
+	}
+	return Rat{r}, nil
+}
+
+func (a Rat) big() *big.Rat {
+	if a.r == nil {
+		return new(big.Rat)
+	}
+	return a.r
+}
+
+// Add returns a + b.
+func (a Rat) Add(b Rat) Rat { return Rat{new(big.Rat).Add(a.big(), b.big())} }
+
+// Sub returns a - b.
+func (a Rat) Sub(b Rat) Rat { return Rat{new(big.Rat).Sub(a.big(), b.big())} }
+
+// Mul returns a * b.
+func (a Rat) Mul(b Rat) Rat { return Rat{new(big.Rat).Mul(a.big(), b.big())} }
+
+// Div returns a / b. It panics if b is zero.
+func (a Rat) Div(b Rat) Rat {
+	if b.Sign() == 0 {
+		panic("rational: division by zero")
+	}
+	return Rat{new(big.Rat).Quo(a.big(), b.big())}
+}
+
+// Neg returns -a.
+func (a Rat) Neg() Rat { return Rat{new(big.Rat).Neg(a.big())} }
+
+// Cmp returns -1, 0, or 1 according to a <=> b.
+func (a Rat) Cmp(b Rat) int { return a.big().Cmp(b.big()) }
+
+// Sign returns the sign of a.
+func (a Rat) Sign() int { return a.big().Sign() }
+
+// Equal reports a == b.
+func (a Rat) Equal(b Rat) bool { return a.Cmp(b) == 0 }
+
+// IsInt reports whether a is an integer.
+func (a Rat) IsInt() bool { return a.big().IsInt() }
+
+// Int64 returns the value as an int64. ok is false when the value is not an
+// integer or does not fit.
+func (a Rat) Int64() (v int64, ok bool) {
+	b := a.big()
+	if !b.IsInt() {
+		return 0, false
+	}
+	n := b.Num()
+	if !n.IsInt64() {
+		return 0, false
+	}
+	return n.Int64(), true
+}
+
+// Floor returns the largest integer <= a.
+func (a Rat) Floor() Rat {
+	b := a.big()
+	q := new(big.Int).Quo(b.Num(), b.Denom())
+	if b.Sign() < 0 && !b.IsInt() {
+		q.Sub(q, big.NewInt(1))
+	}
+	return Rat{new(big.Rat).SetInt(q)}
+}
+
+// Ceil returns the smallest integer >= a.
+func (a Rat) Ceil() Rat {
+	b := a.big()
+	q := new(big.Int).Quo(b.Num(), b.Denom())
+	if b.Sign() > 0 && !b.IsInt() {
+		q.Add(q, big.NewInt(1))
+	}
+	return Rat{new(big.Rat).SetInt(q)}
+}
+
+// FloorDiv returns floor(a / b). It panics if b is zero.
+func (a Rat) FloorDiv(b Rat) Rat { return a.Div(b).Floor() }
+
+// Max returns the larger of a, b.
+func (a Rat) Max(b Rat) Rat {
+	if a.Cmp(b) >= 0 {
+		return a
+	}
+	return b
+}
+
+// Min returns the smaller of a, b.
+func (a Rat) Min(b Rat) Rat {
+	if a.Cmp(b) <= 0 {
+		return a
+	}
+	return b
+}
+
+// NumDen returns the numerator and denominator in lowest terms. It panics
+// if either does not fit in int64 (counts and steps in Mira's models are
+// built from int64 source literals, so this cannot occur in practice).
+func (a Rat) NumDen() (num, den int64) {
+	b := a.big()
+	if !b.Num().IsInt64() || !b.Denom().IsInt64() {
+		panic("rational: NumDen overflow")
+	}
+	return b.Num().Int64(), b.Denom().Int64()
+}
+
+// Float64 returns the nearest float64 value.
+func (a Rat) Float64() float64 {
+	f, _ := a.big().Float64()
+	return f
+}
+
+// String renders the value, as an integer when possible.
+func (a Rat) String() string {
+	b := a.big()
+	if b.IsInt() {
+		return b.Num().String()
+	}
+	return b.RatString()
+}
+
+// PythonString renders the value as a Python expression preserving
+// exactness (integers plain, fractions as Fraction-free division).
+func (a Rat) PythonString() string {
+	b := a.big()
+	if b.IsInt() {
+		return b.Num().String()
+	}
+	return fmt.Sprintf("(%s/%s)", b.Num().String(), b.Denom().String())
+}

@@ -1,0 +1,76 @@
+// Package roofline derives Roofline-style predictions from Mira's
+// instruction-category metrics, reproducing the paper's Sec. IV-D2
+// demonstration: instruction-based arithmetic intensity computed as
+//
+//	AI = SSE2 packed arithmetic / SSE2 data movement
+//
+// (for cg_solve the paper computes 1.93E8 / 3.67E8 = 0.53), and the
+// classic roofline attainable-performance bound from the architecture
+// description file's peak and bandwidth numbers.
+package roofline
+
+import (
+	"fmt"
+
+	"mira/internal/arch"
+	"mira/internal/ir"
+	"mira/internal/model"
+)
+
+// Analysis is a roofline assessment of one function.
+type Analysis struct {
+	Function string
+	// InstrAI is the instruction-based arithmetic intensity (paper's
+	// definition): FP arithmetic instructions per FP data-movement
+	// instruction.
+	InstrAI float64
+	// ByteAI is the conventional flops-per-byte intensity, derived from
+	// data-movement instruction counts times the element size.
+	ByteAI float64
+	// RidgeAI is the machine's ridge point (peak flops / bandwidth).
+	RidgeAI float64
+	// AttainableGFlops is min(peak, ByteAI * bandwidth).
+	AttainableGFlops float64
+	// MemoryBound reports whether the function sits left of the ridge.
+	MemoryBound bool
+}
+
+// Analyze computes the roofline assessment from evaluated metrics.
+func Analyze(fn string, met model.Metrics, d *arch.Description) (*Analysis, error) {
+	moves := met.ByCategory[ir.CatSSEMove]
+	ops := met.ByCategory[ir.CatSSEArith]
+	if moves == 0 {
+		return nil, fmt.Errorf("roofline: %s performs no FP data movement", fn)
+	}
+	instrAI := float64(ops) / float64(moves)
+	// Bytes: each SSE2 movement instruction moves one double (the
+	// vectorized movapd pair counts as two elements via flops metadata on
+	// the arithmetic side; movement side approximates with 8B each).
+	bytes := float64(moves) * 8
+	byteAI := float64(met.Flops) / bytes
+	peak := d.PeakGFlops()
+	ridge := peak / d.MemBandwidthGBs
+	attainable := byteAI * d.MemBandwidthGBs
+	memBound := true
+	if attainable > peak {
+		attainable = peak
+		memBound = false
+	}
+	return &Analysis{
+		Function:         fn,
+		InstrAI:          instrAI,
+		ByteAI:           byteAI,
+		RidgeAI:          ridge,
+		AttainableGFlops: attainable,
+		MemoryBound:      memBound,
+	}, nil
+}
+
+func (a *Analysis) String() string {
+	kind := "compute-bound"
+	if a.MemoryBound {
+		kind = "memory-bound"
+	}
+	return fmt.Sprintf("%s: instruction AI=%.2f, byte AI=%.3f flop/B, attainable=%.1f GF/s (%s; ridge at %.2f flop/B)",
+		a.Function, a.InstrAI, a.ByteAI, a.AttainableGFlops, kind, a.RidgeAI)
+}

@@ -1,0 +1,71 @@
+package roofline_test
+
+import (
+	"strings"
+	"testing"
+
+	"mira/internal/arch"
+	"mira/internal/ir"
+	"mira/internal/model"
+	"mira/internal/roofline"
+)
+
+func metricsWith(arith, move, flops int64) model.Metrics {
+	var m model.Metrics
+	m.ByCategory[ir.CatSSEArith] = arith
+	m.ByCategory[ir.CatSSEMove] = move
+	m.Flops = flops
+	return m
+}
+
+func TestPaperStyleAI(t *testing.T) {
+	// The paper's cg_solve numbers: 1.93E8 arith / 3.67E8 movement = 0.53.
+	met := metricsWith(193_000_000, 367_000_000, 193_000_000)
+	an, err := roofline.Analyze("cg_solve", met, arch.Arya())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.InstrAI < 0.52 || an.InstrAI > 0.54 {
+		t.Errorf("instruction AI = %.3f, want 0.53", an.InstrAI)
+	}
+	if !an.MemoryBound {
+		t.Error("cg_solve not memory bound")
+	}
+	if !strings.Contains(an.String(), "memory-bound") {
+		t.Errorf("string = %q", an.String())
+	}
+}
+
+func TestComputeBoundKernel(t *testing.T) {
+	// Heavy arithmetic per move on a low-bandwidth-ratio machine.
+	met := metricsWith(10_000_000, 10_000, 20_000_000)
+	an, err := roofline.Analyze("k", met, arch.Frankenstein())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.MemoryBound {
+		t.Errorf("kernel with AI %.1f classified memory bound", an.ByteAI)
+	}
+	if an.AttainableGFlops != arch.Frankenstein().PeakGFlops() {
+		t.Errorf("attainable = %g, want peak", an.AttainableGFlops)
+	}
+}
+
+func TestNoMovementError(t *testing.T) {
+	met := metricsWith(100, 0, 100)
+	if _, err := roofline.Analyze("k", met, arch.Generic()); err == nil {
+		t.Error("zero movement accepted")
+	}
+}
+
+func TestRidgePoint(t *testing.T) {
+	d := arch.Generic()
+	met := metricsWith(1, 1, 1)
+	an, err := roofline.Analyze("k", met, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := d.PeakGFlops() / d.MemBandwidthGBs; an.RidgeAI != want {
+		t.Errorf("ridge = %g, want %g", an.RidgeAI, want)
+	}
+}

@@ -1,0 +1,233 @@
+package sema_test
+
+import (
+	"strings"
+	"testing"
+
+	"mira/internal/ast"
+	"mira/internal/parser"
+	"mira/internal/sema"
+)
+
+func analyze(t *testing.T, src string) *sema.Program {
+	t.Helper()
+	f, err := parser.ParseFile("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p, err := sema.Analyze(f)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	return p
+}
+
+func analyzeErr(t *testing.T, src string) error {
+	t.Helper()
+	f, err := parser.ParseFile("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = sema.Analyze(f)
+	return err
+}
+
+func TestClassLayout(t *testing.T) {
+	p := analyze(t, `
+class V {
+public:
+	int n;
+	double *coefs;
+	double buf[4];
+	int tag;
+};
+void f() { V v; v.n = 1; }
+`)
+	ci := p.Classes["V"]
+	if ci == nil {
+		t.Fatal("class V missing")
+	}
+	wantOffsets := map[string]int64{"n": 0, "coefs": 1, "buf": 2, "tag": 6}
+	for name, off := range wantOffsets {
+		f, ok := ci.FieldByName(name)
+		if !ok || f.Offset != off {
+			t.Errorf("field %s offset = %+v, want %d", name, f, off)
+		}
+	}
+	if ci.Size != 7 {
+		t.Errorf("class size = %d, want 7", ci.Size)
+	}
+}
+
+func TestConstGlobalFolding(t *testing.T) {
+	p := analyze(t, `
+const int N = 10 * 10 + 4;
+const double PI = 3.25;
+const int M = N * 2;
+double arr[N];
+void f() { arr[0] = PI; }
+`)
+	if g := p.Globals["N"]; !g.HasConst || g.ConstI != 104 {
+		t.Errorf("N = %+v", g)
+	}
+	if g := p.Globals["M"]; !g.HasConst || g.ConstI != 208 {
+		t.Errorf("M = %+v", g)
+	}
+	if g := p.Globals["PI"]; !g.HasConst || g.ConstF != 3.25 {
+		t.Errorf("PI = %+v", g)
+	}
+	if g := p.Globals["arr"]; g.Size != 104 || len(g.Dims) != 1 {
+		t.Errorf("arr = %+v", g)
+	}
+}
+
+func TestCallGraph(t *testing.T) {
+	p := analyze(t, `
+double c(double x) { return x; }
+double b(double x) { return c(x); }
+double a(double x) { return b(x) + c(x); }
+`)
+	fa := p.Funcs["a"]
+	if len(fa.Callees) != 2 || fa.Callees[0] != "b" || fa.Callees[1] != "c" {
+		t.Errorf("a callees = %v", fa.Callees)
+	}
+}
+
+func TestMethodCallGraph(t *testing.T) {
+	p := analyze(t, `
+class W {
+public:
+	int n;
+	void bump() { n = n + 1; }
+	double operator()(int k) { return k * 1.0; }
+};
+double f() {
+	W w;
+	w.bump();
+	return w(3);
+}
+`)
+	ff := p.Funcs["f"]
+	want := []string{"W::bump", "W::operator()"}
+	if len(ff.Callees) != 2 || ff.Callees[0] != want[0] || ff.Callees[1] != want[1] {
+		t.Errorf("callees = %v, want %v", ff.Callees, want)
+	}
+}
+
+func TestRecursionRejected(t *testing.T) {
+	if err := analyzeErr(t, `int f(int n) { return f(n - 1); }`); err == nil {
+		t.Error("direct recursion accepted")
+	}
+	err := analyzeErr(t, `
+int g(int n);
+int f(int n) { return g(n); }
+int g(int n) { return f(n); }
+`)
+	if err == nil {
+		t.Error("mutual recursion accepted")
+	}
+	if err != nil && !strings.Contains(err.Error(), "recursive") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestSemanticErrors(t *testing.T) {
+	cases := []string{
+		`class C { public: int x; }; class C { public: int y; };`, // dup class
+		`int x; double x;`, // dup global
+		`int f() { return 0; } int f() { return 1; }`, // dup func
+		`int f();`, // never defined
+		`double arr[0]; void f() { arr[0] = 1.0; }`,               // zero-size array
+		`const int N; void f() { int x; x = N; }`,                 // const without init
+		`int n = 3; double arr[n]; void f() { }`,                  // non-const dim
+		`void f() { undefined_fn(); }`,                            // unknown callee
+		`class C { public: int x; }; void f() { C c; c.nope(); }`, // no method
+	}
+	for _, src := range cases {
+		if err := analyzeErr(t, src); err == nil {
+			t.Errorf("Analyze(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestPrototypeThenDefinition(t *testing.T) {
+	p := analyze(t, `
+double g(double x);
+double f(double x) { return g(x); }
+double g(double x) { return x * 2.0; }
+`)
+	if p.Funcs["g"].Decl.Body == nil {
+		t.Error("g resolved to the prototype, not the definition")
+	}
+}
+
+func TestConstExprEvaluation(t *testing.T) {
+	p := analyze(t, `const int A = 7; void f() { }`)
+	f, _ := parser.ParseFile("e.c", `void g() { }`)
+	_ = f
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"1 + 2 * 3", 7},
+		{"(10 - 4) / 2", 3},
+		{"10 % 3", 1},
+		{"-5 + A", 2},
+	}
+	for _, c := range cases {
+		file, err := parser.ParseFile("x.c", "const int A = 7;\nconst int X = "+c.src+"; void f() { }")
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := sema.Analyze(file)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		_ = p
+		if g := prog.Globals["X"]; g.ConstI != c.want {
+			t.Errorf("%s = %d, want %d", c.src, g.ConstI, c.want)
+		}
+	}
+}
+
+func TestGlobalsWithInitializers(t *testing.T) {
+	p := analyze(t, `
+int counter = 42;
+double ratio = 1.5;
+void f() { counter = counter + 1; }
+`)
+	if g := p.Globals["counter"]; !g.HasConst || g.ConstI != 42 || g.IsConst {
+		t.Errorf("counter = %+v", g)
+	}
+	if g := p.Globals["ratio"]; !g.HasConst || g.ConstF != 1.5 {
+		t.Errorf("ratio = %+v", g)
+	}
+}
+
+func TestFuncOrderStable(t *testing.T) {
+	p := analyze(t, `
+void a() { }
+void b() { }
+void c() { a(); b(); }
+`)
+	want := []string{"a", "b", "c"}
+	if len(p.FuncOrder) != 3 {
+		t.Fatalf("order = %v", p.FuncOrder)
+	}
+	for i := range want {
+		if p.FuncOrder[i] != want[i] {
+			t.Errorf("order[%d] = %s", i, p.FuncOrder[i])
+		}
+	}
+}
+
+func TestEmptyClassHasSize(t *testing.T) {
+	p := analyze(t, `
+class Tag { public: };
+void f() { Tag t; }
+`)
+	if p.Classes["Tag"].Size != 1 {
+		t.Errorf("empty class size = %d, want 1", p.Classes["Tag"].Size)
+	}
+	_ = ast.TypeInt
+}

@@ -1,0 +1,102 @@
+package synth_test
+
+import (
+	"testing"
+
+	"mira/internal/loopcov"
+	"mira/internal/parser"
+	"mira/internal/synth"
+)
+
+// TestProfilesRoundTrip: every Table I profile generates a program that
+// parses and measures back to exactly the surveyed numbers.
+func TestProfilesRoundTrip(t *testing.T) {
+	for _, p := range synth.TableIProfiles {
+		src, err := synth.Generate(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		file, err := parser.ParseFile(p.Name+".c", src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", p.Name, err)
+		}
+		st := loopcov.Measure(file)
+		if st.Loops != p.Loops {
+			t.Errorf("%s: loops=%d, want %d", p.Name, st.Loops, p.Loops)
+		}
+		if st.Statements != p.Statements {
+			t.Errorf("%s: statements=%d, want %d", p.Name, st.Statements, p.Statements)
+		}
+		if st.InLoops != p.InLoops {
+			t.Errorf("%s: in-loops=%d, want %d", p.Name, st.InLoops, p.InLoops)
+		}
+	}
+}
+
+// TestCoveragePercentages: the regenerated Table I percentages match the
+// paper's last column.
+func TestCoveragePercentages(t *testing.T) {
+	want := map[string]int{
+		"applu": 84, "apsi": 84, "mdg": 88, "lucas": 99, "mgrid": 100,
+		"quake": 77, "adm": 84, "dyfesm": 86, "mg3d": 86, "swim": 100,
+	}
+	for _, p := range synth.TableIProfiles {
+		src, err := synth.Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		file, err := parser.ParseFile(p.Name+".c", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := loopcov.Measure(file)
+		got := int(st.Percentage() + 0.5)
+		if got != want[p.Name] {
+			t.Errorf("%s: coverage=%d%%, want %d%%", p.Name, got, want[p.Name])
+		}
+	}
+}
+
+func TestInfeasibleProfiles(t *testing.T) {
+	bad := []synth.Profile{
+		{Name: "x", Loops: 0, Statements: 10, InLoops: 5},
+		{Name: "x", Loops: 5, Statements: 10, InLoops: 3},
+		{Name: "x", Loops: 2, Statements: 3, InLoops: 5},
+	}
+	for _, p := range bad {
+		if _, err := synth.Generate(p); err == nil {
+			t.Errorf("Generate(%+v) succeeded, want error", p)
+		}
+	}
+}
+
+func TestLoopcovNestedCounting(t *testing.T) {
+	src := `
+void f(int n) {
+	int i; int j;
+	double a;
+	a = 0.0;
+	for (i = 0; i < n; i++) {
+		for (j = 0; j < n; j++) {
+			a = a + 1.0;
+		}
+		a = a * 2.0;
+	}
+	a = a - 1.0;
+}`
+	file, err := parser.ParseFile("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := loopcov.Measure(file)
+	if st.Loops != 2 {
+		t.Errorf("loops=%d, want 2", st.Loops)
+	}
+	// Counted: a=0.0 (top), a=a+1.0 (in), a=a*2.0 (in), a=a-1.0 (top).
+	if st.Statements != 4 || st.InLoops != 2 {
+		t.Errorf("statements=%d in=%d, want 4/2", st.Statements, st.InLoops)
+	}
+	if st.Percentage() != 50 {
+		t.Errorf("coverage=%g, want 50", st.Percentage())
+	}
+}

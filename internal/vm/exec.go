@@ -1,0 +1,339 @@
+package vm
+
+import (
+	"math"
+
+	"mira/internal/ir"
+	"mira/internal/objfile"
+)
+
+// loop is the interpreter core: it runs until the initial frame returns.
+func (m *Machine) loop(maxSteps uint64) error {
+	baseDepth := len(m.frames) - 1
+	for {
+		f := m.frames[len(m.frames)-1]
+		sym := &m.obj.Syms[f.symIdx]
+		code := m.obj.Text[sym.Start:sym.End()]
+		ri := f.regsI
+		rf := f.regsF
+
+		// Inner dispatch loop; broken out of on CALL/RET to re-establish
+		// the frame-local slices.
+	dispatch:
+		for {
+			if f.ip < 0 || f.ip >= int64(len(code)) {
+				return m.fault("instruction pointer %d out of range", f.ip)
+			}
+			in := code[f.ip]
+			f.ip++
+			m.steps++
+			if m.steps > maxSteps {
+				return ErrStepLimit
+			}
+			f.excl[in.Op.Cat()]++
+			f.flops += uint64(in.Op.Flops())
+
+			switch in.Op {
+			case ir.NOP, ir.PUSH, ir.POP, ir.CDQ:
+				// Counted, no architectural effect.
+
+			// --- Integer data transfer ---
+			case ir.MOVRR:
+				ri[in.Rd] = ri[in.Rs1]
+			case ir.MOVRI:
+				ri[in.Rd] = in.Imm
+			case ir.MOVLD:
+				a, err := m.addr(ri, in)
+				if err != nil {
+					return err
+				}
+				ri[in.Rd] = int64(m.mem[a])
+			case ir.MOVST:
+				a, err := m.addrStore(ri, in)
+				if err != nil {
+					return err
+				}
+				m.mem[a] = uint64(ri[in.Rs1])
+			case ir.LEA:
+				v := in.Imm
+				if in.Rs1 != ir.NoReg {
+					v += ri[in.Rs1]
+				}
+				if in.Rs2 != ir.NoReg {
+					v += ri[in.Rs2]
+				}
+				ri[in.Rd] = v
+			case ir.ARGI:
+				m.argBuf = append(m.argBuf, Int(ri[in.Rs1]))
+			case ir.GETRETI:
+				ri[in.Rd] = m.retI
+
+			// --- Integer arithmetic ---
+			case ir.ADD:
+				ri[in.Rd] = ri[in.Rs1] + ri[in.Rs2]
+			case ir.ADDI:
+				ri[in.Rd] = ri[in.Rs1] + in.Imm
+			case ir.SUB:
+				ri[in.Rd] = ri[in.Rs1] - ri[in.Rs2]
+			case ir.SUBI:
+				ri[in.Rd] = ri[in.Rs1] - in.Imm
+			case ir.IMUL:
+				ri[in.Rd] = ri[in.Rs1] * ri[in.Rs2]
+			case ir.IMULI:
+				ri[in.Rd] = ri[in.Rs1] * in.Imm
+			case ir.IDIV:
+				if ri[in.Rs2] == 0 {
+					return m.fault("integer division by zero")
+				}
+				ri[in.Rd] = ri[in.Rs1] / ri[in.Rs2]
+			case ir.IREM:
+				if ri[in.Rs2] == 0 {
+					return m.fault("integer modulo by zero")
+				}
+				ri[in.Rd] = ri[in.Rs1] % ri[in.Rs2]
+			case ir.NEG:
+				ri[in.Rd] = -ri[in.Rs1]
+			case ir.INC:
+				ri[in.Rd] = ri[in.Rs1] + 1
+			case ir.DEC:
+				ri[in.Rd] = ri[in.Rs1] - 1
+			case ir.SHLI:
+				ri[in.Rd] = ri[in.Rs1] << uint(in.Imm)
+			case ir.SARI:
+				ri[in.Rd] = ri[in.Rs1] >> uint(in.Imm)
+			case ir.AND:
+				ri[in.Rd] = ri[in.Rs1] & ri[in.Rs2]
+			case ir.OR:
+				ri[in.Rd] = ri[in.Rs1] | ri[in.Rs2]
+			case ir.XOR:
+				ri[in.Rd] = ri[in.Rs1] ^ ri[in.Rs2]
+			case ir.CMP:
+				f.flags = cmpI(ri[in.Rs1], ri[in.Rs2])
+			case ir.CMPI:
+				f.flags = cmpI(ri[in.Rs1], in.Imm)
+			case ir.TEST:
+				f.flags = cmpI(ri[in.Rs1], 0)
+
+			// --- Control transfer ---
+			case ir.JMP:
+				f.ip = in.Imm
+			case ir.JE:
+				if f.flags == 0 {
+					f.ip = in.Imm
+				}
+			case ir.JNE:
+				if f.flags != 0 {
+					f.ip = in.Imm
+				}
+			case ir.JL:
+				if f.flags < 0 {
+					f.ip = in.Imm
+				}
+			case ir.JLE:
+				if f.flags <= 0 {
+					f.ip = in.Imm
+				}
+			case ir.JG:
+				if f.flags > 0 {
+					f.ip = in.Imm
+				}
+			case ir.JGE:
+				if f.flags >= 0 {
+					f.ip = in.Imm
+				}
+
+			case ir.CALL:
+				callee := int(in.Imm)
+				if callee < 0 || callee >= len(m.obj.Syms) {
+					return m.fault("call to invalid symbol %d", callee)
+				}
+				csym := &m.obj.Syms[callee]
+				if len(m.argBuf) != len(csym.Params) {
+					return m.fault("call to %s with %d staged args, want %d",
+						csym.Name, len(m.argBuf), len(csym.Params))
+				}
+				nf := m.newFrame(callee)
+				for i, a := range m.argBuf {
+					if csym.Params[i] == objfile.KindFloat {
+						nf.regsF[i] = a.F
+					} else {
+						nf.regsI[i] = a.I
+					}
+				}
+				m.argBuf = m.argBuf[:0]
+				m.stats[callee].Calls++
+				m.frames = append(m.frames, nf)
+				break dispatch
+
+			case ir.RETV, ir.RETI, ir.RETF:
+				if in.Op == ir.RETI {
+					m.retI = ri[in.Rs1]
+				} else if in.Op == ir.RETF {
+					m.retF = rf[in.Rs1]
+				}
+				m.heapTop = f.heapSave
+				// Fold this activation into global and parent stats.
+				st := &m.stats[f.symIdx]
+				var inclTotal [ir.NumCategories]uint64
+				for c := 0; c < int(ir.NumCategories); c++ {
+					st.Exclusive[c] += f.excl[c]
+					inclTotal[c] = f.excl[c] + f.childIncl[c]
+					st.Inclusive[c] += inclTotal[c]
+				}
+				st.FlopsExcl += f.flops
+				inclFlops := f.flops + f.childFlops
+				st.FlopsIncl += inclFlops
+				m.frames = m.frames[:len(m.frames)-1]
+				m.pool = append(m.pool, f)
+				if len(m.frames) == baseDepth {
+					return nil
+				}
+				parent := m.frames[len(m.frames)-1]
+				for c := 0; c < int(ir.NumCategories); c++ {
+					parent.childIncl[c] += inclTotal[c]
+				}
+				parent.childFlops += inclFlops
+				break dispatch
+
+			// --- SSE2 data movement ---
+			case ir.MOVSDRR:
+				rf[in.Rd] = rf[in.Rs1]
+			case ir.MOVSDI:
+				rf[in.Rd] = math.Float64frombits(uint64(in.Imm))
+			case ir.MOVSDLD:
+				a, err := m.addr(ri, in)
+				if err != nil {
+					return err
+				}
+				rf[in.Rd] = math.Float64frombits(m.mem[a])
+			case ir.MOVSDST:
+				a, err := m.addrStore(ri, in)
+				if err != nil {
+					return err
+				}
+				m.mem[a] = math.Float64bits(rf[in.Rs1])
+			case ir.MOVAPDLD:
+				a, err := m.addr(ri, in)
+				if err != nil {
+					return err
+				}
+				if a+1 >= uint64(len(m.mem)) {
+					return m.fault("packed load past end of memory")
+				}
+				rf[in.Rd] = math.Float64frombits(m.mem[a])
+				rf[in.Rd+1] = math.Float64frombits(m.mem[a+1])
+			case ir.MOVAPDST:
+				a, err := m.addrStore(ri, in)
+				if err != nil {
+					return err
+				}
+				if a+1 >= uint64(len(m.mem)) {
+					return m.fault("packed store past end of memory")
+				}
+				m.mem[a] = math.Float64bits(rf[in.Rs1])
+				m.mem[a+1] = math.Float64bits(rf[in.Rs1+1])
+			case ir.ARGF:
+				m.argBuf = append(m.argBuf, Float(rf[in.Rs1]))
+			case ir.GETRETF:
+				rf[in.Rd] = m.retF
+
+			// --- SSE2 arithmetic ---
+			case ir.ADDSD:
+				rf[in.Rd] = rf[in.Rs1] + rf[in.Rs2]
+			case ir.SUBSD:
+				rf[in.Rd] = rf[in.Rs1] - rf[in.Rs2]
+			case ir.MULSD:
+				rf[in.Rd] = rf[in.Rs1] * rf[in.Rs2]
+			case ir.DIVSD:
+				rf[in.Rd] = rf[in.Rs1] / rf[in.Rs2]
+			case ir.SQRTSD:
+				rf[in.Rd] = math.Sqrt(rf[in.Rs1])
+			case ir.ADDPD:
+				rf[in.Rd] = rf[in.Rs1] + rf[in.Rs2]
+				rf[in.Rd+1] = rf[in.Rs1+1] + rf[in.Rs2+1]
+			case ir.SUBPD:
+				rf[in.Rd] = rf[in.Rs1] - rf[in.Rs2]
+				rf[in.Rd+1] = rf[in.Rs1+1] - rf[in.Rs2+1]
+			case ir.MULPD:
+				rf[in.Rd] = rf[in.Rs1] * rf[in.Rs2]
+				rf[in.Rd+1] = rf[in.Rs1+1] * rf[in.Rs2+1]
+			case ir.DIVPD:
+				rf[in.Rd] = rf[in.Rs1] / rf[in.Rs2]
+				rf[in.Rd+1] = rf[in.Rs1+1] / rf[in.Rs2+1]
+
+			// --- Compare / convert ---
+			case ir.UCOMISD:
+				f.flags = cmpF(rf[in.Rs1], rf[in.Rs2])
+			case ir.CVTSI2SD:
+				rf[in.Rd] = float64(ri[in.Rs1])
+			case ir.CVTTSD2SI:
+				ri[in.Rd] = int64(rf[in.Rs1])
+
+			// --- 64-bit mode ---
+			case ir.MOVSXD:
+				ri[in.Rd] = int64(int32(ri[in.Rs1]))
+
+			case ir.ALLOC:
+				n := ri[in.Rs1]
+				if n < 0 {
+					return m.fault("negative allocation %d", n)
+				}
+				ri[in.Rd] = int64(m.Alloc(uint64(n)))
+
+			default:
+				return m.fault("unimplemented opcode %s", in.Op.Mnemonic())
+			}
+		}
+	}
+}
+
+func cmpI(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func cmpF(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// addr computes a load address.
+func (m *Machine) addr(ri []int64, in ir.Instr) (uint64, error) {
+	v := in.Imm
+	if in.Rs1 != ir.NoReg {
+		v += ri[in.Rs1]
+	}
+	if in.Rs2 != ir.NoReg {
+		v += ri[in.Rs2]
+	}
+	if v < 0 || uint64(v) >= uint64(len(m.mem)) {
+		return 0, m.fault("load address %d out of range [0,%d)", v, len(m.mem))
+	}
+	return uint64(v), nil
+}
+
+// addrStore computes a store address (base register in Rd by the MOVST
+// encoding convention).
+func (m *Machine) addrStore(ri []int64, in ir.Instr) (uint64, error) {
+	v := in.Imm
+	if in.Rd != ir.NoReg {
+		v += ri[in.Rd]
+	}
+	if in.Rs2 != ir.NoReg {
+		v += ri[in.Rs2]
+	}
+	if v < 0 || uint64(v) >= uint64(len(m.mem)) {
+		return 0, m.fault("store address %d out of range [0,%d)", v, len(m.mem))
+	}
+	return uint64(v), nil
+}

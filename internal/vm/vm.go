@@ -1,0 +1,268 @@
+// Package vm implements the virtual machine that executes Mira object
+// files. It is the reproduction's dynamic-measurement substrate: where the
+// paper validates static predictions against TAU/PAPI hardware-counter
+// measurements on real Xeons, we validate against an actual execution of
+// the same compiled binary, with per-function instruction counters grouped
+// by the same categories (internal/dynamic wraps this in a TAU-like API).
+//
+// The machine is deliberately simple — decoded instructions, two register
+// files per frame, a single word memory with stack-disciplined ALLOC — but
+// it is a real execution: loads read what stores wrote, branches take the
+// paths the data dictates, and external library bodies run for real, which
+// is precisely the behavior the static model cannot see.
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mira/internal/ir"
+	"mira/internal/objfile"
+)
+
+// ErrStepLimit reports that execution exceeded the configured step budget.
+var ErrStepLimit = errors.New("vm: step limit exceeded")
+
+// Value is an argument or return value.
+type Value struct {
+	I       int64
+	F       float64
+	IsFloat bool
+}
+
+// Int returns an integer Value.
+func Int(v int64) Value { return Value{I: v} }
+
+// Float returns a floating Value.
+func Float(v float64) Value { return Value{F: v, IsFloat: true} }
+
+// FuncStats aggregates execution counts for one function symbol.
+type FuncStats struct {
+	Name      string
+	Calls     uint64
+	Exclusive [ir.NumCategories]uint64 // instructions retired in this body
+	Inclusive [ir.NumCategories]uint64 // body plus all callees
+	FlopsExcl uint64
+	FlopsIncl uint64
+}
+
+// Total returns the total exclusive instruction count.
+func (s *FuncStats) Total() uint64 {
+	var t uint64
+	for _, c := range s.Exclusive {
+		t += c
+	}
+	return t
+}
+
+// TotalInclusive returns the total inclusive instruction count.
+func (s *FuncStats) TotalInclusive() uint64 {
+	var t uint64
+	for _, c := range s.Inclusive {
+		t += c
+	}
+	return t
+}
+
+// FPIExclusive returns the exclusive floating-point instruction count (the
+// paper's PAPI_FP_INS analogue).
+func (s *FuncStats) FPIExclusive() uint64 { return s.Exclusive[ir.CatSSEArith] }
+
+// FPIInclusive returns the inclusive FPI count.
+func (s *FuncStats) FPIInclusive() uint64 { return s.Inclusive[ir.CatSSEArith] }
+
+type frame struct {
+	symIdx   int
+	regsI    []int64
+	regsF    []float64
+	ip       int64
+	flags    int
+	heapSave uint64
+	// Per-activation tallies for inclusive accounting.
+	excl       [ir.NumCategories]uint64
+	flops      uint64
+	childIncl  [ir.NumCategories]uint64
+	childFlops uint64
+}
+
+// Machine executes one object file.
+type Machine struct {
+	obj      *objfile.File
+	mem      []uint64
+	heapTop  uint64
+	stats    []FuncStats
+	steps    uint64
+	MaxSteps uint64 // 0 means the default of 20 billion
+
+	argBuf []Value
+	retI   int64
+	retF   float64
+
+	frames []*frame
+	pool   []*frame
+}
+
+// New prepares a machine for the object file: globals are materialized
+// from the .data section and counters are zeroed.
+func New(obj *objfile.File) *Machine {
+	m := &Machine{obj: obj, MaxSteps: 0}
+	m.mem = make([]uint64, obj.MemWords, obj.MemWords+1024)
+	for _, d := range obj.Data {
+		for i, v := range d.Init {
+			m.mem[d.Addr+uint64(i)] = v
+		}
+	}
+	m.heapTop = obj.MemWords
+	m.stats = make([]FuncStats, len(obj.Syms))
+	for i := range m.stats {
+		m.stats[i].Name = obj.Syms[i].Name
+	}
+	return m
+}
+
+// Alloc reserves n words of memory and returns the base address. Used by
+// tests and harnesses to stage array arguments.
+func (m *Machine) Alloc(n uint64) uint64 {
+	base := m.heapTop
+	m.heapTop += n
+	if m.heapTop > uint64(len(m.mem)) {
+		grown := make([]uint64, m.heapTop, m.heapTop*3/2+64)
+		copy(grown, m.mem)
+		m.mem = grown
+	}
+	return base
+}
+
+// SetF stores a double at addr.
+func (m *Machine) SetF(addr uint64, v float64) { m.mem[addr] = math.Float64bits(v) }
+
+// GetF loads a double from addr.
+func (m *Machine) GetF(addr uint64) float64 { return math.Float64frombits(m.mem[addr]) }
+
+// SetI stores an integer at addr.
+func (m *Machine) SetI(addr uint64, v int64) { m.mem[addr] = uint64(v) }
+
+// GetI loads an integer from addr.
+func (m *Machine) GetI(addr uint64) int64 { return int64(m.mem[addr]) }
+
+// Steps returns the number of instructions retired so far.
+func (m *Machine) Steps() uint64 { return m.steps }
+
+// Stats returns per-function statistics in symbol order.
+func (m *Machine) Stats() []FuncStats { return m.stats }
+
+// FuncStatsByName returns the stats for a qualified function name.
+func (m *Machine) FuncStatsByName(name string) (*FuncStats, bool) {
+	for i := range m.stats {
+		if m.stats[i].Name == name {
+			return &m.stats[i], true
+		}
+	}
+	return nil, false
+}
+
+// TotalByCategory sums exclusive counts over all functions.
+func (m *Machine) TotalByCategory() [ir.NumCategories]uint64 {
+	var out [ir.NumCategories]uint64
+	for i := range m.stats {
+		for c := 0; c < int(ir.NumCategories); c++ {
+			out[c] += m.stats[i].Exclusive[c]
+		}
+	}
+	return out
+}
+
+func (m *Machine) newFrame(symIdx int) *frame {
+	var f *frame
+	if n := len(m.pool); n > 0 {
+		f = m.pool[n-1]
+		m.pool = m.pool[:n-1]
+	} else {
+		f = &frame{}
+	}
+	sym := &m.obj.Syms[symIdx]
+	need := int(sym.RegCount)
+	if cap(f.regsI) < need {
+		f.regsI = make([]int64, need)
+		f.regsF = make([]float64, need)
+	} else {
+		f.regsI = f.regsI[:need]
+		f.regsF = f.regsF[:need]
+		for i := range f.regsI {
+			f.regsI[i] = 0
+			f.regsF[i] = 0
+		}
+	}
+	f.symIdx = symIdx
+	f.ip = 0
+	f.flags = 0
+	f.heapSave = m.heapTop
+	f.excl = [ir.NumCategories]uint64{}
+	f.childIncl = [ir.NumCategories]uint64{}
+	f.flops = 0
+	f.childFlops = 0
+	return f
+}
+
+// Run executes the function named entry with the given arguments and
+// returns its return value (zero Value for void).
+func (m *Machine) Run(entry string, args ...Value) (Value, error) {
+	symIdx := -1
+	for i := range m.obj.Syms {
+		if m.obj.Syms[i].Name == entry {
+			symIdx = i
+			break
+		}
+	}
+	if symIdx < 0 {
+		return Value{}, fmt.Errorf("vm: no function %q", entry)
+	}
+	sym := &m.obj.Syms[symIdx]
+	if len(args) != len(sym.Params) {
+		return Value{}, fmt.Errorf("vm: %q takes %d args, got %d", entry, len(sym.Params), len(args))
+	}
+	maxSteps := m.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 20_000_000_000
+	}
+
+	m.argBuf = m.argBuf[:0]
+	f := m.newFrame(symIdx)
+	for i, a := range args {
+		if sym.Params[i] == objfile.KindFloat {
+			f.regsF[i] = a.F
+		} else {
+			f.regsI[i] = a.I
+		}
+	}
+	m.frames = append(m.frames, f)
+	m.stats[symIdx].Calls++
+
+	if err := m.loop(maxSteps); err != nil {
+		return Value{}, err
+	}
+	switch sym.Ret {
+	case objfile.KindFloat:
+		return Float(m.retF), nil
+	case objfile.KindInt:
+		return Int(m.retI), nil
+	}
+	return Value{}, nil
+}
+
+func (m *Machine) fault(format string, args ...any) error {
+	f := m.frames[len(m.frames)-1]
+	sym := m.obj.Syms[f.symIdx]
+	return fmt.Errorf("vm: %s at %s+%d: %s", fmt.Sprintf(format, args...), sym.Name, f.ip-1, where(m, sym, f.ip-1))
+}
+
+func where(m *Machine, sym objfile.Symbol, ip int64) string {
+	if m.obj.Line == nil {
+		return ""
+	}
+	if row, ok := m.obj.Line.Lookup(sym.Start + uint64(ip)); ok {
+		return fmt.Sprintf("(source line %d:%d)", row.Line, row.Col)
+	}
+	return ""
+}

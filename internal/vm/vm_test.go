@@ -1,0 +1,192 @@
+package vm_test
+
+import (
+	"bytes"
+	"testing"
+
+	"mira/internal/cc"
+	"mira/internal/objfile"
+	"mira/internal/parser"
+	"mira/internal/sema"
+	"mira/internal/vm"
+)
+
+func build(t *testing.T, src string) *objfile.File {
+	t.Helper()
+	file, err := parser.ParseFile("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := sema.Analyze(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := cc.Compile(prog, cc.Options{SourceName: "t.c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := obj.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := objfile.Decode(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dec
+}
+
+func TestGlobalsInitializedFromData(t *testing.T) {
+	obj := build(t, `
+int counter = 41;
+double ratio = 2.5;
+double f() { return counter * ratio; }
+`)
+	m := vm.New(obj)
+	v, err := m.Run("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.F != 41*2.5 {
+		t.Errorf("f = %g", v.F)
+	}
+}
+
+func TestMachineReuseAcrossRuns(t *testing.T) {
+	obj := build(t, `
+int counter = 0;
+int bump() { counter = counter + 1; return counter; }
+`)
+	m := vm.New(obj)
+	for want := int64(1); want <= 3; want++ {
+		v, err := m.Run("bump")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.I != want {
+			t.Errorf("bump #%d = %d", want, v.I)
+		}
+	}
+	st, _ := m.FuncStatsByName("bump")
+	if st.Calls != 3 {
+		t.Errorf("calls = %d", st.Calls)
+	}
+}
+
+func TestHeapDisciplineAcrossCalls(t *testing.T) {
+	// Arrays allocated in a callee must be released on return: repeated
+	// calls cannot grow memory without bound.
+	obj := build(t, `
+double scratch(int n) {
+	double tmp[n];
+	int i;
+	for (i = 0; i < n; i++) { tmp[i] = i; }
+	return tmp[n-1];
+}
+double f(int reps, int n) {
+	double last;
+	int r;
+	for (r = 0; r < reps; r++) {
+		last = scratch(n);
+	}
+	return last;
+}
+`)
+	m := vm.New(obj)
+	v, err := m.Run("f", vm.Int(1000), vm.Int(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.F != 99 {
+		t.Errorf("f = %g", v.F)
+	}
+}
+
+func TestAllocAndAccessors(t *testing.T) {
+	obj := build(t, `double f(double *x) { return x[2]; }`)
+	m := vm.New(obj)
+	base := m.Alloc(4)
+	m.SetF(base+2, 7.5)
+	m.SetI(base+3, -9)
+	if m.GetF(base+2) != 7.5 || m.GetI(base+3) != -9 {
+		t.Error("accessors broken")
+	}
+	v, err := m.Run("f", vm.Int(int64(base)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.F != 7.5 {
+		t.Errorf("f = %g", v.F)
+	}
+}
+
+func TestWrongArgCount(t *testing.T) {
+	obj := build(t, `int f(int a, int b) { return a + b; }`)
+	m := vm.New(obj)
+	if _, err := m.Run("f", vm.Int(1)); err == nil {
+		t.Error("wrong arg count accepted")
+	}
+	if _, err := m.Run("missing"); err == nil {
+		t.Error("missing function accepted")
+	}
+}
+
+func TestTotalByCategoryAndSteps(t *testing.T) {
+	obj := build(t, `
+double f(int n) {
+	double s; int i;
+	s = 0.0;
+	for (i = 0; i < n; i++) { s = s + 1.0; }
+	return s;
+}`)
+	m := vm.New(obj)
+	if _, err := m.Run("f", vm.Int(50)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Steps() == 0 {
+		t.Error("no steps recorded")
+	}
+	var total uint64
+	for _, c := range m.TotalByCategory() {
+		total += c
+	}
+	if total != m.Steps() {
+		t.Errorf("category sum %d != steps %d", total, m.Steps())
+	}
+	st, _ := m.FuncStatsByName("f")
+	if st.FPIExclusive() != 50 {
+		t.Errorf("FPI = %d, want 50", st.FPIExclusive())
+	}
+	if st.Total() != st.TotalInclusive() {
+		t.Errorf("leaf function: exclusive %d != inclusive %d", st.Total(), st.TotalInclusive())
+	}
+}
+
+func TestDeepCallChainInclusive(t *testing.T) {
+	obj := build(t, `
+double l3(double x) { return x * 2.0; }
+double l2(double x) { return l3(x) + 1.0; }
+double l1(double x) { return l2(x) + l2(x); }
+double l0(double x) { return l1(x); }
+`)
+	m := vm.New(obj)
+	v, err := m.Run("l0", vm.Float(3.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.F != 14.0 {
+		t.Errorf("l0 = %g", v.F)
+	}
+	s0, _ := m.FuncStatsByName("l0")
+	s3, _ := m.FuncStatsByName("l3")
+	if s3.Calls != 2 {
+		t.Errorf("l3 calls = %d", s3.Calls)
+	}
+	// l0's inclusive FPI: l3 contributes 2 muls, l2 two adds, l1 one add.
+	if s0.FPIInclusive() != 5 {
+		t.Errorf("l0 inclusive FPI = %d, want 5", s0.FPIInclusive())
+	}
+	if s0.FPIExclusive() != 0 {
+		t.Errorf("l0 exclusive FPI = %d, want 0", s0.FPIExclusive())
+	}
+}

@@ -1,0 +1,134 @@
+// Package mira is a framework for static performance analysis, a Go
+// reproduction of "Mira: A Framework for Static Performance Analysis"
+// (Meng & Norris, IEEE CLUSTER 2017, arXiv:1705.07575).
+//
+// Mira predicts an application's per-function instruction-category counts
+// — down to statement granularity and parameterized by problem size —
+// without running it on the target machine. It does so by combining two
+// views of the program (paper Fig. 1):
+//
+//   - the source AST, which preserves loop SCoPs, branch conditions,
+//     variable names, and user annotations, and
+//   - the compiled binary, disassembled from an object file, which
+//     reflects what the optimizer actually emitted,
+//
+// bridged through a DWARF-style line table and multiplied through a
+// polyhedral model of every loop nest and branch constraint.
+//
+// # Quick start
+//
+//	res, err := mira.Analyze("kernel.c", src, mira.Options{})
+//	if err != nil { ... }
+//	met, err := res.Static("kernel", mira.IntArgs(map[string]int64{"n": 1 << 20}))
+//	fmt.Println(met.FPI()) // predicted floating-point instructions
+//
+// The same Result can replay the binary on the built-in virtual machine —
+// the reproduction's stand-in for TAU/PAPI measurements — to validate
+// predictions:
+//
+//	m := res.Machine()
+//	m.Run("kernel", vm.Int(1<<20))
+//
+// Everything the paper's evaluation section reports (Tables I–V, Figs.
+// 6–7, the arithmetic-intensity prediction) regenerates from
+// internal/experiments via `go test -bench` or cmd/mira-bench.
+package mira
+
+import (
+	"mira/internal/arch"
+	"mira/internal/core"
+	"mira/internal/expr"
+	"mira/internal/model"
+	"mira/internal/vm"
+)
+
+// Options configures analysis.
+type Options struct {
+	// Unoptimized disables compiler optimizations (constant folding,
+	// strength reduction, LICM); used by the PBound ablation.
+	Unoptimized bool
+	// Lenient downgrades unanalyzable branches to always-taken warnings
+	// instead of errors.
+	Lenient bool
+	// Arch names the architecture description: "arya", "frankenstein", or
+	// "generic" (default).
+	Arch string
+}
+
+// Result is an analyzed program: the parametric model plus the compiled
+// binary it was derived from.
+type Result struct {
+	p *core.Pipeline
+}
+
+// Metrics is an evaluated instruction-count vector.
+type Metrics = model.Metrics
+
+// Env binds model parameters for evaluation.
+type Env = expr.Env
+
+// Analyze runs the full static pipeline on MiniC source text.
+func Analyze(name, source string, opts Options) (*Result, error) {
+	a, err := arch.Lookup(opts.Arch)
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.Analyze(name, source, core.Options{
+		DisableOpt: opts.Unoptimized,
+		Lenient:    opts.Lenient,
+		Arch:       a,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{p: p}, nil
+}
+
+// IntArgs builds an evaluation environment from integer parameter values.
+func IntArgs(m map[string]int64) Env { return expr.EnvFromInts(m) }
+
+// Static evaluates the model of fn (inclusive of callees) under env.
+func (r *Result) Static(fn string, env Env) (Metrics, error) {
+	return r.p.StaticMetrics(fn, env)
+}
+
+// StaticExclusive evaluates fn's body-only metrics.
+func (r *Result) StaticExclusive(fn string, env Env) (Metrics, error) {
+	return r.p.StaticMetricsExclusive(fn, env)
+}
+
+// CategoryCounts returns fn's counts bucketed by the paper's Table II
+// aggregate categories.
+func (r *Result) CategoryCounts(fn string, env Env) (map[string]int64, error) {
+	return r.p.TableIICounts(fn, env)
+}
+
+// FineCategoryCounts buckets fn's counts by the architecture description
+// file's fine-grained (64-way) instruction categories.
+func (r *Result) FineCategoryCounts(fn string, env Env) (map[string]int64, error) {
+	return r.p.FineCategoryCounts(fn, env)
+}
+
+// PythonModel emits the generated model as Python source, the artifact
+// style shown in the paper's Fig. 5.
+func (r *Result) PythonModel() string { return r.p.PythonModel() }
+
+// Machine returns a fresh virtual machine over the compiled binary, for
+// dynamic validation runs (the reproduction's TAU/PAPI substitute).
+func (r *Result) Machine() *vm.Machine { return r.p.NewMachine() }
+
+// Disassembly returns an objdump-style listing of fn.
+func (r *Result) Disassembly(fn string) (string, error) { return r.p.Disassembly(fn) }
+
+// SourceDot renders the source AST as Graphviz dot (paper Fig. 2).
+func (r *Result) SourceDot() string { return r.p.SourceDot() }
+
+// BinaryDot renders fn's binary AST as Graphviz dot (paper Fig. 3).
+func (r *Result) BinaryDot(fn string) (string, error) { return r.p.BinaryDot(fn) }
+
+// Warnings returns analysis warnings (lenient-mode branch downgrades).
+func (r *Result) Warnings() []string { return r.p.Warnings }
+
+// Pipeline exposes the underlying pipeline for advanced use (experiments,
+// benches).
+func (r *Result) Pipeline() *core.Pipeline { return r.p }

@@ -1,0 +1,127 @@
+package mira_test
+
+import (
+	"strings"
+	"testing"
+
+	"mira"
+	"mira/internal/vm"
+)
+
+const apiSrc = `
+double scale(double *x, int n, double a) {
+	int i;
+	for (i = 0; i < n; i++) {
+		x[i] = a * x[i];
+	}
+	return x[0];
+}`
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	res, err := mira.Analyze("s.c", apiSrc, mira.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, err := res.Static("scale", mira.IntArgs(map[string]int64{"n": 1000}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.FPI() != 1000 {
+		t.Errorf("FPI = %d", met.FPI())
+	}
+	excl, err := res.StaticExclusive("scale", mira.IntArgs(map[string]int64{"n": 1000}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if excl.FPI() != met.FPI() {
+		t.Errorf("leaf function: exclusive %d != inclusive %d", excl.FPI(), met.FPI())
+	}
+
+	m := res.Machine()
+	base := m.Alloc(1000)
+	for i := 0; i < 1000; i++ {
+		m.SetF(base+uint64(i), 2.0)
+	}
+	if _, err := m.Run("scale", vm.Int(int64(base)), vm.Int(1000), vm.Float(3.0)); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := m.FuncStatsByName("scale")
+	if int64(st.FPIInclusive()) != met.FPI() {
+		t.Errorf("validation failed: %d != %d", st.FPIInclusive(), met.FPI())
+	}
+}
+
+func TestPublicAPICategoriesAndArtifacts(t *testing.T) {
+	res, err := mira.Analyze("s.c", apiSrc, mira.Options{Arch: "frankenstein"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := mira.IntArgs(map[string]int64{"n": 8})
+	cats, err := res.CategoryCounts("scale", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cats["SSE2 packed arithmetic instruction"] != 8 {
+		t.Errorf("cats = %v", cats)
+	}
+	fine, err := res.FineCategoryCounts("scale", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fine["System: 64-bit mode (movsxd)"] == 0 {
+		t.Errorf("fine = %v", fine)
+	}
+	if !strings.Contains(res.PythonModel(), "def scale_3(") {
+		t.Error("python model missing")
+	}
+	if !strings.Contains(res.SourceDot(), "digraph") {
+		t.Error("dot missing")
+	}
+	asm, err := res.Disassembly("scale")
+	if err != nil || !strings.Contains(asm, "mulsd") {
+		t.Errorf("asm: %v", err)
+	}
+	if _, err := res.BinaryDot("scale"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPublicAPIOptions(t *testing.T) {
+	if _, err := mira.Analyze("s.c", apiSrc, mira.Options{Arch: "pdp11"}); err == nil {
+		t.Error("unknown arch accepted")
+	}
+	// Lenient mode downgrades data-dependent branches.
+	src := `
+double f(double *x, int n) {
+	int i; double s;
+	s = 0.0;
+	for (i = 0; i < n; i++) {
+		if (x[i] > 0.0) { s = s + 1.0; }
+	}
+	return s;
+}`
+	if _, err := mira.Analyze("b.c", src, mira.Options{}); err == nil {
+		t.Error("strict mode accepted a data-dependent branch")
+	}
+	res, err := mira.Analyze("b.c", src, mira.Options{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Warnings()) == 0 {
+		t.Error("no warnings in lenient mode")
+	}
+	// Unoptimized compilation changes the binary.
+	resO0, err := mira.Analyze("s.c", apiSrc, mira.Options{Unoptimized: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := res.Static("f", mira.IntArgs(map[string]int64{"n": 4}))
+	_ = a
+	m0, err := resO0.Static("scale", mira.IntArgs(map[string]int64{"n": 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m0.FPI() != 4 {
+		t.Errorf("unoptimized FPI = %d", m0.FPI())
+	}
+}
