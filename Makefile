@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all check fmt-check vet build test race bench clean
+
+all: check
+
+check: fmt-check vet build race
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./
+
+clean:
+	$(GO) clean ./...

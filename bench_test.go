@@ -8,6 +8,7 @@ package mira_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -15,16 +16,19 @@ import (
 	"mira"
 	"mira/internal/arch"
 	"mira/internal/benchprogs"
+	"mira/internal/engine"
 	"mira/internal/experiments"
+	"mira/internal/expr"
 )
 
+// printOnce keys the regenerated artifacts so each prints exactly once
+// even when -benchtime or -count reruns a benchmark function.
 var printOnce sync.Map
 
-func printArtifact(b *testing.B, key, text string) {
+func printArtifact(key, text string) {
 	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
 		fmt.Printf("\n%s\n", text)
 	}
-	_ = b
 }
 
 // BenchmarkTableI_LoopCoverage regenerates the loop-coverage survey
@@ -34,7 +38,7 @@ func BenchmarkTableI_LoopCoverage(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	printArtifact(b, "tableI", experiments.FormatTableI(rows))
+	printArtifact("tableI", experiments.FormatTableI(rows))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.TableI(); err != nil {
@@ -52,7 +56,7 @@ func BenchmarkTableII_CgSolveCategories(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	printArtifact(b, "tableII", experiments.FormatTableII(rows)+
+	printArtifact("tableII", experiments.FormatTableII(rows)+
 		"(paper Table II at this config: int data transfer 2.42E9, SSE2 arith 1.93E8, ...)\n")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -76,7 +80,7 @@ func BenchmarkFig6_InstructionDistribution(b *testing.B) {
 			sse2Share = r.Fraction * 100
 		}
 	}
-	printArtifact(b, "fig6", fmt.Sprintf(
+	printArtifact("fig6", fmt.Sprintf(
 		"Fig. 6: SSE2 packed arithmetic share of cg_solve = %.1f%% (the separated pie slice)", sse2Share))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -107,7 +111,7 @@ func BenchmarkTableIII_StreamFPI(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	printArtifact(b, "tableIII",
+	printArtifact("tableIII",
 		experiments.FormatTable("Table III: STREAM FPI (paper err: 0.19-0.47%)", rows)+
 			fmt.Sprintf("static-only at paper size 100M: %.4g (paper: 2.050E10)\n", float64(static100M)))
 	b.ResetTimer()
@@ -136,7 +140,7 @@ func BenchmarkTableIV_DgemmFPI(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	printArtifact(b, "tableIV",
+	printArtifact("tableIV",
 		experiments.FormatTable("Table IV: DGEMM FPI (paper err: 0.0012-0.05%)", rows)+
 			fmt.Sprintf("static-only at paper size 1024 (nrep=30): %.5g (paper: 6.4519E10)\n", float64(static1024)))
 	b.ResetTimer()
@@ -168,7 +172,7 @@ func BenchmarkTableV_MiniFEFPI(b *testing.B) {
 			maxErr = e
 		}
 	}
-	printArtifact(b, "tableV",
+	printArtifact("tableV",
 		experiments.FormatTable("Table V: miniFE FPI (paper err: 0.011-3.08%, growing with size)", rows))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -192,7 +196,7 @@ func BenchmarkFig7_ValidationSeries(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	printArtifact(b, "fig7", experiments.FormatFig7(series))
+	printArtifact("fig7", experiments.FormatFig7(series))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, n := range []int64{1_000_000, 2_000_000, 5_000_000} {
@@ -211,7 +215,7 @@ func BenchmarkPrediction_ArithmeticIntensity(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	printArtifact(b, "prediction",
+	printArtifact("prediction",
 		fmt.Sprintf("Prediction (paper: AI = 1.93E8/3.67E8 = 0.53):\n%s", an))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -231,7 +235,7 @@ func BenchmarkAblation_PBoundVsMira(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	printArtifact(b, "ablation", experiments.FormatAblation(rows))
+	printArtifact("ablation", experiments.FormatAblation(rows))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Ablation([]int64{1024}); err != nil {
@@ -250,7 +254,7 @@ func BenchmarkFig5_PythonModelGeneration(b *testing.B) {
 		b.Fatal(err)
 	}
 	py := res.PythonModel()
-	printArtifact(b, "fig5", "Fig. 5 generated model (first lines):\n"+firstLines(py, 14))
+	printArtifact("fig5", "Fig. 5 generated model (first lines):\n"+firstLines(py, 14))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := mira.Analyze("fig5.c", benchprogs.Fig5, mira.Options{})
@@ -280,7 +284,7 @@ func BenchmarkStaticVsDynamicCost(b *testing.B) {
 	}
 	staticDur := time.Since(t0) / staticReps
 	ratio := float64(dynDur) / float64(staticDur)
-	printArtifact(b, "cost", fmt.Sprintf(
+	printArtifact("cost", fmt.Sprintf(
 		"Static-vs-dynamic cost at STREAM n=1M: dynamic %v/run, static %v/eval (ratio %.0fx)",
 		dynDur, staticDur, ratio))
 	b.ResetTimer()
@@ -290,6 +294,117 @@ func BenchmarkStaticVsDynamicCost(b *testing.B) {
 		}
 	}
 	b.ReportMetric(ratio, "dyn/static-x")
+}
+
+// BenchmarkEngineEval_ColdVsWarm quantifies the engine's memoized
+// (function, env) evaluation layer on the hot path of the experiment
+// suite: repeated queries of cg_solve's model at one size point. "cold"
+// walks the model's call tree and polyhedral multiplicities every
+// iteration (the raw pipeline); "warm" is the engine's memo hit.
+func BenchmarkEngineEval_ColdVsWarm(b *testing.B) {
+	a, err := experiments.MiniFEPipeline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := experiments.MiniFESizes{NX: 30, NY: 30, NZ: 30, MaxIter: 20, NnzRowAnnotation: 25}
+	env := s.MiniFEEnv()
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := a.Pipeline.StaticMetrics("cg_solve", env); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		if _, err := a.StaticMetrics("cg_solve", env); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := a.StaticMetrics("cg_solve", env); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// engineBatchJobs builds a batch of distinct programs: the four real
+// workloads plus padded variants that force distinct content hashes, so
+// every job costs a full parse-compile-decode pipeline on a cold cache.
+func engineBatchJobs() []engine.Job {
+	base := []engine.Job{
+		{Name: "stream.c", Source: benchprogs.Stream},
+		{Name: "dgemm.c", Source: benchprogs.Dgemm},
+		{Name: "ablation.c", Source: benchprogs.Ablation},
+		{Name: "fig5.c", Source: benchprogs.Fig5},
+	}
+	jobs := make([]engine.Job, 0, 3*len(base))
+	for v := 0; v < 3; v++ {
+		for _, j := range base {
+			jobs = append(jobs, engine.Job{
+				Name:   fmt.Sprintf("v%d-%s", v, j.Name),
+				Source: fmt.Sprintf("%s\nint pad_variant_%d() { return %d; }\n", j.Source, v, v),
+			})
+		}
+	}
+	return jobs
+}
+
+// BenchmarkEngineBatch_SerialVsParallel measures the worker-pool batch
+// API end to end on a cold cache: one worker (the old serial loop) vs
+// GOMAXPROCS workers, plus the warm-cache path where every job is a
+// content-hash hit.
+func BenchmarkEngineBatch_SerialVsParallel(b *testing.B) {
+	jobs := engineBatchJobs()
+	run := func(b *testing.B, workers int) {
+		for i := 0; i < b.N; i++ {
+			e := engine.New(engine.Options{Workers: workers})
+			if err := engine.Errors(e.AnalyzeAll(jobs)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4 // still exercises the pool shape on small machines
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 1) })
+	b.Run(fmt.Sprintf("parallel-%d", workers), func(b *testing.B) {
+		run(b, workers)
+	})
+	b.Run("warm-cache", func(b *testing.B) {
+		e := engine.New(engine.Options{})
+		if err := engine.Errors(e.AnalyzeAll(jobs)); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := engine.Errors(e.AnalyzeAll(jobs)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPublicEngineAPI exercises the mira.Engine wrapper the way an
+// external consumer would: batch-analyze, then query cached metrics.
+func BenchmarkPublicEngineAPI(b *testing.B) {
+	e, err := mira.NewEngine(0, mira.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := e.Analyze("stream.c", benchprogs.Stream)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := expr.EnvFromInts(map[string]int64{"n": 1_000_000})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := res.Static("stream", env); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func firstLines(s string, n int) string {

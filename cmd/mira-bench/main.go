@@ -4,11 +4,13 @@
 // Usage:
 //
 //	mira-bench [-table I|II|III|IV|V] [-figure 6|7] [-prediction]
-//	           [-ablation] [-all] [-paper-sizes]
+//	           [-ablation] [-all] [-paper-sizes] [-j n]
 //
 // Dynamic (VM) runs default to scaled sizes; -paper-sizes additionally
 // evaluates the static model at the paper's full problem sizes (cheap:
-// the model is closed-form).
+// the model is closed-form). Experiments run through the shared
+// analysis engine: -j bounds its worker pool (0 = GOMAXPROCS); -j 1
+// forces the serial path.
 package main
 
 import (
@@ -27,7 +29,12 @@ func main() {
 	ablation := flag.Bool("ablation", false, "PBound vs Mira ablation")
 	all := flag.Bool("all", false, "everything")
 	paperSizes := flag.Bool("paper-sizes", false, "also evaluate the static model at the paper's full sizes")
+	jobs := flag.Int("j", 0, "analysis-engine workers (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
+
+	if *jobs != 0 {
+		experiments.SetWorkers(*jobs)
+	}
 
 	any := false
 	run := func(name string, f func() error) {

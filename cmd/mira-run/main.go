@@ -1,15 +1,22 @@
-// Command mira-run executes a MiniC program on the virtual machine with
+// Command mira-run executes MiniC programs on the virtual machine with
 // TAU-style per-function profiling — the dynamic-measurement side of the
 // validation experiments.
 //
 // Usage:
 //
-//	mira-run [flags] file.c
+//	mira-run [flags] file.c [file2.c ...]
 //
 //	-fn name        entry function (default main)
 //	-args v,...     entry arguments: integers, or f:1.5 for doubles
 //	-arch name      architecture description (FP counters only where real)
 //	-max-steps n    instruction budget
+//	-j n            analysis workers for batch mode (0 = GOMAXPROCS)
+//
+// With multiple files, mira-run runs in batch mode: every file is
+// analyzed concurrently through the engine's worker pool (identical
+// sources share one compile via the content-hash cache), then each
+// program is executed in order. Per-file failures are reported without
+// aborting the rest of the batch.
 //
 // Array/pointer arguments cannot be staged from the command line; use the
 // Go API (see examples/) or the benches for workloads that need them.
@@ -33,17 +40,14 @@ func main() {
 	args := flag.String("args", "", "comma-separated arguments (ints, or f:<value> for doubles)")
 	archName := flag.String("arch", "frankenstein", "architecture description")
 	maxSteps := flag.Uint64("max-steps", 0, "instruction budget (0 = default)")
+	workers := flag.Int("j", 0, "analysis workers for batch mode (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mira-run [flags] file.c")
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: mira-run [flags] file.c [file2.c ...]")
 		os.Exit(2)
 	}
-	src, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		fatal(err)
-	}
-	res, err := mira.Analyze(flag.Arg(0), string(src), mira.Options{Lenient: true, Arch: *archName})
+	vmArgs, err := parseArgs(*args)
 	if err != nil {
 		fatal(err)
 	}
@@ -52,40 +56,97 @@ func main() {
 		fatal(err)
 	}
 
-	m := res.Machine()
-	if *maxSteps > 0 {
-		m.MaxSteps = *maxSteps
-	}
-	var vmArgs []vm.Value
-	if *args != "" {
-		for _, a := range strings.Split(*args, ",") {
-			a = strings.TrimSpace(a)
-			if f, ok := strings.CutPrefix(a, "f:"); ok {
-				v, err := strconv.ParseFloat(f, 64)
-				if err != nil {
-					fatal(err)
-				}
-				vmArgs = append(vmArgs, vm.Float(v))
-				continue
-			}
-			v, err := strconv.ParseInt(a, 10, 64)
-			if err != nil {
-				fatal(err)
-			}
-			vmArgs = append(vmArgs, vm.Int(v))
-		}
-	}
-	ret, err := m.Run(*fn, vmArgs...)
+	eng, err := mira.NewEngine(*workers, mira.Options{Lenient: true, Arch: *archName})
 	if err != nil {
 		fatal(err)
 	}
+	// Read errors are per-file failures like any other: they must not
+	// abort the rest of the batch, so unreadable files are skipped at
+	// analysis time and reported in file order below.
+	paths := flag.Args()
+	readErrs := make([]error, len(paths))
+	var jobs []mira.BatchJob
+	jobIdx := make([]int, 0, len(paths))
+	for i, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			readErrs[i] = err
+			continue
+		}
+		jobs = append(jobs, mira.BatchJob{Name: path, Source: string(src)})
+		jobIdx = append(jobIdx, i)
+	}
+	results := make([]mira.BatchResult, len(paths))
+	for i, err := range readErrs {
+		results[i] = mira.BatchResult{Job: mira.BatchJob{Name: paths[i]}, Err: err}
+	}
+	for k, r := range eng.AnalyzeAll(jobs) {
+		results[jobIdx[k]] = r
+	}
+
+	batch := len(results) > 1
+	failed := 0
+	for _, r := range results {
+		if batch {
+			fmt.Printf("==== %s ====\n", r.Job.Name)
+		}
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "mira-run: %s: %v\n", r.Job.Name, r.Err)
+			failed++
+		} else if err := runOne(r.Result, d, *fn, vmArgs, *maxSteps); err != nil {
+			fmt.Fprintf(os.Stderr, "mira-run: %s: %v\n", r.Job.Name, err)
+			failed++
+		}
+		if batch {
+			fmt.Println()
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func runOne(res *mira.Result, d *arch.Description, fn string, vmArgs []vm.Value, maxSteps uint64) error {
+	m := res.Machine()
+	if maxSteps > 0 {
+		m.MaxSteps = maxSteps
+	}
+	ret, err := m.Run(fn, vmArgs...)
+	if err != nil {
+		return err
+	}
 	if ret.IsFloat {
-		fmt.Printf("%s returned %g\n", *fn, ret.F)
+		fmt.Printf("%s returned %g\n", fn, ret.F)
 	} else {
-		fmt.Printf("%s returned %d\n", *fn, ret.I)
+		fmt.Printf("%s returned %d\n", fn, ret.I)
 	}
 	fmt.Printf("instructions retired: %d\n\n", m.Steps())
 	fmt.Print(dynamic.New(m, d).Report().String())
+	return nil
+}
+
+func parseArgs(s string) ([]vm.Value, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []vm.Value
+	for _, a := range strings.Split(s, ",") {
+		a = strings.TrimSpace(a)
+		if f, ok := strings.CutPrefix(a, "f:"); ok {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, vm.Float(v))
+			continue
+		}
+		v, err := strconv.ParseInt(a, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vm.Int(v))
+	}
+	return out, nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,3 @@
+module mira
+
+go 1.24

@@ -14,6 +14,7 @@ import (
 	"mira/internal/cc"
 	"mira/internal/disasm"
 	"mira/internal/expr"
+	"mira/internal/ir"
 	"mira/internal/metrics"
 	"mira/internal/model"
 	"mira/internal/objfile"
@@ -70,7 +71,7 @@ func Analyze(name, source string, opts Options) (*Pipeline, error) {
 	}
 	m, warns, err := metrics.Generate(prog, decoded, metrics.Config{Lenient: opts.Lenient})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: metrics: %w", err)
 	}
 	a := opts.Arch
 	if a == nil {
@@ -133,11 +134,7 @@ func (p *Pipeline) FineCategoryCounts(fn string, env expr.Env) (map[string]int64
 	if err != nil {
 		return nil, err
 	}
-	out := map[string]int64{}
-	for op, n := range ops {
-		out[p.Arch.FineCategory(op)] += n
-	}
-	return out, nil
+	return BucketFine(p.Arch, ops), nil
 }
 
 // TableIICounts aggregates fn's static metrics into the seven rows the
@@ -147,9 +144,26 @@ func (p *Pipeline) TableIICounts(fn string, env expr.Env) (map[string]int64, err
 	if err != nil {
 		return nil, err
 	}
+	return BucketTableII(ops), nil
+}
+
+// BucketTableII aggregates per-opcode counts into the paper's Table II
+// categories. Shared by every evaluation path (pipeline and the cached
+// engine layer) so the bucketing cannot drift.
+func BucketTableII(ops map[ir.Op]int64) map[string]int64 {
 	out := map[string]int64{}
 	for op, n := range ops {
 		out[arch.TableIICategory(op).String()] += n
 	}
-	return out, nil
+	return out
+}
+
+// BucketFine buckets per-opcode counts into an architecture
+// description's fine-grained categories.
+func BucketFine(d *arch.Description, ops map[ir.Op]int64) map[string]int64 {
+	out := map[string]int64{}
+	for op, n := range ops {
+		out[d.FineCategory(op)] += n
+	}
+	return out
 }

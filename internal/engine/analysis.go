@@ -1,0 +1,159 @@
+package engine
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"mira/internal/core"
+	"mira/internal/expr"
+	"mira/internal/ir"
+	"mira/internal/model"
+)
+
+// Analysis wraps an analyzed pipeline with a memoized evaluation layer.
+// The model evaluator is pure but walks the whole call tree and its
+// polyhedral multiplicities on every query; experiments ask for the same
+// (function, env) point dozens of times (Table II, Fig. 6, the sweeps),
+// so repeated queries here cost one map lookup. All methods are safe for
+// concurrent use.
+type Analysis struct {
+	*core.Pipeline
+
+	mu      sync.RWMutex
+	metrics map[evalKey]model.Metrics
+	opcodes map[evalKey]map[ir.Op]int64
+
+	evalHits   atomic.Int64
+	evalMisses atomic.Int64
+}
+
+// evalKey identifies one memoized query point.
+type evalKey struct {
+	fn        string
+	env       string // canonical fingerprint, see envFingerprint
+	exclusive bool
+}
+
+// NewAnalysis wraps an already-built pipeline in a fresh memo layer.
+// Engine-produced analyses are shared and cached; this is for callers
+// that ran core.Analyze themselves and want memoized queries.
+func NewAnalysis(p *core.Pipeline) *Analysis {
+	return &Analysis{
+		Pipeline: p,
+		metrics:  map[evalKey]model.Metrics{},
+		opcodes:  map[evalKey]map[ir.Op]int64{},
+	}
+}
+
+// envFingerprint canonicalizes an environment: sorted name=value pairs
+// of exact rationals. Two envs binding the same values fingerprint
+// identically regardless of construction order.
+func envFingerprint(env expr.Env) string {
+	names := make([]string, 0, len(env))
+	for k := range env {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, k := range names {
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(env[k].String())
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+// StaticMetrics evaluates fn (inclusive) under env, memoized.
+func (a *Analysis) StaticMetrics(fn string, env expr.Env) (model.Metrics, error) {
+	return a.cachedMetrics(fn, env, false)
+}
+
+// StaticMetricsExclusive evaluates body-only metrics, memoized.
+func (a *Analysis) StaticMetricsExclusive(fn string, env expr.Env) (model.Metrics, error) {
+	return a.cachedMetrics(fn, env, true)
+}
+
+func (a *Analysis) cachedMetrics(fn string, env expr.Env, exclusive bool) (model.Metrics, error) {
+	key := evalKey{fn: fn, env: envFingerprint(env), exclusive: exclusive}
+	a.mu.RLock()
+	met, ok := a.metrics[key]
+	a.mu.RUnlock()
+	if ok {
+		a.evalHits.Add(1)
+		return met, nil
+	}
+	a.evalMisses.Add(1)
+	var err error
+	if exclusive {
+		met, err = a.Pipeline.StaticMetricsExclusive(fn, env)
+	} else {
+		met, err = a.Pipeline.StaticMetrics(fn, env)
+	}
+	if err != nil {
+		// Errors are not cached: they are rare (bad function name or an
+		// unbound parameter) and carry no reuse value.
+		return met, err
+	}
+	a.mu.Lock()
+	a.metrics[key] = met
+	a.mu.Unlock()
+	return met, nil
+}
+
+// EvaluateOpcodes returns fn's inclusive per-opcode counts under env,
+// memoized. The returned map is a fresh copy the caller may mutate.
+func (a *Analysis) EvaluateOpcodes(fn string, env expr.Env) (map[ir.Op]int64, error) {
+	key := evalKey{fn: fn, env: envFingerprint(env)}
+	a.mu.RLock()
+	ops, ok := a.opcodes[key]
+	a.mu.RUnlock()
+	if ok {
+		a.evalHits.Add(1)
+		return copyOps(ops), nil
+	}
+	a.evalMisses.Add(1)
+	ops, err := a.Model.EvaluateOpcodes(fn, env)
+	if err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	a.opcodes[key] = ops
+	a.mu.Unlock()
+	return copyOps(ops), nil
+}
+
+func copyOps(ops map[ir.Op]int64) map[ir.Op]int64 {
+	out := make(map[ir.Op]int64, len(ops))
+	for op, n := range ops {
+		out[op] = n
+	}
+	return out
+}
+
+// TableIICounts aggregates fn's counts into the paper's Table II rows,
+// served from the opcode memo.
+func (a *Analysis) TableIICounts(fn string, env expr.Env) (map[string]int64, error) {
+	ops, err := a.EvaluateOpcodes(fn, env)
+	if err != nil {
+		return nil, err
+	}
+	return core.BucketTableII(ops), nil
+}
+
+// FineCategoryCounts buckets fn's counts into the architecture
+// description's fine-grained categories, served from the opcode memo.
+func (a *Analysis) FineCategoryCounts(fn string, env expr.Env) (map[string]int64, error) {
+	ops, err := a.EvaluateOpcodes(fn, env)
+	if err != nil {
+		return nil, err
+	}
+	return core.BucketFine(a.Arch, ops), nil
+}
+
+// EvalStats reports the memoized evaluation layer's hit/miss counters.
+func (a *Analysis) EvalStats() (hits, misses int64) {
+	return a.evalHits.Load(), a.evalMisses.Load()
+}

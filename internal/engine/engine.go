@@ -1,0 +1,225 @@
+// Package engine turns the one-shot core.Analyze pipeline into a
+// concurrent, cache-backed analysis service. It provides three layers:
+//
+//   - a worker-pool batch API (AnalyzeAll) that analyzes many named
+//     sources with bounded parallelism and per-item error collection,
+//   - a content-hash pipeline cache with singleflight-style dedup, so
+//     identical source text is parsed/compiled/decoded at most once no
+//     matter how many callers race for it, and
+//   - a memoized evaluation layer (Analysis) keyed on (function, env)
+//     that makes repeated model queries O(map lookup).
+//
+// The underlying pipeline is immutable after construction and the model
+// evaluator is pure, so one cached Analysis can safely serve any number
+// of concurrent readers.
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mira/internal/core"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds the number of pipeline analyses running at once.
+	// Zero or negative means GOMAXPROCS.
+	Workers int
+	// Core is passed through to every core.Analyze call.
+	Core core.Options
+}
+
+// Engine is a concurrent analysis service over the core pipeline.
+type Engine struct {
+	opts    Options
+	workers int
+	sem     chan struct{} // bounds concurrent core.Analyze work
+
+	mu    sync.Mutex
+	calls map[string]*call // content hash -> in-flight or completed
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// call is one singleflight slot: the first requester of a content hash
+// does the work; everyone else blocks on done and shares the outcome.
+type call struct {
+	done chan struct{}
+	name string // the first requester's program name
+	a    *Analysis
+	err  error
+}
+
+// New builds an engine.
+func New(opts Options) *Engine {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		opts:    opts,
+		workers: w,
+		sem:     make(chan struct{}, w),
+		calls:   map[string]*call{},
+	}
+}
+
+// Workers reports the engine's parallelism bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// cacheKey fingerprints the analysis inputs that determine the pipeline:
+// the source text plus every core option that changes compilation. The
+// program name is deliberately excluded — identical text under two names
+// is the same program and shares one compile.
+func (e *Engine) cacheKey(source string) string {
+	h := sha256.New()
+	h.Write([]byte(source))
+	archName := "generic"
+	if e.opts.Core.Arch != nil {
+		archName = e.opts.Core.Arch.Name
+	}
+	fmt.Fprintf(h, "\x00opt=%t lenient=%t arch=%s",
+		e.opts.Core.DisableOpt, e.opts.Core.Lenient, archName)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Analyze runs the full pipeline on source, or returns the cached
+// Analysis if the same content (under the same options) was already
+// analyzed. Concurrent requests for the same content are deduplicated:
+// exactly one does the work. Failures are cached too — the pipeline is
+// deterministic, so retrying identical input cannot succeed.
+func (e *Engine) Analyze(name, source string) (*Analysis, error) {
+	key := e.cacheKey(source)
+	e.mu.Lock()
+	if c, ok := e.calls[key]; ok {
+		e.mu.Unlock()
+		<-c.done
+		e.hits.Add(1)
+		if c.err != nil && name != c.name {
+			// The cached diagnostic cites the first requester's file
+			// name; make the provenance visible to this caller.
+			return nil, fmt.Errorf("identical content to %s: %w", c.name, c.err)
+		}
+		return c.a, c.err
+	}
+	c := &call{done: make(chan struct{}), name: name}
+	e.calls[key] = c
+	e.mu.Unlock()
+	e.misses.Add(1)
+
+	e.sem <- struct{}{}
+	p, err := core.Analyze(name, source, e.opts.Core)
+	<-e.sem
+
+	if err != nil {
+		c.err = err
+	} else {
+		c.a = NewAnalysis(p)
+	}
+	close(c.done)
+	return c.a, c.err
+}
+
+// Job names one source text for batch analysis.
+type Job struct {
+	Name   string
+	Source string
+}
+
+// Result is one batch outcome. Exactly one of Analysis/Err is set.
+type Result struct {
+	Job      Job
+	Analysis *Analysis
+	Err      error
+}
+
+// AnalyzeAll analyzes every job with bounded parallelism and returns
+// results in job order. Errors are collected per item, never short-
+// circuiting the batch; use Errors to aggregate them.
+func (e *Engine) AnalyzeAll(jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	ForEach(e.workers, len(jobs), func(i int) error {
+		a, err := e.Analyze(jobs[i].Name, jobs[i].Source)
+		results[i] = Result{Job: jobs[i], Analysis: a, Err: err}
+		return nil
+	})
+	return results
+}
+
+// Errors joins the per-item failures of a batch, annotated with the job
+// name; nil when every job succeeded.
+func Errors(results []Result) error {
+	var errs []error
+	for _, r := range results {
+		if r.Err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", r.Job.Name, r.Err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Stats reports pipeline-cache hit/miss counters. A hit is any Analyze
+// call served from the content-hash cache (including waiting on an
+// in-flight compile of the same content).
+func (e *Engine) Stats() (hits, misses int64) {
+	return e.hits.Load(), e.misses.Load()
+}
+
+// ForEach runs fn(0..n-1) on at most workers goroutines and waits for
+// started work to finish. The first failure stops new indices from being
+// scheduled (in-flight items run to completion); the returned error is
+// the lowest-index failure among the items that ran, so a given failing
+// input reports the same error regardless of schedule.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if errs[i] = fn(i); errs[i] != nil {
+				break
+			}
+		}
+	} else {
+		var next atomic.Int64
+		var stop atomic.Bool
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for !stop.Load() {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					if errs[i] = fn(i); errs[i] != nil {
+						stop.Store(true)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -17,7 +17,7 @@ import (
 	"strings"
 
 	"mira/internal/benchprogs"
-	"mira/internal/core"
+	"mira/internal/engine"
 	"mira/internal/expr"
 	"mira/internal/vm"
 )
@@ -70,26 +70,32 @@ func FormatTable(caption string, rows []ValidationRow) string {
 	return sb.String()
 }
 
-// analyze caches pipelines per workload source.
-var pipelineCache = map[string]*core.Pipeline{}
+// eng is the shared analysis service: every workload pipeline is built
+// through its content-hash cache, and repeated model queries hit the
+// memoized evaluation layer. Experiments that loop over independent
+// sizes or applications fan out through engine.ForEach with the same
+// parallelism bound.
+var eng = engine.New(engine.Options{})
 
-func analyzed(name, src string) (*core.Pipeline, error) {
-	if p, ok := pipelineCache[name]; ok {
-		return p, nil
-	}
-	p, err := core.Analyze(name, src, core.Options{})
-	if err != nil {
-		return nil, err
-	}
-	pipelineCache[name] = p
-	return p, nil
+// SetWorkers rebuilds the shared engine with a new parallelism bound
+// (0 = GOMAXPROCS). Intended for CLI startup (mira-bench -j); swapping
+// the engine drops its caches, so call it before running experiments.
+func SetWorkers(n int) {
+	eng = engine.New(engine.Options{Workers: n})
+}
+
+// Workers reports the shared engine's parallelism bound.
+func Workers() int { return eng.Workers() }
+
+func analyzed(name, src string) (*engine.Analysis, error) {
+	return eng.Analyze(name, src)
 }
 
 // ---------------------------------------------------------------------------
 // STREAM (Table III, Fig. 7a)
 
 // StreamPipeline analyzes the STREAM workload.
-func StreamPipeline() (*core.Pipeline, error) {
+func StreamPipeline() (*engine.Analysis, error) {
 	return analyzed("stream.c", benchprogs.Stream)
 }
 
@@ -132,20 +138,25 @@ func StreamDynamicFPI(n int64) (int64, error) {
 // statically only (the paper's 50M and 100M points, which the VM
 // substitutes by scaling — see EXPERIMENTS.md).
 func TableIII(dynSizes []int64) ([]ValidationRow, error) {
-	var rows []ValidationRow
-	for _, n := range dynSizes {
+	rows := make([]ValidationRow, len(dynSizes))
+	err := engine.ForEach(Workers(), len(dynSizes), func(i int) error {
+		n := dynSizes[i]
 		dyn, err := StreamDynamicFPI(n)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		static, err := StreamStaticFPI(n)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, ValidationRow{
+		rows[i] = ValidationRow{
 			Label: fmt.Sprintf("%dM", n/1_000_000), Function: "stream",
 			Dynamic: dyn, Static: static,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -154,7 +165,7 @@ func TableIII(dynSizes []int64) ([]ValidationRow, error) {
 // DGEMM (Table IV, Fig. 7b)
 
 // DgemmPipeline analyzes the DGEMM workload.
-func DgemmPipeline() (*core.Pipeline, error) {
+func DgemmPipeline() (*engine.Analysis, error) {
 	return analyzed("dgemm.c", benchprogs.Dgemm)
 }
 
@@ -200,20 +211,25 @@ func DgemmDynamicFPI(n, nrep int64) (int64, error) {
 
 // TableIV reproduces the DGEMM FPI validation.
 func TableIV(sizes []int64, nrep int64) ([]ValidationRow, error) {
-	var rows []ValidationRow
-	for _, n := range sizes {
+	rows := make([]ValidationRow, len(sizes))
+	err := engine.ForEach(Workers(), len(sizes), func(i int) error {
+		n := sizes[i]
 		dyn, err := DgemmDynamicFPI(n, nrep)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		static, err := DgemmStaticFPI(n, nrep)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, ValidationRow{
+		rows[i] = ValidationRow{
 			Label: fmt.Sprintf("%d", n), Function: "dgemm",
 			Dynamic: dyn, Static: static,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -4,13 +4,13 @@ import (
 	"fmt"
 
 	"mira/internal/benchprogs"
-	"mira/internal/core"
+	"mira/internal/engine"
 	"mira/internal/expr"
 	"mira/internal/vm"
 )
 
 // MiniFEPipeline analyzes the miniFE workload.
-func MiniFEPipeline() (*core.Pipeline, error) {
+func MiniFEPipeline() (*engine.Analysis, error) {
 	return analyzed("minife.c", benchprogs.MiniFE)
 }
 
@@ -129,25 +129,36 @@ func MiniFEStatic(s MiniFESizes) (map[string]int64, error) {
 // per-table path sticks to the solver chain.
 var tableVFuncs = []string{"waxpby", "MatVec::operator()", "cg_solve", "dot"}
 
-// TableV reproduces the miniFE per-function FPI validation rows.
+// TableV reproduces the miniFE per-function FPI validation rows. The
+// sizes are independent (one VM run plus one set of model queries each),
+// so the sweep fans out across the engine's worker bound.
 func TableV(sizes []MiniFESizes) ([]ValidationRow, error) {
-	var rows []ValidationRow
-	for _, s := range sizes {
+	perSize := make([][]ValidationRow, len(sizes))
+	err := engine.ForEach(Workers(), len(sizes), func(i int) error {
+		s := sizes[i]
 		dyn, err := MiniFEDynamic(s)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		static, err := MiniFEStatic(s)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		label := fmt.Sprintf("%dx%dx%d", s.NX, s.NY, s.NZ)
 		for _, fn := range []string{"waxpby", "MatVec::operator()", "cg_solve"} {
-			rows = append(rows, ValidationRow{
+			perSize[i] = append(perSize[i], ValidationRow{
 				Label: label, Function: fn,
 				Dynamic: dyn[fn], Static: static[fn],
 			})
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []ValidationRow
+	for _, r := range perSize {
+		rows = append(rows, r...)
 	}
 	return rows, nil
 }

@@ -7,7 +7,7 @@ import (
 
 	"mira/internal/arch"
 	"mira/internal/benchprogs"
-	"mira/internal/core"
+	"mira/internal/engine"
 	"mira/internal/expr"
 	"mira/internal/ir"
 	"mira/internal/loopcov"
@@ -33,25 +33,33 @@ type TableIRow struct {
 
 // TableI regenerates the loop-coverage survey: synthesize each surveyed
 // application's profile, parse it with the real front end, and measure.
+// The ten applications are independent, so the survey fans out across
+// the engine's worker bound; rows come back in profile order.
 func TableI() ([]TableIRow, error) {
-	var rows []TableIRow
-	for _, p := range synth.TableIProfiles {
+	profiles := synth.TableIProfiles
+	rows := make([]TableIRow, len(profiles))
+	err := engine.ForEach(Workers(), len(profiles), func(i int) error {
+		p := profiles[i]
 		src, err := synth.Generate(p)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		file, err := parser.ParseFile(p.Name+".c", src)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		st := loopcov.Measure(file)
-		rows = append(rows, TableIRow{
+		rows[i] = TableIRow{
 			Application: p.Name,
 			Loops:       st.Loops,
 			Statements:  st.Statements,
 			InLoops:     st.InLoops,
 			Percentage:  st.Percentage(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -86,7 +94,7 @@ func TableII(s MiniFESizes) ([]CategoryRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	ops, err := p.Model.EvaluateOpcodes("cg_solve", s.MiniFEEnv())
+	ops, err := p.EvaluateOpcodes("cg_solve", s.MiniFEEnv())
 	if err != nil {
 		return nil, err
 	}
@@ -114,7 +122,7 @@ func Fine64Categories(s MiniFESizes, d *arch.Description) (map[string]int64, err
 	if err != nil {
 		return nil, err
 	}
-	ops, err := p.Model.EvaluateOpcodes("cg_solve", s.MiniFEEnv())
+	ops, err := p.EvaluateOpcodes("cg_solve", s.MiniFEEnv())
 	if err != nil {
 		return nil, err
 	}
@@ -184,23 +192,30 @@ func Fig7(streamSizes []int64, dgemmSizes []int64, dgemmReps int64, minife []Min
 	}
 	out = append(out, sDgemm)
 
-	for pi, cfg := range minife {
+	miniSeries := make([]Fig7Series, len(minife))
+	err := engine.ForEach(Workers(), len(minife), func(pi int) error {
+		cfg := minife[pi]
 		s := Fig7Series{Title: fmt.Sprintf("Fig 7(%c): miniFE FPI %dx%dx%d", 'c'+pi, cfg.NX, cfg.NY, cfg.NZ)}
 		dyn, err := MiniFEDynamic(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		static, err := MiniFEStatic(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, fn := range []string{"waxpby", "MatVec::operator()", "cg_solve"} {
 			s.Labels = append(s.Labels, fn)
 			s.TAU = append(s.TAU, dyn[fn])
 			s.Mira = append(s.Mira, static[fn])
 		}
-		out = append(out, s)
+		miniSeries[pi] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	out = append(out, miniSeries...)
 	return out, nil
 }
 
@@ -270,25 +285,30 @@ func Ablation(sizes []int64) ([]AblationRow, error) {
 		return nil, err
 	}
 
-	var rows []AblationRow
-	for _, n := range sizes {
+	rows := make([]AblationRow, len(sizes))
+	err = engine.ForEach(Workers(), len(sizes), func(i int) error {
+		n := sizes[i]
 		env := expr.EnvFromInts(map[string]int64{"n": n})
 		met, err := p.StaticMetrics("smooth", env)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pbFlops, err := pb.EvalFlops("smooth", env)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		dyn, err := ablationDynamic(p, n)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := AblationRow{N: n, Dynamic: dyn, Mira: met.FPI(), PBound: pbFlops}
 		row.MiraErrPct = pctErr(row.Mira, dyn)
 		row.PBoundErrPct = pctErr(row.PBound, dyn)
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -304,7 +324,7 @@ func pctErr(got, want int64) float64 {
 	return d
 }
 
-func ablationDynamic(p *core.Pipeline, n int64) (int64, error) {
+func ablationDynamic(p *engine.Analysis, n int64) (int64, error) {
 	m := p.NewMachine()
 	u := m.Alloc(uint64(n))
 	f := m.Alloc(uint64(n))

@@ -37,6 +37,7 @@ package mira
 import (
 	"mira/internal/arch"
 	"mira/internal/core"
+	"mira/internal/engine"
 	"mira/internal/expr"
 	"mira/internal/model"
 	"mira/internal/vm"
@@ -56,9 +57,12 @@ type Options struct {
 }
 
 // Result is an analyzed program: the parametric model plus the compiled
-// binary it was derived from.
+// binary it was derived from. Evaluation queries go through a memoized
+// (function, env) layer, so repeating a query costs one map lookup;
+// Engine-produced Results additionally share that memo across callers.
 type Result struct {
 	p *core.Pipeline
+	a *engine.Analysis
 }
 
 // Metrics is an evaluated instruction-count vector.
@@ -81,7 +85,7 @@ func Analyze(name, source string, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{p: p}, nil
+	return &Result{p: p, a: engine.NewAnalysis(p)}, nil
 }
 
 // IntArgs builds an evaluation environment from integer parameter values.
@@ -89,24 +93,24 @@ func IntArgs(m map[string]int64) Env { return expr.EnvFromInts(m) }
 
 // Static evaluates the model of fn (inclusive of callees) under env.
 func (r *Result) Static(fn string, env Env) (Metrics, error) {
-	return r.p.StaticMetrics(fn, env)
+	return r.a.StaticMetrics(fn, env)
 }
 
 // StaticExclusive evaluates fn's body-only metrics.
 func (r *Result) StaticExclusive(fn string, env Env) (Metrics, error) {
-	return r.p.StaticMetricsExclusive(fn, env)
+	return r.a.StaticMetricsExclusive(fn, env)
 }
 
 // CategoryCounts returns fn's counts bucketed by the paper's Table II
 // aggregate categories.
 func (r *Result) CategoryCounts(fn string, env Env) (map[string]int64, error) {
-	return r.p.TableIICounts(fn, env)
+	return r.a.TableIICounts(fn, env)
 }
 
 // FineCategoryCounts buckets fn's counts by the architecture description
 // file's fine-grained (64-way) instruction categories.
 func (r *Result) FineCategoryCounts(fn string, env Env) (map[string]int64, error) {
-	return r.p.FineCategoryCounts(fn, env)
+	return r.a.FineCategoryCounts(fn, env)
 }
 
 // PythonModel emits the generated model as Python source, the artifact
@@ -132,3 +136,75 @@ func (r *Result) Warnings() []string { return r.p.Warnings }
 // Pipeline exposes the underlying pipeline for advanced use (experiments,
 // benches).
 func (r *Result) Pipeline() *core.Pipeline { return r.p }
+
+// ---------------------------------------------------------------------------
+// Batch analysis service
+
+// Engine is a concurrent, cache-backed analysis service: a worker pool
+// with bounded parallelism, a content-hash pipeline cache (identical
+// source text compiles at most once, even under concurrent requests),
+// and memoized model evaluation on every Result it returns.
+type Engine struct {
+	e *engine.Engine
+}
+
+// NewEngine builds an analysis service. workers bounds concurrent
+// pipeline analyses (0 = GOMAXPROCS); opts applies to every job.
+func NewEngine(workers int, opts Options) (*Engine, error) {
+	a, err := arch.Lookup(opts.Arch)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{e: engine.New(engine.Options{
+		Workers: workers,
+		Core: core.Options{
+			DisableOpt: opts.Unoptimized,
+			Lenient:    opts.Lenient,
+			Arch:       a,
+		},
+	})}, nil
+}
+
+// Analyze runs the pipeline on one source, served from the content-hash
+// cache when the same text was already analyzed.
+func (e *Engine) Analyze(name, source string) (*Result, error) {
+	a, err := e.e.Analyze(name, source)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{p: a.Pipeline, a: a}, nil
+}
+
+// BatchJob names one source text for batch analysis.
+type BatchJob struct {
+	Name   string
+	Source string
+}
+
+// BatchResult is one batch outcome; exactly one of Result/Err is set.
+type BatchResult struct {
+	Job    BatchJob
+	Result *Result
+	Err    error
+}
+
+// AnalyzeAll analyzes every job concurrently (bounded by the engine's
+// worker count) and returns results in job order. Errors are collected
+// per item rather than aborting the batch.
+func (e *Engine) AnalyzeAll(jobs []BatchJob) []BatchResult {
+	ejobs := make([]engine.Job, len(jobs))
+	for i, j := range jobs {
+		ejobs[i] = engine.Job{Name: j.Name, Source: j.Source}
+	}
+	out := make([]BatchResult, len(jobs))
+	for i, r := range e.e.AnalyzeAll(ejobs) {
+		out[i] = BatchResult{Job: jobs[i], Err: r.Err}
+		if r.Err == nil {
+			out[i].Result = &Result{p: r.Analysis.Pipeline, a: r.Analysis}
+		}
+	}
+	return out
+}
+
+// CacheStats reports the engine's pipeline-cache hit/miss counters.
+func (e *Engine) CacheStats() (hits, misses int64) { return e.e.Stats() }

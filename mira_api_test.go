@@ -86,6 +86,57 @@ func TestPublicAPICategoriesAndArtifacts(t *testing.T) {
 	}
 }
 
+func TestPublicAPIEngine(t *testing.T) {
+	e, err := mira.NewEngine(4, mira.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := e.AnalyzeAll([]mira.BatchJob{
+		{Name: "a.c", Source: apiSrc},
+		{Name: "b.c", Source: apiSrc}, // identical content: must share one compile
+		{Name: "bad.c", Source: "int f( {"},
+	})
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	if results[0].Err != nil || results[1].Err != nil {
+		t.Fatalf("good jobs failed: %v, %v", results[0].Err, results[1].Err)
+	}
+	if results[2].Err == nil {
+		t.Error("bad job succeeded")
+	}
+	if hits, misses := e.CacheStats(); hits != 1 || misses != 2 {
+		t.Errorf("cache stats = %d hits / %d misses, want 1/2", hits, misses)
+	}
+	env := mira.IntArgs(map[string]int64{"n": 1000})
+	want, err := mira.Analyze("a.c", apiSrc, mira.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wmet, err := want.Static("scale", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results[:2] {
+		met, err := r.Result.Static("scale", env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Second identical query per Result hits the memo.
+		again, err := r.Result.Static("scale", env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if met.FPI() != wmet.FPI() || again.FPI() != wmet.FPI() {
+			t.Errorf("engine metrics diverge from direct analysis: %d/%d vs %d",
+				met.FPI(), again.FPI(), wmet.FPI())
+		}
+	}
+	if _, err := mira.NewEngine(0, mira.Options{Arch: "pdp11"}); err == nil {
+		t.Error("unknown arch accepted")
+	}
+}
+
 func TestPublicAPIOptions(t *testing.T) {
 	if _, err := mira.Analyze("s.c", apiSrc, mira.Options{Arch: "pdp11"}); err == nil {
 		t.Error("unknown arch accepted")
