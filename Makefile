@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check fmt-check vet build test race bench clean
+.PHONY: all check fmt-check vet build test race bench serve clean
 
 all: check
 
@@ -25,6 +25,9 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./
+
+serve:
+	$(GO) run ./cmd/mira-serve -cache-dir .mira-cache
 
 clean:
 	$(GO) clean ./...

@@ -5,21 +5,33 @@
 //
 //	mira-bench [-table I|II|III|IV|V] [-figure 6|7] [-prediction]
 //	           [-ablation] [-all] [-paper-sizes] [-j n]
+//	mira-bench -serve-stats http://host:7319
 //
 // Dynamic (VM) runs default to scaled sizes; -paper-sizes additionally
 // evaluates the static model at the paper's full problem sizes (cheap:
 // the model is closed-form). Experiments run through the shared
 // analysis engine: -j bounds its worker pool (0 = GOMAXPROCS); -j 1
 // forces the serial path.
+//
+// -serve-stats scrapes a running mira-serve daemon's /metrics endpoint,
+// lint-parses the OpenMetrics exposition, and prints the cache and
+// latency counters in a digestible form (hit ratios, mean per-stage
+// latency).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"sort"
+	"strings"
+	"time"
 
 	"mira/internal/arch"
 	"mira/internal/experiments"
+	"mira/internal/obs"
 )
 
 func main() {
@@ -30,7 +42,16 @@ func main() {
 	all := flag.Bool("all", false, "everything")
 	paperSizes := flag.Bool("paper-sizes", false, "also evaluate the static model at the paper's full sizes")
 	jobs := flag.Int("j", 0, "analysis-engine workers (0 = GOMAXPROCS, 1 = serial)")
+	serveStats := flag.String("serve-stats", "", "scrape and summarize a running mira-serve daemon (base URL)")
 	flag.Parse()
+
+	if *serveStats != "" {
+		if err := printServeStats(os.Stdout, *serveStats); err != nil {
+			fmt.Fprintf(os.Stderr, "mira-bench: serve-stats: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *jobs != 0 {
 		experiments.SetWorkers(*jobs)
@@ -163,4 +184,64 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nothing selected; use -all or see -help")
 		os.Exit(2)
 	}
+}
+
+// printServeStats scrapes base's /metrics, lint-parses the exposition,
+// and prints a cache/latency digest followed by the raw samples.
+func printServeStats(w io.Writer, base string) error {
+	url := strings.TrimSuffix(base, "/") + "/metrics"
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	exp, err := obs.Parse(string(body))
+	if err != nil {
+		return fmt.Errorf("exposition failed OpenMetrics lint: %w", err)
+	}
+
+	ratio := func(hit, miss string) string {
+		h, m := exp.Value(hit), exp.Value(miss)
+		if h+m == 0 {
+			return "n/a (no traffic)"
+		}
+		return fmt.Sprintf("%.1f%% (%g hits / %g misses)", 100*h/(h+m), h, m)
+	}
+	meanMs := func(name string) string {
+		count := exp.Value(name + "_count")
+		if count == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.3f ms over %g calls", 1e3*exp.Value(name+"_sum")/count, count)
+	}
+	fmt.Fprintf(w, "mira-serve stats from %s\n\n", url)
+	fmt.Fprintf(w, "  live pipeline cache   %s\n", ratio("mira_pipeline_cache_hits_total", "mira_pipeline_cache_misses_total"))
+	fmt.Fprintf(w, "  persistent store      %s\n", ratio("mira_store_hits_total", "mira_store_misses_total"))
+	fmt.Fprintf(w, "  eval memo             %s\n", ratio("mira_eval_memo_hits_total", "mira_eval_memo_misses_total"))
+	fmt.Fprintf(w, "  cold analyze latency  %s\n", meanMs("mira_analyze_seconds"))
+	fmt.Fprintf(w, "  warm rebuild latency  %s\n", meanMs("mira_rebuild_seconds"))
+	fmt.Fprintf(w, "  eval latency          %s\n", meanMs("mira_eval_seconds"))
+	fmt.Fprintf(w, "  store errors          %g\n", exp.Value("mira_store_errors_total"))
+	fmt.Fprintf(w, "  in-flight analyses    %g\n", exp.Value("mira_analyses_inflight"))
+	fmt.Fprintf(w, "  resident analyses     %g\n", exp.Value("mira_resident_analyses"))
+	fmt.Fprintf(w, "  memo entries          %g\n", exp.Value("mira_eval_memo_entries"))
+
+	fmt.Fprintf(w, "\nraw samples:\n")
+	names := make([]string, 0, len(exp.Samples))
+	for name := range exp.Samples {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "  %-36s %g\n", name, exp.Samples[name])
+	}
+	return nil
 }

@@ -1,0 +1,87 @@
+// Command mira-serve is a long-running HTTP/JSON analysis service over
+// the Mira pipeline: POST MiniC source, get back the parametric model
+// summary and instruction-category predictions, with every layer of
+// caching the engine has — singleflight compile dedup, memoized
+// (function, env) evaluation, and (with -cache-dir) a content-addressed
+// on-disk artifact store that survives restarts: a rebooted daemon
+// re-decodes stored object files instead of recompiling hot sources.
+//
+// Endpoints:
+//
+//	POST /analyze  {"name","source"[,"fn","env"]}  -> model summary (+ Table II)
+//	POST /eval     {"key"|"source","fn","env"[,"exclusive"]} -> metrics
+//	GET  /metrics  OpenMetrics text exposition (cache, latency, HTTP series)
+//	GET  /healthz  liveness + uptime
+//
+// Usage:
+//
+//	mira-serve [-addr :7319] [-cache-dir DIR] [-j n] [-arch name]
+//	           [-lenient] [-no-opt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"mira/internal/arch"
+	"mira/internal/cachestore"
+	"mira/internal/core"
+	"mira/internal/engine"
+	"mira/internal/obs"
+)
+
+func main() {
+	addr := flag.String("addr", ":7319", "listen address")
+	cacheDir := flag.String("cache-dir", "", "content-addressed artifact cache directory (empty = in-memory only)")
+	jobs := flag.Int("j", 0, "analysis workers (0 = GOMAXPROCS)")
+	maxResident := flag.Int("max-resident", 4096, "live-cache entries kept resident (0 = unlimited; untrusted traffic needs a bound)")
+	archName := flag.String("arch", "", "architecture description: arya, frankenstein, or generic")
+	lenient := flag.Bool("lenient", false, "downgrade unanalyzable branches to warnings")
+	noOpt := flag.Bool("no-opt", false, "compile without optimizations")
+	flag.Parse()
+
+	if err := run(*addr, *cacheDir, *jobs, *maxResident, *archName, *lenient, *noOpt); err != nil {
+		fmt.Fprintf(os.Stderr, "mira-serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, cacheDir string, jobs, maxResident int, archName string, lenient, noOpt bool) error {
+	a, err := arch.Lookup(archName)
+	if err != nil {
+		return err
+	}
+	var store engine.CacheStore
+	if cacheDir != "" {
+		disk, err := cachestore.Open(cacheDir)
+		if err != nil {
+			return err
+		}
+		store = disk
+		log.Printf("mira-serve: artifact cache at %s", disk.Dir())
+	}
+	reg := obs.NewRegistry()
+	eng := engine.New(engine.Options{
+		Workers:     jobs,
+		Core:        core.Options{Arch: a, Lenient: lenient, DisableOpt: noOpt},
+		Store:       store,
+		MaxResident: maxResident,
+		Obs:         reg,
+	})
+	// Full timeout set: a resident daemon must shrug off slow-body
+	// clients, not accumulate their goroutines.
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           newServer(eng, reg),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	log.Printf("mira-serve: listening on %s (%d workers)", addr, eng.Workers())
+	return srv.ListenAndServe()
+}

@@ -1,0 +1,316 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"mira/internal/engine"
+	"mira/internal/expr"
+	"mira/internal/model"
+	"mira/internal/obs"
+)
+
+// maxRequestBytes bounds request bodies; analysis inputs are source
+// files, not datasets.
+const maxRequestBytes = 4 << 20
+
+// openMetricsContentType is the content type Prometheus negotiates for
+// the OpenMetrics text exposition.
+const openMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// server is the mira-serve HTTP layer over one analysis engine.
+type server struct {
+	eng   *engine.Engine
+	reg   *obs.Registry
+	start time.Time
+
+	reqAnalyze *obs.Counter
+	reqEval    *obs.Counter
+	reqErrors  *obs.Counter
+	httpLat    *obs.Summary
+}
+
+// newServer wires the handler set. The registry must be the one the
+// engine reports into, so /metrics exposes engine and HTTP series
+// together.
+func newServer(eng *engine.Engine, reg *obs.Registry) http.Handler {
+	s := &server{
+		eng:        eng,
+		reg:        reg,
+		start:      time.Now(),
+		reqAnalyze: reg.Counter("mira_http_analyze_requests", "POST /analyze requests"),
+		reqEval:    reg.Counter("mira_http_eval_requests", "POST /eval requests"),
+		reqErrors:  reg.Counter("mira_http_request_errors", "requests answered with a 4xx/5xx status"),
+		httpLat:    reg.Summary("mira_http_seconds", "HTTP request latency"),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /eval", s.handleEval)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s.instrument(mux)
+}
+
+// instrument wraps the mux with latency observation and a last-resort
+// recover: the engine converts hostile-input panics into errors, and
+// anything that still escapes must end one request, not the daemon.
+func (s *server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		defer func() {
+			s.httpLat.Observe(time.Since(start).Seconds())
+			if rec := recover(); rec != nil {
+				s.reqErrors.Inc()
+				log.Printf("mira-serve: panic serving %s %s: %v", r.Method, r.URL.Path, rec)
+				http.Error(w, `{"error":"internal error"}`, http.StatusInternalServerError)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// apiError answers a request with a JSON error body.
+func (s *server) apiError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.reqErrors.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *server) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBytes+1))
+	if err != nil {
+		s.apiError(w, http.StatusBadRequest, "read body: %v", err)
+		return false
+	}
+	if len(body) > maxRequestBytes {
+		s.apiError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", maxRequestBytes)
+		return false
+	}
+	if err := json.Unmarshal(body, into); err != nil {
+		s.apiError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return false
+	}
+	return true
+}
+
+// funcSummary describes one modeled function in /analyze responses.
+type funcSummary struct {
+	Name        string   `json:"name"`
+	Params      []string `json:"params,omitempty"`
+	AnnotParams []string `json:"annot_params,omitempty"`
+	FreeParams  []string `json:"free_params,omitempty"`
+	Extern      bool     `json:"extern,omitempty"`
+}
+
+type analyzeRequest struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
+	// Fn plus Env optionally ask for an immediate evaluation of one
+	// function in the same round trip.
+	Fn  string           `json:"fn,omitempty"`
+	Env map[string]int64 `json:"env,omitempty"`
+}
+
+type metricsPayload struct {
+	Instrs     int64            `json:"instrs"`
+	Flops      int64            `json:"flops"`
+	FPI        int64            `json:"fpi"`
+	Categories map[string]int64 `json:"categories"`
+}
+
+type analyzeResponse struct {
+	Key       string           `json:"key"`
+	Name      string           `json:"name"`
+	Warnings  []string         `json:"warnings,omitempty"`
+	Functions []funcSummary    `json:"functions"`
+	TableII   map[string]int64 `json:"table_ii,omitempty"`
+	Metrics   *metricsPayload  `json:"metrics,omitempty"`
+}
+
+// statusFor maps an analysis/evaluation failure to an HTTP status:
+// everything deterministic about the input is the client's fault (4xx).
+// Inputs that drove the analyzer into a guarded panic are flagged as
+// plain bad requests.
+func statusFor(err error) int {
+	if strings.Contains(err.Error(), "panicked") {
+		return http.StatusBadRequest
+	}
+	return http.StatusUnprocessableEntity
+}
+
+func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	s.reqAnalyze.Inc()
+	var req analyzeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if strings.TrimSpace(req.Source) == "" {
+		s.apiError(w, http.StatusBadRequest, "missing source")
+		return
+	}
+	if req.Name == "" {
+		req.Name = "input.c"
+	}
+	a, err := s.eng.Analyze(req.Name, req.Source)
+	if err != nil {
+		s.apiError(w, statusFor(err), "analyze: %v", err)
+		return
+	}
+	resp := analyzeResponse{
+		Key:      a.Key(),
+		Name:     a.Name,
+		Warnings: a.Warnings,
+	}
+	for _, fname := range a.Model.Order {
+		f := a.Model.Funcs[fname]
+		resp.Functions = append(resp.Functions, funcSummary{
+			Name:        f.Name,
+			Params:      f.Params,
+			AnnotParams: f.AnnotParams,
+			FreeParams:  f.FreeParams(),
+			Extern:      f.Extern,
+		})
+	}
+	if req.Fn != "" {
+		env := expr.EnvFromInts(req.Env)
+		met, err := a.StaticMetrics(req.Fn, env)
+		if err != nil {
+			s.apiError(w, statusFor(err), "evaluate %s: %v", req.Fn, err)
+			return
+		}
+		tab, err := a.TableIICounts(req.Fn, env)
+		if err != nil {
+			s.apiError(w, statusFor(err), "table II for %s: %v", req.Fn, err)
+			return
+		}
+		resp.TableII = tab
+		resp.Metrics = toPayload(met, tab)
+	}
+	s.writeJSON(w, resp)
+}
+
+type evalRequest struct {
+	// Key references a previously analyzed program; Source (with
+	// optional Name) analyzes on the fly — through the cache, so a
+	// resend of known text costs one map lookup.
+	Key       string           `json:"key,omitempty"`
+	Name      string           `json:"name,omitempty"`
+	Source    string           `json:"source,omitempty"`
+	Fn        string           `json:"fn"`
+	Env       map[string]int64 `json:"env,omitempty"`
+	Exclusive bool             `json:"exclusive,omitempty"`
+}
+
+type evalResponse struct {
+	Key     string           `json:"key"`
+	Fn      string           `json:"fn"`
+	Metrics *metricsPayload  `json:"metrics"`
+	TableII map[string]int64 `json:"table_ii"`
+	Fine    map[string]int64 `json:"fine_categories,omitempty"`
+}
+
+func (s *server) handleEval(w http.ResponseWriter, r *http.Request) {
+	s.reqEval.Inc()
+	var req evalRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Fn == "" {
+		s.apiError(w, http.StatusBadRequest, "missing fn")
+		return
+	}
+	var (
+		a   *engine.Analysis
+		key string
+	)
+	switch {
+	case req.Key != "":
+		var ok bool
+		if a, ok = s.eng.Lookup(req.Key); !ok {
+			s.apiError(w, http.StatusNotFound, "unknown analysis key %q (POST /analyze first, or send source)", req.Key)
+			return
+		}
+		key = req.Key
+	case strings.TrimSpace(req.Source) != "":
+		name := req.Name
+		if name == "" {
+			name = "input.c"
+		}
+		var err error
+		if a, err = s.eng.Analyze(name, req.Source); err != nil {
+			s.apiError(w, statusFor(err), "analyze: %v", err)
+			return
+		}
+		key = a.Key()
+	default:
+		s.apiError(w, http.StatusBadRequest, "need key or source")
+		return
+	}
+	env := expr.EnvFromInts(req.Env)
+	var (
+		met model.Metrics
+		err error
+	)
+	if req.Exclusive {
+		met, err = a.StaticMetricsExclusive(req.Fn, env)
+	} else {
+		met, err = a.StaticMetrics(req.Fn, env)
+	}
+	if err != nil {
+		s.apiError(w, statusFor(err), "evaluate %s: %v", req.Fn, err)
+		return
+	}
+	tab, err := a.TableIICounts(req.Fn, env)
+	if err != nil {
+		s.apiError(w, statusFor(err), "table II for %s: %v", req.Fn, err)
+		return
+	}
+	fine, err := a.FineCategoryCounts(req.Fn, env)
+	if err != nil {
+		s.apiError(w, statusFor(err), "fine categories for %s: %v", req.Fn, err)
+		return
+	}
+	s.writeJSON(w, evalResponse{
+		Key:     key,
+		Fn:      req.Fn,
+		Metrics: toPayload(met, tab),
+		TableII: tab,
+		Fine:    fine,
+	})
+}
+
+func toPayload(met model.Metrics, tab map[string]int64) *metricsPayload {
+	return &metricsPayload{
+		Instrs:     met.Instrs,
+		Flops:      met.Flops,
+		FPI:        met.FPI(),
+		Categories: tab,
+	}
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", openMetricsContentType)
+	if err := s.reg.WriteOpenMetrics(w); err != nil && !errors.Is(err, http.ErrHandlerTimeout) {
+		log.Printf("mira-serve: write metrics: %v", err)
+	}
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"workers":        s.eng.Workers(),
+	})
+}

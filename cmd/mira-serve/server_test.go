@@ -1,0 +1,338 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mira/internal/cachestore"
+	"mira/internal/core"
+	"mira/internal/engine"
+	"mira/internal/obs"
+)
+
+const kernelSrc = `
+double kernel(double *x, int n) {
+	double s; int i;
+	s = 0.0;
+	for (i = 0; i < n; i++) {
+		s = s + x[i] * 2.0;
+	}
+	return s;
+}`
+
+// newTestServer builds a handler over a fresh engine; cacheDir == ""
+// means memory-only.
+func newTestServer(t *testing.T, cacheDir string) http.Handler {
+	t.Helper()
+	var store engine.CacheStore
+	if cacheDir != "" {
+		d, err := cachestore.Open(cacheDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		store = d
+	}
+	reg := obs.NewRegistry()
+	eng := engine.New(engine.Options{Core: core.Options{}, Store: store, Obs: reg})
+	return newServer(eng, reg)
+}
+
+func postJSON(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", path, bytes.NewReader(raw))
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func get(h http.Handler, path string) *httptest.ResponseRecorder {
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", path, nil))
+	return w
+}
+
+func TestAnalyzeAndEvalFlow(t *testing.T) {
+	h := newTestServer(t, "")
+
+	// Analyze with an inline evaluation request.
+	w := postJSON(t, h, "/analyze", map[string]any{
+		"name": "kernel.c", "source": kernelSrc,
+		"fn": "kernel", "env": map[string]int64{"n": 1000},
+	})
+	if w.Code != 200 {
+		t.Fatalf("analyze status %d: %s", w.Code, w.Body)
+	}
+	var ar analyzeResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.Key == "" || len(ar.Functions) != 1 || ar.Functions[0].Name != "kernel" {
+		t.Fatalf("analyze response %+v", ar)
+	}
+	if ar.Metrics == nil || ar.Metrics.FPI != 2000 {
+		t.Fatalf("metrics %+v, want FPI 2000 (add + mul per iteration)", ar.Metrics)
+	}
+
+	// Eval by key — no source resend.
+	w = postJSON(t, h, "/eval", map[string]any{
+		"key": ar.Key, "fn": "kernel", "env": map[string]int64{"n": 10},
+	})
+	if w.Code != 200 {
+		t.Fatalf("eval status %d: %s", w.Code, w.Body)
+	}
+	var er evalResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Metrics.FPI != 20 {
+		t.Errorf("eval FPI = %d, want 20", er.Metrics.FPI)
+	}
+	if len(er.TableII) == 0 || len(er.Fine) == 0 {
+		t.Errorf("eval response missing category tables: %+v", er)
+	}
+
+	// Eval by source (cache hit on identical text).
+	w = postJSON(t, h, "/eval", map[string]any{
+		"source": kernelSrc, "fn": "kernel", "env": map[string]int64{"n": 10}, "exclusive": true,
+	})
+	if w.Code != 200 {
+		t.Fatalf("eval-by-source status %d: %s", w.Code, w.Body)
+	}
+
+	// Unknown key is a 404.
+	if w := postJSON(t, h, "/eval", map[string]any{
+		"key": strings.Repeat("ee", 32), "fn": "kernel",
+	}); w.Code != http.StatusNotFound {
+		t.Errorf("unknown key status %d", w.Code)
+	}
+}
+
+// TestHostileRequestsGet4xxNotACrash sends every malformed and hostile
+// shape at a resident server and checks each is answered with a 4xx and
+// the daemon keeps serving afterwards.
+func TestHostileRequestsGet4xxNotACrash(t *testing.T) {
+	h := newTestServer(t, "")
+	hostile := []struct {
+		path string
+		body string
+	}{
+		{"/analyze", `{not json`},
+		{"/analyze", `{"source":""}`},
+		{"/analyze", `{"source":"int f( {"}`},
+		{"/analyze", `{"source":"double f(double *x, int n) { double s; int i; s = 0.0; for (i = 0; i < n; i = i + 0) { s = s + x[i]; } return s; }"}`},
+		{"/eval", `{"fn":"kernel"}`},
+		{"/eval", `{"source":` + mustQuote(kernelSrc) + `,"fn":"nosuchfunction","env":{"n":5}}`},
+		{"/eval", `{"source":` + mustQuote(kernelSrc) + `,"fn":"kernel"}`}, // n unbound
+		{"/eval", `{"source":` + mustQuote(sumBombSrc) + `,"fn":"f","env":{"n":2000000000}}`},
+	}
+	for i, c := range hostile {
+		req := httptest.NewRequest("POST", c.path, strings.NewReader(c.body))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code < 400 || w.Code >= 500 {
+			t.Errorf("hostile %d (%s %s): status %d, want 4xx; body %s", i, c.path, c.body, w.Code, w.Body)
+		}
+	}
+	// The daemon must still be healthy and able to do real work.
+	if w := get(h, "/healthz"); w.Code != 200 {
+		t.Fatalf("healthz after hostile traffic: %d", w.Code)
+	}
+	w := postJSON(t, h, "/eval", map[string]any{
+		"source": kernelSrc, "fn": "kernel", "env": map[string]int64{"n": 4},
+	})
+	if w.Code != 200 {
+		t.Fatalf("server wedged after hostile traffic: %d: %s", w.Code, w.Body)
+	}
+}
+
+// sumBombSrc has a triangular loop nest whose closed form falls back to
+// summation enumeration at evaluation time for huge n — the eval-path
+// resource guard must refuse it, not spin or die.
+const sumBombSrc = `
+double f(double *x, int n) {
+	double s; int i; int j;
+	s = 0.0;
+	for (i = 0; i < n; i++) {
+		for (j = i; j < n; j = j + 7) {
+			s = s + x[j];
+		}
+	}
+	return s;
+}`
+
+func mustQuote(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
+}
+
+// TestPanicInsideHandlerIsContained exercises the last-resort recover
+// middleware with a handler-level panic (the engine-level guards are
+// tested in internal/engine).
+func TestPanicInsideHandlerIsContained(t *testing.T) {
+	reg := obs.NewRegistry()
+	eng := engine.New(engine.Options{Obs: reg})
+	s := &server{eng: eng, reg: reg,
+		reqAnalyze: reg.Counter("a", ""), reqEval: reg.Counter("b", ""),
+		reqErrors: reg.Counter("c", ""), httpLat: reg.Summary("d", "")}
+	h := s.instrument(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("handler bug")
+	}))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/boom", nil))
+	if w.Code != http.StatusInternalServerError {
+		t.Errorf("status %d, want 500", w.Code)
+	}
+	if s.reqErrors.Value() != 1 {
+		t.Errorf("error counter = %d", s.reqErrors.Value())
+	}
+}
+
+// TestMetricsOpenMetricsLint is the hermetic exposition check the CI
+// gate runs: a live /metrics scrape must parse under the strict
+// OpenMetrics linter after real traffic.
+func TestMetricsOpenMetricsLint(t *testing.T) {
+	h := newTestServer(t, "")
+	postJSON(t, h, "/analyze", map[string]any{"source": kernelSrc})
+	postJSON(t, h, "/eval", map[string]any{"source": kernelSrc, "fn": "kernel", "env": map[string]int64{"n": 3}})
+	postJSON(t, h, "/eval", map[string]any{"source": kernelSrc, "fn": "kernel", "env": map[string]int64{"n": 3}})
+
+	w := get(h, "/metrics")
+	if w.Code != 200 {
+		t.Fatalf("metrics status %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Errorf("content type %q", ct)
+	}
+	text, err := io.ReadAll(w.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := obs.Parse(string(text))
+	if err != nil {
+		t.Fatalf("/metrics fails OpenMetrics lint: %v\n----\n%s", err, text)
+	}
+	for _, name := range []string{
+		"mira_pipeline_cache_hits_total", "mira_pipeline_cache_misses_total",
+		"mira_store_hits_total", "mira_eval_memo_hits_total",
+		"mira_analyze_seconds_count", "mira_http_analyze_requests_total",
+		"mira_analyses_inflight", "mira_eval_memo_entries",
+	} {
+		if _, ok := exp.Samples[name]; !ok {
+			t.Errorf("/metrics missing %s", name)
+		}
+	}
+	if exp.Value("mira_eval_memo_hits_total") == 0 {
+		t.Error("repeated eval did not hit the memo")
+	}
+	if exp.Value("mira_http_eval_requests_total") != 2 {
+		t.Errorf("eval request counter = %v, want 2", exp.Value("mira_http_eval_requests_total"))
+	}
+}
+
+// TestWarmRestartServesFromDiskCache is the acceptance scenario: a
+// second mira-serve process over the same cache directory must serve a
+// known program from the stored artifact — hit counters visible at
+// /metrics, zero compiles.
+func TestWarmRestartServesFromDiskCache(t *testing.T) {
+	dir := t.TempDir()
+
+	first := newTestServer(t, dir)
+	w := postJSON(t, first, "/analyze", map[string]any{"name": "kernel.c", "source": kernelSrc})
+	if w.Code != 200 {
+		t.Fatalf("first process analyze: %d: %s", w.Code, w.Body)
+	}
+	var cold analyzeResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &cold); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": an entirely new engine + handler over the same dir.
+	second := newTestServer(t, dir)
+	w = postJSON(t, second, "/eval", map[string]any{
+		"source": kernelSrc, "fn": "kernel", "env": map[string]int64{"n": 1000},
+	})
+	if w.Code != 200 {
+		t.Fatalf("second process eval: %d: %s", w.Code, w.Body)
+	}
+	var er evalResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Key != cold.Key {
+		t.Errorf("content key changed across restart: %s vs %s", er.Key, cold.Key)
+	}
+	if er.Metrics.FPI != 2000 {
+		t.Errorf("warm FPI = %d, want 2000", er.Metrics.FPI)
+	}
+
+	exp, err := obs.Parse(get(second, "/metrics").Body.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := exp.Value("mira_store_hits_total"); got != 1 {
+		t.Errorf("warm process store hits = %v, want 1", got)
+	}
+	if got := exp.Value("mira_analyze_seconds_count"); got != 0 {
+		t.Errorf("warm process compiled %v times, want 0 (disk cache should serve it)", got)
+	}
+	if got := exp.Value("mira_rebuild_seconds_count"); got != 1 {
+		t.Errorf("warm process rebuild count = %v, want 1", got)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	h := newTestServer(t, "")
+	w := get(h, "/healthz")
+	if w.Code != 200 {
+		t.Fatalf("healthz %d", w.Code)
+	}
+	var hr map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr["status"] != "ok" {
+		t.Errorf("healthz body %v", hr)
+	}
+	if _, ok := hr["workers"].(float64); !ok {
+		t.Errorf("healthz missing workers: %v", hr)
+	}
+}
+
+// TestMethodRouting rejects wrong verbs.
+func TestMethodRouting(t *testing.T) {
+	h := newTestServer(t, "")
+	for _, c := range []struct{ method, path string }{
+		{"GET", "/analyze"}, {"GET", "/eval"}, {"POST", "/metrics"}, {"DELETE", "/healthz"},
+	} {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest(c.method, c.path, strings.NewReader("{}")))
+		if w.Code != http.StatusMethodNotAllowed && w.Code != http.StatusNotFound {
+			t.Errorf("%s %s: status %d", c.method, c.path, w.Code)
+		}
+	}
+}
+
+// TestOversizeBodyRejected bounds request bodies.
+func TestOversizeBodyRejected(t *testing.T) {
+	h := newTestServer(t, "")
+	big := fmt.Sprintf(`{"source":%q}`, strings.Repeat("x", maxRequestBytes+10))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("POST", "/analyze", strings.NewReader(big)))
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("status %d, want 413", w.Code)
+	}
+}

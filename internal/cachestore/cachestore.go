@@ -1,0 +1,199 @@
+// Package cachestore provides the content-addressed on-disk
+// implementation of engine.CacheStore: compiled analysis artifacts
+// (source text + encoded object file) that survive process restarts, so
+// a freshly started mira-serve daemon rebuilds hot models by decoding
+// stored bytes instead of recompiling.
+//
+// Layout is git-style fan-out under a root directory:
+//
+//	<dir>/objects/<key[:2]>/<key>.mira
+//
+// where key is the engine's content hash (hex). Each entry file is
+// self-contained and checksummed:
+//
+//	magic "MIRACS1\n"
+//	4 length-prefixed sections (uvarint length + bytes):
+//	    key, name, source, object
+//	sha256 over everything before it (32 bytes)
+//
+// Writes go through a temp file in the same directory followed by an
+// atomic rename, so a crashed writer can never leave a half entry under
+// the final name. Reads verify the magic, the embedded key, the section
+// framing, and the checksum; any mismatch — truncation, corruption, a
+// future format — is a miss, never an error: a damaged cache degrades to
+// a recompile.
+package cachestore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mira/internal/engine"
+)
+
+const magic = "MIRACS1\n"
+
+// Disk is a content-addressed on-disk CacheStore.
+type Disk struct {
+	dir string
+}
+
+// Ensure the engine contract is met.
+var _ engine.CacheStore = (*Disk)(nil)
+
+// Open prepares a disk store rooted at dir, creating it if needed.
+func Open(dir string) (*Disk, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("cachestore: %w", err)
+	}
+	return &Disk{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (d *Disk) Dir() string { return d.dir }
+
+// validKey gates what may become a file name: the engine's keys are
+// lowercase hex, and anything else (path separators, dots) is refused
+// outright rather than risked against the filesystem.
+func validKey(key string) bool {
+	if len(key) < 4 {
+		return false
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (d *Disk) path(key string) string {
+	return filepath.Join(d.dir, "objects", key[:2], key+".mira")
+}
+
+// Load reads, verifies, and decodes the entry stored under key. Any
+// defect in the on-disk bytes is a miss.
+func (d *Disk) Load(key string) (*engine.Entry, bool) {
+	if !validKey(key) {
+		return nil, false
+	}
+	raw, err := os.ReadFile(d.path(key))
+	if err != nil {
+		return nil, false
+	}
+	ent, err := decodeEntry(key, raw)
+	if err != nil {
+		return nil, false
+	}
+	return ent, true
+}
+
+// Store persists e under key, atomically.
+func (d *Disk) Store(key string, e *engine.Entry) error {
+	if !validKey(key) {
+		return fmt.Errorf("cachestore: invalid key %q", key)
+	}
+	raw := encodeEntry(key, e)
+	target := d.path(key)
+	if err := os.MkdirAll(filepath.Dir(target), 0o755); err != nil {
+		return fmt.Errorf("cachestore: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(target), "tmp-*")
+	if err != nil {
+		return fmt.Errorf("cachestore: %w", err)
+	}
+	_, werr := tmp.Write(raw)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cachestore: write %s: %w", key, firstErr(werr, cerr))
+	}
+	if err := os.Rename(tmp.Name(), target); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cachestore: %w", err)
+	}
+	return nil
+}
+
+// Len counts the entries currently on disk (for stats and tests; it
+// walks the fan-out directories).
+func (d *Disk) Len() int {
+	n := 0
+	fans, _ := os.ReadDir(filepath.Join(d.dir, "objects"))
+	for _, fan := range fans {
+		if !fan.IsDir() {
+			continue
+		}
+		files, _ := os.ReadDir(filepath.Join(d.dir, "objects", fan.Name()))
+		for _, f := range files {
+			if filepath.Ext(f.Name()) == ".mira" {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func putSection(buf *bytes.Buffer, b []byte) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(b)))
+	buf.Write(tmp[:n])
+	buf.Write(b)
+}
+
+func encodeEntry(key string, e *engine.Entry) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	putSection(&buf, []byte(key))
+	putSection(&buf, []byte(e.Name))
+	putSection(&buf, []byte(e.Source))
+	putSection(&buf, e.Object)
+	sum := sha256.Sum256(buf.Bytes())
+	buf.Write(sum[:])
+	return buf.Bytes()
+}
+
+func decodeEntry(key string, raw []byte) (*engine.Entry, error) {
+	if len(raw) < len(magic)+sha256.Size || string(raw[:len(magic)]) != magic {
+		return nil, fmt.Errorf("bad magic or truncated")
+	}
+	body, sum := raw[:len(raw)-sha256.Size], raw[len(raw)-sha256.Size:]
+	want := sha256.Sum256(body)
+	if !bytes.Equal(sum, want[:]) {
+		return nil, fmt.Errorf("checksum mismatch")
+	}
+	r := body[len(magic):]
+	sections := make([][]byte, 4)
+	for i := range sections {
+		length, n := binary.Uvarint(r)
+		if n <= 0 || uint64(len(r)-n) < length {
+			return nil, fmt.Errorf("section %d framing", i)
+		}
+		sections[i] = r[n : n+int(length)]
+		r = r[n+int(length):]
+	}
+	if len(r) != 0 {
+		return nil, fmt.Errorf("trailing bytes")
+	}
+	if string(sections[0]) != key {
+		return nil, fmt.Errorf("entry key %q under file key %q", sections[0], key)
+	}
+	return &engine.Entry{
+		Name:   string(sections[1]),
+		Source: string(sections[2]),
+		Object: append([]byte(nil), sections[3]...),
+	}, nil
+}

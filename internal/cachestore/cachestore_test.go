@@ -1,0 +1,253 @@
+package cachestore_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"mira/internal/benchprogs"
+	"mira/internal/cachestore"
+	"mira/internal/engine"
+	"mira/internal/expr"
+	"mira/internal/obs"
+)
+
+const kernelSrc = `
+double kernel(double *x, int n) {
+	double s; int i;
+	s = 0.0;
+	for (i = 0; i < n; i++) {
+		s = s + x[i] * 2.0;
+	}
+	return s;
+}`
+
+func openStore(t *testing.T) *cachestore.Disk {
+	t.Helper()
+	d, err := cachestore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	d := openStore(t)
+	key := strings.Repeat("ab", 32)
+	ent := &engine.Entry{Name: "k.c", Source: kernelSrc, Object: []byte{0, 1, 2, 254, 255}}
+	if _, ok := d.Load(key); ok {
+		t.Fatal("hit on empty store")
+	}
+	if err := d.Store(key, ent); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := d.Load(key)
+	if !ok {
+		t.Fatal("stored entry missed")
+	}
+	if got.Name != ent.Name || got.Source != ent.Source || string(got.Object) != string(ent.Object) {
+		t.Errorf("round-trip mismatch: %+v", got)
+	}
+	if d.Len() != 1 {
+		t.Errorf("Len = %d, want 1", d.Len())
+	}
+}
+
+func TestDiskRejectsBadKeys(t *testing.T) {
+	d := openStore(t)
+	for _, key := range []string{"", "ab", "../../etc/passwd", "ABCDEF012345", "zz" + strings.Repeat("a", 8)} {
+		if err := d.Store(key, &engine.Entry{}); err == nil {
+			t.Errorf("Store accepted key %q", key)
+		}
+		if _, ok := d.Load(key); ok {
+			t.Errorf("Load accepted key %q", key)
+		}
+	}
+}
+
+// TestDiskCorruptEntryIsMiss damages on-disk entries every way the
+// format can break and checks each reads back as a miss, not an error
+// and never a bogus entry.
+func TestDiskCorruptEntryIsMiss(t *testing.T) {
+	key := strings.Repeat("cd", 32)
+	ent := &engine.Entry{Name: "k.c", Source: kernelSrc, Object: []byte("object bytes")}
+	path := func(d *cachestore.Disk) string {
+		return filepath.Join(d.Dir(), "objects", key[:2], key+".mira")
+	}
+	corruptions := []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"truncated to half", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"truncated tail", func(b []byte) []byte { return b[:len(b)-5] }},
+		{"empty file", func(b []byte) []byte { return nil }},
+		{"flipped payload bit", func(b []byte) []byte { b[len(b)/2] ^= 1; return b }},
+		{"flipped checksum bit", func(b []byte) []byte { b[len(b)-1] ^= 1; return b }},
+		{"wrong magic", func(b []byte) []byte { b[0] = 'X'; return b }},
+		{"garbage", func(b []byte) []byte { return []byte("complete nonsense") }},
+		{"extra trailing bytes", func(b []byte) []byte { return append(b, 9, 9, 9) }},
+	}
+	for _, c := range corruptions {
+		d := openStore(t)
+		if err := d.Store(key, ent); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(path(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path(d), c.mut(raw), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if got, ok := d.Load(key); ok {
+			t.Errorf("%s: corrupt entry served: %+v", c.name, got)
+		}
+	}
+}
+
+// TestDiskEntryUnderWrongKey guards the content-addressing: an entry
+// copied to a different key's path must not be served.
+func TestDiskEntryUnderWrongKey(t *testing.T) {
+	d := openStore(t)
+	key1 := strings.Repeat("11", 32)
+	key2 := strings.Repeat("22", 32)
+	if err := d.Store(key1, &engine.Entry{Name: "a.c", Source: "x", Object: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	src := filepath.Join(d.Dir(), "objects", key1[:2], key1+".mira")
+	dst := filepath.Join(d.Dir(), "objects", key2[:2], key2+".mira")
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Load(key2); ok {
+		t.Error("entry served under a key it was not stored for")
+	}
+}
+
+// TestEngineDiskRoundTrip runs the full warm-restart flow through real
+// engines sharing one on-disk store; the -race gate covers concurrent
+// load/store against the same directory.
+func TestEngineDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	env := expr.EnvFromInts(map[string]int64{"n": 100})
+
+	d1, err := cachestore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := engine.New(engine.Options{Store: d1, Workers: 4})
+	m1, err := analyzeAndEval(cold, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Len() == 0 {
+		t.Fatal("nothing persisted")
+	}
+
+	// "Restart": a new store handle and a new engine over the same dir.
+	d2, err := cachestore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := engine.New(engine.Options{Store: d2, Workers: 4})
+	m2, err := analyzeAndEval(warm, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Errorf("warm restart diverged: %+v vs %+v", m2, m1)
+	}
+	var sb strings.Builder
+	if err := warm.Obs().WriteOpenMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := obs.Parse(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Value("mira_store_hits_total") == 0 {
+		t.Error("warm engine served no store hits")
+	}
+	if exp.Value("mira_analyze_seconds_count") != 0 {
+		t.Error("warm engine recompiled despite the disk cache")
+	}
+}
+
+func analyzeAndEval(e *engine.Engine, env expr.Env) (any, error) {
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a, err := e.Analyze("kernel.c", kernelSrc)
+			if err == nil {
+				_, _ = a.StaticMetrics("kernel", env)
+			}
+		}()
+	}
+	wg.Wait()
+	a, err := e.Analyze("kernel.c", kernelSrc)
+	if err != nil {
+		return nil, err
+	}
+	return a.StaticMetrics("kernel", env)
+}
+
+// BenchmarkColdVsWarmRestart measures what the persistent cache buys a
+// restarting process: Cold compiles benchprogs from scratch each
+// iteration (fresh engine, empty store); WarmRestart gives each fresh
+// engine a directory populated by a previous "process" so every program
+// rebuilds from its stored artifact.
+func BenchmarkColdVsWarmRestart(b *testing.B) {
+	jobs := []engine.Job{
+		{Name: "stream.c", Source: benchprogs.Stream},
+		{Name: "dgemm.c", Source: benchprogs.Dgemm},
+		{Name: "minife.c", Source: benchprogs.MiniFE},
+		{Name: "ablation.c", Source: benchprogs.Ablation},
+	}
+	run := func(b *testing.B, store func() engine.CacheStore) {
+		for i := 0; i < b.N; i++ {
+			e := engine.New(engine.Options{Store: store()})
+			if err := engine.Errors(e.AnalyzeAll(jobs)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("Cold", func(b *testing.B) {
+		run(b, func() engine.CacheStore {
+			d, err := cachestore.Open(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			return d
+		})
+	})
+	b.Run("WarmRestart", func(b *testing.B) {
+		dir := b.TempDir()
+		seedStore, err := cachestore.Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		seed := engine.New(engine.Options{Store: seedStore})
+		if err := engine.Errors(seed.AnalyzeAll(jobs)); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		run(b, func() engine.CacheStore {
+			d, err := cachestore.Open(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return d
+		})
+	})
+}

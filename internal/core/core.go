@@ -89,6 +89,59 @@ func Analyze(name, source string, opts Options) (*Pipeline, error) {
 	}, nil
 }
 
+// AnalyzeFromObject rebuilds a Pipeline from source text plus a
+// previously encoded object file — the warm path of a persistent cache.
+// The front end still runs (parse + sema are cheap and the metric
+// generator needs the source AST), but the compiler and the encode step
+// are skipped: the artifact is decoded from the stored bytes, exactly as
+// Analyze decodes its freshly encoded buffer. The caller is responsible
+// for only pairing object bytes with the source text and options that
+// produced them (a content-addressed store keyed on both does this by
+// construction).
+func AnalyzeFromObject(name, source string, object []byte, opts Options) (*Pipeline, error) {
+	file, err := parser.ParseFile(name, source)
+	if err != nil {
+		return nil, fmt.Errorf("core: parse: %w", err)
+	}
+	prog, err := sema.Analyze(file)
+	if err != nil {
+		return nil, fmt.Errorf("core: sema: %w", err)
+	}
+	decoded, err := objfile.Decode(object)
+	if err != nil {
+		return nil, fmt.Errorf("core: decode stored object: %w", err)
+	}
+	m, warns, err := metrics.Generate(prog, decoded, metrics.Config{Lenient: opts.Lenient})
+	if err != nil {
+		return nil, fmt.Errorf("core: metrics: %w", err)
+	}
+	a := opts.Arch
+	if a == nil {
+		a = arch.Generic()
+	}
+	return &Pipeline{
+		Name:     name,
+		Source:   source,
+		File:     file,
+		Prog:     prog,
+		Obj:      decoded,
+		Model:    m,
+		Arch:     a,
+		Warnings: warns,
+	}, nil
+}
+
+// EncodeObject re-encodes the pipeline's object file to its portable byte
+// form — the artifact a persistent cache stores so a later process can
+// AnalyzeFromObject instead of recompiling.
+func (p *Pipeline) EncodeObject() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := p.Obj.Encode(&buf); err != nil {
+		return nil, fmt.Errorf("core: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
 // StaticMetrics evaluates the model of fn (inclusive) under env.
 func (p *Pipeline) StaticMetrics(fn string, env expr.Env) (model.Metrics, error) {
 	return p.Model.Evaluate(fn, env)

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mira/internal/core"
 	"mira/internal/expr"
@@ -27,7 +28,20 @@ type Analysis struct {
 
 	evalHits   atomic.Int64
 	evalMisses atomic.Int64
+
+	// met mirrors the counters into the owning engine's observability
+	// registry; nil for standalone NewAnalysis wrappers.
+	met *metricsSet
+	// key is the engine content hash this analysis is cached under;
+	// empty for standalone wrappers.
+	key string
 }
+
+// Key returns the engine's content-hash cache key for this analysis
+// (empty for analyses not produced by an Engine). Serving layers hand it
+// to clients so later queries can reference the program without
+// resending — and without re-hashing — its source.
+func (a *Analysis) Key() string { return a.key }
 
 // evalKey identifies one memoized query point.
 type evalKey struct {
@@ -44,6 +58,36 @@ func NewAnalysis(p *core.Pipeline) *Analysis {
 		Pipeline: p,
 		metrics:  map[evalKey]model.Metrics{},
 		opcodes:  map[evalKey]map[ir.Op]int64{},
+	}
+}
+
+// newAnalysis wraps a pipeline with the engine's metrics and cache key
+// attached.
+func (e *Engine) newAnalysis(p *core.Pipeline, key string) *Analysis {
+	a := NewAnalysis(p)
+	a.met = e.met
+	a.key = key
+	return a
+}
+
+// memoLen reports the number of memoized evaluation entries.
+func (a *Analysis) memoLen() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.metrics) + len(a.opcodes)
+}
+
+// observeEval records one memo outcome into the engine registry (no-op
+// for standalone analyses). seconds is only meaningful for misses.
+func (a *Analysis) observeEval(hit bool, seconds float64) {
+	if a.met == nil {
+		return
+	}
+	if hit {
+		a.met.evalHits.Inc()
+	} else {
+		a.met.evalMisses.Inc()
+		a.met.eval.Observe(seconds)
 	}
 }
 
@@ -83,15 +127,18 @@ func (a *Analysis) cachedMetrics(fn string, env expr.Env, exclusive bool) (model
 	a.mu.RUnlock()
 	if ok {
 		a.evalHits.Add(1)
+		a.observeEval(true, 0)
 		return met, nil
 	}
 	a.evalMisses.Add(1)
-	var err error
-	if exclusive {
-		met, err = a.Pipeline.StaticMetricsExclusive(fn, env)
-	} else {
-		met, err = a.Pipeline.StaticMetrics(fn, env)
-	}
+	start := time.Now()
+	met, err := safely("evaluation", func() (model.Metrics, error) {
+		if exclusive {
+			return a.Pipeline.StaticMetricsExclusive(fn, env)
+		}
+		return a.Pipeline.StaticMetrics(fn, env)
+	})
+	a.observeEval(false, time.Since(start).Seconds())
 	if err != nil {
 		// Errors are not cached: they are rare (bad function name or an
 		// unbound parameter) and carry no reuse value.
@@ -112,10 +159,15 @@ func (a *Analysis) EvaluateOpcodes(fn string, env expr.Env) (map[ir.Op]int64, er
 	a.mu.RUnlock()
 	if ok {
 		a.evalHits.Add(1)
+		a.observeEval(true, 0)
 		return copyOps(ops), nil
 	}
 	a.evalMisses.Add(1)
-	ops, err := a.Model.EvaluateOpcodes(fn, env)
+	start := time.Now()
+	ops, err := safely("evaluation", func() (map[ir.Op]int64, error) {
+		return a.Model.EvaluateOpcodes(fn, env)
+	})
+	a.observeEval(false, time.Since(start).Seconds())
 	if err != nil {
 		return nil, err
 	}

@@ -1,13 +1,23 @@
 // Package engine turns the one-shot core.Analyze pipeline into a
-// concurrent, cache-backed analysis service. It provides three layers:
+// concurrent, cache-backed analysis service. It provides four layers:
 //
 //   - a worker-pool batch API (AnalyzeAll) that analyzes many named
 //     sources with bounded parallelism and per-item error collection,
 //   - a content-hash pipeline cache with singleflight-style dedup, so
 //     identical source text is parsed/compiled/decoded at most once no
-//     matter how many callers race for it, and
+//     matter how many callers race for it,
+//   - a pluggable persistent CacheStore beneath the live cache: compiled
+//     artifacts survive the process, and a warm restart decodes the
+//     stored object file instead of recompiling (see cachestore for the
+//     content-addressed on-disk implementation), and
 //   - a memoized evaluation layer (Analysis) keyed on (function, env)
 //     that makes repeated model queries O(map lookup).
+//
+// Every layer reports into an obs.Registry — cache hits and misses,
+// per-stage latency, in-flight analyses, memo sizes — which mira-serve
+// exposes at /metrics in OpenMetrics text format. Panics reachable
+// through hostile inputs are converted to errors at this boundary so a
+// resident server survives them.
 //
 // The underlying pipeline is immutable after construction and the model
 // evaluator is pure, so one cached Analysis can safely serve any number
@@ -22,8 +32,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mira/internal/core"
+	"mira/internal/obs"
 )
 
 // Options configures an Engine.
@@ -33,6 +45,25 @@ type Options struct {
 	Workers int
 	// Core is passed through to every core.Analyze call.
 	Core core.Options
+	// Store, when non-nil, persists compiled artifacts across engines
+	// (and, with a disk-backed store, across process restarts): a live-
+	// cache miss consults the store and rebuilds from the stored object
+	// file instead of recompiling.
+	Store CacheStore
+	// MaxResident bounds the number of entries (successes and cached
+	// failures) the live cache keeps; zero means unlimited. When the
+	// bound is exceeded, completed entries are evicted arbitrarily —
+	// callers holding an evicted Analysis keep a fully usable (immutable)
+	// object, and re-analyzing the same source recompiles or restores
+	// from the Store. A network-facing service must set this: untrusted
+	// clients can otherwise grow the cache without limit.
+	MaxResident int
+	// Obs receives the engine's metrics (cache hit/miss counters,
+	// per-stage latency, in-flight and memo-size gauges). Nil means a
+	// private registry, reachable via Engine.Obs. A registry can host at
+	// most one engine: a second New with the same registry panics on the
+	// duplicate metric names.
+	Obs *obs.Registry
 }
 
 // Engine is a concurrent analysis service over the core pipeline.
@@ -40,6 +71,9 @@ type Engine struct {
 	opts    Options
 	workers int
 	sem     chan struct{} // bounds concurrent core.Analyze work
+	store   CacheStore
+	reg     *obs.Registry
+	met     *metricsSet
 
 	mu    sync.Mutex
 	calls map[string]*call // content hash -> in-flight or completed
@@ -63,16 +97,29 @@ func New(opts Options) *Engine {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{
+	reg := opts.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	e := &Engine{
 		opts:    opts,
 		workers: w,
 		sem:     make(chan struct{}, w),
+		store:   opts.Store,
+		reg:     reg,
+		met:     newMetricsSet(reg),
 		calls:   map[string]*call{},
 	}
+	registerEngineGauges(reg, e)
+	return e
 }
 
 // Workers reports the engine's parallelism bound.
 func (e *Engine) Workers() int { return e.workers }
+
+// Obs returns the registry the engine's metrics live in (the one passed
+// via Options.Obs, or the engine's private registry).
+func (e *Engine) Obs() *obs.Registry { return e.reg }
 
 // cacheKey fingerprints the analysis inputs that determine the pipeline:
 // the source text plus every core option that changes compilation. The
@@ -93,8 +140,11 @@ func (e *Engine) cacheKey(source string) string {
 // Analyze runs the full pipeline on source, or returns the cached
 // Analysis if the same content (under the same options) was already
 // analyzed. Concurrent requests for the same content are deduplicated:
-// exactly one does the work. Failures are cached too — the pipeline is
-// deterministic, so retrying identical input cannot succeed.
+// exactly one does the work. On a live-cache miss, a configured
+// CacheStore is consulted first: a stored artifact is decoded and the
+// model regenerated, skipping the compiler entirely. Failures are cached
+// too — the pipeline is deterministic, so retrying identical input
+// cannot succeed.
 func (e *Engine) Analyze(name, source string) (*Analysis, error) {
 	key := e.cacheKey(source)
 	e.mu.Lock()
@@ -102,6 +152,7 @@ func (e *Engine) Analyze(name, source string) (*Analysis, error) {
 		e.mu.Unlock()
 		<-c.done
 		e.hits.Add(1)
+		e.met.pipeHits.Inc()
 		if c.err != nil && name != c.name {
 			// The cached diagnostic cites the first requester's file
 			// name; make the provenance visible to this caller.
@@ -111,20 +162,124 @@ func (e *Engine) Analyze(name, source string) (*Analysis, error) {
 	}
 	c := &call{done: make(chan struct{}), name: name}
 	e.calls[key] = c
+	e.evictLocked()
 	e.mu.Unlock()
 	e.misses.Add(1)
+	e.met.pipeMisses.Inc()
 
 	e.sem <- struct{}{}
-	p, err := core.Analyze(name, source, e.opts.Core)
+	e.met.inflight.Inc()
+	c.a, c.err = e.build(name, source, key)
+	e.met.inflight.Dec()
 	<-e.sem
 
-	if err != nil {
-		c.err = err
-	} else {
-		c.a = NewAnalysis(p)
-	}
 	close(c.done)
 	return c.a, c.err
+}
+
+// build produces the Analysis for one live-cache miss: try the
+// persistent store's artifact (warm path: decode + model regeneration,
+// no compiler), fall back to the full pipeline, and persist the fresh
+// artifact for the next process. Both paths are panic-guarded — expr
+// constructor contract violations reachable through hostile source must
+// surface as errors at this boundary, not kill a resident server.
+func (e *Engine) build(name, source, key string) (*Analysis, error) {
+	if e.store != nil {
+		if ent, ok := e.store.Load(key); ok {
+			// Trust nothing: the entry must be for this exact source.
+			if ent.Source == source {
+				start := time.Now()
+				p, err := safely("rebuild", func() (*core.Pipeline, error) {
+					return core.AnalyzeFromObject(name, source, ent.Object, e.opts.Core)
+				})
+				if err == nil {
+					e.met.rebuild.Observe(time.Since(start).Seconds())
+					e.met.storeHits.Inc()
+					return e.newAnalysis(p, key), nil
+				}
+			}
+			// Corrupt, stale, or mismatched entry: degrade to recompile.
+			e.met.storeErrors.Inc()
+		} else {
+			e.met.storeMisses.Inc()
+		}
+	}
+	start := time.Now()
+	p, err := safely("analysis", func() (*core.Pipeline, error) {
+		return core.Analyze(name, source, e.opts.Core)
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.met.analyze.Observe(time.Since(start).Seconds())
+	if e.store != nil {
+		if object, encErr := p.EncodeObject(); encErr == nil {
+			if err := e.store.Store(key, &Entry{Name: name, Source: source, Object: object}); err != nil {
+				e.met.storeErrors.Inc()
+			}
+		} else {
+			e.met.storeErrors.Inc()
+		}
+	}
+	return e.newAnalysis(p, key), nil
+}
+
+// safely converts a panic from fn into an error. The expr package's
+// constructors enforce contracts by panicking (zero floor-div divisors,
+// non-positive loop steps); hostile inputs to a resident service can
+// reach them, and the engine boundary is where they become 4xx material
+// instead of a dead process.
+func safely[T any](what string, fn func() (T, error)) (out T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine: %s panicked: %v", what, r)
+		}
+	}()
+	return fn()
+}
+
+// evictLocked trims the live cache to Options.MaxResident by deleting
+// completed entries (map order, i.e. arbitrary victims). In-flight calls
+// are never touched — their waiters hold the call pointer and the
+// singleflight contract must hold. Callers must hold e.mu.
+func (e *Engine) evictLocked() {
+	max := e.opts.MaxResident
+	if max <= 0 || len(e.calls) <= max {
+		return
+	}
+	for k, c := range e.calls {
+		if len(e.calls) <= max {
+			return
+		}
+		select {
+		case <-c.done:
+			delete(e.calls, k)
+			e.met.evictions.Inc()
+		default:
+		}
+	}
+}
+
+// Key returns the content-hash cache key Analyze would use for source —
+// the handle mira-serve hands to clients so /eval can reference an
+// already-analyzed program without resending its text.
+func (e *Engine) Key(source string) string { return e.cacheKey(source) }
+
+// Lookup returns the completed Analysis cached under key, if any.
+// In-flight analyses are not waited for.
+func (e *Engine) Lookup(key string) (*Analysis, bool) {
+	e.mu.Lock()
+	c, ok := e.calls[key]
+	e.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	select {
+	case <-c.done:
+		return c.a, c.a != nil
+	default:
+		return nil, false
+	}
 }
 
 // Job names one source text for batch analysis.

@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"mira/internal/core"
+	"mira/internal/expr"
+	"mira/internal/ir"
+	"mira/internal/model"
+	"mira/internal/rational"
+)
+
+// panicPipeline hand-builds a pipeline whose model panics on evaluation:
+// a FloorDiv with a zero divisor constructed directly (bypassing the
+// NewFloorDiv contract check), which hits rational's division-by-zero
+// panic at eval time. No source program can produce this through the
+// front end — the point is that a resident service must survive even
+// model state that violates the constructors' contracts.
+func panicPipeline() *core.Pipeline {
+	f := &model.Func{
+		Name: "boom",
+		Sites: []*model.Site{{
+			Line: 1, Col: 1, Desc: "zero-divisor floor division",
+			Ops:    map[ir.Op]int64{ir.ADDSD: 1},
+			Instrs: 1,
+			Mult:   expr.FloorDiv{X: expr.P("n"), D: rational.Zero},
+		}},
+	}
+	return &core.Pipeline{
+		Name:  "boom.c",
+		Model: &model.Model{SourceName: "boom.c", Order: []string{"boom"}, Funcs: map[string]*model.Func{"boom": f}},
+	}
+}
+
+// TestEvalPanicBecomesError checks the engine boundary converts eval-time
+// panics (the ISSUE's floor-division-by-zero case) into errors on both
+// evaluation paths, so a hostile /eval request gets a 4xx instead of
+// killing the daemon.
+func TestEvalPanicBecomesError(t *testing.T) {
+	e := New(Options{})
+	a := e.newAnalysis(panicPipeline(), "")
+	env := expr.EnvFromInts(map[string]int64{"n": 7})
+
+	if _, err := a.StaticMetrics("boom", env); err == nil {
+		t.Fatal("eval panic not converted to error")
+	} else if !strings.Contains(err.Error(), "panicked") {
+		t.Errorf("err = %v, want panic conversion", err)
+	}
+	if _, err := a.EvaluateOpcodes("boom", env); err == nil {
+		t.Fatal("opcode eval panic not converted to error")
+	}
+	// The analysis must remain usable after a panic (no poisoned locks).
+	if _, err := a.StaticMetrics("missing", env); err == nil || strings.Contains(err.Error(), "panicked") {
+		t.Errorf("post-panic query err = %v, want ordinary lookup error", err)
+	}
+}
+
+// TestSafelyPassesThrough checks non-panicking calls are untouched.
+func TestSafelyPassesThrough(t *testing.T) {
+	v, err := safely("test", func() (int, error) { return 42, nil })
+	if v != 42 || err != nil {
+		t.Errorf("safely = %d, %v", v, err)
+	}
+	_, err = safely("test", func() (int, error) {
+		panic("expr: Trips requires positive step")
+	})
+	if err == nil || !strings.Contains(err.Error(), "Trips") {
+		t.Errorf("err = %v, want wrapped panic message", err)
+	}
+}

@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"mira/internal/obs"
+)
+
+// metricsSet groups the engine's observability instruments. Every engine
+// has one (over a private registry when the caller supplied none), so the
+// hot paths never nil-check.
+//
+// Exposed series, in OpenMetrics terms:
+//
+//	mira_pipeline_cache_hits/misses_total   live (in-process) cache
+//	mira_store_hits/misses/errors_total     persistent CacheStore
+//	mira_eval_memo_hits/misses_total        (function, env) memo
+//	mira_analyze_seconds                    cold compile latency (summary)
+//	mira_rebuild_seconds                    warm store-rebuild latency
+//	mira_eval_seconds                       model evaluation latency
+//	mira_analyses_inflight                  gauge
+//	mira_resident_analyses                  gauge (scrape-computed)
+//	mira_eval_memo_entries                  gauge (scrape-computed)
+type metricsSet struct {
+	pipeHits    *obs.Counter
+	pipeMisses  *obs.Counter
+	storeHits   *obs.Counter
+	storeMisses *obs.Counter
+	storeErrors *obs.Counter
+	evalHits    *obs.Counter
+	evalMisses  *obs.Counter
+	evictions   *obs.Counter
+
+	analyze *obs.Summary
+	rebuild *obs.Summary
+	eval    *obs.Summary
+
+	inflight *obs.Gauge
+}
+
+func newMetricsSet(r *obs.Registry) *metricsSet {
+	return &metricsSet{
+		pipeHits:    r.Counter("mira_pipeline_cache_hits", "analyses served from the live content-hash cache"),
+		pipeMisses:  r.Counter("mira_pipeline_cache_misses", "analyses that missed the live cache"),
+		storeHits:   r.Counter("mira_store_hits", "analyses rebuilt from the persistent cache store"),
+		storeMisses: r.Counter("mira_store_misses", "persistent-store lookups that missed"),
+		storeErrors: r.Counter("mira_store_errors", "persistent-store entries that failed to load, verify, or save"),
+		evalHits:    r.Counter("mira_eval_memo_hits", "model evaluations served from the (function, env) memo"),
+		evalMisses:  r.Counter("mira_eval_memo_misses", "model evaluations that walked the model"),
+		evictions:   r.Counter("mira_cache_evictions", "live-cache entries evicted under the MaxResident bound"),
+		analyze:     r.Summary("mira_analyze_seconds", "cold pipeline analysis latency"),
+		rebuild:     r.Summary("mira_rebuild_seconds", "warm rebuild-from-store latency"),
+		eval:        r.Summary("mira_eval_seconds", "model evaluation latency (memo misses)"),
+		inflight:    r.Gauge("mira_analyses_inflight", "pipeline analyses currently running"),
+	}
+}
+
+// registerEngineGauges adds the scrape-computed gauges that walk the
+// engine's live cache. Registered from New, after the engine exists.
+func registerEngineGauges(r *obs.Registry, e *Engine) {
+	r.GaugeFunc("mira_resident_analyses", "completed analyses resident in the live cache", func() float64 {
+		n, _ := e.residentStats()
+		return float64(n)
+	})
+	r.GaugeFunc("mira_eval_memo_entries", "total memoized evaluation entries across resident analyses", func() float64 {
+		_, entries := e.residentStats()
+		return float64(entries)
+	})
+}
+
+// residentStats counts completed successful analyses and their memo
+// entries. Only calls whose done channel is closed are touched, so the
+// walk never races with a writer or blocks on an in-flight compile.
+func (e *Engine) residentStats() (resident, memoEntries int) {
+	e.mu.Lock()
+	calls := make([]*call, 0, len(e.calls))
+	for _, c := range e.calls {
+		calls = append(calls, c)
+	}
+	e.mu.Unlock()
+	for _, c := range calls {
+		select {
+		case <-c.done:
+			if c.a != nil {
+				resident++
+				memoEntries += c.a.memoLen()
+			}
+		default:
+		}
+	}
+	return resident, memoEntries
+}

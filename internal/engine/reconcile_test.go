@@ -1,0 +1,85 @@
+package engine_test
+
+import (
+	"testing"
+
+	"mira/internal/benchprogs"
+	"mira/internal/core"
+	"mira/internal/expr"
+)
+
+// TestEvaluateOpcodesReconciles checks, for every benchprogs program and
+// every function its model defines, that the two model walkers agree:
+// the sum of EvaluateOpcodes' per-opcode counts must equal Evaluate's
+// instruction total, and the two must succeed or fail together. This is
+// the guard against the walkers drifting apart (rounding, argument
+// binding) — a divergence here poisons Table II and every persisted
+// cache entry derived from it.
+func TestEvaluateOpcodesReconciles(t *testing.T) {
+	// A generous environment superset: every parameter any benchprogs
+	// function declares, at sizes small enough to enumerate quickly.
+	env := expr.EnvFromInts(map[string]int64{
+		"n": 60, "nrep": 3,
+		"nx": 6, "ny": 6, "nz": 6,
+		"max_iter": 5, "nnz_row": 19,
+	})
+	programs := []struct {
+		name   string
+		source string
+	}{
+		{"stream.c", benchprogs.Stream},
+		{"dgemm.c", benchprogs.Dgemm},
+		{"minife.c", benchprogs.MiniFE},
+		{"fig5.c", benchprogs.Fig5},
+		{"listing1.c", benchprogs.Listing1},
+		{"listing2.c", benchprogs.Listing2},
+		{"listing4.c", benchprogs.Listing4},
+		{"listing5.c", benchprogs.Listing5},
+		{"ablation.c", benchprogs.Ablation},
+		// A br_frac-annotated kernel: fractional multiplicities are where
+		// the truncate-vs-round divergence used to bite.
+		{"brfrac.c", `
+double work(double v) {
+	double t;
+	t = v * 2.0 + 1.0;
+	return t;
+}
+double kernel(double *x, int n) {
+	double s; int i;
+	s = 0.0;
+	for (i = 0; i < n; i++) {
+		#pragma @Annotation {br_frac:0.37}
+		if (x[i] > 0.5) {
+			s = s + work(x[i]);
+		}
+	}
+	return s;
+}`},
+	}
+	for _, prog := range programs {
+		p, err := core.Analyze(prog.name, prog.source, core.Options{})
+		if err != nil {
+			t.Fatalf("%s: analyze: %v", prog.name, err)
+		}
+		for _, fn := range p.Model.Order {
+			met, errEval := p.Model.Evaluate(fn, env)
+			ops, errOps := p.Model.EvaluateOpcodes(fn, env)
+			if (errEval == nil) != (errOps == nil) {
+				t.Errorf("%s %s: walkers disagree on evaluability: Evaluate err=%v, EvaluateOpcodes err=%v",
+					prog.name, fn, errEval, errOps)
+				continue
+			}
+			if errEval != nil {
+				continue // both failed (e.g. unresolved call argument): consistent
+			}
+			var total int64
+			for _, c := range ops {
+				total += c
+			}
+			if total != met.Instrs {
+				t.Errorf("%s %s: opcode total %d != Evaluate instrs %d",
+					prog.name, fn, total, met.Instrs)
+			}
+		}
+	}
+}

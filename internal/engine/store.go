@@ -1,0 +1,65 @@
+package engine
+
+import "sync"
+
+// Entry is one persisted analysis artifact: the inputs plus the encoded
+// object file — enough for a later process to rebuild the pipeline with
+// core.AnalyzeFromObject instead of recompiling. Source rides along even
+// though the cache key already fingerprints it: a self-contained entry
+// lets stores verify integrity and the engine cross-check that a loaded
+// entry really belongs to the request before trusting it.
+type Entry struct {
+	Name   string
+	Source string
+	Object []byte
+}
+
+// CacheStore persists compiled artifacts keyed by the engine's content
+// hash. Implementations must be safe for concurrent use and must treat
+// unreadable or corrupt entries as misses (Load ok=false), never as
+// errors — a damaged cache degrades to a recompile, it does not take the
+// service down. Store errors are reported so callers can count them, but
+// the engine treats a failed Store as advisory: the analysis it just
+// built is still served.
+type CacheStore interface {
+	Load(key string) (*Entry, bool)
+	Store(key string, e *Entry) error
+}
+
+// MemoryStore is the in-process CacheStore: a mutex-guarded map, the
+// persistence shape the engine's live cache had before the interface was
+// extracted. It buys nothing over the engine's own singleflight map for
+// a single engine, but gives tests and multi-engine setups a shared
+// store with zero I/O.
+type MemoryStore struct {
+	mu sync.Mutex
+	m  map[string]*Entry
+}
+
+// NewMemoryStore returns an empty in-memory store.
+func NewMemoryStore() *MemoryStore {
+	return &MemoryStore{m: map[string]*Entry{}}
+}
+
+// Load returns the entry stored under key.
+func (s *MemoryStore) Load(key string) (*Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[key]
+	return e, ok
+}
+
+// Store saves e under key.
+func (s *MemoryStore) Store(key string, e *Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = e
+	return nil
+}
+
+// Len reports the number of stored entries.
+func (s *MemoryStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}

@@ -126,6 +126,63 @@ func (f *Func) FreeParams() []string {
 	return out
 }
 
+// roundMult converts an evaluated multiplicity to an integer count.
+// Fractional multiplicities arise from br_frac annotations; every model
+// walker must round identically — to nearest, ties up — or the per-opcode
+// view (Table II, the fine categories) silently drifts from Evaluate.
+func roundMult(mult rational.Rat) int64 {
+	if mi, ok := mult.Int64(); ok {
+		return mi
+	}
+	mi, _ := mult.Add(rational.FromFrac(1, 2)).Floor().Int64()
+	return mi
+}
+
+// bindEnv builds the callee environment for one call from the caller's:
+// inherit everything, then override with statically derived argument
+// bindings. Arguments the analysis could not derive (nil expressions) and
+// arguments whose expressions are not computable in this environment fall
+// back to the mangled-name convention (paper's "y_16"); when the mangled
+// name is also unbound, a nil argument deletes the parameter so the callee
+// reports it unbound, while an uncomputable expression is a hard error.
+// unresolved lists the mangled names the environment did not supply, for
+// diagnostics on callee failure. Both model walkers must build callee
+// environments through this one helper — a caller-scope binding leaking
+// through for one walker but not the other evaluates the same program in
+// two different environments.
+func (c *Call) bindEnv(env expr.Env) (childEnv expr.Env, unresolved []string, err error) {
+	childEnv = make(expr.Env, len(env)+len(c.Args))
+	for k, v := range env {
+		childEnv[k] = v
+	}
+	for param, argE := range c.Args {
+		if argE == nil {
+			mangled := MangledParam(param, c.Line)
+			if v, ok := env[mangled]; ok {
+				childEnv[param] = v
+			} else {
+				delete(childEnv, param)
+				unresolved = append(unresolved, mangled)
+			}
+			continue
+		}
+		v, evalErr := expr.Eval(argE, env)
+		if evalErr != nil {
+			// Not computable in this environment; fall back to the
+			// mangled-name convention.
+			mangled := MangledParam(param, c.Line)
+			if mv, ok := env[mangled]; ok {
+				childEnv[param] = mv
+				continue
+			}
+			return nil, nil, fmt.Errorf("argument %q of %s at line %d: %w (bind %q to supply it)",
+				param, c.Callee, c.Line, evalErr, mangled)
+		}
+		childEnv[param] = v
+	}
+	return childEnv, unresolved, nil
+}
+
 // EvalOptions tunes evaluation.
 type EvalOptions struct {
 	// Exclusive skips callee contributions.
@@ -164,12 +221,7 @@ func (m *Model) eval(name string, env expr.Env, opts EvalOptions, depth int) (Me
 		if err != nil {
 			return out, fmt.Errorf("model: %s line %d: %w", name, s.Line, err)
 		}
-		mi, okInt := mult.Int64()
-		if !okInt {
-			// Fractional multiplicities arise from br_frac annotations;
-			// round to nearest.
-			mi, _ = mult.Add(rational.FromFrac(1, 2)).Floor().Int64()
-		}
+		mi := roundMult(mult)
 		for c := range s.Counts {
 			out.ByCategory[c] += s.Counts[c] * mi
 		}
@@ -184,42 +236,13 @@ func (m *Model) eval(name string, env expr.Env, opts EvalOptions, depth int) (Me
 		if err != nil {
 			return out, fmt.Errorf("model: %s call to %s at line %d: %w", name, call.Callee, call.Line, err)
 		}
-		mi, okInt := mult.Int64()
-		if !okInt {
-			mi, _ = mult.Add(rational.FromFrac(1, 2)).Floor().Int64()
-		}
+		mi := roundMult(mult)
 		if mi == 0 {
 			continue
 		}
-		childEnv := make(expr.Env, len(env)+len(call.Args))
-		for k, v := range env {
-			childEnv[k] = v
-		}
-		var unresolved []string
-		for param, argE := range call.Args {
-			if argE == nil {
-				mangled := MangledParam(param, call.Line)
-				if v, okM := env[mangled]; okM {
-					childEnv[param] = v
-				} else {
-					delete(childEnv, param)
-					unresolved = append(unresolved, mangled)
-				}
-				continue
-			}
-			v, err := expr.Eval(argE, env)
-			if err != nil {
-				// Not computable in this environment; fall back to the
-				// mangled-name convention.
-				mangled := MangledParam(param, call.Line)
-				if mv, okM := env[mangled]; okM {
-					childEnv[param] = mv
-					continue
-				}
-				return out, fmt.Errorf("model: %s: argument %q of %s at line %d: %w (bind %q to supply it)",
-					name, param, call.Callee, call.Line, err, MangledParam(param, call.Line))
-			}
-			childEnv[param] = v
+		childEnv, unresolved, err := call.bindEnv(env)
+		if err != nil {
+			return out, fmt.Errorf("model: %s: %w", name, err)
 		}
 		sub, err := m.eval(call.Callee, childEnv, opts, depth+1)
 		if err != nil {
@@ -260,10 +283,7 @@ func (m *Model) evalOpcodes(name string, env expr.Env, depth int, acc map[ir.Op]
 		if err != nil {
 			return fmt.Errorf("model: %s line %d: %w", name, s.Line, err)
 		}
-		mi, okInt := mult.Int64()
-		if !okInt {
-			mi, _ = mult.Add(rational.FromFrac(1, 2)).Floor().Int64()
-		}
+		mi := roundMult(mult)
 		for op, n := range s.Ops {
 			acc[op] += n * mi
 		}
@@ -271,31 +291,23 @@ func (m *Model) evalOpcodes(name string, env expr.Env, depth int, acc map[ir.Op]
 	for _, call := range f.Calls {
 		mult, err := expr.Eval(call.Mult, env)
 		if err != nil {
-			return err
+			return fmt.Errorf("model: %s call to %s at line %d: %w", name, call.Callee, call.Line, err)
 		}
-		mi, _ := mult.Int64()
+		mi := roundMult(mult)
 		if mi == 0 {
 			continue
 		}
-		childEnv := make(expr.Env, len(env)+len(call.Args))
-		for k, v := range env {
-			childEnv[k] = v
-		}
-		for param, argE := range call.Args {
-			if argE == nil {
-				if v, okM := env[MangledParam(param, call.Line)]; okM {
-					childEnv[param] = v
-				} else {
-					delete(childEnv, param)
-				}
-				continue
-			}
-			if v, err := expr.Eval(argE, env); err == nil {
-				childEnv[param] = v
-			}
+		childEnv, unresolved, err := call.bindEnv(env)
+		if err != nil {
+			return fmt.Errorf("model: %s: %w", name, err)
 		}
 		sub := map[ir.Op]int64{}
 		if err := m.evalOpcodes(call.Callee, childEnv, depth+1, sub); err != nil {
+			if len(unresolved) > 0 {
+				return fmt.Errorf("%w (call at line %d has statically unresolved arguments; "+
+					"bind them in the environment as %v — the paper's y_16 convention)",
+					err, call.Line, unresolved)
+			}
 			return err
 		}
 		for op, n := range sub {

@@ -6,6 +6,7 @@ import (
 
 	"mira/internal/expr"
 	"mira/internal/ir"
+	"mira/internal/rational"
 )
 
 // buildModel constructs a small two-function model by hand:
@@ -192,5 +193,172 @@ func TestPyFuncNameConventions(t *testing.T) {
 		if got := PyFuncName(c.f); got != c.want {
 			t.Errorf("PyFuncName(%s) = %q, want %q", c.f.Name, got, c.want)
 		}
+	}
+}
+
+// opsTotal sums a per-opcode count map — the instruction total the
+// opcode walker implies.
+func opsTotal(ops map[ir.Op]int64) int64 {
+	var n int64
+	for _, c := range ops {
+		n += c
+	}
+	return n
+}
+
+// fracModel builds a model whose multiplicities are fractional (the
+// br_frac shape): a site executed n/4 times and a callee invoked 5/2
+// times. Both walkers must round these identically.
+func fracModel() *Model {
+	leaf := &Func{
+		Name: "leaf",
+		Sites: []*Site{
+			{
+				Line: 2, Col: 1, Desc: "body",
+				Counts: catVec(ir.CatSSEArith, 1),
+				Ops:    map[ir.Op]int64{ir.ADDSD: 1},
+				Flops:  1, Instrs: 1,
+				Mult: expr.Const(7),
+			},
+		},
+	}
+	top := &Func{
+		Name:   "top",
+		Params: []string{"n"},
+		Sites: []*Site{
+			{
+				Line: 10, Col: 1, Desc: "guarded",
+				Counts: catVec(ir.CatSSEArith, 1),
+				Ops:    map[ir.Op]int64{ir.MULSD: 1},
+				Flops:  1, Instrs: 1,
+				// n/4 executions: fractional for n not divisible by 4.
+				Mult: expr.NewMul(expr.ConstRat(rational.FromFrac(1, 4)), expr.P("n")),
+			},
+		},
+		Calls: []*Call{
+			{
+				Callee: "leaf", Line: 12,
+				// 5/2 invocations: rounds to 3, truncates to 2.
+				Mult: expr.ConstRat(rational.FromFrac(5, 2)),
+				Args: map[string]expr.Expr{},
+			},
+		},
+	}
+	return &Model{
+		SourceName: "frac.c",
+		Order:      []string{"leaf", "top"},
+		Funcs:      map[string]*Func{"leaf": leaf, "top": top},
+	}
+}
+
+// TestFractionalMultiplicityAgreement is the regression test for the
+// rounding divergence: evalOpcodes used to truncate fractional
+// multiplicities where eval rounded to nearest, so Table II totals
+// disagreed with Evaluate on br_frac-annotated programs.
+func TestFractionalMultiplicityAgreement(t *testing.T) {
+	m := fracModel()
+	for _, n := range []int64{1, 2, 3, 5, 6, 7, 101, 102, 103} {
+		env := expr.EnvFromInts(map[string]int64{"n": n})
+		met, err := m.Evaluate("top", env)
+		if err != nil {
+			t.Fatalf("n=%d: Evaluate: %v", n, err)
+		}
+		ops, err := m.EvaluateOpcodes("top", env)
+		if err != nil {
+			t.Fatalf("n=%d: EvaluateOpcodes: %v", n, err)
+		}
+		if got := opsTotal(ops); got != met.Instrs {
+			t.Errorf("n=%d: opcode total %d != Evaluate instrs %d", n, got, met.Instrs)
+		}
+	}
+	// Spot-check the rounding direction: n=2 gives site mult 1/2 -> 1
+	// (round to nearest, ties up) and call mult 5/2 -> 3 calls of 7.
+	env := expr.EnvFromInts(map[string]int64{"n": 2})
+	met, err := m.Evaluate("top", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(1 + 3*7); met.Instrs != want {
+		t.Errorf("Instrs = %d, want %d", met.Instrs, want)
+	}
+	ops, err := m.EvaluateOpcodes("top", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops[ir.ADDSD] != 21 || ops[ir.MULSD] != 1 {
+		t.Errorf("ops = %v, want ADDSD=21 MULSD=1", ops)
+	}
+}
+
+// bindModel builds a caller whose argument expression is not computable
+// (it references an unbound name) while the caller's own scope binds the
+// callee's parameter name — the shape where evalOpcodes used to leak the
+// stale caller binding into the callee instead of applying the
+// mangled-name fallback.
+func bindModel() *Model {
+	callee := &Func{
+		Name:   "callee",
+		Params: []string{"m"},
+		Sites: []*Site{
+			{
+				Line: 2, Col: 1, Desc: "body",
+				Counts: catVec(ir.CatSSEArith, 1),
+				Ops:    map[ir.Op]int64{ir.ADDSD: 1},
+				Flops:  1, Instrs: 1,
+				Mult: expr.P("m"),
+			},
+		},
+	}
+	caller := &Func{
+		Name:   "caller",
+		Params: []string{"m"}, // same name as the callee's parameter
+		Calls: []*Call{
+			{
+				Callee: "callee", Line: 12,
+				Mult:     expr.Const(1),
+				Args:     map[string]expr.Expr{"m": expr.P("q")}, // q never bound
+				ArgOrder: []string{"m"},
+			},
+		},
+	}
+	return &Model{
+		SourceName: "bind.c",
+		Order:      []string{"callee", "caller"},
+		Funcs:      map[string]*Func{"callee": callee, "caller": caller},
+	}
+}
+
+// TestCallArgBindingAgreement is the regression test for the argument-
+// binding divergence: with the mangled name bound, both walkers must use
+// it (not the caller-scope value); without it, both must fail the same
+// way rather than one walker silently reusing the caller's binding.
+func TestCallArgBindingAgreement(t *testing.T) {
+	m := bindModel()
+
+	// Mangled name supplied: callee sees m_12=100, not the caller's m=5.
+	env := expr.EnvFromInts(map[string]int64{"m": 5, "m_12": 100})
+	met, err := m.Evaluate("caller", env)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if met.Instrs != 100 {
+		t.Errorf("Evaluate instrs = %d, want 100 (mangled binding)", met.Instrs)
+	}
+	ops, err := m.EvaluateOpcodes("caller", env)
+	if err != nil {
+		t.Fatalf("EvaluateOpcodes: %v", err)
+	}
+	if ops[ir.ADDSD] != 100 {
+		t.Errorf("EvaluateOpcodes ADDSD = %d, want 100 (stale caller-scope binding leaked?)", ops[ir.ADDSD])
+	}
+
+	// Mangled name absent: both walkers must report the uncomputable
+	// argument, not fall back to the caller's m.
+	env = expr.EnvFromInts(map[string]int64{"m": 5})
+	if _, err := m.Evaluate("caller", env); err == nil || !strings.Contains(err.Error(), "m_12") {
+		t.Errorf("Evaluate err = %v, want mangled-name diagnostic", err)
+	}
+	if _, err := m.EvaluateOpcodes("caller", env); err == nil || !strings.Contains(err.Error(), "m_12") {
+		t.Errorf("EvaluateOpcodes err = %v, want mangled-name diagnostic", err)
 	}
 }

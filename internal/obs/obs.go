@@ -1,0 +1,234 @@
+// Package obs is Mira's observability layer: a small metrics registry
+// whose counters, gauges, and latency summaries expose in the OpenMetrics
+// text exposition format (the format Prometheus scrapes, ending in
+// "# EOF"). The analysis engine records cache hits/misses, per-stage
+// latency, in-flight analyses, and memo sizes into a Registry; mira-serve
+// exposes it at GET /metrics; Parse reads an exposition back, doubling as
+// the format lint the CI gate runs.
+//
+// The registry is deliberately tiny — no labels, no histogram buckets —
+// because every series Mira emits is a process-wide scalar. Counters are
+// monotonic (OpenMetrics requires the _total sample suffix), gauges move
+// both ways or are computed on scrape (GaugeFunc), and summaries track
+// observation count and sum, which is what per-stage latency needs for
+// rate()-style dashboards.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// kind is the OpenMetrics family type.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindSummary
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindSummary:
+		return "summary"
+	}
+	return "unknown"
+}
+
+var nameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// family is one registered metric family.
+type family struct {
+	name string
+	help string
+	kind kind
+
+	counter *Counter
+	gauge   *Gauge
+	summary *Summary
+	fn      func() float64 // GaugeFunc
+}
+
+// Registry holds metric families and writes them as one exposition.
+// All methods are safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+func (r *Registry) register(f *family) {
+	if !nameRE.MatchString(f.name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", f.name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[f.name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %q", f.name))
+	}
+	r.byName[f.name] = f
+	r.families = append(r.families, f)
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0; counters are monotonic).
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("obs: counter decrease")
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Counter registers and returns a counter family. The exposition sample
+// is name_total; pass the bare family name (no _total suffix).
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&family{name: name, help: help, kind: kindCounter, counter: c})
+	return c
+}
+
+// Gauge is a value that can move both ways.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Gauge registers and returns a gauge family.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&family{name: name, help: help, kind: kindGauge, gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge computed at scrape time — the right shape
+// for sizes of live structures (memo entries, resident analyses) that
+// would otherwise need write-path bookkeeping.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&family{name: name, help: help, kind: kindGauge, fn: fn})
+}
+
+// Summary tracks the count and sum of observations; per-stage latencies
+// observe their elapsed seconds here.
+type Summary struct {
+	mu    sync.Mutex
+	count int64
+	sum   float64
+}
+
+// Observe records one observation.
+func (s *Summary) Observe(v float64) {
+	s.mu.Lock()
+	s.count++
+	s.sum += v
+	s.mu.Unlock()
+}
+
+// Snapshot returns the observation count and sum.
+func (s *Summary) Snapshot() (count int64, sum float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count, s.sum
+}
+
+// Summary registers and returns a summary family (exposes name_count and
+// name_sum).
+func (r *Registry) Summary(name, help string) *Summary {
+	s := &Summary{}
+	r.register(&family{name: name, help: help, kind: kindSummary, summary: s})
+	return s
+}
+
+func fmtFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteOpenMetrics writes every family in registration order in the
+// OpenMetrics text exposition format, terminated by "# EOF".
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch f.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "%s_total %d\n", f.name, f.counter.Value())
+		case kindGauge:
+			if f.fn != nil {
+				_, err = fmt.Fprintf(w, "%s %s\n", f.name, fmtFloat(f.fn()))
+			} else {
+				_, err = fmt.Fprintf(w, "%s %d\n", f.name, f.gauge.Value())
+			}
+		case kindSummary:
+			count, sum := f.summary.Snapshot()
+			if _, err = fmt.Fprintf(w, "%s_count %d\n", f.name, count); err == nil {
+				_, err = fmt.Fprintf(w, "%s_sum %s\n", f.name, fmtFloat(sum))
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+// Names returns the registered family names, sorted (for tests and the
+// serve-stats printer).
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, f.name)
+	}
+	sort.Strings(out)
+	return out
+}

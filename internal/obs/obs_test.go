@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	hits := r.Counter("mira_cache_hits", "pipeline cache hits")
+	inflight := r.Gauge("mira_inflight", "in-flight analyses")
+	lat := r.Summary("mira_analyze_seconds", "analyze latency")
+	r.GaugeFunc("mira_memo_entries", "memo entries", func() float64 { return 42 })
+
+	hits.Add(3)
+	hits.Inc()
+	inflight.Inc()
+	inflight.Inc()
+	inflight.Dec()
+	lat.Observe(0.5)
+	lat.Observe(0.25)
+
+	var sb strings.Builder
+	if err := r.WriteOpenMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	exp, err := Parse(text)
+	if err != nil {
+		t.Fatalf("self-exposition fails lint: %v\n----\n%s", err, text)
+	}
+	checks := map[string]float64{
+		"mira_cache_hits_total":      4,
+		"mira_inflight":              1,
+		"mira_analyze_seconds_count": 2,
+		"mira_analyze_seconds_sum":   0.75,
+		"mira_memo_entries":          42,
+	}
+	for name, want := range checks {
+		if got := exp.Value(name); got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	if exp.Types["mira_cache_hits"] != "counter" || exp.Types["mira_analyze_seconds"] != "summary" {
+		t.Errorf("types = %v", exp.Types)
+	}
+	if !strings.HasSuffix(text, "# EOF\n") {
+		t.Error("exposition does not end with # EOF")
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	bad := []struct {
+		name, text string
+	}{
+		{"missing EOF", "# TYPE a counter\na_total 1\n"},
+		{"undeclared family", "# TYPE a counter\nb 1\n# EOF\n"},
+		{"counter without _total", "# TYPE a counter\na 1\n# EOF\n"},
+		{"negative counter", "# TYPE a counter\na_total -1\n# EOF\n"},
+		{"bad value", "# TYPE a gauge\na xyz\n# EOF\n"},
+		{"duplicate TYPE", "# TYPE a gauge\n# TYPE a gauge\na 1\n# EOF\n"},
+		{"duplicate sample", "# TYPE a gauge\na 1\na 2\n# EOF\n"},
+		{"interleaved families", "# TYPE a gauge\n# TYPE b gauge\na 1\nb 2\n# EOF\n"},
+		{"content after EOF", "# TYPE a gauge\na 1\n# EOF\nx 1\n"},
+		{"fractional summary count", "# TYPE s summary\ns_count 1.5\ns_sum 2\n# EOF\n"},
+		{"unknown type", "# TYPE a widget\na 1\n# EOF\n"},
+	}
+	for _, c := range bad {
+		if _, err := Parse(c.text); err == nil {
+			t.Errorf("%s: accepted:\n%s", c.name, c.text)
+		}
+	}
+}
+
+func TestParseAcceptsLabelsAndTimestamps(t *testing.T) {
+	text := "# TYPE a counter\n# HELP a with labels\na_total{shard=\"0\"} 5 1700000000\n# EOF\n"
+	exp, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Value("a_total") != 5 {
+		t.Errorf("a_total = %v", exp.Value("a_total"))
+	}
+}
+
+func TestCounterPanicsOnDecrease(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative Add accepted")
+		}
+	}()
+	NewRegistry().Counter("c", "").Add(-1)
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("g", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration accepted")
+		}
+	}()
+	r.Counter("g", "")
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	s := r.Summary("s", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				s.Observe(0.001)
+				var sb strings.Builder
+				_ = r.WriteOpenMetrics(&sb)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	var sb strings.Builder
+	if err := r.WriteOpenMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(sb.String()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Exposition is a parsed OpenMetrics text payload: sample name → value.
+// Sample names carry their suffixes (_total, _count, _sum), so a counter
+// family "x" appears as Samples["x_total"].
+type Exposition struct {
+	Samples map[string]float64
+	// Types maps each declared family name to its type string.
+	Types map[string]string
+}
+
+// Value returns a sample by exact name (0 when absent).
+func (e *Exposition) Value(name string) float64 { return e.Samples[name] }
+
+// Parse reads an OpenMetrics text exposition and validates the subset of
+// the format Mira emits. It is the lint the CI gate runs against a live
+// /metrics scrape, so it is strict where the spec is strict:
+//
+//   - every sample must belong to a family declared by a preceding
+//     "# TYPE" line, and families may not interleave;
+//   - a family may declare TYPE (and HELP) at most once;
+//   - counter samples must use the _total suffix and be non-negative;
+//   - summary samples must use the _count or _sum suffix, with _count a
+//     non-negative integer;
+//   - sample values must parse as floats, with no duplicate sample names;
+//   - the payload must end with exactly one "# EOF" line.
+func Parse(text string) (*Exposition, error) {
+	exp := &Exposition{Samples: map[string]float64{}, Types: map[string]string{}}
+	helped := map[string]bool{}
+	sawEOF := false
+	current := "" // family the sample block belongs to
+	for i, line := range strings.Split(text, "\n") {
+		lineNo := i + 1
+		if line == "" {
+			continue
+		}
+		if sawEOF {
+			return nil, fmt.Errorf("openmetrics: line %d: content after # EOF", lineNo)
+		}
+		if line == "# EOF" {
+			sawEOF = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || fields[0] != "#" {
+				return nil, fmt.Errorf("openmetrics: line %d: malformed comment %q", lineNo, line)
+			}
+			name := fields[2]
+			switch fields[1] {
+			case "TYPE":
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("openmetrics: line %d: TYPE needs a type", lineNo)
+				}
+				typ := fields[3]
+				switch typ {
+				case "counter", "gauge", "summary", "histogram", "info", "stateset", "unknown", "gaugehistogram":
+				default:
+					return nil, fmt.Errorf("openmetrics: line %d: unknown type %q", lineNo, typ)
+				}
+				if _, dup := exp.Types[name]; dup {
+					return nil, fmt.Errorf("openmetrics: line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				exp.Types[name] = typ
+				current = name
+			case "HELP":
+				if helped[name] {
+					return nil, fmt.Errorf("openmetrics: line %d: duplicate HELP for %q", lineNo, name)
+				}
+				helped[name] = true
+				if current != name {
+					if _, declared := exp.Types[name]; !declared {
+						return nil, fmt.Errorf("openmetrics: line %d: HELP for undeclared family %q", lineNo, name)
+					}
+				}
+			case "UNIT":
+				// accepted, unchecked
+			default:
+				return nil, fmt.Errorf("openmetrics: line %d: unknown comment %q", lineNo, fields[1])
+			}
+			continue
+		}
+		// Sample line: name[{labels}] value [timestamp].
+		rest := line
+		name := rest
+		if cut := strings.IndexAny(rest, "{ "); cut >= 0 {
+			name = rest[:cut]
+		}
+		if !nameRE.MatchString(name) {
+			return nil, fmt.Errorf("openmetrics: line %d: invalid sample name %q", lineNo, name)
+		}
+		rest = strings.TrimPrefix(rest, name)
+		if strings.HasPrefix(rest, "{") {
+			close := strings.Index(rest, "}")
+			if close < 0 {
+				return nil, fmt.Errorf("openmetrics: line %d: unterminated label set", lineNo)
+			}
+			rest = rest[close+1:]
+		}
+		fields := strings.Fields(rest)
+		if len(fields) < 1 || len(fields) > 2 {
+			return nil, fmt.Errorf("openmetrics: line %d: want `name value [timestamp]`, got %q", lineNo, line)
+		}
+		val, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("openmetrics: line %d: bad value %q: %v", lineNo, fields[0], err)
+		}
+		fam, suffix, err := sampleFamily(name, exp.Types)
+		if err != nil {
+			return nil, fmt.Errorf("openmetrics: line %d: %v", lineNo, err)
+		}
+		if fam != current {
+			return nil, fmt.Errorf("openmetrics: line %d: sample %q outside its family block (current %q)", lineNo, name, current)
+		}
+		switch exp.Types[fam] {
+		case "counter":
+			if suffix != "_total" && suffix != "_created" {
+				return nil, fmt.Errorf("openmetrics: line %d: counter sample %q must end in _total", lineNo, name)
+			}
+			if val < 0 {
+				return nil, fmt.Errorf("openmetrics: line %d: negative counter %q", lineNo, name)
+			}
+		case "summary":
+			switch suffix {
+			case "_count":
+				if val < 0 || val != float64(int64(val)) {
+					return nil, fmt.Errorf("openmetrics: line %d: summary count %q must be a non-negative integer", lineNo, name)
+				}
+			case "_sum", "":
+			default:
+				return nil, fmt.Errorf("openmetrics: line %d: unexpected summary sample %q", lineNo, name)
+			}
+		case "gauge":
+			if suffix != "" {
+				return nil, fmt.Errorf("openmetrics: line %d: gauge sample %q must not be suffixed", lineNo, name)
+			}
+		}
+		if _, dup := exp.Samples[name]; dup {
+			return nil, fmt.Errorf("openmetrics: line %d: duplicate sample %q", lineNo, name)
+		}
+		exp.Samples[name] = val
+	}
+	if !sawEOF {
+		return nil, fmt.Errorf("openmetrics: missing # EOF terminator")
+	}
+	return exp, nil
+}
+
+// sampleFamily resolves a sample name to its declared family and suffix.
+func sampleFamily(name string, types map[string]string) (fam, suffix string, err error) {
+	if _, ok := types[name]; ok {
+		return name, "", nil
+	}
+	for _, suf := range []string{"_total", "_count", "_sum", "_created", "_bucket"} {
+		if base, found := strings.CutSuffix(name, suf); found {
+			if _, ok := types[base]; ok {
+				return base, suf, nil
+			}
+		}
+	}
+	return "", "", fmt.Errorf("sample %q has no declared family", name)
+}

@@ -53,8 +53,20 @@ func TestComputeBoundKernel(t *testing.T) {
 
 func TestNoMovementError(t *testing.T) {
 	met := metricsWith(100, 0, 100)
-	if _, err := roofline.Analyze("k", met, arch.Generic()); err == nil {
-		t.Error("zero movement accepted")
+	an, err := roofline.Analyze("k", met, arch.Generic())
+	if err == nil {
+		t.Fatal("zero movement accepted")
+	}
+	if an != nil {
+		t.Errorf("error case returned a non-nil analysis: %+v", an)
+	}
+	if !strings.Contains(err.Error(), "k") || !strings.Contains(err.Error(), "no FP data movement") {
+		t.Errorf("err = %v, want the function named and the cause stated", err)
+	}
+	// All-zero metrics (an empty or integer-only function) take the same
+	// path — the intensity ratio must never divide by zero.
+	if _, err := roofline.Analyze("empty", model.Metrics{}, arch.Generic()); err == nil {
+		t.Error("all-zero metrics accepted")
 	}
 }
 
