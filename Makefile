@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: all check fmt-check vet build test race bench serve clean
+.PHONY: all check fmt-check vet build test race bench serve examples clean
 
 all: check
 
-check: fmt-check vet build race
+check: fmt-check vet build race examples
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -28,6 +28,12 @@ bench:
 
 serve:
 	$(GO) run ./cmd/mira-serve -cache-dir .mira-cache
+
+examples:
+	@set -e; for d in examples/*/; do \
+		echo "== go run ./$$d"; \
+		$(GO) run "./$$d" > /dev/null; \
+	done
 
 clean:
 	$(GO) clean ./...

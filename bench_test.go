@@ -7,6 +7,7 @@
 package mira_test
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -360,7 +361,7 @@ func BenchmarkEngineBatch_SerialVsParallel(b *testing.B) {
 	run := func(b *testing.B, workers int) {
 		for i := 0; i < b.N; i++ {
 			e := engine.New(engine.Options{Workers: workers})
-			if err := engine.Errors(e.AnalyzeAll(jobs)); err != nil {
+			if err := engine.Errors(e.AnalyzeAll(context.Background(), jobs)); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -375,12 +376,12 @@ func BenchmarkEngineBatch_SerialVsParallel(b *testing.B) {
 	})
 	b.Run("warm-cache", func(b *testing.B) {
 		e := engine.New(engine.Options{})
-		if err := engine.Errors(e.AnalyzeAll(jobs)); err != nil {
+		if err := engine.Errors(e.AnalyzeAll(context.Background(), jobs)); err != nil {
 			b.Fatal(err)
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if err := engine.Errors(e.AnalyzeAll(jobs)); err != nil {
+			if err := engine.Errors(e.AnalyzeAll(context.Background(), jobs)); err != nil {
 				b.Fatal(err)
 			}
 		}

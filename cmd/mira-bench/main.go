@@ -11,7 +11,9 @@
 // evaluates the static model at the paper's full problem sizes (cheap:
 // the model is closed-form). Experiments run through the shared
 // analysis engine: -j bounds its worker pool (0 = GOMAXPROCS); -j 1
-// forces the serial path.
+// forces the serial path. Static columns evaluate as batched query
+// matrices (engine.Query), and ^C cancels a long regeneration at the
+// next size boundary.
 //
 // -serve-stats scrapes a running mira-serve daemon's /metrics endpoint,
 // lint-parses the OpenMetrics exposition, and prints the cache and
@@ -20,13 +22,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"mira/internal/arch"
@@ -56,6 +61,9 @@ func main() {
 	if *jobs != 0 {
 		experiments.SetWorkers(*jobs)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	experiments.SetContext(ctx)
 
 	any := false
 	run := func(name string, f func() error) {

@@ -16,18 +16,23 @@
 // analyzed concurrently through the engine's worker pool (identical
 // sources share one compile via the content-hash cache), then each
 // program is executed in order. Per-file failures are reported without
-// aborting the rest of the batch.
+// aborting the rest of the batch. Interrupting a batch (SIGINT/SIGTERM)
+// cancels the analyses still queued; files already analyzed report
+// normally, the rest report the cancellation.
 //
 // Array/pointer arguments cannot be staged from the command line; use the
 // Go API (see examples/) or the benches for workloads that need them.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"mira"
 	"mira/internal/arch"
@@ -56,6 +61,12 @@ func main() {
 		fatal(err)
 	}
 
+	// The signal context only governs the analysis phase; it is released
+	// as soon as the batch returns so that ^C during VM execution keeps
+	// its default kill-the-process behavior instead of being swallowed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	eng, err := mira.NewEngine(*workers, mira.Options{Lenient: true, Arch: *archName})
 	if err != nil {
 		fatal(err)
@@ -80,9 +91,10 @@ func main() {
 	for i, err := range readErrs {
 		results[i] = mira.BatchResult{Job: mira.BatchJob{Name: paths[i]}, Err: err}
 	}
-	for k, r := range eng.AnalyzeAll(jobs) {
+	for k, r := range eng.AnalyzeAllCtx(ctx, jobs) {
 		results[jobIdx[k]] = r
 	}
+	stop()
 
 	batch := len(results) > 1
 	failed := 0

@@ -10,21 +10,35 @@
 //
 //	POST /analyze  {"name","source"[,"fn","env"]}  -> model summary (+ Table II)
 //	POST /eval     {"key"|"source","fn","env"[,"exclusive"]} -> metrics
+//	POST /query    {"key"|"source","queries":[{"fn","env","kind"[,"arch"]}]}
+//	               -> batched per-query results (kinds: static,
+//	               static_exclusive, categories, fine_categories,
+//	               roofline, pbound)
 //	GET  /metrics  OpenMetrics text exposition (cache, latency, HTTP series)
 //	GET  /healthz  liveness + uptime
+//
+// Every handler threads the request context into the engine, so a
+// client dropping its connection aborts the evaluation it abandoned.
+// SIGINT/SIGTERM drain in-flight requests (bounded by -drain) before
+// the process exits.
 //
 // Usage:
 //
 //	mira-serve [-addr :7319] [-cache-dir DIR] [-j n] [-arch name]
-//	           [-lenient] [-no-opt]
+//	           [-lenient] [-no-opt] [-drain 30s]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"mira/internal/arch"
@@ -42,15 +56,18 @@ func main() {
 	archName := flag.String("arch", "", "architecture description: arya, frankenstein, or generic")
 	lenient := flag.Bool("lenient", false, "downgrade unanalyzable branches to warnings")
 	noOpt := flag.Bool("no-opt", false, "compile without optimizations")
+	drain := flag.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight requests to finish")
 	flag.Parse()
 
-	if err := run(*addr, *cacheDir, *jobs, *maxResident, *archName, *lenient, *noOpt); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *addr, *cacheDir, *jobs, *maxResident, *archName, *lenient, *noOpt, *drain); err != nil {
 		fmt.Fprintf(os.Stderr, "mira-serve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, cacheDir string, jobs, maxResident int, archName string, lenient, noOpt bool) error {
+func run(ctx context.Context, addr, cacheDir string, jobs, maxResident int, archName string, lenient, noOpt bool, drain time.Duration) error {
 	a, err := arch.Lookup(archName)
 	if err != nil {
 		return err
@@ -75,13 +92,44 @@ func run(addr, cacheDir string, jobs, maxResident int, archName string, lenient,
 	// Full timeout set: a resident daemon must shrug off slow-body
 	// clients, not accumulate their goroutines.
 	srv := &http.Server{
-		Addr:              addr,
 		Handler:           newServer(eng, reg),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
 		IdleTimeout:       120 * time.Second,
 	}
-	log.Printf("mira-serve: listening on %s (%d workers)", addr, eng.Workers())
-	return srv.ListenAndServe()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("mira-serve: listening on %s (%d workers)", ln.Addr(), eng.Workers())
+	return serveUntilDone(ctx, srv, ln, drain)
+}
+
+// serveUntilDone serves on ln until the server fails or ctx ends
+// (SIGINT/SIGTERM in production). On a signal it stops accepting new
+// connections and drains in-flight requests — analyses finish and their
+// responses are written, instead of dying mid-write — for at most drain,
+// then hard-closes whatever remains.
+func serveUntilDone(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration) error {
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		// Serve never returns nil; reaching here means the listener died.
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("mira-serve: shutdown signal; draining in-flight requests (up to %s)", drain)
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		srv.Close()
+		return fmt.Errorf("drain incomplete: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("mira-serve: drained, exiting")
+	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -14,11 +15,17 @@ import (
 	"mira/internal/expr"
 	"mira/internal/model"
 	"mira/internal/obs"
+	"mira/internal/pbound"
+	"mira/internal/roofline"
 )
 
 // maxRequestBytes bounds request bodies; analysis inputs are source
 // files, not datasets.
 const maxRequestBytes = 4 << 20
+
+// maxQueriesPerRequest bounds one /query batch; a paper-scale evaluation
+// sweep is a few hundred cells, and anything larger can be split.
+const maxQueriesPerRequest = 1024
 
 // openMetricsContentType is the content type Prometheus negotiates for
 // the OpenMetrics text exposition.
@@ -32,6 +39,7 @@ type server struct {
 
 	reqAnalyze *obs.Counter
 	reqEval    *obs.Counter
+	reqQuery   *obs.Counter
 	reqErrors  *obs.Counter
 	httpLat    *obs.Summary
 }
@@ -46,12 +54,14 @@ func newServer(eng *engine.Engine, reg *obs.Registry) http.Handler {
 		start:      time.Now(),
 		reqAnalyze: reg.Counter("mira_http_analyze_requests", "POST /analyze requests"),
 		reqEval:    reg.Counter("mira_http_eval_requests", "POST /eval requests"),
+		reqQuery:   reg.Counter("mira_http_query_requests", "POST /query requests"),
 		reqErrors:  reg.Counter("mira_http_request_errors", "requests answered with a 4xx/5xx status"),
 		httpLat:    reg.Summary("mira_http_seconds", "HTTP request latency"),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /analyze", s.handleAnalyze)
 	mux.HandleFunc("POST /eval", s.handleEval)
+	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s.instrument(mux)
@@ -127,7 +137,7 @@ type metricsPayload struct {
 	Instrs     int64            `json:"instrs"`
 	Flops      int64            `json:"flops"`
 	FPI        int64            `json:"fpi"`
-	Categories map[string]int64 `json:"categories"`
+	Categories map[string]int64 `json:"categories,omitempty"`
 }
 
 type analyzeResponse struct {
@@ -142,13 +152,26 @@ type analyzeResponse struct {
 // statusFor maps an analysis/evaluation failure to an HTTP status:
 // everything deterministic about the input is the client's fault (4xx).
 // Inputs that drove the analyzer into a guarded panic are flagged as
-// plain bad requests.
+// plain bad requests. Cancellation errors are the one exception — a
+// waiter sharing a singleflight slot whose owner hung up inherits the
+// owner's context error for that round even though its own input is
+// fine, so it gets a retryable 503, never a 4xx.
 func statusFor(err error) int {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusServiceUnavailable
+	}
 	if strings.Contains(err.Error(), "panicked") {
 		return http.StatusBadRequest
 	}
 	return http.StatusUnprocessableEntity
 }
+
+// clientGone reports whether the request's context has ended — the
+// client dropped the connection (or the server is draining), so any
+// response would be written to nobody. Handlers return without writing;
+// the abandoned evaluation has already been aborted through the same
+// context.
+func clientGone(r *http.Request) bool { return r.Context().Err() != nil }
 
 func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.reqAnalyze.Inc()
@@ -163,8 +186,11 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if req.Name == "" {
 		req.Name = "input.c"
 	}
-	a, err := s.eng.Analyze(req.Name, req.Source)
+	a, err := s.eng.AnalyzeCtx(r.Context(), req.Name, req.Source)
 	if err != nil {
+		if clientGone(r) {
+			return
+		}
 		s.apiError(w, statusFor(err), "analyze: %v", err)
 		return
 	}
@@ -185,18 +211,23 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Fn != "" {
 		env := expr.EnvFromInts(req.Env)
-		met, err := a.StaticMetrics(req.Fn, env)
-		if err != nil {
-			s.apiError(w, statusFor(err), "evaluate %s: %v", req.Fn, err)
+		res := a.Run(r.Context(), []engine.Query{
+			{Fn: req.Fn, Env: env, Kind: engine.KindStatic},
+			{Fn: req.Fn, Env: env, Kind: engine.KindCategories},
+		})
+		if clientGone(r) {
 			return
 		}
-		tab, err := a.TableIICounts(req.Fn, env)
-		if err != nil {
-			s.apiError(w, statusFor(err), "table II for %s: %v", req.Fn, err)
+		if res[0].Err != nil {
+			s.apiError(w, statusFor(res[0].Err), "evaluate %s: %v", req.Fn, res[0].Err)
 			return
 		}
-		resp.TableII = tab
-		resp.Metrics = toPayload(met, tab)
+		if res[1].Err != nil {
+			s.apiError(w, statusFor(res[1].Err), "table II for %s: %v", req.Fn, res[1].Err)
+			return
+		}
+		resp.TableII = res[1].Categories
+		resp.Metrics = toPayload(*res[0].Metrics, res[1].Categories)
 	}
 	s.writeJSON(w, resp)
 }
@@ -221,6 +252,37 @@ type evalResponse struct {
 	Fine    map[string]int64 `json:"fine_categories,omitempty"`
 }
 
+// resolveAnalysis locates the program a request evaluates against: by
+// cache key, or by (re)analyzing inline source through the content-hash
+// cache. Shared by /eval and /query. A false return means the response
+// was already written (or the client is gone).
+func (s *server) resolveAnalysis(w http.ResponseWriter, r *http.Request, key, name, source string) (*engine.Analysis, bool) {
+	switch {
+	case key != "":
+		a, ok := s.eng.Lookup(key)
+		if !ok {
+			s.apiError(w, http.StatusNotFound, "unknown analysis key %q (POST /analyze first, or send source)", key)
+			return nil, false
+		}
+		return a, true
+	case strings.TrimSpace(source) != "":
+		if name == "" {
+			name = "input.c"
+		}
+		a, err := s.eng.AnalyzeCtx(r.Context(), name, source)
+		if err != nil {
+			if !clientGone(r) {
+				s.apiError(w, statusFor(err), "analyze: %v", err)
+			}
+			return nil, false
+		}
+		return a, true
+	default:
+		s.apiError(w, http.StatusBadRequest, "need key or source")
+		return nil, false
+	}
+}
+
 func (s *server) handleEval(w http.ResponseWriter, r *http.Request) {
 	s.reqEval.Inc()
 	var req evalRequest
@@ -231,64 +293,159 @@ func (s *server) handleEval(w http.ResponseWriter, r *http.Request) {
 		s.apiError(w, http.StatusBadRequest, "missing fn")
 		return
 	}
-	var (
-		a   *engine.Analysis
-		key string
-	)
-	switch {
-	case req.Key != "":
-		var ok bool
-		if a, ok = s.eng.Lookup(req.Key); !ok {
-			s.apiError(w, http.StatusNotFound, "unknown analysis key %q (POST /analyze first, or send source)", req.Key)
-			return
-		}
-		key = req.Key
-	case strings.TrimSpace(req.Source) != "":
-		name := req.Name
-		if name == "" {
-			name = "input.c"
-		}
-		var err error
-		if a, err = s.eng.Analyze(name, req.Source); err != nil {
-			s.apiError(w, statusFor(err), "analyze: %v", err)
-			return
-		}
+	a, ok := s.resolveAnalysis(w, r, req.Key, req.Name, req.Source)
+	if !ok {
+		return
+	}
+	key := req.Key
+	if key == "" {
 		key = a.Key()
-	default:
-		s.apiError(w, http.StatusBadRequest, "need key or source")
-		return
 	}
+	// The legacy single-function endpoint is a fixed three-cell batch
+	// over the v2 query core.
 	env := expr.EnvFromInts(req.Env)
-	var (
-		met model.Metrics
-		err error
-	)
+	metKind := engine.KindStatic
 	if req.Exclusive {
-		met, err = a.StaticMetricsExclusive(req.Fn, env)
-	} else {
-		met, err = a.StaticMetrics(req.Fn, env)
+		metKind = engine.KindStaticExclusive
 	}
-	if err != nil {
-		s.apiError(w, statusFor(err), "evaluate %s: %v", req.Fn, err)
+	res := a.Run(r.Context(), []engine.Query{
+		{Fn: req.Fn, Env: env, Kind: metKind},
+		{Fn: req.Fn, Env: env, Kind: engine.KindCategories},
+		{Fn: req.Fn, Env: env, Kind: engine.KindFineCategories},
+	})
+	if clientGone(r) {
 		return
 	}
-	tab, err := a.TableIICounts(req.Fn, env)
-	if err != nil {
-		s.apiError(w, statusFor(err), "table II for %s: %v", req.Fn, err)
+	if res[0].Err != nil {
+		s.apiError(w, statusFor(res[0].Err), "evaluate %s: %v", req.Fn, res[0].Err)
 		return
 	}
-	fine, err := a.FineCategoryCounts(req.Fn, env)
-	if err != nil {
-		s.apiError(w, statusFor(err), "fine categories for %s: %v", req.Fn, err)
+	if res[1].Err != nil {
+		s.apiError(w, statusFor(res[1].Err), "table II for %s: %v", req.Fn, res[1].Err)
+		return
+	}
+	if res[2].Err != nil {
+		s.apiError(w, statusFor(res[2].Err), "fine categories for %s: %v", req.Fn, res[2].Err)
 		return
 	}
 	s.writeJSON(w, evalResponse{
 		Key:     key,
 		Fn:      req.Fn,
-		Metrics: toPayload(met, tab),
-		TableII: tab,
-		Fine:    fine,
+		Metrics: toPayload(*res[0].Metrics, res[1].Categories),
+		TableII: res[1].Categories,
+		Fine:    res[2].Categories,
 	})
+}
+
+// wireQuery is one /query cell as it appears on the wire.
+type wireQuery struct {
+	Fn   string           `json:"fn"`
+	Env  map[string]int64 `json:"env,omitempty"`
+	Kind string           `json:"kind"`
+	// Arch optionally overrides the engine's architecture description
+	// for roofline and fine-category cells ("arya", "frankenstein",
+	// "generic").
+	Arch string `json:"arch,omitempty"`
+}
+
+type queryRequest struct {
+	// Key references a previously analyzed program; Source (with
+	// optional Name) analyzes on the fly through the content-hash cache.
+	Key     string      `json:"key,omitempty"`
+	Name    string      `json:"name,omitempty"`
+	Source  string      `json:"source,omitempty"`
+	Queries []wireQuery `json:"queries"`
+}
+
+// queryCell is one evaluated /query cell; exactly one value field is set
+// on success, and Error carries per-query failures without failing the
+// batch.
+type queryCell struct {
+	Fn         string             `json:"fn"`
+	Kind       string             `json:"kind"`
+	Error      string             `json:"error,omitempty"`
+	Metrics    *metricsPayload    `json:"metrics,omitempty"`
+	Categories map[string]int64   `json:"categories,omitempty"`
+	Roofline   *roofline.Analysis `json:"roofline,omitempty"`
+	PBound     *pbound.Counts     `json:"pbound,omitempty"`
+}
+
+type queryResponse struct {
+	Key     string      `json:"key"`
+	Results []queryCell `json:"results"`
+}
+
+// handleQuery is the v2 batched endpoint: N (function, env, kind) cells
+// against one cached artifact in a single round trip, with per-query
+// errors and the whole evaluation tied to the request context — a
+// dropped connection aborts the remaining cells.
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.reqQuery.Inc()
+	var req queryRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.apiError(w, http.StatusBadRequest, "missing queries")
+		return
+	}
+	if len(req.Queries) > maxQueriesPerRequest {
+		s.apiError(w, http.StatusRequestEntityTooLarge, "%d queries exceeds the per-request limit of %d", len(req.Queries), maxQueriesPerRequest)
+		return
+	}
+	a, ok := s.resolveAnalysis(w, r, req.Key, req.Name, req.Source)
+	if !ok {
+		return
+	}
+
+	// Decode every cell first: malformed cells become per-query errors
+	// while the well-formed remainder still evaluates as one batch.
+	cells := make([]queryCell, len(req.Queries))
+	queries := make([]engine.Query, 0, len(req.Queries))
+	qIdx := make([]int, 0, len(req.Queries))
+	for i, wq := range req.Queries {
+		cells[i] = queryCell{Fn: wq.Fn, Kind: wq.Kind}
+		kind, err := engine.ParseKind(wq.Kind)
+		if err != nil {
+			cells[i].Error = err.Error()
+			continue
+		}
+		if wq.Fn == "" {
+			cells[i].Error = "missing fn"
+			continue
+		}
+		queries = append(queries, engine.Query{
+			Fn:   wq.Fn,
+			Env:  expr.EnvFromInts(wq.Env),
+			Kind: kind,
+			Arch: wq.Arch,
+		})
+		qIdx = append(qIdx, i)
+	}
+
+	for k, res := range a.Run(r.Context(), queries) {
+		cell := &cells[qIdx[k]]
+		switch {
+		case res.Err != nil:
+			cell.Error = res.Err.Error()
+		case res.Metrics != nil:
+			cell.Metrics = &metricsPayload{
+				Instrs: res.Metrics.Instrs,
+				Flops:  res.Metrics.Flops,
+				FPI:    res.Metrics.FPI(),
+			}
+		case res.Categories != nil:
+			cell.Categories = res.Categories
+		case res.Roofline != nil:
+			cell.Roofline = res.Roofline
+		case res.PBound != nil:
+			cell.PBound = res.PBound
+		}
+	}
+	if clientGone(r) {
+		return
+	}
+	s.writeJSON(w, queryResponse{Key: a.Key(), Results: cells})
 }
 
 func toPayload(met model.Metrics, tab map[string]int64) *metricsPayload {

@@ -1,6 +1,7 @@
 package cachestore_test
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -217,7 +218,7 @@ func BenchmarkColdVsWarmRestart(b *testing.B) {
 	run := func(b *testing.B, store func() engine.CacheStore) {
 		for i := 0; i < b.N; i++ {
 			e := engine.New(engine.Options{Store: store()})
-			if err := engine.Errors(e.AnalyzeAll(jobs)); err != nil {
+			if err := engine.Errors(e.AnalyzeAll(context.Background(), jobs)); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -238,7 +239,7 @@ func BenchmarkColdVsWarmRestart(b *testing.B) {
 			b.Fatal(err)
 		}
 		seed := engine.New(engine.Options{Store: seedStore})
-		if err := engine.Errors(seed.AnalyzeAll(jobs)); err != nil {
+		if err := engine.Errors(seed.AnalyzeAll(context.Background(), jobs)); err != nil {
 			b.Fatal(err)
 		}
 		b.ResetTimer()

@@ -7,6 +7,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 
 	"mira/internal/arch"
@@ -49,44 +50,16 @@ type Pipeline struct {
 // file is round-tripped through its byte encoding so the model is
 // genuinely derived from the binary artifact.
 func Analyze(name, source string, opts Options) (*Pipeline, error) {
-	file, err := parser.ParseFile(name, source)
-	if err != nil {
-		return nil, fmt.Errorf("core: parse: %w", err)
-	}
-	prog, err := sema.Analyze(file)
-	if err != nil {
-		return nil, fmt.Errorf("core: sema: %w", err)
-	}
-	obj, err := cc.Compile(prog, cc.Options{SourceName: name, DisableOpt: opts.DisableOpt})
-	if err != nil {
-		return nil, fmt.Errorf("core: compile: %w", err)
-	}
-	var buf bytes.Buffer
-	if err := obj.Encode(&buf); err != nil {
-		return nil, fmt.Errorf("core: encode: %w", err)
-	}
-	decoded, err := objfile.Decode(buf.Bytes())
-	if err != nil {
-		return nil, fmt.Errorf("core: decode: %w", err)
-	}
-	m, warns, err := metrics.Generate(prog, decoded, metrics.Config{Lenient: opts.Lenient})
-	if err != nil {
-		return nil, fmt.Errorf("core: metrics: %w", err)
-	}
-	a := opts.Arch
-	if a == nil {
-		a = arch.Generic()
-	}
-	return &Pipeline{
-		Name:     name,
-		Source:   source,
-		File:     file,
-		Prog:     prog,
-		Obj:      decoded,
-		Model:    m,
-		Arch:     a,
-		Warnings: warns,
-	}, nil
+	return AnalyzeContext(context.Background(), name, source, opts)
+}
+
+// AnalyzeContext is Analyze with cancellation: the pipeline checks ctx
+// between stages (parse, sema, compile, decode, metrics), so an abandoned
+// request stops burning CPU at the next stage boundary. A cancelled run
+// returns ctx.Err() (possibly wrapped); callers that cache analysis
+// results must not cache it.
+func AnalyzeContext(ctx context.Context, name, source string, opts Options) (*Pipeline, error) {
+	return analyze(ctx, name, source, nil, opts)
 }
 
 // AnalyzeFromObject rebuilds a Pipeline from source text plus a
@@ -99,17 +72,63 @@ func Analyze(name, source string, opts Options) (*Pipeline, error) {
 // produced them (a content-addressed store keyed on both does this by
 // construction).
 func AnalyzeFromObject(name, source string, object []byte, opts Options) (*Pipeline, error) {
+	return AnalyzeFromObjectContext(context.Background(), name, source, object, opts)
+}
+
+// AnalyzeFromObjectContext is AnalyzeFromObject with the same stage-
+// boundary cancellation as AnalyzeContext.
+func AnalyzeFromObjectContext(ctx context.Context, name, source string, object []byte, opts Options) (*Pipeline, error) {
+	if len(object) == 0 {
+		// Distinguish "no artifact" from the compile path explicitly: a
+		// truncated store entry must degrade to a recompile at the caller,
+		// never silently become one here.
+		return nil, fmt.Errorf("core: decode stored object: empty artifact")
+	}
+	return analyze(ctx, name, source, object, opts)
+}
+
+// analyze is the shared pipeline body. object == nil means compile from
+// source (round-tripping the artifact through its byte encoding); a
+// non-nil object skips the compiler and decodes the stored bytes. Each
+// stage boundary is a cancellation point.
+func analyze(ctx context.Context, name, source string, object []byte, opts Options) (*Pipeline, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	file, err := parser.ParseFile(name, source)
 	if err != nil {
 		return nil, fmt.Errorf("core: parse: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	prog, err := sema.Analyze(file)
 	if err != nil {
 		return nil, fmt.Errorf("core: sema: %w", err)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if object == nil {
+		obj, err := cc.Compile(prog, cc.Options{SourceName: name, DisableOpt: opts.DisableOpt})
+		if err != nil {
+			return nil, fmt.Errorf("core: compile: %w", err)
+		}
+		var buf bytes.Buffer
+		if err := obj.Encode(&buf); err != nil {
+			return nil, fmt.Errorf("core: encode: %w", err)
+		}
+		object = buf.Bytes()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	decoded, err := objfile.Decode(object)
 	if err != nil {
-		return nil, fmt.Errorf("core: decode stored object: %w", err)
+		return nil, fmt.Errorf("core: decode: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	m, warns, err := metrics.Generate(prog, decoded, metrics.Config{Lenient: opts.Lenient})
 	if err != nil {

@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -159,5 +161,23 @@ func TestAnalyzeFromObject(t *testing.T) {
 	// Corrupt bytes must surface as an error, not a bogus pipeline.
 	if _, err := core.AnalyzeFromObject("k.c", kernelSrc, object[:len(object)/2], core.Options{}); err == nil {
 		t.Error("truncated object accepted")
+	}
+}
+
+// TestAnalyzeContextCancellation: a dead context stops the pipeline at
+// a stage boundary with the context's own error.
+func TestAnalyzeContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := core.AnalyzeContext(ctx, "k.c", kernelSrc, core.Options{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	// A live context is the plain Analyze path.
+	if _, err := core.AnalyzeContext(context.Background(), "k.c", kernelSrc, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Empty stored artifacts error instead of silently recompiling.
+	if _, err := core.AnalyzeFromObjectContext(context.Background(), "k.c", kernelSrc, nil, core.Options{}); err == nil {
+		t.Error("empty artifact accepted")
 	}
 }

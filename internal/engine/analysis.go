@@ -11,6 +11,7 @@ import (
 	"mira/internal/expr"
 	"mira/internal/ir"
 	"mira/internal/model"
+	"mira/internal/pbound"
 )
 
 // Analysis wraps an analyzed pipeline with a memoized evaluation layer.
@@ -19,15 +20,15 @@ import (
 // (function, env) point dozens of times (Table II, Fig. 6, the sweeps),
 // so repeated queries here cost one map lookup. All methods are safe for
 // concurrent use.
+//
+// The memo itself lives behind a pointer so that two Analysis values for
+// the same content under different caller names (see Engine.Analyze's
+// cross-name cache hits) share one evaluation cache: a query answered
+// for a.c never re-walks the model for an identical b.c.
 type Analysis struct {
 	*core.Pipeline
 
-	mu      sync.RWMutex
-	metrics map[evalKey]model.Metrics
-	opcodes map[evalKey]map[ir.Op]int64
-
-	evalHits   atomic.Int64
-	evalMisses atomic.Int64
+	memo *memoStore
 
 	// met mirrors the counters into the owning engine's observability
 	// registry; nil for standalone NewAnalysis wrappers.
@@ -35,6 +36,34 @@ type Analysis struct {
 	// key is the engine content hash this analysis is cached under;
 	// empty for standalone wrappers.
 	key string
+}
+
+// memoStore is the shared evaluation cache behind one analyzed content
+// hash: metric and opcode memo maps, the lazily built PBound report with
+// its own per-point memo, and the hit/miss counters.
+type memoStore struct {
+	mu      sync.RWMutex
+	metrics map[evalKey]model.Metrics
+	opcodes map[evalKey]map[ir.Op]int64
+	pbounds map[evalKey]pbound.Counts
+
+	// pbOnce guards the lazy source-only PBound baseline report, built
+	// from the pipeline's sema program the first time a KindPBound query
+	// arrives.
+	pbOnce sync.Once
+	pb     *pbound.Report
+	pbErr  error
+
+	evalHits   atomic.Int64
+	evalMisses atomic.Int64
+}
+
+func newMemoStore() *memoStore {
+	return &memoStore{
+		metrics: map[evalKey]model.Metrics{},
+		opcodes: map[evalKey]map[ir.Op]int64{},
+		pbounds: map[evalKey]pbound.Counts{},
+	}
 }
 
 // Key returns the engine's content-hash cache key for this analysis
@@ -54,11 +83,7 @@ type evalKey struct {
 // Engine-produced analyses are shared and cached; this is for callers
 // that ran core.Analyze themselves and want memoized queries.
 func NewAnalysis(p *core.Pipeline) *Analysis {
-	return &Analysis{
-		Pipeline: p,
-		metrics:  map[evalKey]model.Metrics{},
-		opcodes:  map[evalKey]map[ir.Op]int64{},
-	}
+	return &Analysis{Pipeline: p, memo: newMemoStore()}
 }
 
 // newAnalysis wraps a pipeline with the engine's metrics and cache key
@@ -70,16 +95,36 @@ func (e *Engine) newAnalysis(p *core.Pipeline, key string) *Analysis {
 	return a
 }
 
+// withName returns a view of the analysis whose Pipeline carries name —
+// what a caller whose identical content hit another requester's cache
+// entry sees, mirroring how the error path annotates provenance. The
+// view shares the memo layer (and the underlying immutable artifacts)
+// with the original; only the reported name differs.
+func (a *Analysis) withName(name string) *Analysis {
+	if name == "" || name == a.Pipeline.Name {
+		return a
+	}
+	p := *a.Pipeline
+	p.Name = name
+	return &Analysis{Pipeline: &p, memo: a.memo, met: a.met, key: a.key}
+}
+
 // memoLen reports the number of memoized evaluation entries.
 func (a *Analysis) memoLen() int {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	return len(a.metrics) + len(a.opcodes)
+	m := a.memo
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.metrics) + len(m.opcodes) + len(m.pbounds)
 }
 
 // observeEval records one memo outcome into the engine registry (no-op
 // for standalone analyses). seconds is only meaningful for misses.
 func (a *Analysis) observeEval(hit bool, seconds float64) {
+	if hit {
+		a.memo.evalHits.Add(1)
+	} else {
+		a.memo.evalMisses.Add(1)
+	}
 	if a.met == nil {
 		return
 	}
@@ -121,16 +166,15 @@ func (a *Analysis) StaticMetricsExclusive(fn string, env expr.Env) (model.Metric
 }
 
 func (a *Analysis) cachedMetrics(fn string, env expr.Env, exclusive bool) (model.Metrics, error) {
+	m := a.memo
 	key := evalKey{fn: fn, env: envFingerprint(env), exclusive: exclusive}
-	a.mu.RLock()
-	met, ok := a.metrics[key]
-	a.mu.RUnlock()
+	m.mu.RLock()
+	met, ok := m.metrics[key]
+	m.mu.RUnlock()
 	if ok {
-		a.evalHits.Add(1)
 		a.observeEval(true, 0)
 		return met, nil
 	}
-	a.evalMisses.Add(1)
 	start := time.Now()
 	met, err := safely("evaluation", func() (model.Metrics, error) {
 		if exclusive {
@@ -144,25 +188,24 @@ func (a *Analysis) cachedMetrics(fn string, env expr.Env, exclusive bool) (model
 		// unbound parameter) and carry no reuse value.
 		return met, err
 	}
-	a.mu.Lock()
-	a.metrics[key] = met
-	a.mu.Unlock()
+	m.mu.Lock()
+	m.metrics[key] = met
+	m.mu.Unlock()
 	return met, nil
 }
 
 // EvaluateOpcodes returns fn's inclusive per-opcode counts under env,
 // memoized. The returned map is a fresh copy the caller may mutate.
 func (a *Analysis) EvaluateOpcodes(fn string, env expr.Env) (map[ir.Op]int64, error) {
+	m := a.memo
 	key := evalKey{fn: fn, env: envFingerprint(env)}
-	a.mu.RLock()
-	ops, ok := a.opcodes[key]
-	a.mu.RUnlock()
+	m.mu.RLock()
+	ops, ok := m.opcodes[key]
+	m.mu.RUnlock()
 	if ok {
-		a.evalHits.Add(1)
 		a.observeEval(true, 0)
 		return copyOps(ops), nil
 	}
-	a.evalMisses.Add(1)
 	start := time.Now()
 	ops, err := safely("evaluation", func() (map[ir.Op]int64, error) {
 		return a.Model.EvaluateOpcodes(fn, env)
@@ -171,9 +214,9 @@ func (a *Analysis) EvaluateOpcodes(fn string, env expr.Env) (map[ir.Op]int64, er
 	if err != nil {
 		return nil, err
 	}
-	a.mu.Lock()
-	a.opcodes[key] = ops
-	a.mu.Unlock()
+	m.mu.Lock()
+	m.opcodes[key] = ops
+	m.mu.Unlock()
 	return copyOps(ops), nil
 }
 
@@ -205,7 +248,50 @@ func (a *Analysis) FineCategoryCounts(fn string, env expr.Env) (map[string]int64
 	return core.BucketFine(a.Arch, ops), nil
 }
 
+// pboundReport lazily builds (once per content hash) the source-only
+// PBound baseline report from the pipeline's sema program. The walk is
+// panic-guarded like every other evaluation path at this boundary.
+func (a *Analysis) pboundReport() (*pbound.Report, error) {
+	m := a.memo
+	m.pbOnce.Do(func() {
+		m.pb, m.pbErr = safely("pbound analysis", func() (*pbound.Report, error) {
+			return pbound.Analyze(a.Prog)
+		})
+	})
+	return m.pb, m.pbErr
+}
+
+// PBoundCounts evaluates the source-only PBound bounds of fn under env,
+// memoized like every other query point.
+func (a *Analysis) PBoundCounts(fn string, env expr.Env) (pbound.Counts, error) {
+	rep, err := a.pboundReport()
+	if err != nil {
+		return pbound.Counts{}, err
+	}
+	m := a.memo
+	key := evalKey{fn: fn, env: envFingerprint(env)}
+	m.mu.RLock()
+	c, ok := m.pbounds[key]
+	m.mu.RUnlock()
+	if ok {
+		a.observeEval(true, 0)
+		return c, nil
+	}
+	start := time.Now()
+	c, err = safely("pbound evaluation", func() (pbound.Counts, error) {
+		return rep.EvalCounts(fn, env)
+	})
+	a.observeEval(false, time.Since(start).Seconds())
+	if err != nil {
+		return pbound.Counts{}, err
+	}
+	m.mu.Lock()
+	m.pbounds[key] = c
+	m.mu.Unlock()
+	return c, nil
+}
+
 // EvalStats reports the memoized evaluation layer's hit/miss counters.
 func (a *Analysis) EvalStats() (hits, misses int64) {
-	return a.evalHits.Load(), a.evalMisses.Load()
+	return a.memo.evalHits.Load(), a.memo.evalMisses.Load()
 }

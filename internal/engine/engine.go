@@ -25,6 +25,7 @@
 package engine
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -146,19 +147,34 @@ func (e *Engine) cacheKey(source string) string {
 // too — the pipeline is deterministic, so retrying identical input
 // cannot succeed.
 func (e *Engine) Analyze(name, source string) (*Analysis, error) {
+	return e.AnalyzeCtx(context.Background(), name, source)
+}
+
+// AnalyzeCtx is Analyze honoring cancellation at every wait point: a
+// caller abandoning a duplicate-key wait returns ctx.Err() immediately
+// and leaks nothing (the owning compile continues and lands in the cache
+// for future requesters); a caller cancelled while queued for a worker
+// slot withdraws its cache slot; and the build itself stops at the next
+// pipeline stage boundary. Cancellation outcomes are never cached —
+// retrying the same source with a live context recompiles — though
+// waiters sharing a singleflight slot whose owner was cancelled do share
+// that cancellation error for the one round.
+func (e *Engine) AnalyzeCtx(ctx context.Context, name, source string) (*Analysis, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	key := e.cacheKey(source)
 	e.mu.Lock()
 	if c, ok := e.calls[key]; ok {
 		e.mu.Unlock()
-		<-c.done
+		select {
+		case <-c.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 		e.hits.Add(1)
 		e.met.pipeHits.Inc()
-		if c.err != nil && name != c.name {
-			// The cached diagnostic cites the first requester's file
-			// name; make the provenance visible to this caller.
-			return nil, fmt.Errorf("identical content to %s: %w", c.name, c.err)
-		}
-		return c.a, c.err
+		return c.view(name)
 	}
 	c := &call{done: make(chan struct{}), name: name}
 	e.calls[key] = c
@@ -167,14 +183,58 @@ func (e *Engine) Analyze(name, source string) (*Analysis, error) {
 	e.misses.Add(1)
 	e.met.pipeMisses.Inc()
 
-	e.sem <- struct{}{}
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		c.err = ctx.Err()
+		e.uncache(key, c)
+		close(c.done)
+		return nil, c.err
+	}
 	e.met.inflight.Inc()
-	c.a, c.err = e.build(name, source, key)
+	c.a, c.err = e.build(ctx, name, source, key)
 	e.met.inflight.Dec()
 	<-e.sem
 
+	if isCancellation(c.err) {
+		e.uncache(key, c)
+	}
 	close(c.done)
 	return c.a, c.err
+}
+
+// view finalizes a completed call for a caller named name. Cross-name
+// hits surface the caller's own name on both paths: errors are annotated
+// with the first requester's provenance, and successes return an
+// Analysis view whose Pipeline carries the caller's name while sharing
+// the first requester's memo layer.
+func (c *call) view(name string) (*Analysis, error) {
+	if c.err != nil {
+		if name != c.name {
+			// The cached diagnostic cites the first requester's file
+			// name; make the provenance visible to this caller.
+			return nil, fmt.Errorf("identical content to %s: %w", c.name, c.err)
+		}
+		return nil, c.err
+	}
+	return c.a.withName(name), nil
+}
+
+// uncache removes a call that completed with a cancellation — an outcome
+// of the caller's context, not of the input, so it must not poison the
+// content-hash cache for future requesters.
+func (e *Engine) uncache(key string, c *call) {
+	e.mu.Lock()
+	if e.calls[key] == c {
+		delete(e.calls, key)
+	}
+	e.mu.Unlock()
+}
+
+// isCancellation reports whether err is a context cancellation or
+// deadline expiry (possibly wrapped).
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // build produces the Analysis for one live-cache miss: try the
@@ -183,15 +243,18 @@ func (e *Engine) Analyze(name, source string) (*Analysis, error) {
 // artifact for the next process. Both paths are panic-guarded — expr
 // constructor contract violations reachable through hostile source must
 // surface as errors at this boundary, not kill a resident server.
-func (e *Engine) build(name, source, key string) (*Analysis, error) {
+func (e *Engine) build(ctx context.Context, name, source, key string) (*Analysis, error) {
 	if e.store != nil {
 		if ent, ok := e.store.Load(key); ok {
 			// Trust nothing: the entry must be for this exact source.
 			if ent.Source == source {
 				start := time.Now()
 				p, err := safely("rebuild", func() (*core.Pipeline, error) {
-					return core.AnalyzeFromObject(name, source, ent.Object, e.opts.Core)
+					return core.AnalyzeFromObjectContext(ctx, name, source, ent.Object, e.opts.Core)
 				})
+				if isCancellation(err) {
+					return nil, err
+				}
 				if err == nil {
 					e.met.rebuild.Observe(time.Since(start).Seconds())
 					e.met.storeHits.Inc()
@@ -206,7 +269,7 @@ func (e *Engine) build(name, source, key string) (*Analysis, error) {
 	}
 	start := time.Now()
 	p, err := safely("analysis", func() (*core.Pipeline, error) {
-		return core.Analyze(name, source, e.opts.Core)
+		return core.AnalyzeContext(ctx, name, source, e.opts.Core)
 	})
 	if err != nil {
 		return nil, err
@@ -297,11 +360,13 @@ type Result struct {
 
 // AnalyzeAll analyzes every job with bounded parallelism and returns
 // results in job order. Errors are collected per item, never short-
-// circuiting the batch; use Errors to aggregate them.
-func (e *Engine) AnalyzeAll(jobs []Job) []Result {
+// circuiting the batch; use Errors to aggregate them. Cancelling ctx
+// makes every not-yet-analyzed job complete immediately with a per-item
+// ctx.Err().
+func (e *Engine) AnalyzeAll(ctx context.Context, jobs []Job) []Result {
 	results := make([]Result, len(jobs))
 	ForEach(e.workers, len(jobs), func(i int) error {
-		a, err := e.Analyze(jobs[i].Name, jobs[i].Source)
+		a, err := e.AnalyzeCtx(ctx, jobs[i].Name, jobs[i].Source)
 		results[i] = Result{Job: jobs[i], Analysis: a, Err: err}
 		return nil
 	})
@@ -333,6 +398,13 @@ func (e *Engine) Stats() (hits, misses int64) {
 // the lowest-index failure among the items that ran, so a given failing
 // input reports the same error regardless of schedule.
 func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachCtx is ForEach honoring cancellation: once ctx is done, no new
+// index is scheduled (in-flight items run to completion) and the sweep
+// reports ctx.Err() like any other lowest-index failure.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n == 0 {
 		return nil
 	}
@@ -342,10 +414,16 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	run := func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return fn(i)
+	}
 	errs := make([]error, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			if errs[i] = fn(i); errs[i] != nil {
+			if errs[i] = run(i); errs[i] != nil {
 				break
 			}
 		}
@@ -362,7 +440,7 @@ func ForEach(workers, n int, fn func(i int) error) error {
 					if i >= n {
 						return
 					}
-					if errs[i] = fn(i); errs[i] != nil {
+					if errs[i] = run(i); errs[i] != nil {
 						stop.Store(true)
 						return
 					}

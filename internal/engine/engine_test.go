@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -42,11 +43,28 @@ func TestAnalyzeContentDedup(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a1 != a2 {
+	// The second caller gets a view of the first compile — same model and
+	// object artifacts, same memo layer — carrying its own name.
+	if a1.Model != a2.Model || a1.Obj != a2.Obj {
 		t.Error("identical source under two names was compiled twice")
+	}
+	if a1.Name != "one.c" || a2.Name != "two.c" {
+		t.Errorf("names = %q, %q; want each caller's own", a1.Name, a2.Name)
 	}
 	if hits, misses := e.Stats(); hits != 1 || misses != 1 {
 		t.Errorf("stats = %d hits / %d misses, want 1/1", hits, misses)
+	}
+	// Shared memo: an evaluation through one view is a hit through the
+	// other.
+	env := expr.EnvFromInts(map[string]int64{"n": 7})
+	if _, err := a1.StaticMetrics("scale", env); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a2.StaticMetrics("scale", env); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := a2.EvalStats(); hits != 1 || misses != 1 {
+		t.Errorf("eval stats across views = %d/%d, want 1 hit / 1 miss", hits, misses)
 	}
 	if _, err := e.Analyze("three.c", axpySrc); err != nil {
 		t.Fatal(err)
@@ -88,7 +106,7 @@ func TestAnalyzeAllPerItemErrors(t *testing.T) {
 		{Name: "broken.c", Source: "double f() { return 1.0 }"},
 		{Name: "axpy.c", Source: axpySrc},
 	}
-	results := e.AnalyzeAll(jobs)
+	results := e.AnalyzeAll(context.Background(), jobs)
 	if len(results) != len(jobs) {
 		t.Fatalf("got %d results", len(results))
 	}
@@ -163,7 +181,7 @@ func TestConcurrentBatchAndEvalMatchesSerial(t *testing.T) {
 		jobs = append(jobs, engine.Job{Name: name, Source: src})
 		jobs = append(jobs, engine.Job{Name: "dup-" + name, Source: src})
 	}
-	results := e.AnalyzeAll(jobs)
+	results := e.AnalyzeAll(context.Background(), jobs)
 	if err := engine.Errors(results); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,245 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"mira/internal/arch"
+	"mira/internal/core"
+	"mira/internal/expr"
+	"mira/internal/model"
+	"mira/internal/pbound"
+	"mira/internal/roofline"
+)
+
+// QueryKind selects what a Query evaluates. The enum spans every metric
+// shape the paper's evaluation section reports: the static model
+// (inclusive and body-only), the Table II aggregate categories, the
+// architecture description's fine 64-way categories, the Sec. IV-D2
+// roofline assessment, and the PBound source-only baseline.
+type QueryKind int
+
+const (
+	// KindStatic evaluates fn's inclusive static metrics.
+	KindStatic QueryKind = iota
+	// KindStaticExclusive evaluates fn's body-only metrics.
+	KindStaticExclusive
+	// KindCategories buckets counts into the paper's Table II rows.
+	KindCategories
+	// KindFineCategories buckets counts into the architecture
+	// description's fine-grained (64-way) categories.
+	KindFineCategories
+	// KindRoofline computes the roofline assessment (arithmetic
+	// intensity, ridge point, attainable GFLOP/s).
+	KindRoofline
+	// KindPBound evaluates the source-only PBound baseline bounds.
+	KindPBound
+
+	numQueryKinds
+)
+
+var kindNames = [numQueryKinds]string{
+	KindStatic:          "static",
+	KindStaticExclusive: "static_exclusive",
+	KindCategories:      "categories",
+	KindFineCategories:  "fine_categories",
+	KindRoofline:        "roofline",
+	KindPBound:          "pbound",
+}
+
+// String returns the kind's wire name.
+func (k QueryKind) String() string {
+	if k < 0 || k >= numQueryKinds {
+		return fmt.Sprintf("QueryKind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// ParseKind maps a wire name back to its QueryKind.
+func ParseKind(s string) (QueryKind, error) {
+	for k, name := range kindNames {
+		if s == name {
+			return QueryKind(k), nil
+		}
+	}
+	return 0, fmt.Errorf("engine: unknown query kind %q (kinds: %s, %s, %s, %s, %s, %s)",
+		s, KindStatic, KindStaticExclusive, KindCategories, KindFineCategories, KindRoofline, KindPBound)
+}
+
+// Query is one cell of a query matrix: evaluate Kind for function Fn
+// under Env. The zero Kind is KindStatic, so the legacy one-metric calls
+// are literally one-element queries.
+type Query struct {
+	Fn   string
+	Env  expr.Env
+	Kind QueryKind
+	// Arch optionally names a built-in architecture description
+	// ("arya", "frankenstein", "generic") overriding the analysis's own
+	// for KindFineCategories and KindRoofline; empty means the
+	// analysis's. This is the wire-friendly form /query exposes.
+	Arch string
+	// ArchDesc overrides with an in-process description value (file-
+	// loaded or modified ones Lookup cannot name). Takes precedence
+	// over Arch.
+	ArchDesc *arch.Description
+}
+
+// QueryResult is one evaluated cell. Err is per-query: a failed cell
+// never aborts the rest of its batch. Exactly one of the value fields is
+// set on success, matching Query.Kind.
+type QueryResult struct {
+	Query      Query
+	Metrics    *model.Metrics     // KindStatic, KindStaticExclusive
+	Categories map[string]int64   // KindCategories, KindFineCategories
+	Roofline   *roofline.Analysis // KindRoofline
+	PBound     *pbound.Counts     // KindPBound
+	Err        error
+}
+
+// Run evaluates an entire query matrix in one pass with per-query
+// errors. Every cell shares the analysis's (function, env) memo, so a
+// matrix that sweeps kinds over few evaluation points costs few model
+// walks. Cancelling ctx makes the remaining cells return ctx.Err()
+// immediately; cells already evaluated keep their results.
+func (a *Analysis) Run(ctx context.Context, queries []Query) []QueryResult {
+	out := make([]QueryResult, len(queries))
+	for i, q := range queries {
+		out[i] = a.RunOne(ctx, q)
+	}
+	return out
+}
+
+// RunOne evaluates a single query cell, honoring ctx.
+func (a *Analysis) RunOne(ctx context.Context, q Query) QueryResult {
+	r := QueryResult{Query: q}
+	if err := ctx.Err(); err != nil {
+		r.Err = err
+		return r
+	}
+	switch q.Kind {
+	case KindStatic, KindStaticExclusive:
+		met, err := a.cachedMetrics(q.Fn, q.Env, q.Kind == KindStaticExclusive)
+		if err != nil {
+			r.Err = err
+			return r
+		}
+		r.Metrics = &met
+	case KindCategories:
+		cats, err := a.TableIICounts(q.Fn, q.Env)
+		if err != nil {
+			r.Err = err
+			return r
+		}
+		r.Categories = cats
+	case KindFineCategories:
+		d, err := a.queryArch(q)
+		if err != nil {
+			r.Err = err
+			return r
+		}
+		ops, err := a.EvaluateOpcodes(q.Fn, q.Env)
+		if err != nil {
+			r.Err = err
+			return r
+		}
+		r.Categories = core.BucketFine(d, ops)
+	case KindRoofline:
+		d, err := a.queryArch(q)
+		if err != nil {
+			r.Err = err
+			return r
+		}
+		met, err := a.cachedMetrics(q.Fn, q.Env, false)
+		if err != nil {
+			r.Err = err
+			return r
+		}
+		roof, err := roofline.Analyze(q.Fn, met, d)
+		if err != nil {
+			r.Err = err
+			return r
+		}
+		r.Roofline = roof
+	case KindPBound:
+		c, err := a.PBoundCounts(q.Fn, q.Env)
+		if err != nil {
+			r.Err = err
+			return r
+		}
+		r.PBound = &c
+	default:
+		r.Err = fmt.Errorf("engine: unknown query kind %d", q.Kind)
+	}
+	return r
+}
+
+// queryArch resolves the query's architecture description: the
+// in-process override first, then the named built-in, then the
+// analysis's own.
+func (a *Analysis) queryArch(q Query) (*arch.Description, error) {
+	if q.ArchDesc != nil {
+		return q.ArchDesc, nil
+	}
+	if q.Arch == "" {
+		return a.Arch, nil
+	}
+	return arch.Lookup(q.Arch)
+}
+
+// QueryJob is one cell of an engine-level query matrix: a program
+// (inline Source, or the Key of an already-analyzed one) plus the query
+// to evaluate against it.
+type QueryJob struct {
+	// Name labels the program for diagnostics; used with Source.
+	Name string
+	// Source is the program text; analyzed through the engine's
+	// content-hash cache, so N jobs over one program compile it once.
+	Source string
+	// Key references an already-analyzed program instead of Source.
+	Key   string
+	Query Query
+}
+
+// QueryJobResult pairs a job with its evaluated cell.
+type QueryJobResult struct {
+	Job QueryJob
+	QueryResult
+}
+
+// RunAll evaluates an engine-level query matrix: every job fans out over
+// the worker pool, jobs naming the same source share one compile via the
+// content-hash cache, and jobs hitting the same (function, env) point
+// share the analysis memo. Errors — analysis failures, bad cells,
+// cancellation — are per-job. After ctx is cancelled every remaining job
+// completes immediately with ctx.Err().
+func (e *Engine) RunAll(ctx context.Context, jobs []QueryJob) []QueryJobResult {
+	out := make([]QueryJobResult, len(jobs))
+	ForEach(e.workers, len(jobs), func(i int) error {
+		j := jobs[i]
+		out[i].Job = j
+		out[i].Query = j.Query
+		a, err := e.resolveJob(ctx, j)
+		if err != nil {
+			out[i].Err = err
+			return nil
+		}
+		out[i].QueryResult = a.RunOne(ctx, j.Query)
+		return nil
+	})
+	return out
+}
+
+// resolveJob produces the analysis a job queries against.
+func (e *Engine) resolveJob(ctx context.Context, j QueryJob) (*Analysis, error) {
+	switch {
+	case j.Source != "":
+		return e.AnalyzeCtx(ctx, j.Name, j.Source)
+	case j.Key != "":
+		if a, ok := e.Lookup(j.Key); ok {
+			return a, nil
+		}
+		return nil, fmt.Errorf("engine: unknown analysis key %q", j.Key)
+	default:
+		return nil, fmt.Errorf("engine: query job needs Source or Key")
+	}
+}

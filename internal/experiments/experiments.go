@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -73,9 +74,15 @@ func FormatTable(caption string, rows []ValidationRow) string {
 // eng is the shared analysis service: every workload pipeline is built
 // through its content-hash cache, and repeated model queries hit the
 // memoized evaluation layer. Experiments that loop over independent
-// sizes or applications fan out through engine.ForEach with the same
-// parallelism bound.
+// sizes or applications fan out through engine.ForEachCtx with the same
+// parallelism bound, and static evaluations go through the batched
+// query API (engine.Query matrices), exactly like external consumers.
 var eng = engine.New(engine.Options{})
+
+// sweepCtx governs every sweep's scheduling and query evaluation.
+// Background by default; mira-bench installs its signal context so ^C
+// stops a long regeneration at the next size boundary.
+var sweepCtx = context.Background()
 
 // SetWorkers rebuilds the shared engine with a new parallelism bound
 // (0 = GOMAXPROCS). Intended for CLI startup (mira-bench -j); swapping
@@ -87,8 +94,36 @@ func SetWorkers(n int) {
 // Workers reports the shared engine's parallelism bound.
 func Workers() int { return eng.Workers() }
 
+// SetContext installs the context every subsequent sweep schedules
+// under (CLI startup, like SetWorkers). Cancelling it makes running
+// sweeps return its error at the next query or size boundary.
+func SetContext(ctx context.Context) { sweepCtx = ctx }
+
 func analyzed(name, src string) (*engine.Analysis, error) {
-	return eng.Analyze(name, src)
+	return eng.AnalyzeCtx(sweepCtx, name, src)
+}
+
+// runQueries evaluates a query batch against one analyzed workload and
+// flattens the per-query errors: experiment sweeps want the first
+// failure, not a partial table.
+func runQueries(a *engine.Analysis, queries []engine.Query) ([]engine.QueryResult, error) {
+	results := a.Run(sweepCtx, queries)
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("%s %s: %w", r.Query.Kind, r.Query.Fn, r.Err)
+		}
+	}
+	return results, nil
+}
+
+// staticFPI evaluates one KindStatic cell — the single-cell degenerate
+// case of a query batch.
+func staticFPI(a *engine.Analysis, fn string, env expr.Env) (int64, error) {
+	res, err := runQueries(a, []engine.Query{{Fn: fn, Env: env, Kind: engine.KindStatic}})
+	if err != nil {
+		return 0, err
+	}
+	return res[0].Metrics.FPI(), nil
 }
 
 // ---------------------------------------------------------------------------
@@ -105,11 +140,7 @@ func StreamStaticFPI(n int64) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	met, err := p.StaticMetrics("stream", expr.EnvFromInts(map[string]int64{"n": n}))
-	if err != nil {
-		return 0, err
-	}
-	return met.FPI(), nil
+	return staticFPI(p, "stream", expr.EnvFromInts(map[string]int64{"n": n}))
 }
 
 // StreamDynamicFPI executes STREAM on the VM for array length n and
@@ -136,22 +167,32 @@ func StreamDynamicFPI(n int64) (int64, error) {
 // TableIII reproduces the STREAM FPI validation. dynSizes lists sizes for
 // paired static/dynamic rows; staticOnly lists additional sizes evaluated
 // statically only (the paper's 50M and 100M points, which the VM
-// substitutes by scaling — see EXPERIMENTS.md).
+// substitutes by scaling — see EXPERIMENTS.md). The static column is one
+// query batch (a KindStatic cell per size); the dynamic column fans the
+// VM runs out across the worker bound.
 func TableIII(dynSizes []int64) ([]ValidationRow, error) {
+	p, err := StreamPipeline()
+	if err != nil {
+		return nil, err
+	}
+	queries := make([]engine.Query, len(dynSizes))
+	for i, n := range dynSizes {
+		queries[i] = engine.Query{Fn: "stream", Env: expr.EnvFromInts(map[string]int64{"n": n}), Kind: engine.KindStatic}
+	}
+	statics, err := runQueries(p, queries)
+	if err != nil {
+		return nil, err
+	}
 	rows := make([]ValidationRow, len(dynSizes))
-	err := engine.ForEach(Workers(), len(dynSizes), func(i int) error {
+	err = engine.ForEachCtx(sweepCtx, Workers(), len(dynSizes), func(i int) error {
 		n := dynSizes[i]
 		dyn, err := StreamDynamicFPI(n)
 		if err != nil {
 			return err
 		}
-		static, err := StreamStaticFPI(n)
-		if err != nil {
-			return err
-		}
 		rows[i] = ValidationRow{
 			Label: fmt.Sprintf("%dM", n/1_000_000), Function: "stream",
-			Dynamic: dyn, Static: static,
+			Dynamic: dyn, Static: statics[i].Metrics.FPI(),
 		}
 		return nil
 	})
@@ -176,11 +217,7 @@ func DgemmStaticFPI(n, nrep int64) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	met, err := p.StaticMetrics("dgemm_bench", expr.EnvFromInts(map[string]int64{"n": n, "nrep": nrep}))
-	if err != nil {
-		return 0, err
-	}
-	return met.FPI(), nil
+	return staticFPI(p, "dgemm_bench", expr.EnvFromInts(map[string]int64{"n": n, "nrep": nrep}))
 }
 
 // DgemmDynamicFPI executes DGEMM on the VM.
@@ -209,22 +246,34 @@ func DgemmDynamicFPI(n, nrep int64) (int64, error) {
 	return int64(st.FPIInclusive()), nil
 }
 
-// TableIV reproduces the DGEMM FPI validation.
+// TableIV reproduces the DGEMM FPI validation: the static column is one
+// query batch, the dynamic column fans out across the worker bound.
 func TableIV(sizes []int64, nrep int64) ([]ValidationRow, error) {
-	rows := make([]ValidationRow, len(sizes))
-	err := engine.ForEach(Workers(), len(sizes), func(i int) error {
-		n := sizes[i]
-		dyn, err := DgemmDynamicFPI(n, nrep)
-		if err != nil {
-			return err
+	p, err := DgemmPipeline()
+	if err != nil {
+		return nil, err
+	}
+	queries := make([]engine.Query, len(sizes))
+	for i, n := range sizes {
+		queries[i] = engine.Query{
+			Fn:   "dgemm_bench",
+			Env:  expr.EnvFromInts(map[string]int64{"n": n, "nrep": nrep}),
+			Kind: engine.KindStatic,
 		}
-		static, err := DgemmStaticFPI(n, nrep)
+	}
+	statics, err := runQueries(p, queries)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ValidationRow, len(sizes))
+	err = engine.ForEachCtx(sweepCtx, Workers(), len(sizes), func(i int) error {
+		dyn, err := DgemmDynamicFPI(sizes[i], nrep)
 		if err != nil {
 			return err
 		}
 		rows[i] = ValidationRow{
-			Label: fmt.Sprintf("%d", n), Function: "dgemm",
-			Dynamic: dyn, Static: static,
+			Label: fmt.Sprintf("%d", sizes[i]), Function: "dgemm",
+			Dynamic: dyn, Static: statics[i].Metrics.FPI(),
 		}
 		return nil
 	})

@@ -105,20 +105,25 @@ func MiniFEDynamic(s MiniFESizes) (map[string]int64, error) {
 
 // MiniFEStatic evaluates the static model for the same three functions.
 // Per-invocation functions are evaluated with their own parameters bound
-// the way cg_solve binds them.
+// the way cg_solve binds them. The whole per-function column is one
+// query batch sharing the (function, env) memo.
 func MiniFEStatic(s MiniFESizes) (map[string]int64, error) {
 	p, err := MiniFEPipeline()
 	if err != nil {
 		return nil, err
 	}
 	env := s.MiniFEEnv()
+	queries := make([]engine.Query, len(tableVFuncs))
+	for i, fn := range tableVFuncs {
+		queries[i] = engine.Query{Fn: fn, Env: env, Kind: engine.KindStatic}
+	}
+	results, err := runQueries(p, queries)
+	if err != nil {
+		return nil, err
+	}
 	out := map[string]int64{}
-	for _, fn := range tableVFuncs {
-		met, err := p.StaticMetrics(fn, env)
-		if err != nil {
-			return nil, err
-		}
-		out[fn] = met.FPI()
+	for i, fn := range tableVFuncs {
+		out[fn] = results[i].Metrics.FPI()
 	}
 	return out, nil
 }
@@ -134,7 +139,7 @@ var tableVFuncs = []string{"waxpby", "MatVec::operator()", "cg_solve", "dot"}
 // so the sweep fans out across the engine's worker bound.
 func TableV(sizes []MiniFESizes) ([]ValidationRow, error) {
 	perSize := make([][]ValidationRow, len(sizes))
-	err := engine.ForEach(Workers(), len(sizes), func(i int) error {
+	err := engine.ForEachCtx(sweepCtx, Workers(), len(sizes), func(i int) error {
 		s := sizes[i]
 		dyn, err := MiniFEDynamic(s)
 		if err != nil {

@@ -12,9 +12,7 @@ import (
 	"mira/internal/ir"
 	"mira/internal/loopcov"
 	"mira/internal/parser"
-	"mira/internal/pbound"
 	"mira/internal/roofline"
-	"mira/internal/sema"
 	"mira/internal/synth"
 	"mira/internal/vm"
 )
@@ -38,7 +36,7 @@ type TableIRow struct {
 func TableI() ([]TableIRow, error) {
 	profiles := synth.TableIProfiles
 	rows := make([]TableIRow, len(profiles))
-	err := engine.ForEach(Workers(), len(profiles), func(i int) error {
+	err := engine.ForEachCtx(sweepCtx, Workers(), len(profiles), func(i int) error {
 		p := profiles[i]
 		src, err := synth.Generate(p)
 		if err != nil {
@@ -87,25 +85,25 @@ type CategoryRow struct {
 	Fraction float64 // of total, for Fig. 6's distribution
 }
 
-// TableII evaluates the static model of cg_solve and buckets counts into
-// the paper's seven aggregate categories.
+// TableII evaluates the static model of cg_solve via a KindCategories
+// query and derives the Fig. 6 distribution from the bucketed counts.
 func TableII(s MiniFESizes) ([]CategoryRow, error) {
 	p, err := MiniFEPipeline()
 	if err != nil {
 		return nil, err
 	}
-	ops, err := p.EvaluateOpcodes("cg_solve", s.MiniFEEnv())
+	res, err := runQueries(p, []engine.Query{
+		{Fn: "cg_solve", Env: s.MiniFEEnv(), Kind: engine.KindCategories},
+	})
 	if err != nil {
 		return nil, err
 	}
-	byCat := map[string]int64{}
 	var total int64
-	for op, n := range ops {
-		byCat[arch.TableIICategory(op).String()] += n
+	for _, n := range res[0].Categories {
 		total += n
 	}
 	var rows []CategoryRow
-	for cat, n := range byCat {
+	for cat, n := range res[0].Categories {
 		rows = append(rows, CategoryRow{Category: cat, Count: n})
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Count > rows[j].Count })
@@ -116,21 +114,20 @@ func TableII(s MiniFESizes) ([]CategoryRow, error) {
 }
 
 // Fine64Categories evaluates cg_solve against the architecture description
-// file's full fine-grained categorization.
+// file's full fine-grained categorization — a KindFineCategories query
+// carrying the caller's description as a per-query override.
 func Fine64Categories(s MiniFESizes, d *arch.Description) (map[string]int64, error) {
 	p, err := MiniFEPipeline()
 	if err != nil {
 		return nil, err
 	}
-	ops, err := p.EvaluateOpcodes("cg_solve", s.MiniFEEnv())
+	res, err := runQueries(p, []engine.Query{
+		{Fn: "cg_solve", Env: s.MiniFEEnv(), Kind: engine.KindFineCategories, ArchDesc: d},
+	})
 	if err != nil {
 		return nil, err
 	}
-	out := map[string]int64{}
-	for op, n := range ops {
-		out[d.FineCategory(op)] += n
-	}
-	return out, nil
+	return res[0].Categories, nil
 }
 
 // FormatTableII renders the category table and Fig. 6 distribution.
@@ -193,7 +190,7 @@ func Fig7(streamSizes []int64, dgemmSizes []int64, dgemmReps int64, minife []Min
 	out = append(out, sDgemm)
 
 	miniSeries := make([]Fig7Series, len(minife))
-	err := engine.ForEach(Workers(), len(minife), func(pi int) error {
+	err := engine.ForEachCtx(sweepCtx, Workers(), len(minife), func(pi int) error {
 		cfg := minife[pi]
 		s := Fig7Series{Title: fmt.Sprintf("Fig 7(%c): miniFE FPI %dx%dx%d", 'c'+pi, cfg.NX, cfg.NY, cfg.NZ)}
 		dyn, err := MiniFEDynamic(cfg)
@@ -238,17 +235,21 @@ func FormatFig7(series []Fig7Series) string {
 // Prediction (Sec. IV-D2): arithmetic intensity
 
 // Prediction computes cg_solve's instruction-based arithmetic intensity
-// and roofline assessment on an architecture description.
+// and roofline assessment on an architecture description — a single
+// KindRoofline query carrying the caller's description as a per-query
+// override.
 func Prediction(s MiniFESizes, d *arch.Description) (*roofline.Analysis, error) {
 	p, err := MiniFEPipeline()
 	if err != nil {
 		return nil, err
 	}
-	met, err := p.StaticMetrics("cg_solve", s.MiniFEEnv())
+	res, err := runQueries(p, []engine.Query{
+		{Fn: "cg_solve", Env: s.MiniFEEnv(), Kind: engine.KindRoofline, ArchDesc: d},
+	})
 	if err != nil {
 		return nil, err
 	}
-	return roofline.Analyze("cg_solve", met, d)
+	return res[0].Roofline, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -266,42 +267,40 @@ type AblationRow struct {
 
 // Ablation runs the smooth kernel: its body carries constant-foldable and
 // loop-invariant FP subexpressions, so source-only counting overestimates
-// what the optimized binary executes, while Mira tracks the binary.
+// what the optimized binary executes, while Mira tracks the binary. Both
+// estimator columns come from one query matrix — a KindStatic and a
+// KindPBound cell per size, the PBound baseline now a first-class query
+// kind instead of a hand-rolled second pipeline.
 func Ablation(sizes []int64) ([]AblationRow, error) {
 	p, err := analyzed("ablation.c", ablationSrc)
 	if err != nil {
 		return nil, err
 	}
-	file, err := parser.ParseFile("ablation.c", ablationSrc)
-	if err != nil {
-		return nil, err
+	env := func(n int64) expr.Env { return expr.EnvFromInts(map[string]int64{"n": n}) }
+	queries := make([]engine.Query, 0, 2*len(sizes))
+	for _, n := range sizes {
+		queries = append(queries,
+			engine.Query{Fn: "smooth", Env: env(n), Kind: engine.KindStatic},
+			engine.Query{Fn: "smooth", Env: env(n), Kind: engine.KindPBound},
+		)
 	}
-	prog, err := sema.Analyze(file)
-	if err != nil {
-		return nil, err
-	}
-	pb, err := pbound.Analyze(prog)
+	statics, err := runQueries(p, queries)
 	if err != nil {
 		return nil, err
 	}
 
 	rows := make([]AblationRow, len(sizes))
-	err = engine.ForEach(Workers(), len(sizes), func(i int) error {
+	err = engine.ForEachCtx(sweepCtx, Workers(), len(sizes), func(i int) error {
 		n := sizes[i]
-		env := expr.EnvFromInts(map[string]int64{"n": n})
-		met, err := p.StaticMetrics("smooth", env)
-		if err != nil {
-			return err
-		}
-		pbFlops, err := pb.EvalFlops("smooth", env)
-		if err != nil {
-			return err
-		}
 		dyn, err := ablationDynamic(p, n)
 		if err != nil {
 			return err
 		}
-		row := AblationRow{N: n, Dynamic: dyn, Mira: met.FPI(), PBound: pbFlops}
+		row := AblationRow{
+			N: n, Dynamic: dyn,
+			Mira:   statics[2*i].Metrics.FPI(),
+			PBound: statics[2*i+1].PBound.Flops,
+		}
 		row.MiraErrPct = pctErr(row.Mira, dyn)
 		row.PBoundErrPct = pctErr(row.PBound, dyn)
 		rows[i] = row

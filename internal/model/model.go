@@ -180,6 +180,10 @@ func (c *Call) bindEnv(env expr.Env) (childEnv expr.Env, unresolved []string, er
 		}
 		childEnv[param] = v
 	}
+	// c.Args is a map: sort the hint so the same failing query produces
+	// the same diagnostic bytes on every call (identical queries must be
+	// byte-identical — they are cached and compared).
+	sort.Strings(unresolved)
 	return childEnv, unresolved, nil
 }
 

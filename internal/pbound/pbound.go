@@ -58,6 +58,32 @@ func Analyze(prog *sema.Program) (*Report, error) {
 	return r, nil
 }
 
+// Counts is an evaluated PBound estimate at one (function, env) point:
+// the source-level upper bounds on FP operations, array-element loads,
+// and array-element stores, all inclusive of callees. It is the value a
+// KindPBound query returns, so the fields carry wire tags.
+type Counts struct {
+	Flops  int64 `json:"flops"`
+	Loads  int64 `json:"loads"`
+	Stores int64 `json:"stores"`
+}
+
+// EvalCounts evaluates all three inclusive bounds of fn under env.
+func (r *Report) EvalCounts(fn string, env expr.Env) (Counts, error) {
+	var c Counts
+	var err error
+	if c.Flops, err = r.EvalFlops(fn, env); err != nil {
+		return Counts{}, err
+	}
+	if c.Loads, err = r.EvalLoads(fn, env); err != nil {
+		return Counts{}, err
+	}
+	if c.Stores, err = r.EvalStores(fn, env); err != nil {
+		return Counts{}, err
+	}
+	return c, nil
+}
+
 // EvalFlops evaluates the inclusive FP-operation bound of fn, following
 // calls (callee params bound from caller expressions when derivable).
 func (r *Report) EvalFlops(fn string, env expr.Env) (int64, error) {

@@ -133,3 +133,30 @@ void k(double *x, int n) {
 		t.Errorf("flops = %d, want 15", flops)
 	}
 }
+
+// TestEvalCounts: the bundled query-point evaluation agrees with the
+// three per-metric evaluators it wraps.
+func TestEvalCounts(t *testing.T) {
+	rep := analyze(t, `
+void k(double *x, double *y, int n) {
+	int i;
+	for (i = 0; i < n; i++) { y[i] = x[i] * 2.0 + 1.0; }
+}`)
+	env := expr.EnvFromInts(map[string]int64{"n": 8})
+	c, err := rep.EvalCounts("k", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flops, _ := rep.EvalFlops("k", env)
+	loads, _ := rep.EvalLoads("k", env)
+	stores, _ := rep.EvalStores("k", env)
+	if c != (pbound.Counts{Flops: flops, Loads: loads, Stores: stores}) {
+		t.Errorf("EvalCounts = %+v, want {%d %d %d}", c, flops, loads, stores)
+	}
+	if c.Flops != 16 || c.Loads != 8 || c.Stores != 8 {
+		t.Errorf("counts = %+v, want {16 8 8}", c)
+	}
+	if _, err := rep.EvalCounts("nosuch", env); err == nil {
+		t.Error("unknown function accepted")
+	}
+}

@@ -17,22 +17,23 @@ import (
 	"mira/internal/model"
 )
 
-// Analysis is a roofline assessment of one function.
+// Analysis is a roofline assessment of one function. It is the value a
+// KindRoofline query returns, so the fields carry wire tags.
 type Analysis struct {
-	Function string
+	Function string `json:"function"`
 	// InstrAI is the instruction-based arithmetic intensity (paper's
 	// definition): FP arithmetic instructions per FP data-movement
 	// instruction.
-	InstrAI float64
+	InstrAI float64 `json:"instr_ai"`
 	// ByteAI is the conventional flops-per-byte intensity, derived from
 	// data-movement instruction counts times the element size.
-	ByteAI float64
+	ByteAI float64 `json:"byte_ai"`
 	// RidgeAI is the machine's ridge point (peak flops / bandwidth).
-	RidgeAI float64
+	RidgeAI float64 `json:"ridge_ai"`
 	// AttainableGFlops is min(peak, ByteAI * bandwidth).
-	AttainableGFlops float64
+	AttainableGFlops float64 `json:"attainable_gflops"`
 	// MemoryBound reports whether the function sits left of the ridge.
-	MemoryBound bool
+	MemoryBound bool `json:"memory_bound"`
 }
 
 // Analyze computes the roofline assessment from evaluated metrics.

@@ -35,6 +35,8 @@
 package mira
 
 import (
+	"context"
+
 	"mira/internal/arch"
 	"mira/internal/core"
 	"mira/internal/engine"
@@ -73,11 +75,17 @@ type Env = expr.Env
 
 // Analyze runs the full static pipeline on MiniC source text.
 func Analyze(name, source string, opts Options) (*Result, error) {
+	return AnalyzeContext(context.Background(), name, source, opts)
+}
+
+// AnalyzeContext is Analyze honoring cancellation: the pipeline aborts
+// at the next stage boundary once ctx is done, returning ctx.Err().
+func AnalyzeContext(ctx context.Context, name, source string, opts Options) (*Result, error) {
 	a, err := arch.Lookup(opts.Arch)
 	if err != nil {
 		return nil, err
 	}
-	p, err := core.Analyze(name, source, core.Options{
+	p, err := core.AnalyzeContext(ctx, name, source, core.Options{
 		DisableOpt: opts.Unoptimized,
 		Lenient:    opts.Lenient,
 		Arch:       a,
@@ -92,25 +100,37 @@ func Analyze(name, source string, opts Options) (*Result, error) {
 func IntArgs(m map[string]int64) Env { return expr.EnvFromInts(m) }
 
 // Static evaluates the model of fn (inclusive of callees) under env.
+//
+// Deprecated: Static is a one-element KindStatic batch; new code should
+// batch queries through [Result.Run], which adds cancellation and
+// per-query errors. Retained as a thin wrapper over the same core.
 func (r *Result) Static(fn string, env Env) (Metrics, error) {
-	return r.a.StaticMetrics(fn, env)
+	return onlyMetrics(r.a.RunOne(context.Background(), Query{Fn: fn, Env: env, Kind: KindStatic}))
 }
 
 // StaticExclusive evaluates fn's body-only metrics.
+//
+// Deprecated: equivalent to a KindStaticExclusive query via [Result.Run].
 func (r *Result) StaticExclusive(fn string, env Env) (Metrics, error) {
-	return r.a.StaticMetricsExclusive(fn, env)
+	return onlyMetrics(r.a.RunOne(context.Background(), Query{Fn: fn, Env: env, Kind: KindStaticExclusive}))
 }
 
 // CategoryCounts returns fn's counts bucketed by the paper's Table II
 // aggregate categories.
+//
+// Deprecated: equivalent to a KindCategories query via [Result.Run].
 func (r *Result) CategoryCounts(fn string, env Env) (map[string]int64, error) {
-	return r.a.TableIICounts(fn, env)
+	res := r.a.RunOne(context.Background(), Query{Fn: fn, Env: env, Kind: KindCategories})
+	return res.Categories, res.Err
 }
 
 // FineCategoryCounts buckets fn's counts by the architecture description
 // file's fine-grained (64-way) instruction categories.
+//
+// Deprecated: equivalent to a KindFineCategories query via [Result.Run].
 func (r *Result) FineCategoryCounts(fn string, env Env) (map[string]int64, error) {
-	return r.a.FineCategoryCounts(fn, env)
+	res := r.a.RunOne(context.Background(), Query{Fn: fn, Env: env, Kind: KindFineCategories})
+	return res.Categories, res.Err
 }
 
 // PythonModel emits the generated model as Python source, the artifact
@@ -168,7 +188,14 @@ func NewEngine(workers int, opts Options) (*Engine, error) {
 // Analyze runs the pipeline on one source, served from the content-hash
 // cache when the same text was already analyzed.
 func (e *Engine) Analyze(name, source string) (*Result, error) {
-	a, err := e.e.Analyze(name, source)
+	return e.AnalyzeCtx(context.Background(), name, source)
+}
+
+// AnalyzeCtx is Analyze honoring cancellation at every wait point: the
+// singleflight wait on a duplicate in-flight compile, the worker-pool
+// queue, and the pipeline's stage boundaries.
+func (e *Engine) AnalyzeCtx(ctx context.Context, name, source string) (*Result, error) {
+	a, err := e.e.AnalyzeCtx(ctx, name, source)
 	if err != nil {
 		return nil, err
 	}
@@ -192,12 +219,19 @@ type BatchResult struct {
 // worker count) and returns results in job order. Errors are collected
 // per item rather than aborting the batch.
 func (e *Engine) AnalyzeAll(jobs []BatchJob) []BatchResult {
+	return e.AnalyzeAllCtx(context.Background(), jobs)
+}
+
+// AnalyzeAllCtx is AnalyzeAll honoring cancellation: once ctx is done,
+// every not-yet-analyzed job completes immediately with a per-item
+// ctx.Err().
+func (e *Engine) AnalyzeAllCtx(ctx context.Context, jobs []BatchJob) []BatchResult {
 	ejobs := make([]engine.Job, len(jobs))
 	for i, j := range jobs {
 		ejobs[i] = engine.Job{Name: j.Name, Source: j.Source}
 	}
 	out := make([]BatchResult, len(jobs))
-	for i, r := range e.e.AnalyzeAll(ejobs) {
+	for i, r := range e.e.AnalyzeAll(ctx, ejobs) {
 		out[i] = BatchResult{Job: jobs[i], Err: r.Err}
 		if r.Err == nil {
 			out[i].Result = &Result{p: r.Analysis.Pipeline, a: r.Analysis}

@@ -1,0 +1,175 @@
+package mira_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"mira"
+	"mira/internal/benchprogs"
+)
+
+// goldenPrograms is every embedded benchprogs workload.
+var goldenPrograms = map[string]string{
+	"stream":   benchprogs.Stream,
+	"dgemm":    benchprogs.Dgemm,
+	"minife":   benchprogs.MiniFE,
+	"fig5":     benchprogs.Fig5,
+	"listing1": benchprogs.Listing1,
+	"listing2": benchprogs.Listing2,
+	"listing4": benchprogs.Listing4,
+	"listing5": benchprogs.Listing5,
+	"ablation": benchprogs.Ablation,
+}
+
+// mustJSON is the byte-for-byte serialization the golden comparison
+// uses; encoding/json sorts map keys, so equal values marshal equally.
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// TestRunGoldenEquivalence proves the batched query API byte-equals the
+// legacy per-method calls — values and errors both — for every modeled
+// function of every benchprogs program.
+func TestRunGoldenEquivalence(t *testing.T) {
+	for name, src := range goldenPrograms {
+		res, err := mira.Analyze(name+".c", src, mira.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		model := res.Pipeline().Model
+		for _, fn := range model.Order {
+			f := model.Funcs[fn]
+			if f.Extern {
+				continue
+			}
+			// Bind every parameter the model needs to a small size; the
+			// comparison only requires both paths to see the same env.
+			args := map[string]int64{}
+			for _, p := range f.FreeParams() {
+				args[p] = 4
+			}
+			env := mira.IntArgs(args)
+
+			legacyMet, legacyMetErr := res.Static(fn, env)
+			legacyExcl, legacyExclErr := res.StaticExclusive(fn, env)
+			legacyCats, legacyCatsErr := res.CategoryCounts(fn, env)
+			legacyFine, legacyFineErr := res.FineCategoryCounts(fn, env)
+
+			batch := res.Run(context.Background(), []mira.Query{
+				{Fn: fn, Env: env, Kind: mira.KindStatic},
+				{Fn: fn, Env: env, Kind: mira.KindStaticExclusive},
+				{Fn: fn, Env: env, Kind: mira.KindCategories},
+				{Fn: fn, Env: env, Kind: mira.KindFineCategories},
+			})
+
+			type cell struct {
+				legacy    any
+				legacyErr error
+				batched   any
+				batchErr  error
+			}
+			cells := map[string]cell{
+				"static":           {legacyMet, legacyMetErr, batch[0].Metrics, batch[0].Err},
+				"static_exclusive": {legacyExcl, legacyExclErr, batch[1].Metrics, batch[1].Err},
+				"categories":       {legacyCats, legacyCatsErr, batch[2].Categories, batch[2].Err},
+				"fine_categories":  {legacyFine, legacyFineErr, batch[3].Categories, batch[3].Err},
+			}
+			for kind, c := range cells {
+				if errString(c.legacyErr) != errString(c.batchErr) {
+					t.Errorf("%s/%s %s: error mismatch: legacy=%q batched=%q",
+						name, fn, kind, errString(c.legacyErr), errString(c.batchErr))
+					continue
+				}
+				if c.legacyErr != nil {
+					continue
+				}
+				if lb, bb := mustJSON(t, c.legacy), mustJSON(t, c.batched); !bytes.Equal(lb, bb) {
+					t.Errorf("%s/%s %s: batched result diverges:\nlegacy:  %s\nbatched: %s",
+						name, fn, kind, lb, bb)
+				}
+			}
+		}
+	}
+}
+
+// TestRunCancellation: a cancelled context turns every unevaluated cell
+// into a prompt per-query context.Canceled.
+func TestRunCancellation(t *testing.T) {
+	res, err := mira.Analyze("stream.c", benchprogs.Stream, mira.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var queries []mira.Query
+	for n := int64(1); n <= 20; n++ {
+		queries = append(queries, mira.Query{
+			Fn: "stream", Env: mira.IntArgs(map[string]int64{"n": n}), Kind: mira.KindStatic,
+		})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i, r := range res.Run(ctx, queries) {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("query %d: err = %v, want context.Canceled", i, r.Err)
+		}
+	}
+	// The same batch with a live context evaluates normally.
+	for i, r := range res.Run(context.Background(), queries) {
+		if r.Err != nil {
+			t.Errorf("query %d after recovery: %v", i, r.Err)
+		}
+	}
+}
+
+// TestPromotedKinds: roofline and pbound are reachable from the public
+// surface, both batched and via the convenience helpers.
+func TestPromotedKinds(t *testing.T) {
+	res, err := mira.Analyze("stream.c", benchprogs.Stream, mira.Options{Arch: "arya"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := mira.IntArgs(map[string]int64{"n": 1000})
+	roof, err := res.Roofline("stream", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if roof.Function != "stream" || roof.AttainableGFlops <= 0 {
+		t.Errorf("roofline: %+v", roof)
+	}
+	pb, err := res.PBound("stream", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// STREAM performs 4n FP source ops per NTIMES pass; the bound must
+	// at least cover the measured 40n FPI.
+	if pb.Flops < 40*1000 {
+		t.Errorf("pbound flops = %d, want >= 40000", pb.Flops)
+	}
+	if pb.Loads <= 0 || pb.Stores <= 0 {
+		t.Errorf("pbound loads/stores: %+v", pb)
+	}
+	batch := res.Run(context.Background(), []mira.Query{
+		{Fn: "stream", Env: env, Kind: mira.KindRoofline},
+		{Fn: "stream", Env: env, Kind: mira.KindPBound},
+	})
+	if batch[0].Err != nil || *batch[0].Roofline != *roof {
+		t.Errorf("batched roofline diverges: %+v vs %+v (%v)", batch[0].Roofline, roof, batch[0].Err)
+	}
+	if batch[1].Err != nil || *batch[1].PBound != *pb {
+		t.Errorf("batched pbound diverges: %+v vs %+v (%v)", batch[1].PBound, pb, batch[1].Err)
+	}
+}
