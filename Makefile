@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check fmt-check vet build test race bench serve examples clean
+.PHONY: all check fmt-check vet build test race bench bench-baseline serve examples clean
 
 all: check
 
@@ -25,6 +25,17 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./
+
+# bench-baseline records the performance trajectory: the sweep
+# (compiled-vs-treewalk) and cache (cold-vs-warm) benchmarks as a
+# test2json event stream, one run each. CI uploads the file as a
+# non-gating artifact so regressions are visible across PRs.
+BENCH_BASELINE_OUT ?= BENCH_4.json
+bench-baseline:
+	$(GO) test -json -run xxx -benchtime 1x \
+		-bench 'BenchmarkSweep_CompiledVsTreeWalk|BenchmarkSweep_CompileOnce|BenchmarkEngineEval_ColdVsWarm' \
+		. > $(BENCH_BASELINE_OUT)
+	@grep -o '"Output":".*speedup-x[^"]*"' $(BENCH_BASELINE_OUT) | tail -1
 
 serve:
 	$(GO) run ./cmd/mira-serve -cache-dir .mira-cache

@@ -388,6 +388,117 @@ func BenchmarkEngineBatch_SerialVsParallel(b *testing.B) {
 	})
 }
 
+// sweepGridSizes builds the Fig. 7-style 10k-point size grid: STREAM
+// array lengths from 1k upward, the x-axis of the paper's validation
+// curves at sweep density.
+func sweepGridSizes(n int) []int64 {
+	sizes := make([]int64, n)
+	for i := range sizes {
+		sizes[i] = int64(1000 + 997*i)
+	}
+	return sizes
+}
+
+// BenchmarkSweep_CompiledVsTreeWalk is the tentpole measurement: a
+// 10k-point Fig. 7-style STREAM size sweep, evaluated (a) the old way —
+// one full model tree walk per point — and (b) through the compiled
+// sweep engine, which partially evaluates the call tree once and then
+// does a flat expression evaluation per point. Both sides run on ONE
+// worker, so the speedup-x metric isolates the compilation win — the
+// worker pool's fan-out (measured separately below) multiplies on top.
+// The acceptance bar is 5x.
+func BenchmarkSweep_CompiledVsTreeWalk(b *testing.B) {
+	serial := engine.New(engine.Options{Workers: 1})
+	a, err := serial.Analyze("stream.c", benchprogs.Stream)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sizes := sweepGridSizes(10_000)
+	spec := engine.SweepSpec{
+		Fn:   "stream",
+		Kind: engine.KindStatic,
+		Axes: []engine.SweepAxis{{Name: "n", Values: sizes}},
+	}
+
+	// One checked pass both ways, also priming the compilation cache and
+	// feeding the printed speedup artifact.
+	walkOnce := func() {
+		for _, n := range sizes {
+			if _, err := a.Pipeline.StaticMetrics("stream", expr.EnvFromInts(map[string]int64{"n": n})); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	sweepOnce := func(a *engine.Analysis) *engine.SweepResult {
+		res, err := a.Sweep(context.Background(), spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if errs := res.Errs(); len(errs) > 0 {
+			b.Fatal(errs[0])
+		}
+		return res
+	}
+	t0 := time.Now()
+	walkOnce()
+	walkDur := time.Since(t0)
+	t0 = time.Now()
+	res := sweepOnce(a)
+	sweepDur := time.Since(t0)
+	// The two paths must agree point for point before speed means anything.
+	for i, n := range sizes[:100] {
+		want, err := a.Pipeline.StaticMetrics("stream", expr.EnvFromInts(map[string]int64{"n": n}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if *res.Points[i].Metrics != want {
+			b.Fatalf("n=%d: sweep %+v != tree walk %+v", n, *res.Points[i].Metrics, want)
+		}
+	}
+	speedup := float64(walkDur) / float64(sweepDur)
+	printArtifact("sweep", fmt.Sprintf(
+		"Sweep engine at 10k-point STREAM grid, 1 worker: tree walk %v, compiled sweep %v (%.0fx)",
+		walkDur, sweepDur, speedup))
+
+	b.Run("treewalk-10k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			walkOnce()
+		}
+	})
+	b.Run("compiled-sweep-10k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sweepOnce(a)
+		}
+		b.ReportMetric(speedup, "speedup-x")
+	})
+	b.Run("compiled-sweep-10k-pool", func(b *testing.B) {
+		pool := engine.New(engine.Options{})
+		pa, err := pool.Analyze("stream.c", benchprogs.Stream)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			sweepOnce(pa)
+		}
+	})
+}
+
+// BenchmarkSweep_CompileOnce isolates the one-time symbolic compilation
+// cost a sweep amortizes (miniFE's cg_solve, the deepest call tree in
+// the suite).
+func BenchmarkSweep_CompileOnce(b *testing.B) {
+	a, err := experiments.MiniFEPipeline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Model.Compile("cg_solve"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkPublicEngineAPI exercises the mira.Engine wrapper the way an
 // external consumer would: batch-analyze, then query cached metrics.
 func BenchmarkPublicEngineAPI(b *testing.B) {

@@ -40,6 +40,7 @@ type server struct {
 	reqAnalyze *obs.Counter
 	reqEval    *obs.Counter
 	reqQuery   *obs.Counter
+	reqSweep   *obs.Counter
 	reqErrors  *obs.Counter
 	httpLat    *obs.Summary
 }
@@ -55,6 +56,7 @@ func newServer(eng *engine.Engine, reg *obs.Registry) http.Handler {
 		reqAnalyze: reg.Counter("mira_http_analyze_requests", "POST /analyze requests"),
 		reqEval:    reg.Counter("mira_http_eval_requests", "POST /eval requests"),
 		reqQuery:   reg.Counter("mira_http_query_requests", "POST /query requests"),
+		reqSweep:   reg.Counter("mira_http_sweep_requests", "POST /sweep requests"),
 		reqErrors:  reg.Counter("mira_http_request_errors", "requests answered with a 4xx/5xx status"),
 		httpLat:    reg.Summary("mira_http_seconds", "HTTP request latency"),
 	}
@@ -62,6 +64,7 @@ func newServer(eng *engine.Engine, reg *obs.Registry) http.Handler {
 	mux.HandleFunc("POST /analyze", s.handleAnalyze)
 	mux.HandleFunc("POST /eval", s.handleEval)
 	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /sweep", s.handleSweep)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s.instrument(mux)
@@ -446,6 +449,138 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, queryResponse{Key: a.Key(), Results: cells})
+}
+
+// sweepRequest is one POST /sweep body: a program reference plus the
+// sweep specification, mirroring engine.SweepSpec on the wire.
+type sweepRequest struct {
+	// Key references a previously analyzed program; Source (with
+	// optional Name) analyzes on the fly through the content-hash cache.
+	Key    string `json:"key,omitempty"`
+	Name   string `json:"name,omitempty"`
+	Source string `json:"source,omitempty"`
+
+	Fn string `json:"fn"`
+	// Kind defaults to "static".
+	Kind   string             `json:"kind,omitempty"`
+	Axes   []engine.SweepAxis `json:"axes,omitempty"`
+	Points []map[string]int64 `json:"points,omitempty"`
+	Base   map[string]int64   `json:"base,omitempty"`
+	Archs  []string           `json:"archs,omitempty"`
+}
+
+// sweepPointCell is one grid cell on the wire; exactly one value field
+// is set on success, and Error carries per-point failures (an
+// overflowing size, a cancelled evaluation) without failing the sweep.
+type sweepPointCell struct {
+	Env        map[string]int64   `json:"env"`
+	Arch       string             `json:"arch,omitempty"`
+	Error      string             `json:"error,omitempty"`
+	Metrics    *metricsPayload    `json:"metrics,omitempty"`
+	Categories map[string]int64   `json:"categories,omitempty"`
+	Roofline   *roofline.Analysis `json:"roofline,omitempty"`
+	PBound     *pbound.Counts     `json:"pbound,omitempty"`
+}
+
+// sweepFlushEvery bounds how many points are buffered before the
+// response writer is flushed: a 64k-point sweep streams in chunks
+// instead of one giant allocation, and a slow client sees data early.
+const sweepFlushEvery = 512
+
+// handleSweep is the mass-evaluation endpoint: one function, one query
+// kind, a whole parameter grid in a single request. The model is
+// compiled to closed form once and each point is a flat expression
+// evaluation; the response streams as chunked JSON with per-point
+// errors. Spec problems (unknown function, bad kind, an over-limit
+// grid) fail the request before any point is written.
+func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.reqSweep.Inc()
+	var req sweepRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Fn == "" {
+		s.apiError(w, http.StatusBadRequest, "missing fn")
+		return
+	}
+	if req.Kind == "" {
+		req.Kind = engine.KindStatic.String()
+	}
+	kind, err := engine.ParseKind(req.Kind)
+	if err != nil {
+		s.apiError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	a, ok := s.resolveAnalysis(w, r, req.Key, req.Name, req.Source)
+	if !ok {
+		return
+	}
+	res, err := a.Sweep(r.Context(), engine.SweepSpec{
+		Fn:     req.Fn,
+		Kind:   kind,
+		Axes:   req.Axes,
+		Points: req.Points,
+		Base:   req.Base,
+		Archs:  req.Archs,
+	})
+	if err != nil {
+		if clientGone(r) {
+			return
+		}
+		status := statusFor(err)
+		if errors.Is(err, engine.ErrSweepTooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		s.apiError(w, status, "sweep: %v", err)
+		return
+	}
+	if clientGone(r) {
+		return
+	}
+
+	// Stream the grid: header object first, then the points array in
+	// flushed chunks, then the closing brace — a well-formed single JSON
+	// document delivered incrementally.
+	w.Header().Set("Content-Type", "application/json")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	fmt.Fprintf(w, `{"key":%q,"fn":%q,"kind":%q,"total":%d,"points":[`,
+		a.Key(), req.Fn, kind, len(res.Points))
+	for i := range res.Points {
+		if clientGone(r) {
+			return // mid-stream abort: the client is not reading anyway
+		}
+		if i > 0 {
+			io.WriteString(w, ",")
+		}
+		_ = enc.Encode(sweepCell(&res.Points[i]))
+		if flusher != nil && (i+1)%sweepFlushEvery == 0 {
+			flusher.Flush()
+		}
+	}
+	io.WriteString(w, "]}\n")
+}
+
+// sweepCell converts an engine sweep point to its wire form.
+func sweepCell(p *engine.SweepPoint) sweepPointCell {
+	cell := sweepPointCell{Env: p.Env, Arch: p.Arch}
+	switch {
+	case p.Err != nil:
+		cell.Error = p.Err.Error()
+	case p.Metrics != nil:
+		cell.Metrics = &metricsPayload{
+			Instrs: p.Metrics.Instrs,
+			Flops:  p.Metrics.Flops,
+			FPI:    p.Metrics.FPI(),
+		}
+	case p.Categories != nil:
+		cell.Categories = p.Categories
+	case p.Roofline != nil:
+		cell.Roofline = p.Roofline
+	case p.PBound != nil:
+		cell.PBound = p.PBound
+	}
+	return cell
 }
 
 func toPayload(met model.Metrics, tab map[string]int64) *metricsPayload {

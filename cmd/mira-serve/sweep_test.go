@@ -1,0 +1,217 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// sweepResponse mirrors the streamed /sweep document for decoding in
+// tests (the stream is a single well-formed JSON object).
+type sweepResponse struct {
+	Key    string           `json:"key"`
+	Fn     string           `json:"fn"`
+	Kind   string           `json:"kind"`
+	Total  int              `json:"total"`
+	Points []sweepPointCell `json:"points"`
+}
+
+func decodeSweep(t *testing.T, body []byte) sweepResponse {
+	t.Helper()
+	var resp sweepResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("sweep response is not one valid JSON document: %v\n%s", err, body)
+	}
+	return resp
+}
+
+// TestSweepEndpoint is the acceptance path: a 1000-point size grid
+// against an inline program, evaluated through the compiled model in
+// one request.
+func TestSweepEndpoint(t *testing.T) {
+	h := newTestServer(t, "")
+	sizes := make([]int64, 1000)
+	for i := range sizes {
+		sizes[i] = int64(i + 1)
+	}
+	w := postJSON(t, h, "/sweep", map[string]any{
+		"name": "kernel.c", "source": kernelSrc,
+		"fn":   "kernel",
+		"axes": []map[string]any{{"name": "n", "values": sizes}},
+	})
+	if w.Code != 200 {
+		t.Fatalf("sweep status %d: %s", w.Code, w.Body)
+	}
+	resp := decodeSweep(t, w.Body.Bytes())
+	if resp.Key == "" || resp.Fn != "kernel" || resp.Kind != "static" {
+		t.Fatalf("header = %+v", resp)
+	}
+	if resp.Total != 1000 || len(resp.Points) != 1000 {
+		t.Fatalf("total %d, points %d, want 1000", resp.Total, len(resp.Points))
+	}
+	for i, p := range resp.Points {
+		n := int64(i + 1)
+		if p.Error != "" || p.Metrics == nil {
+			t.Fatalf("point %d: %+v", i, p)
+		}
+		if p.Env["n"] != n || p.Metrics.FPI != 2*n {
+			t.Fatalf("point %d: env %v FPI %d, want n=%d FPI=%d", i, p.Env, p.Metrics.FPI, n, 2*n)
+		}
+	}
+}
+
+// TestSweepEndpointKindsAndArchs covers a roofline sweep across
+// architectures and a pbound sweep via an explicit points list.
+func TestSweepEndpointKindsAndArchs(t *testing.T) {
+	h := newTestServer(t, "")
+	w := postJSON(t, h, "/sweep", map[string]any{
+		"source": kernelSrc, "fn": "kernel", "kind": "roofline",
+		"axes":  []map[string]any{{"name": "n", "values": []int64{100, 200}}},
+		"archs": []string{"arya", "frankenstein"},
+	})
+	if w.Code != 200 {
+		t.Fatalf("roofline sweep status %d: %s", w.Code, w.Body)
+	}
+	resp := decodeSweep(t, w.Body.Bytes())
+	if len(resp.Points) != 4 {
+		t.Fatalf("points = %d, want 2 sizes x 2 archs", len(resp.Points))
+	}
+	if resp.Points[0].Arch != "arya" || resp.Points[2].Arch != "frankenstein" {
+		t.Fatalf("arch order: %q then %q", resp.Points[0].Arch, resp.Points[2].Arch)
+	}
+	for i, p := range resp.Points {
+		if p.Error != "" || p.Roofline == nil {
+			t.Fatalf("point %d: %+v", i, p)
+		}
+	}
+
+	w = postJSON(t, h, "/sweep", map[string]any{
+		"source": kernelSrc, "fn": "kernel", "kind": "pbound",
+		"points": []map[string]int64{{"n": 10}, {"n": 20}},
+	})
+	if w.Code != 200 {
+		t.Fatalf("pbound sweep status %d: %s", w.Code, w.Body)
+	}
+	resp = decodeSweep(t, w.Body.Bytes())
+	if len(resp.Points) != 2 || resp.Points[0].PBound == nil {
+		t.Fatalf("pbound points = %+v", resp.Points)
+	}
+	if resp.Points[1].PBound.Flops != 2*resp.Points[0].PBound.Flops {
+		t.Fatalf("pbound not scaling: %+v", resp.Points)
+	}
+}
+
+// TestSweepEndpointLimits: grids past MaxSweepPoints are rejected with
+// 413 before any evaluation, and spec mistakes are 4xx.
+func TestSweepEndpointLimits(t *testing.T) {
+	h := newTestServer(t, "")
+	big := make([]int64, 300)
+	for i := range big {
+		big[i] = int64(i)
+	}
+	w := postJSON(t, h, "/sweep", map[string]any{
+		"source": kernelSrc, "fn": "kernel",
+		"axes": []map[string]any{
+			{"name": "a", "values": big},
+			{"name": "b", "values": big},
+		},
+	})
+	if w.Code != 413 {
+		t.Fatalf("over-limit sweep status %d, want 413: %s", w.Code, w.Body)
+	}
+
+	cases := []struct {
+		name string
+		body map[string]any
+		want int
+	}{
+		{"missing fn", map[string]any{"source": kernelSrc,
+			"axes": []map[string]any{{"name": "n", "values": []int64{1}}}}, 400},
+		{"bad kind", map[string]any{"source": kernelSrc, "fn": "kernel", "kind": "bogus",
+			"axes": []map[string]any{{"name": "n", "values": []int64{1}}}}, 400},
+		{"no grid", map[string]any{"source": kernelSrc, "fn": "kernel"}, 422},
+		{"unknown fn", map[string]any{"source": kernelSrc, "fn": "ghost",
+			"axes": []map[string]any{{"name": "n", "values": []int64{1}}}}, 422},
+		{"unknown key", map[string]any{"key": "deadbeef", "fn": "kernel",
+			"axes": []map[string]any{{"name": "n", "values": []int64{1}}}}, 404},
+	}
+	for _, tc := range cases {
+		w := postJSON(t, h, "/sweep", tc.body)
+		if w.Code != tc.want {
+			t.Errorf("%s: status %d, want %d: %s", tc.name, w.Code, tc.want, w.Body)
+		}
+	}
+}
+
+// TestSweepEndpointPerPointErrors: a grid crossing the int64 overflow
+// boundary reports the wrapped cells as per-point errors while the
+// rest of the response carries values — and the request still
+// succeeds.
+func TestSweepEndpointPerPointErrors(t *testing.T) {
+	h := newTestServer(t, "")
+	// kernel FPI = 2n; n near MaxInt64 overflows the instruction total.
+	w := postJSON(t, h, "/sweep", map[string]any{
+		"source": kernelSrc, "fn": "kernel",
+		"axes": []map[string]any{{"name": "n", "values": []int64{1000, 4_000_000_000_000_000_000}}},
+	})
+	if w.Code != 200 {
+		t.Fatalf("sweep status %d: %s", w.Code, w.Body)
+	}
+	resp := decodeSweep(t, w.Body.Bytes())
+	if resp.Points[0].Error != "" || resp.Points[0].Metrics == nil {
+		t.Fatalf("small point: %+v", resp.Points[0])
+	}
+	if !strings.Contains(resp.Points[1].Error, "overflow") {
+		t.Fatalf("huge point error = %q, want overflow", resp.Points[1].Error)
+	}
+	if resp.Points[1].Metrics != nil {
+		t.Fatalf("overflowed point carries metrics: %+v", resp.Points[1])
+	}
+}
+
+// TestSweepEndpointCancellation: a request whose context dies mid-sweep
+// must not write a partial document as success — the handler returns
+// without a body (the client is gone) and the daemon survives.
+func TestSweepEndpointCancellation(t *testing.T) {
+	h := newTestServer(t, "")
+	sizes := make([]int64, 4096)
+	for i := range sizes {
+		sizes[i] = int64(i + 1)
+	}
+	body, err := json.Marshal(map[string]any{
+		"source": kernelSrc, "fn": "kernel",
+		"axes": []map[string]any{{"name": "n", "values": sizes}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // dead before the handler runs: deterministic
+	req := httptest.NewRequest("POST", "/sweep", bytes.NewReader(body)).WithContext(ctx)
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req) // must not panic or hang
+	if w.Body.Len() != 0 {
+		// Anything written to a dead connection is acceptable only as a
+		// complete error document, never a half-streamed success.
+		var resp sweepResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err == nil && resp.Total > 0 {
+			for _, p := range resp.Points {
+				if p.Error == "" {
+					t.Fatalf("cancelled sweep streamed a successful point: %+v", p)
+				}
+			}
+		}
+	}
+	// The server still works afterwards.
+	w2 := postJSON(t, h, "/sweep", map[string]any{
+		"source": kernelSrc, "fn": "kernel",
+		"axes": []map[string]any{{"name": "n", "values": []int64{5}}},
+	})
+	if w2.Code != 200 {
+		t.Fatalf("post-cancel sweep status %d: %s", w2.Code, w2.Body)
+	}
+}

@@ -64,6 +64,21 @@ func New(m *vm.Machine, d *arch.Description) *Profiler {
 	return &Profiler{M: m, Arch: d}
 }
 
+// knownCounters is the closed set of counters the profiler models.
+var knownCounters = []Counter{PAPI_TOT_INS, PAPI_FP_INS, PAPI_FP_OPS, PAPI_BR_INS, PAPI_LST_INS}
+
+// Known reports whether the profiler models a counter at all —
+// distinct from Available, which asks whether this architecture
+// supports a (known) counter.
+func Known(c Counter) bool {
+	for _, k := range knownCounters {
+		if c == k {
+			return true
+		}
+	}
+	return false
+}
+
 // Available reports whether the architecture supports a counter.
 func (p *Profiler) Available(c Counter) bool {
 	switch c {
@@ -73,8 +88,14 @@ func (p *Profiler) Available(c Counter) bool {
 	return true
 }
 
-// Read returns the inclusive value of a counter for one function.
+// Read returns the inclusive value of a counter for one function. A
+// counter the profiler does not model is an error, never a measured
+// zero: a typo'd counter name must not masquerade as "this function
+// executes no such instructions".
 func (p *Profiler) Read(fn string, c Counter) (int64, error) {
+	if !Known(c) {
+		return 0, fmt.Errorf("dynamic: unknown counter %q (counters: %v)", c, knownCounters)
+	}
 	if !p.Available(c) {
 		return 0, fmt.Errorf("dynamic: %s is not supported on %s (no FP hardware counters; see paper Sec. IV-D1)",
 			c, p.Arch.Name)
@@ -124,7 +145,7 @@ func (p *Profiler) Report() *Profile {
 			Exclusive: map[Counter]int64{},
 			Inclusive: map[Counter]int64{},
 		}
-		for _, c := range []Counter{PAPI_TOT_INS, PAPI_FP_INS, PAPI_FP_OPS, PAPI_BR_INS, PAPI_LST_INS} {
+		for _, c := range knownCounters {
 			if !p.Available(c) {
 				continue
 			}
@@ -133,10 +154,22 @@ func (p *Profiler) Report() *Profile {
 		}
 		prof.Rows = append(prof.Rows, row)
 	}
-	sort.Slice(prof.Rows, func(i, j int) bool {
-		return prof.Rows[i].Inclusive[PAPI_TOT_INS] > prof.Rows[j].Inclusive[PAPI_TOT_INS]
-	})
+	sortProfileRows(prof.Rows)
 	return prof
+}
+
+// sortProfileRows orders rows by inclusive instruction count descending,
+// with a function-name tiebreak: tied rows (common in symmetric kernels
+// — STREAM's copy/scale pair executes identical counts) must render in
+// the same order on every run.
+func sortProfileRows(rows []ProfileRow) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		ti, tj := rows[i].Inclusive[PAPI_TOT_INS], rows[j].Inclusive[PAPI_TOT_INS]
+		if ti != tj {
+			return ti > tj
+		}
+		return rows[i].Function < rows[j].Function
+	})
 }
 
 // String renders the profile in a pprof/TAU-like table.

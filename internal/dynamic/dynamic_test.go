@@ -115,3 +115,65 @@ func TestUnknownFunction(t *testing.T) {
 		t.Error("unknown function accepted")
 	}
 }
+
+// TestUnknownCounterRejected: a counter the profiler does not model is
+// an error, not a silently measured zero — a typo like PAPI_FP_INNS
+// must not report "this function executes no FP instructions".
+func TestUnknownCounterRejected(t *testing.T) {
+	m := machine(t, profSrc)
+	if _, err := m.Run("outer", vm.Int(3)); err != nil {
+		t.Fatal(err)
+	}
+	p := dynamic.New(m, arch.Frankenstein())
+	v, err := p.Read("outer", dynamic.Counter("PAPI_FP_INNS"))
+	if err == nil {
+		t.Fatalf("typo'd counter accepted, read %d", v)
+	}
+	if !strings.Contains(err.Error(), "unknown counter") {
+		t.Errorf("err = %v, want unknown-counter diagnostic", err)
+	}
+	if dynamic.Known(dynamic.Counter("PAPI_FP_INNS")) {
+		t.Error("Known accepted a typo")
+	}
+	if !dynamic.Known(dynamic.PAPI_FP_INS) {
+		t.Error("Known rejected a real counter")
+	}
+}
+
+// TestReportTieOrder pins the golden order of tied profile rows: two
+// functions with identical inclusive counts sort by name, every run.
+func TestReportTieOrder(t *testing.T) {
+	const twinSrc = `
+double zz_twin(double x) { return x * x; }
+double aa_twin(double x) { return x * x; }
+double drive(int n) {
+	double s; int i;
+	s = 0.0;
+	for (i = 0; i < n; i++) {
+		s = s + zz_twin(1.5) + aa_twin(1.5);
+	}
+	return s;
+}`
+	m := machine(t, twinSrc)
+	if _, err := m.Run("drive", vm.Int(4)); err != nil {
+		t.Fatal(err)
+	}
+	p := dynamic.New(m, arch.Frankenstein())
+	for run := 0; run < 20; run++ {
+		rep := p.Report()
+		if len(rep.Rows) != 3 {
+			t.Fatalf("rows = %+v", rep.Rows)
+		}
+		if rep.Rows[0].Function != "drive" {
+			t.Fatalf("run %d: top row %q, want drive", run, rep.Rows[0].Function)
+		}
+		a, z := rep.Rows[1], rep.Rows[2]
+		if a.Inclusive[dynamic.PAPI_TOT_INS] != z.Inclusive[dynamic.PAPI_TOT_INS] {
+			t.Fatalf("twins not tied: %+v vs %+v", a, z)
+		}
+		if a.Function != "aa_twin" || z.Function != "zz_twin" {
+			t.Fatalf("run %d: tied rows out of name order: %q before %q",
+				run, a.Function, z.Function)
+		}
+	}
+}

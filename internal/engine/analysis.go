@@ -36,6 +36,9 @@ type Analysis struct {
 	// key is the engine content hash this analysis is cached under;
 	// empty for standalone wrappers.
 	key string
+	// workers is the owning engine's parallelism bound, inherited by
+	// Sweep's fan-out; zero (standalone wrappers) means GOMAXPROCS.
+	workers int
 }
 
 // memoStore is the shared evaluation cache behind one analyzed content
@@ -46,6 +49,12 @@ type memoStore struct {
 	metrics map[evalKey]model.Metrics
 	opcodes map[evalKey]map[ir.Op]int64
 	pbounds map[evalKey]pbound.Counts
+
+	// compiled caches the symbolic compilations (one per function and
+	// exclusivity), singleflighted: a sweep storm over one function
+	// compiles it once.
+	compiledMu sync.Mutex
+	compiled   map[compiledKey]*compiledSlot
 
 	// pbOnce guards the lazy source-only PBound baseline report, built
 	// from the pipeline's sema program the first time a KindPBound query
@@ -60,10 +69,54 @@ type memoStore struct {
 
 func newMemoStore() *memoStore {
 	return &memoStore{
-		metrics: map[evalKey]model.Metrics{},
-		opcodes: map[evalKey]map[ir.Op]int64{},
-		pbounds: map[evalKey]pbound.Counts{},
+		metrics:  map[evalKey]model.Metrics{},
+		opcodes:  map[evalKey]map[ir.Op]int64{},
+		pbounds:  map[evalKey]pbound.Counts{},
+		compiled: map[compiledKey]*compiledSlot{},
 	}
+}
+
+// compiledKey identifies one cached compilation.
+type compiledKey struct {
+	fn        string
+	exclusive bool
+}
+
+// compiledSlot is a singleflight cell for one compilation.
+type compiledSlot struct {
+	once sync.Once
+	cm   *model.CompiledModel
+	err  error
+}
+
+// Compiled returns fn's symbolic compilation (see model.Compile),
+// cached per content hash: the partial evaluation of the call tree runs
+// once and every later sweep reuses it. Compilation panics (expr
+// constructor contract violations reachable through hostile source) are
+// converted to errors like every other evaluation at this boundary.
+func (a *Analysis) Compiled(fn string, exclusive bool) (*model.CompiledModel, error) {
+	m := a.memo
+	key := compiledKey{fn: fn, exclusive: exclusive}
+	m.compiledMu.Lock()
+	slot, ok := m.compiled[key]
+	if !ok {
+		slot = &compiledSlot{}
+		m.compiled[key] = slot
+	}
+	m.compiledMu.Unlock()
+	slot.once.Do(func() {
+		start := time.Now()
+		slot.cm, slot.err = safely("compilation", func() (*model.CompiledModel, error) {
+			if exclusive {
+				return a.Model.CompileExclusive(fn)
+			}
+			return a.Model.Compile(fn)
+		})
+		if a.met != nil && slot.err == nil {
+			a.met.compile.Observe(time.Since(start).Seconds())
+		}
+	})
+	return slot.cm, slot.err
 }
 
 // Key returns the engine's content-hash cache key for this analysis
@@ -92,6 +145,7 @@ func (e *Engine) newAnalysis(p *core.Pipeline, key string) *Analysis {
 	a := NewAnalysis(p)
 	a.met = e.met
 	a.key = key
+	a.workers = e.workers
 	return a
 }
 
@@ -106,7 +160,7 @@ func (a *Analysis) withName(name string) *Analysis {
 	}
 	p := *a.Pipeline
 	p.Name = name
-	return &Analysis{Pipeline: &p, memo: a.memo, met: a.met, key: a.key}
+	return &Analysis{Pipeline: &p, memo: a.memo, met: a.met, key: a.key, workers: a.workers}
 }
 
 // memoLen reports the number of memoized evaluation entries.

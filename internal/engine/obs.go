@@ -16,6 +16,9 @@ import (
 //	mira_analyze_seconds                    cold compile latency (summary)
 //	mira_rebuild_seconds                    warm store-rebuild latency
 //	mira_eval_seconds                       model evaluation latency
+//	mira_compile_seconds                    symbolic compilation latency
+//	mira_sweep_seconds                      whole-sweep latency
+//	mira_sweep_points_total                 compiled sweep points evaluated
 //	mira_analyses_inflight                  gauge
 //	mira_resident_analyses                  gauge (scrape-computed)
 //	mira_eval_memo_entries                  gauge (scrape-computed)
@@ -28,10 +31,13 @@ type metricsSet struct {
 	evalHits    *obs.Counter
 	evalMisses  *obs.Counter
 	evictions   *obs.Counter
+	sweepPoints *obs.Counter
 
 	analyze *obs.Summary
 	rebuild *obs.Summary
 	eval    *obs.Summary
+	compile *obs.Summary
+	sweep   *obs.Summary
 
 	inflight *obs.Gauge
 }
@@ -46,9 +52,12 @@ func newMetricsSet(r *obs.Registry) *metricsSet {
 		evalHits:    r.Counter("mira_eval_memo_hits", "model evaluations served from the (function, env) memo"),
 		evalMisses:  r.Counter("mira_eval_memo_misses", "model evaluations that walked the model"),
 		evictions:   r.Counter("mira_cache_evictions", "live-cache entries evicted under the MaxResident bound"),
+		sweepPoints: r.Counter("mira_sweep_points", "grid points evaluated by compiled sweeps"),
 		analyze:     r.Summary("mira_analyze_seconds", "cold pipeline analysis latency"),
 		rebuild:     r.Summary("mira_rebuild_seconds", "warm rebuild-from-store latency"),
 		eval:        r.Summary("mira_eval_seconds", "model evaluation latency (memo misses)"),
+		compile:     r.Summary("mira_compile_seconds", "symbolic model compilation latency"),
+		sweep:       r.Summary("mira_sweep_seconds", "whole-sweep latency (grid expansion through last point)"),
 		inflight:    r.Gauge("mira_analyses_inflight", "pipeline analyses currently running"),
 	}
 }

@@ -8,37 +8,23 @@ import (
 	"mira/internal/expr"
 )
 
-// TestEvaluateOpcodesReconciles checks, for every benchprogs program and
-// every function its model defines, that the two model walkers agree:
-// the sum of EvaluateOpcodes' per-opcode counts must equal Evaluate's
-// instruction total, and the two must succeed or fail together. This is
-// the guard against the walkers drifting apart (rounding, argument
-// binding) — a divergence here poisons Table II and every persisted
-// cache entry derived from it.
-func TestEvaluateOpcodesReconciles(t *testing.T) {
-	// A generous environment superset: every parameter any benchprogs
-	// function declares, at sizes small enough to enumerate quickly.
-	env := expr.EnvFromInts(map[string]int64{
-		"n": 60, "nrep": 3,
-		"nx": 6, "ny": 6, "nz": 6,
-		"max_iter": 5, "nnz_row": 19,
-	})
-	programs := []struct {
-		name   string
-		source string
-	}{
-		{"stream.c", benchprogs.Stream},
-		{"dgemm.c", benchprogs.Dgemm},
-		{"minife.c", benchprogs.MiniFE},
-		{"fig5.c", benchprogs.Fig5},
-		{"listing1.c", benchprogs.Listing1},
-		{"listing2.c", benchprogs.Listing2},
-		{"listing4.c", benchprogs.Listing4},
-		{"listing5.c", benchprogs.Listing5},
-		{"ablation.c", benchprogs.Ablation},
-		// A br_frac-annotated kernel: fractional multiplicities are where
-		// the truncate-vs-round divergence used to bite.
-		{"brfrac.c", `
+// reconcilePrograms lists every embedded workload plus a br_frac-
+// annotated kernel: fractional multiplicities are where truncate-vs-
+// round (and compiled-vs-walker rounding-order) divergences bite.
+var reconcilePrograms = []struct {
+	name   string
+	source string
+}{
+	{"stream.c", benchprogs.Stream},
+	{"dgemm.c", benchprogs.Dgemm},
+	{"minife.c", benchprogs.MiniFE},
+	{"fig5.c", benchprogs.Fig5},
+	{"listing1.c", benchprogs.Listing1},
+	{"listing2.c", benchprogs.Listing2},
+	{"listing4.c", benchprogs.Listing4},
+	{"listing5.c", benchprogs.Listing5},
+	{"ablation.c", benchprogs.Ablation},
+	{"brfrac.c", `
 double work(double v) {
 	double t;
 	t = v * 2.0 + 1.0;
@@ -55,8 +41,24 @@ double kernel(double *x, int n) {
 	}
 	return s;
 }`},
-	}
-	for _, prog := range programs {
+}
+
+// TestEvaluateOpcodesReconciles checks, for every benchprogs program and
+// every function its model defines, that the two model walkers agree:
+// the sum of EvaluateOpcodes' per-opcode counts must equal Evaluate's
+// instruction total, and the two must succeed or fail together. This is
+// the guard against the walkers drifting apart (rounding, argument
+// binding) — a divergence here poisons Table II and every persisted
+// cache entry derived from it.
+func TestEvaluateOpcodesReconciles(t *testing.T) {
+	// A generous environment superset: every parameter any benchprogs
+	// function declares, at sizes small enough to enumerate quickly.
+	env := expr.EnvFromInts(map[string]int64{
+		"n": 60, "nrep": 3,
+		"nx": 6, "ny": 6, "nz": 6,
+		"max_iter": 5, "nnz_row": 19,
+	})
+	for _, prog := range reconcilePrograms {
 		p, err := core.Analyze(prog.name, prog.source, core.Options{})
 		if err != nil {
 			t.Fatalf("%s: analyze: %v", prog.name, err)
@@ -79,6 +81,84 @@ double kernel(double *x, int n) {
 			if total != met.Instrs {
 				t.Errorf("%s %s: opcode total %d != Evaluate instrs %d",
 					prog.name, fn, total, met.Instrs)
+			}
+		}
+	}
+}
+
+// TestCompiledReconciles is the compiled-path property test: for every
+// benchprogs program, every function its model defines, and a grid of
+// environments (small, large, and degenerate-zero sizes), the symbolic
+// compilation must be byte-identical to the tree walkers — same
+// metrics, same per-opcode counts, exclusive included, and the two
+// paths must succeed or fail together. A divergence here would poison
+// every sweep built on the compiled path.
+func TestCompiledReconciles(t *testing.T) {
+	grid := []map[string]int64{
+		{"n": 0, "nrep": 0, "nx": 0, "ny": 0, "nz": 0, "max_iter": 0, "nnz_row": 0},
+		{"n": 1, "nrep": 1, "nx": 1, "ny": 1, "nz": 1, "max_iter": 1, "nnz_row": 1},
+		{"n": 7, "nrep": 2, "nx": 2, "ny": 3, "nz": 4, "max_iter": 3, "nnz_row": 9},
+		{"n": 60, "nrep": 3, "nx": 6, "ny": 6, "nz": 6, "max_iter": 5, "nnz_row": 19},
+		// Large sizes stress the closed forms; the brick stays modest
+		// because miniFE's assemble makes the *walker* enumerate sums.
+		{"n": 1_000_000, "nrep": 10, "nx": 10, "ny": 9, "nz": 8, "max_iter": 20, "nnz_row": 25},
+	}
+	for _, prog := range reconcilePrograms {
+		p, err := core.Analyze(prog.name, prog.source, core.Options{})
+		if err != nil {
+			t.Fatalf("%s: analyze: %v", prog.name, err)
+		}
+		for _, fn := range p.Model.Order {
+			cm, errC := p.Model.Compile(fn)
+			cmx, errCX := p.Model.CompileExclusive(fn)
+			if errC != nil || errCX != nil {
+				t.Errorf("%s %s: compile errs %v / %v", prog.name, fn, errC, errCX)
+				continue
+			}
+			for gi, point := range grid {
+				env := expr.EnvFromInts(point)
+
+				met, errW := p.Model.Evaluate(fn, env)
+				cmet, errE := cm.Eval(env)
+				if (errW == nil) != (errE == nil) {
+					t.Errorf("%s %s grid %d: evaluability diverges: walker %v, compiled %v",
+						prog.name, fn, gi, errW, errE)
+					continue
+				}
+				if errW == nil && met != cmet {
+					t.Errorf("%s %s grid %d: walker %+v != compiled %+v", prog.name, fn, gi, met, cmet)
+				}
+
+				metx, errWX := p.Model.EvaluateExclusive(fn, env)
+				cmetx, errEX := cmx.Eval(env)
+				if (errWX == nil) != (errEX == nil) {
+					t.Errorf("%s %s grid %d: exclusive evaluability diverges: walker %v, compiled %v",
+						prog.name, fn, gi, errWX, errEX)
+				} else if errWX == nil && metx != cmetx {
+					t.Errorf("%s %s grid %d: exclusive walker %+v != compiled %+v", prog.name, fn, gi, metx, cmetx)
+				}
+
+				ops, errWO := p.Model.EvaluateOpcodes(fn, env)
+				cops, errEO := cm.EvalOps(env)
+				if (errWO == nil) != (errEO == nil) {
+					t.Errorf("%s %s grid %d: opcode evaluability diverges: walker %v, compiled %v",
+						prog.name, fn, gi, errWO, errEO)
+					continue
+				}
+				if errWO != nil {
+					continue
+				}
+				if len(ops) != len(cops) {
+					t.Errorf("%s %s grid %d: opcode key sets differ: walker %d keys, compiled %d",
+						prog.name, fn, gi, len(ops), len(cops))
+					continue
+				}
+				for op, n := range ops {
+					if cops[op] != n {
+						t.Errorf("%s %s grid %d: ops[%v]: walker %d != compiled %d",
+							prog.name, fn, gi, op, n, cops[op])
+					}
+				}
 			}
 		}
 	}

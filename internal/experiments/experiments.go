@@ -126,6 +126,24 @@ func staticFPI(a *engine.Analysis, fn string, env expr.Env) (int64, error) {
 	return res[0].Metrics.FPI(), nil
 }
 
+// sweepFPI evaluates fn's FPI curve over one axis through the compiled
+// sweep engine: the model is partially evaluated once and every size is
+// a flat expression evaluation. This is how every scaling column of the
+// evaluation section (Table III/IV sizes, the Fig. 7 x-axes) is
+// produced.
+func sweepFPI(a *engine.Analysis, fn, axis string, values []int64, base map[string]int64) ([]int64, error) {
+	res, err := a.Sweep(sweepCtx, engine.SweepSpec{
+		Fn:   fn,
+		Kind: engine.KindStatic,
+		Axes: []engine.SweepAxis{{Name: axis, Values: values}},
+		Base: base,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.FPISeries()
+}
+
 // ---------------------------------------------------------------------------
 // STREAM (Table III, Fig. 7a)
 
@@ -168,18 +186,14 @@ func StreamDynamicFPI(n int64) (int64, error) {
 // paired static/dynamic rows; staticOnly lists additional sizes evaluated
 // statically only (the paper's 50M and 100M points, which the VM
 // substitutes by scaling — see EXPERIMENTS.md). The static column is one
-// query batch (a KindStatic cell per size); the dynamic column fans the
-// VM runs out across the worker bound.
+// compiled sweep over the size axis; the dynamic column fans the VM runs
+// out across the worker bound.
 func TableIII(dynSizes []int64) ([]ValidationRow, error) {
 	p, err := StreamPipeline()
 	if err != nil {
 		return nil, err
 	}
-	queries := make([]engine.Query, len(dynSizes))
-	for i, n := range dynSizes {
-		queries[i] = engine.Query{Fn: "stream", Env: expr.EnvFromInts(map[string]int64{"n": n}), Kind: engine.KindStatic}
-	}
-	statics, err := runQueries(p, queries)
+	statics, err := sweepFPI(p, "stream", "n", dynSizes, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -192,7 +206,7 @@ func TableIII(dynSizes []int64) ([]ValidationRow, error) {
 		}
 		rows[i] = ValidationRow{
 			Label: fmt.Sprintf("%dM", n/1_000_000), Function: "stream",
-			Dynamic: dyn, Static: statics[i].Metrics.FPI(),
+			Dynamic: dyn, Static: statics[i],
 		}
 		return nil
 	})
@@ -247,21 +261,14 @@ func DgemmDynamicFPI(n, nrep int64) (int64, error) {
 }
 
 // TableIV reproduces the DGEMM FPI validation: the static column is one
-// query batch, the dynamic column fans out across the worker bound.
+// compiled sweep over the size axis (nrep fixed in the base bindings),
+// the dynamic column fans out across the worker bound.
 func TableIV(sizes []int64, nrep int64) ([]ValidationRow, error) {
 	p, err := DgemmPipeline()
 	if err != nil {
 		return nil, err
 	}
-	queries := make([]engine.Query, len(sizes))
-	for i, n := range sizes {
-		queries[i] = engine.Query{
-			Fn:   "dgemm_bench",
-			Env:  expr.EnvFromInts(map[string]int64{"n": n, "nrep": nrep}),
-			Kind: engine.KindStatic,
-		}
-	}
-	statics, err := runQueries(p, queries)
+	statics, err := sweepFPI(p, "dgemm_bench", "n", sizes, map[string]int64{"nrep": nrep})
 	if err != nil {
 		return nil, err
 	}
@@ -273,7 +280,7 @@ func TableIV(sizes []int64, nrep int64) ([]ValidationRow, error) {
 		}
 		rows[i] = ValidationRow{
 			Label: fmt.Sprintf("%d", sizes[i]), Function: "dgemm",
-			Dynamic: dyn, Static: statics[i].Metrics.FPI(),
+			Dynamic: dyn, Static: statics[i],
 		}
 		return nil
 	})

@@ -106,7 +106,15 @@ func TableII(s MiniFESizes) ([]CategoryRow, error) {
 	for cat, n := range res[0].Categories {
 		rows = append(rows, CategoryRow{Category: cat, Count: n})
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].Count > rows[j].Count })
+	// Stable count-descending with a category-name tiebreak: tied rows
+	// must render identically on every regeneration (the table is diffed
+	// against cached artifacts byte for byte).
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Count != rows[j].Count {
+			return rows[i].Count > rows[j].Count
+		}
+		return rows[i].Category < rows[j].Category
+	})
 	for i := range rows {
 		rows[i].Fraction = float64(rows[i].Count) / float64(total)
 	}
@@ -153,44 +161,53 @@ type Fig7Series struct {
 }
 
 // Fig7 collects the four panels' series: STREAM sweep, DGEMM sweep, and
-// the two miniFE configurations.
+// the two miniFE configurations. The static ("Mira") curves are compiled
+// sweeps over the size axes — the model is partially evaluated once per
+// workload and the whole curve is flat expression evaluation; the
+// dynamic ("TAU") columns execute per point on the VM.
 func Fig7(streamSizes []int64, dgemmSizes []int64, dgemmReps int64, minife []MiniFESizes) ([]Fig7Series, error) {
 	var out []Fig7Series
 
-	sStream := Fig7Series{Title: "Fig 7(a): STREAM FPI"}
+	streamP, err := StreamPipeline()
+	if err != nil {
+		return nil, err
+	}
+	streamStatic, err := sweepFPI(streamP, "stream", "n", streamSizes, nil)
+	if err != nil {
+		return nil, err
+	}
+	sStream := Fig7Series{Title: "Fig 7(a): STREAM FPI", Mira: streamStatic}
 	for _, n := range streamSizes {
 		dyn, err := StreamDynamicFPI(n)
 		if err != nil {
 			return nil, err
 		}
-		static, err := StreamStaticFPI(n)
-		if err != nil {
-			return nil, err
-		}
 		sStream.Labels = append(sStream.Labels, fmt.Sprintf("%d", n))
 		sStream.TAU = append(sStream.TAU, dyn)
-		sStream.Mira = append(sStream.Mira, static)
 	}
 	out = append(out, sStream)
 
-	sDgemm := Fig7Series{Title: "Fig 7(b): DGEMM FPI"}
+	dgemmP, err := DgemmPipeline()
+	if err != nil {
+		return nil, err
+	}
+	dgemmStatic, err := sweepFPI(dgemmP, "dgemm_bench", "n", dgemmSizes, map[string]int64{"nrep": dgemmReps})
+	if err != nil {
+		return nil, err
+	}
+	sDgemm := Fig7Series{Title: "Fig 7(b): DGEMM FPI", Mira: dgemmStatic}
 	for _, n := range dgemmSizes {
 		dyn, err := DgemmDynamicFPI(n, dgemmReps)
 		if err != nil {
 			return nil, err
 		}
-		static, err := DgemmStaticFPI(n, dgemmReps)
-		if err != nil {
-			return nil, err
-		}
 		sDgemm.Labels = append(sDgemm.Labels, fmt.Sprintf("%d", n))
 		sDgemm.TAU = append(sDgemm.TAU, dyn)
-		sDgemm.Mira = append(sDgemm.Mira, static)
 	}
 	out = append(out, sDgemm)
 
 	miniSeries := make([]Fig7Series, len(minife))
-	err := engine.ForEachCtx(sweepCtx, Workers(), len(minife), func(pi int) error {
+	err = engine.ForEachCtx(sweepCtx, Workers(), len(minife), func(pi int) error {
 		cfg := minife[pi]
 		s := Fig7Series{Title: fmt.Sprintf("Fig 7(%c): miniFE FPI %dx%dx%d", 'c'+pi, cfg.NX, cfg.NY, cfg.NZ)}
 		dyn, err := MiniFEDynamic(cfg)
@@ -250,6 +267,45 @@ func Prediction(s MiniFESizes, d *arch.Description) (*roofline.Analysis, error) 
 		return nil, err
 	}
 	return res[0].Roofline, nil
+}
+
+// PredictionSweep extends the Sec. IV-D2 prediction into a scaling
+// study: cg_solve's roofline assessment at every configuration in
+// sizes, on one architecture description, evaluated as a single
+// compiled sweep over explicit points (the miniFE parameters move
+// together — n = nx*ny*nz — so the grid is a point list, not a cross
+// product). Results come back in sizes order.
+func PredictionSweep(sizes []MiniFESizes, d *arch.Description) ([]*roofline.Analysis, error) {
+	p, err := MiniFEPipeline()
+	if err != nil {
+		return nil, err
+	}
+	points := make([]map[string]int64, len(sizes))
+	for i, s := range sizes {
+		points[i] = map[string]int64{
+			"nx": s.NX, "ny": s.NY, "nz": s.NZ,
+			"n":        s.Rows(),
+			"max_iter": s.MaxIter,
+			"nnz_row":  s.NnzRowAnnotation,
+		}
+	}
+	res, err := p.Sweep(sweepCtx, engine.SweepSpec{
+		Fn:       "cg_solve",
+		Kind:     engine.KindRoofline,
+		Points:   points,
+		ArchDesc: d,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*roofline.Analysis, len(res.Points))
+	for i := range res.Points {
+		if err := res.Points[i].Err; err != nil {
+			return nil, fmt.Errorf("prediction sweep %dx%dx%d: %w", sizes[i].NX, sizes[i].NY, sizes[i].NZ, err)
+		}
+		out[i] = res.Points[i].Roofline
+	}
+	return out, nil
 }
 
 // ---------------------------------------------------------------------------

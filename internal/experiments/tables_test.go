@@ -156,6 +156,33 @@ func TestPredictionArithmeticIntensity(t *testing.T) {
 	}
 }
 
+// TestPredictionSweepMatchesPointQueries: the batched prediction sweep
+// (compiled roofline over explicit miniFE points) returns exactly what
+// the one-point Prediction queries return, in order.
+func TestPredictionSweepMatchesPointQueries(t *testing.T) {
+	sizes := []MiniFESizes{
+		{NX: 5, NY: 5, NZ: 5, MaxIter: 6, NnzRowAnnotation: 19},
+		{NX: 6, NY: 6, NZ: 6, MaxIter: 8, NnzRowAnnotation: 19},
+		{NX: 7, NY: 6, NZ: 5, MaxIter: 8, NnzRowAnnotation: 19},
+	}
+	got, err := PredictionSweep(sizes, arch.Arya())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(sizes) {
+		t.Fatalf("rooflines = %d, want %d", len(got), len(sizes))
+	}
+	for i, s := range sizes {
+		want, err := Prediction(s, arch.Arya())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *got[i] != *want {
+			t.Errorf("size %dx%dx%d: sweep %+v != query %+v", s.NX, s.NY, s.NZ, got[i], want)
+		}
+	}
+}
+
 func TestAblationPBoundVsMira(t *testing.T) {
 	rows, err := Ablation([]int64{64, 256})
 	if err != nil {

@@ -437,6 +437,146 @@ func Substitute(e Expr, name string, repl Expr) Expr {
 	return e
 }
 
+// SubstituteAll replaces every parameter or variable named in repl with
+// its mapped expression, simultaneously: replacement expressions are
+// never re-examined for further substitution, so a swap like
+// {a: b, b: a} is safe. Summation variables shadow: beneath a Sum that
+// binds a name in repl, that name is left alone in the body (bounds are
+// evaluated in the outer scope, exactly like evalSum). Capture is
+// avoided: when a replacement expression's free names include a Sum's
+// bound variable, the bound variable is alpha-renamed first, so the
+// replacement keeps referring to the outer binding. The tree is rebuilt
+// through the smart constructors, so the result re-simplifies.
+//
+// This is the primitive symbolic inlining stands on: a callee's
+// expressions are rewritten into the caller's parameter space by
+// substituting the whole argument-binding environment at once, which
+// sequential Substitute calls would corrupt whenever an argument
+// expression mentions another parameter being bound in the same call.
+func SubstituteAll(e Expr, repl map[string]Expr) Expr {
+	if len(repl) == 0 {
+		return e
+	}
+	switch x := e.(type) {
+	case Num:
+		return x
+	case Param:
+		if r, ok := repl[x.Name]; ok {
+			return r
+		}
+		return x
+	case Var:
+		// Evaluation resolves Param and Var through one namespace, so
+		// substitution must too.
+		if r, ok := repl[x.Name]; ok {
+			return r
+		}
+		return x
+	case Add:
+		terms := make([]Expr, len(x.Terms))
+		for i, t := range x.Terms {
+			terms[i] = SubstituteAll(t, repl)
+		}
+		return NewAdd(terms...)
+	case Mul:
+		fs := make([]Expr, len(x.Factors))
+		for i, f := range x.Factors {
+			fs[i] = SubstituteAll(f, repl)
+		}
+		return NewMul(fs...)
+	case FloorDiv:
+		return NewFloorDiv(SubstituteAll(x.X, repl), x.D)
+	case Min:
+		return NewMin(SubstituteAll(x.A, repl), SubstituteAll(x.B, repl))
+	case Max:
+		return NewMax(SubstituteAll(x.A, repl), SubstituteAll(x.B, repl))
+	case Sum:
+		lo := SubstituteAll(x.Lo, repl)
+		hi := SubstituteAll(x.Hi, repl)
+		bound, body := x.Var, x.Body
+		// The bound variable shadows any replacement of the same name
+		// inside the body (bounds are outer-scope, already handled).
+		inner := repl
+		if _, shadowed := repl[bound]; shadowed {
+			inner = make(map[string]Expr, len(repl)-1)
+			for k, v := range repl {
+				if k != bound {
+					inner[k] = v
+				}
+			}
+		}
+		if len(inner) == 0 {
+			return NewSum(bound, lo, hi, body)
+		}
+		// Capture avoidance: evaluation resolves the summation index and
+		// parameters through one namespace, so a replacement that freely
+		// mentions the bound name would be hijacked by the index. Rename
+		// the bound variable out of the way first.
+		captures := false
+		for _, r := range inner {
+			if DependsOn(r, bound) {
+				captures = true
+				break
+			}
+		}
+		if captures {
+			avoid := map[string]bool{}
+			collectNames(body, avoid)
+			for k, r := range inner {
+				avoid[k] = true
+				collectNames(r, avoid)
+			}
+			fresh := freshName(bound, avoid)
+			body = SubstituteAll(body, map[string]Expr{bound: V(fresh)})
+			bound = fresh
+		}
+		return NewSum(bound, lo, hi, SubstituteAll(body, inner))
+	}
+	return e
+}
+
+// collectNames adds every name e mentions — parameters, variables,
+// summation binders — to set.
+func collectNames(e Expr, set map[string]bool) {
+	switch x := e.(type) {
+	case Param:
+		set[x.Name] = true
+	case Var:
+		set[x.Name] = true
+	case Add:
+		for _, t := range x.Terms {
+			collectNames(t, set)
+		}
+	case Mul:
+		for _, f := range x.Factors {
+			collectNames(f, set)
+		}
+	case FloorDiv:
+		collectNames(x.X, set)
+	case Min:
+		collectNames(x.A, set)
+		collectNames(x.B, set)
+	case Max:
+		collectNames(x.A, set)
+		collectNames(x.B, set)
+	case Sum:
+		set[x.Var] = true
+		collectNames(x.Lo, set)
+		collectNames(x.Hi, set)
+		collectNames(x.Body, set)
+	}
+}
+
+// freshName derives a name based on base that is absent from avoid.
+func freshName(base string, avoid map[string]bool) string {
+	for i := 1; ; i++ {
+		cand := fmt.Sprintf("%s#%d", base, i)
+		if !avoid[cand] {
+			return cand
+		}
+	}
+}
+
 // Params returns the free parameter names of e, sorted.
 func Params(e Expr) []string {
 	set := map[string]bool{}

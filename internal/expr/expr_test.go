@@ -292,3 +292,61 @@ func TestEqual(t *testing.T) {
 		t.Errorf("%s != %s", a, b)
 	}
 }
+
+func TestSubstituteAllSimultaneous(t *testing.T) {
+	// {a: b, b: a} must swap, not chain.
+	e := NewAdd(NewMul(Const(2), P("a")), P("b"))
+	got := SubstituteAll(e, map[string]Expr{"a": P("b"), "b": P("a")})
+	v, err := Eval(got, Env{"a": rational.FromInt(100), "b": rational.FromInt(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2*b + a at a=100, b=1 = 102.
+	if n, _ := v.Int64(); n != 102 {
+		t.Errorf("swap substitution = %s, want 102", v)
+	}
+}
+
+func TestSubstituteAllShadowing(t *testing.T) {
+	// sum(i=0..n-1)[i] with repl {i: 99}: the bound i shadows.
+	s := Sum{Var: "i", Lo: Const(0), Hi: NewSub(P("n"), Const(1)),
+		Body: NewFloorDiv(V("i"), rational.FromInt(1).Add(rational.FromFrac(1, 2)))}
+	got := SubstituteAll(s, map[string]Expr{"i": Const(99)})
+	a, err := Eval(got, Env{"n": rational.FromInt(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Eval(s, Env{"n": rational.FromInt(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Errorf("shadowed substitution changed value: %s != %s", a, b)
+	}
+}
+
+// TestSubstituteAllCaptureAvoidance: substituting a replacement whose
+// free name equals the Sum's bound variable must alpha-rename, not
+// capture (evaluation resolves the index and parameters through one
+// namespace).
+func TestSubstituteAllCaptureAvoidance(t *testing.T) {
+	// sum(k=0..m-1)[floor((m-k)/2)]; FloorDiv keeps the Sum alive.
+	s := NewSum("k", Const(0), NewSub(P("m"), Const(1)),
+		NewFloorDiv(NewSub(P("m"), V("k")), rational.FromInt(2)))
+	if _, ok := s.(Sum); !ok {
+		t.Fatalf("setup: sum folded to %s", s)
+	}
+	// m -> k (the caller's parameter happens to be named k).
+	got := SubstituteAll(s, map[string]Expr{"m": P("k")})
+	want, err := Eval(s, Env{"m": rational.FromInt(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Eval(got, Env{"k": rational.FromInt(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(want) {
+		t.Errorf("captured: subst eval = %s, direct eval = %s", g, want)
+	}
+}

@@ -1,0 +1,661 @@
+// Symbolic compilation: partial evaluation of a model's call tree into a
+// closed form (paper Sec. IV-D1: "the model ... can be evaluated at low
+// computational cost").
+//
+// The tree walkers in model.go re-walk every function body, re-copy every
+// callee environment, and re-evaluate every multiplicity on each query.
+// That is fine for one point, and the engine memoizes repeated points —
+// but a parameter sweep visits each point exactly once, so the memo never
+// hits and a 10k-point grid costs 10k full tree walks. Compile does the
+// walk once, symbolically:
+//
+//   - callee models are inlined through the same argument-binding rules
+//     as bindEnv, with the whole binding environment substituted
+//     simultaneously into the callee's expressions,
+//   - constant multiplicities fold at compile time (a constant-trip call
+//     chain collapses into pre-scaled counts),
+//   - sites reached with an identical multiplicity chain merge into one
+//     term, and
+//   - the surviving symbolic multiplicities are interned so a chain
+//     shared by many terms evaluates once per point.
+//
+// The result evaluates with no recursion and no environment copying: a
+// flat pass over terms, each term a handful of int64 multiplies against
+// per-point values of the interned expressions.
+//
+// Fidelity contract: CompiledModel.Eval returns exactly Evaluate's
+// metrics (and EvalOps exactly EvaluateOpcodes'), including the walkers'
+// per-level round-to-nearest of each multiplicity, the skip of a subtree
+// whose call multiplicity rounds to zero, ErrOverflow on counts that
+// leave int64, and bindEnv's runtime fallback from an uncomputable
+// derived argument to its mangled environment binding (expr.Fallback
+// carries that behavior into the compiled form). The two paths succeed
+// together with equal values or fail together; only error wording may
+// differ.
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"mira/internal/expr"
+	"mira/internal/ir"
+	"mira/internal/rational"
+)
+
+// maxCompileDepth mirrors the walkers' recursion bound (defensive; sema
+// rejects recursive programs).
+const maxCompileDepth = 64
+
+// chainElem is one link of a term's multiplicity chain: an index into
+// the compiled model's interned expressions. A probe element reproduces
+// the walkers' eager argument evaluation in bindEnv — it is evaluated
+// for its error (an unbound parameter must fail the query exactly where
+// the tree walk fails it) but its value never enters the product.
+type chainElem struct {
+	idx   int
+	probe bool
+}
+
+// term is one merged group of sites sharing a multiplicity chain. Counts
+// are pre-scaled by every constant multiplicity folded at compile time;
+// the chain holds only the symbolic remainder, outermost first, each
+// element rounded independently per point exactly as the walkers round
+// each level of the call tree. cats is the sparse form of counts
+// (nonzero categories only), derived once at the end of compilation —
+// the per-point hot loop iterates it instead of the dense vector.
+type term struct {
+	chain  []chainElem
+	counts [ir.NumCategories]int64
+	cats   []catCount
+	flops  int64
+	instrs int64
+	ops    map[ir.Op]int64
+}
+
+// catCount is one nonzero (category, count) entry of a term.
+type catCount struct {
+	cat int
+	n   int64
+}
+
+// CompiledModel is one function's call tree partially evaluated to
+// closed form. Build with Model.Compile / Model.CompileExclusive; safe
+// for concurrent use (immutable after compilation).
+type CompiledModel struct {
+	fn        string
+	exclusive bool
+	params    []string
+	exprs     []expr.Expr
+	terms     []term
+	// model backs the failure path: a point the flat pass cannot
+	// evaluate is re-run through the tree walker, which owns the full
+	// runtime semantics of failure — bindEnv's fallback from an
+	// uncomputable derived argument to its mangled environment binding
+	// (the paper's y_16 convention), and the canonical error wording.
+	model *Model
+}
+
+// Fn returns the compiled function's name.
+func (cm *CompiledModel) Fn() string { return cm.fn }
+
+// Exclusive reports whether the compilation was body-only.
+func (cm *CompiledModel) Exclusive() bool { return cm.exclusive }
+
+// Params returns the free parameters the compiled form evaluates over,
+// sorted — the axes a sweep must bind.
+func (cm *CompiledModel) Params() []string {
+	out := make([]string, len(cm.params))
+	copy(out, cm.params)
+	return out
+}
+
+// NumTerms reports the merged term count (compilation quality metric).
+func (cm *CompiledModel) NumTerms() int { return len(cm.terms) }
+
+// NumExprs reports the count of distinct interned multiplicity
+// expressions — the per-point symbolic evaluation cost.
+func (cm *CompiledModel) NumExprs() int { return len(cm.exprs) }
+
+// Compile partially evaluates fn's inclusive call tree to closed form.
+func (m *Model) Compile(fn string) (*CompiledModel, error) {
+	return m.compile(fn, false)
+}
+
+// CompileExclusive compiles fn's body-only (callee-free) metrics.
+func (m *Model) CompileExclusive(fn string) (*CompiledModel, error) {
+	return m.compile(fn, true)
+}
+
+func (m *Model) compile(fn string, exclusive bool) (*CompiledModel, error) {
+	if _, ok := m.Funcs[fn]; !ok {
+		return nil, fmt.Errorf("model: no function %q", fn)
+	}
+	c := &compiler{
+		m:       m,
+		cm:      &CompiledModel{fn: fn, exclusive: exclusive, model: m},
+		exprIdx: map[string]int{},
+		termIdx: map[string]int{},
+	}
+	if err := c.inline(fn, nil, nil, 1, exclusive, 0); err != nil {
+		return nil, err
+	}
+	set := map[string]bool{}
+	for _, e := range c.cm.exprs {
+		for _, p := range expr.Params(e) {
+			set[p] = true
+		}
+	}
+	c.cm.params = make([]string, 0, len(set))
+	for p := range set {
+		c.cm.params = append(c.cm.params, p)
+	}
+	sort.Strings(c.cm.params)
+	for i := range c.cm.terms {
+		t := &c.cm.terms[i]
+		for cat, n := range t.counts {
+			if n != 0 {
+				t.cats = append(t.cats, catCount{cat: cat, n: n})
+			}
+		}
+	}
+	return c.cm, nil
+}
+
+type compiler struct {
+	m       *Model
+	cm      *CompiledModel
+	exprIdx map[string]int // canonical expr string -> index into cm.exprs
+	termIdx map[string]int // chain signature -> index into cm.terms
+}
+
+// intern deduplicates a multiplicity expression by its canonical string.
+func (c *compiler) intern(e expr.Expr) int {
+	key := e.String()
+	if i, ok := c.exprIdx[key]; ok {
+		return i
+	}
+	i := len(c.cm.exprs)
+	c.cm.exprs = append(c.cm.exprs, e)
+	c.exprIdx[key] = i
+	return i
+}
+
+// appendElem extends a chain without aliasing the parent's backing array
+// (sibling sites and calls share the inherited prefix).
+func appendElem(chain []chainElem, idx int, probe bool) []chainElem {
+	out := make([]chainElem, len(chain)+1)
+	copy(out, chain)
+	out[len(chain)] = chainElem{idx: idx, probe: probe}
+	return out
+}
+
+// foldMult handles one substituted multiplicity: a constant rounds and
+// folds into the running constant factor (a zero prunes the whole
+// subtree, matching the walkers' skip), anything symbolic — including a
+// constant whose rounding overflows, which must only fail queries that
+// actually reach it — extends the chain. The returned prune flag means
+// the multiplicity is constant zero.
+func (c *compiler) foldMult(me expr.Expr, chain []chainElem, constMult int64) (_ []chainElem, _ int64, prune bool) {
+	if v, ok := expr.ConstVal(me); ok {
+		if mi, err := roundMult(v); err == nil {
+			if mi == 0 {
+				return chain, constMult, true
+			}
+			if p, ok := mulChecked(constMult, mi); ok {
+				return chain, p, false
+			}
+		}
+	}
+	return appendElem(chain, c.intern(me), false), constMult, false
+}
+
+// inline descends fn's model under a symbolic environment (parameter ->
+// expression over the root function's parameter space), emitting one
+// term per reached site. chain and constMult carry the multiplicities
+// accumulated from the root down to this function.
+func (c *compiler) inline(name string, sym map[string]expr.Expr, chain []chainElem, constMult int64, exclusive bool, depth int) error {
+	if depth > maxCompileDepth {
+		return fmt.Errorf("model: call depth exceeds %d at %q", maxCompileDepth, name)
+	}
+	f, ok := c.m.Funcs[name]
+	if !ok {
+		return fmt.Errorf("model: no function %q", name)
+	}
+	if f.Extern {
+		return nil // invisible to static analysis (paper Sec. IV-D1)
+	}
+	for _, s := range f.Sites {
+		tChain, tConst, prune := c.foldMult(expr.SubstituteAll(s.Mult, sym), chain, constMult)
+		if prune {
+			continue
+		}
+		if err := c.emit(tChain, tConst, s); err != nil {
+			return fmt.Errorf("model: %s line %d: %w", name, s.Line, err)
+		}
+	}
+	if exclusive {
+		return nil
+	}
+	for _, call := range f.Calls {
+		cChain, cConst, prune := c.foldMult(expr.SubstituteAll(call.Mult, sym), chain, constMult)
+		if prune {
+			continue // the walkers skip a zero-multiplicity call entirely
+		}
+		childSym := make(map[string]expr.Expr, len(sym)+len(call.Args))
+		for k, v := range sym {
+			childSym[k] = v
+		}
+		for _, param := range argOrder(call) {
+			argE := call.Args[param]
+			if argE == nil {
+				// Statically underived argument: defer to the runtime
+				// environment under the paper's mangled-name convention,
+				// exactly like bindEnv's fallback lookup.
+				childSym[param] = expr.P(MangledParam(param, call.Line))
+				continue
+			}
+			se := expr.SubstituteAll(argE, sym)
+			if _, isConst := expr.ConstVal(se); !isConst {
+				// bindEnv evaluates every derived argument eagerly, even
+				// ones the callee never reads; probe it so an argument
+				// the walkers cannot resolve fails the flat pass too
+				// (which then defers to the walker — see Eval — for
+				// bindEnv's mangled-name fallback and error wording).
+				cChain = appendElem(cChain, c.intern(se), true)
+			}
+			childSym[param] = se
+		}
+		before := len(c.cm.terms)
+		if err := c.inline(call.Callee, childSym, cChain, cConst, false, depth+1); err != nil {
+			return err
+		}
+		if len(c.cm.terms) == before && len(cChain) > len(chain) {
+			// The callee contributed nothing countable (extern, empty, or
+			// fully merged) but the walkers still evaluate this call's
+			// multiplicity and arguments: keep a zero-count guard term so
+			// their runtime errors surface identically.
+			if err := c.emit(cChain, 1, nil); err != nil {
+				return fmt.Errorf("model: %s call to %s at line %d: %w", name, call.Callee, call.Line, err)
+			}
+		}
+	}
+	return nil
+}
+
+// chainKey builds the merge signature of a chain. Interned indices are
+// canonical, so the index sequence (with probe markers) is the identity.
+func chainKey(chain []chainElem) string {
+	b := make([]byte, 0, len(chain)*4)
+	for _, el := range chain {
+		if el.probe {
+			b = append(b, 'p')
+		} else {
+			b = append(b, 'm')
+		}
+		for v := el.idx; ; v >>= 7 {
+			b = append(b, byte(v&0x7f))
+			if v < 1<<7 {
+				break
+			}
+		}
+		b = append(b, '.')
+	}
+	return string(b)
+}
+
+// emit records one site (or, with s == nil, an error-parity guard)
+// reached with the given chain, scaling its counts by the folded
+// constant multiplicity and merging it into an existing term with the
+// same chain when possible. A compile-time overflow in the scale falls
+// back to carrying the constant as a chain element, so it only fails
+// evaluations that actually reach the term — a parent multiplicity can
+// still zero it out at runtime, exactly as in the tree walk.
+func (c *compiler) emit(chain []chainElem, constMult int64, s *Site) error {
+	var t term
+	t.chain = chain
+	if s != nil {
+		scaled, ok := scaleSite(s, constMult)
+		if !ok {
+			t.chain = appendElem(chain, c.intern(expr.Num{Val: rational.FromInt(constMult)}), false)
+			scaled, _ = scaleSite(s, 1)
+		}
+		t = term{chain: t.chain, counts: scaled.counts, flops: scaled.flops, instrs: scaled.instrs, ops: scaled.ops}
+	}
+	key := chainKey(t.chain)
+	if i, ok := c.termIdx[key]; ok {
+		if mergeTerm(&c.cm.terms[i], &t) {
+			return nil
+		}
+		// Merged counts would overflow int64 at compile time; keep the
+		// term separate so the (equally inevitable) runtime overflow is
+		// reported by the checked accumulation instead.
+	}
+	c.cm.terms = append(c.cm.terms, t)
+	if _, ok := c.termIdx[key]; !ok {
+		c.termIdx[key] = len(c.cm.terms) - 1
+	}
+	return nil
+}
+
+type scaledSite struct {
+	counts [ir.NumCategories]int64
+	flops  int64
+	instrs int64
+	ops    map[ir.Op]int64
+}
+
+// scaleSite multiplies a site's counts by a constant multiplicity,
+// reporting overflow instead of wrapping.
+func scaleSite(s *Site, mult int64) (scaledSite, bool) {
+	var out scaledSite
+	for cat, n := range s.Counts {
+		p, ok := mulChecked(n, mult)
+		if !ok {
+			return out, false
+		}
+		out.counts[cat] = p
+	}
+	var ok bool
+	if out.flops, ok = mulChecked(s.Flops, mult); !ok {
+		return out, false
+	}
+	if out.instrs, ok = mulChecked(s.Instrs, mult); !ok {
+		return out, false
+	}
+	if len(s.Ops) > 0 {
+		out.ops = make(map[ir.Op]int64, len(s.Ops))
+		for op, n := range s.Ops {
+			p, ok := mulChecked(n, mult)
+			if !ok {
+				return out, false
+			}
+			out.ops[op] = p
+		}
+	}
+	return out, true
+}
+
+// mergeTerm folds src into dst (same chain); false on overflow.
+func mergeTerm(dst, src *term) bool {
+	merged := *dst
+	var ok bool
+	for cat := range merged.counts {
+		if merged.counts[cat], ok = addChecked(merged.counts[cat], src.counts[cat]); !ok {
+			return false
+		}
+	}
+	if merged.flops, ok = addChecked(merged.flops, src.flops); !ok {
+		return false
+	}
+	if merged.instrs, ok = addChecked(merged.instrs, src.instrs); !ok {
+		return false
+	}
+	ops := merged.ops
+	if len(src.ops) > 0 {
+		ops = make(map[ir.Op]int64, len(merged.ops)+len(src.ops))
+		for op, n := range merged.ops {
+			ops[op] = n
+		}
+		for op, n := range src.ops {
+			s, ok := addChecked(ops[op], n)
+			if !ok {
+				return false
+			}
+			ops[op] = s
+		}
+	}
+	merged.ops = ops
+	*dst = merged
+	return true
+}
+
+// argOrder lists a call's bound parameters in the callee's declared
+// order (the deterministic order bindEnv's map iteration lacks), with
+// any stragglers outside ArgOrder appended sorted.
+func argOrder(call *Call) []string {
+	out := make([]string, 0, len(call.Args))
+	seen := make(map[string]bool, len(call.Args))
+	for _, p := range call.ArgOrder {
+		if _, ok := call.Args[p]; ok && !seen[p] {
+			out = append(out, p)
+			seen[p] = true
+		}
+	}
+	var rest []string
+	for p := range call.Args {
+		if !seen[p] {
+			rest = append(rest, p)
+		}
+	}
+	sort.Strings(rest)
+	return append(out, rest...)
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation
+
+// scratch is the per-evaluation workspace: lazily computed raw and
+// rounded values of the interned expressions. Lazy matters for parity:
+// an expression guarded by an outer zero multiplicity must not be
+// evaluated at all, because the tree walk never reaches it.
+type scratch struct {
+	env   expr.Env
+	exprs []expr.Expr
+	cells []scratchCell
+}
+
+type scratchCell struct {
+	raw     rational.Rat
+	rounded int64
+	flags   uint8
+}
+
+const (
+	rawDone     = 1 << 0
+	roundedDone = 1 << 1
+)
+
+func (cm *CompiledModel) newScratch(env expr.Env) *scratch {
+	return &scratch{
+		env:   env,
+		exprs: cm.exprs,
+		cells: make([]scratchCell, len(cm.exprs)),
+	}
+}
+
+func (sc *scratch) value(idx int) (rational.Rat, error) {
+	cell := &sc.cells[idx]
+	if cell.flags&rawDone == 0 {
+		v, err := expr.Eval(sc.exprs[idx], sc.env)
+		if err != nil {
+			return rational.Rat{}, err
+		}
+		cell.raw = v
+		cell.flags |= rawDone
+	}
+	return cell.raw, nil
+}
+
+func (sc *scratch) roundedValue(idx int) (int64, error) {
+	cell := &sc.cells[idx]
+	if cell.flags&roundedDone == 0 {
+		v, err := sc.value(idx)
+		if err != nil {
+			return 0, err
+		}
+		mi, err := roundMult(v)
+		if err != nil {
+			return 0, err
+		}
+		cell.rounded = mi
+		cell.flags |= roundedDone
+	}
+	return cell.rounded, nil
+}
+
+// chainMult evaluates a term's multiplicity chain left to right —
+// outermost first, exactly the order the tree walk encounters them — and
+// returns the product of the rounded values. A zero short-circuits
+// before any later element is touched (the walkers skip the subtree),
+// and probes are evaluated for effect only.
+func (sc *scratch) chainMult(chain []chainElem) (int64, error) {
+	mult := int64(1)
+	for _, el := range chain {
+		if el.probe {
+			if _, err := sc.value(el.idx); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		mi, err := sc.roundedValue(el.idx)
+		if err != nil {
+			return 0, err
+		}
+		if mi == 0 {
+			return 0, nil
+		}
+		p, ok := mulChecked(mult, mi)
+		if !ok {
+			return 0, ErrOverflow
+		}
+		mult = p
+	}
+	return mult, nil
+}
+
+// Eval computes the compiled function's metrics under env: a flat pass
+// over the merged terms, with no recursion and no environment copying.
+// Results are byte-identical to the tree-walk Evaluate (or
+// EvaluateExclusive for an exclusive compilation): a point the flat
+// pass cannot evaluate — an unbound parameter, an overflow, a derived
+// argument needing bindEnv's mangled-name fallback — is re-run through
+// the walker, whose outcome (a fallback-resolved success or the
+// canonical error) is definitive. The slow path costs one tree walk,
+// exactly the pre-compilation price, and only for failing points.
+func (cm *CompiledModel) Eval(env expr.Env) (Metrics, error) {
+	var out Metrics
+	sc := cm.newScratch(env)
+	for i := range cm.terms {
+		t := &cm.terms[i]
+		mult, err := sc.chainMult(t.chain)
+		if err != nil {
+			return cm.walkMetrics(env)
+		}
+		if mult == 0 {
+			continue
+		}
+		// Inline sparse accumulation: only the term's nonzero categories,
+		// no snapshot (a failed point is re-answered by the walker, so
+		// partial mutation of out is discarded anyway).
+		ok := true
+		for _, cc := range t.cats {
+			if ok = accumInto(&out.ByCategory[cc.cat], cc.n, mult); !ok {
+				break
+			}
+		}
+		if !ok || !accumInto(&out.Flops, t.flops, mult) || !accumInto(&out.Instrs, t.instrs, mult) {
+			return cm.walkMetrics(env)
+		}
+	}
+	return out, nil
+}
+
+// walkMetrics is Eval's failure path: the tree walk owns the full
+// runtime semantics (mangled-name argument fallback, error wording).
+func (cm *CompiledModel) walkMetrics(env expr.Env) (Metrics, error) {
+	if cm.exclusive {
+		return cm.model.EvaluateExclusive(cm.fn, env)
+	}
+	return cm.model.Evaluate(cm.fn, env)
+}
+
+// EvalOps computes the compiled per-opcode counts under env, identical
+// to the tree-walk EvaluateOpcodes (with the same walker failure path
+// as Eval; an exclusive compilation has no opcode walker counterpart,
+// so its rare failures surface directly). The returned map is fresh.
+func (cm *CompiledModel) EvalOps(env expr.Env) (map[ir.Op]int64, error) {
+	out := map[ir.Op]int64{}
+	sc := cm.newScratch(env)
+	walk := func(flatErr error) (map[ir.Op]int64, error) {
+		if cm.exclusive {
+			return nil, fmt.Errorf("model: compiled %s: %w", cm.fn, flatErr)
+		}
+		return cm.model.EvaluateOpcodes(cm.fn, env)
+	}
+	for i := range cm.terms {
+		t := &cm.terms[i]
+		if len(t.ops) == 0 && len(t.chain) == 0 {
+			continue
+		}
+		mult, err := sc.chainMult(t.chain)
+		if err != nil {
+			return walk(err)
+		}
+		if mult == 0 {
+			continue
+		}
+		for op, n := range t.ops {
+			if err := accumOp(out, op, n, mult); err != nil {
+				return walk(err)
+			}
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Closed forms
+
+// MetricExpr identifies a closed-form series of the compiled model.
+type MetricExpr int
+
+// The closed-form series.
+const (
+	ExprInstrs MetricExpr = iota
+	ExprFlops
+	ExprFPI
+)
+
+// CategoryExpr returns the symbolic closed form of one instruction
+// category: the sum over terms of count × multiplicity chain, collapsed
+// through the expression simplifier into a single polynomial-ish
+// expression over Params. For integer-valued multiplicities (everything
+// except br_frac fractions) evaluating it equals Eval's category count;
+// fractional multiplicities make it the un-rounded idealization — use
+// Eval for numbers, this for reading the model's shape.
+func (cm *CompiledModel) CategoryExpr(cat ir.Category) expr.Expr {
+	return cm.closedForm(func(t *term) int64 { return t.counts[cat] })
+}
+
+// Expr returns the named closed-form series (see CategoryExpr for the
+// rounding caveat).
+func (cm *CompiledModel) Expr(which MetricExpr) expr.Expr {
+	switch which {
+	case ExprFlops:
+		return cm.closedForm(func(t *term) int64 { return t.flops })
+	case ExprFPI:
+		return cm.CategoryExpr(ir.CatSSEArith)
+	default:
+		return cm.closedForm(func(t *term) int64 { return t.instrs })
+	}
+}
+
+func (cm *CompiledModel) closedForm(pick func(*term) int64) expr.Expr {
+	var terms []expr.Expr
+	for i := range cm.terms {
+		t := &cm.terms[i]
+		n := pick(t)
+		if n == 0 {
+			continue
+		}
+		factors := []expr.Expr{expr.Const(n)}
+		for _, el := range t.chain {
+			if !el.probe {
+				factors = append(factors, cm.exprs[el.idx])
+			}
+		}
+		terms = append(terms, expr.NewMul(factors...))
+	}
+	return expr.NewAdd(terms...)
+}

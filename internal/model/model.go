@@ -14,13 +14,53 @@
 package model
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"mira/internal/expr"
 	"mira/internal/ir"
 	"mira/internal/rational"
 )
+
+// ErrOverflow is the typed error every evaluation path (tree walkers and
+// the compiled path) returns when an instruction count or multiplicity
+// no longer fits in int64. At sweep-scale sizes (dgemm n^3 flops) raw
+// accumulation silently wraps negative and poisons every cache built on
+// top; check with errors.Is.
+var ErrOverflow = errors.New("count overflows int64")
+
+// addChecked returns a+b, reporting overflow instead of wrapping.
+func addChecked(a, b int64) (int64, bool) {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+// mulChecked returns a*b, reporting overflow instead of wrapping.
+func mulChecked(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	if a == math.MinInt64 || b == math.MinInt64 {
+		// |MinInt64| is not representable; the only safe partner is 1.
+		if a == 1 {
+			return b, true
+		}
+		if b == 1 {
+			return a, true
+		}
+		return 0, false
+	}
+	p := a * b
+	if p/b != a {
+		return 0, false
+	}
+	return p, true
+}
 
 // Metrics is an evaluated instruction-count vector.
 type Metrics struct {
@@ -33,13 +73,37 @@ type Metrics struct {
 // the SSE2 packed/scalar arithmetic category).
 func (m Metrics) FPI() int64 { return m.ByCategory[ir.CatSSEArith] }
 
-// Add accumulates other scaled by mult.
-func (m *Metrics) Add(other Metrics, mult int64) {
+// Add accumulates other scaled by mult, returning ErrOverflow instead of
+// wrapping when any component leaves int64 range.
+func (m *Metrics) Add(other Metrics, mult int64) error {
+	saved := *m
 	for c := range m.ByCategory {
-		m.ByCategory[c] += other.ByCategory[c] * mult
+		if !accumInto(&m.ByCategory[c], other.ByCategory[c], mult) {
+			*m = saved
+			return ErrOverflow
+		}
 	}
-	m.Flops += other.Flops * mult
-	m.Instrs += other.Instrs * mult
+	if !accumInto(&m.Flops, other.Flops, mult) || !accumInto(&m.Instrs, other.Instrs, mult) {
+		*m = saved
+		return ErrOverflow
+	}
+	return nil
+}
+
+// accumInto adds n*mult into *dst, reporting overflow instead of
+// wrapping. The one accumulation primitive shared by the tree walkers
+// and the compiled path — their overflow policies must never diverge.
+func accumInto(dst *int64, n, mult int64) bool {
+	p, ok := mulChecked(n, mult)
+	if !ok {
+		return false
+	}
+	s, ok := addChecked(*dst, p)
+	if !ok {
+		return false
+	}
+	*dst = s
+	return true
 }
 
 // Site is the cost of one source position.
@@ -130,12 +194,19 @@ func (f *Func) FreeParams() []string {
 // Fractional multiplicities arise from br_frac annotations; every model
 // walker must round identically — to nearest, ties up — or the per-opcode
 // view (Table II, the fine categories) silently drifts from Evaluate.
-func roundMult(mult rational.Rat) int64 {
+// A multiplicity whose rounded value leaves int64 range is ErrOverflow
+// (it used to silently become whatever big.Int.Int64 truncates to).
+var oneHalf = rational.FromFrac(1, 2)
+
+func roundMult(mult rational.Rat) (int64, error) {
 	if mi, ok := mult.Int64(); ok {
-		return mi
+		return mi, nil
 	}
-	mi, _ := mult.Add(rational.FromFrac(1, 2)).Floor().Int64()
-	return mi
+	mi, ok := mult.Add(oneHalf).Floor().Int64()
+	if !ok {
+		return 0, fmt.Errorf("multiplicity %s: %w", mult, ErrOverflow)
+	}
+	return mi, nil
 }
 
 // bindEnv builds the callee environment for one call from the caller's:
@@ -225,12 +296,13 @@ func (m *Model) eval(name string, env expr.Env, opts EvalOptions, depth int) (Me
 		if err != nil {
 			return out, fmt.Errorf("model: %s line %d: %w", name, s.Line, err)
 		}
-		mi := roundMult(mult)
-		for c := range s.Counts {
-			out.ByCategory[c] += s.Counts[c] * mi
+		mi, err := roundMult(mult)
+		if err != nil {
+			return out, fmt.Errorf("model: %s line %d: %w", name, s.Line, err)
 		}
-		out.Flops += s.Flops * mi
-		out.Instrs += s.Instrs * mi
+		if err := out.Add(Metrics{ByCategory: s.Counts, Flops: s.Flops, Instrs: s.Instrs}, mi); err != nil {
+			return out, fmt.Errorf("model: %s line %d: %w", name, s.Line, err)
+		}
 	}
 	if opts.Exclusive {
 		return out, nil
@@ -240,7 +312,10 @@ func (m *Model) eval(name string, env expr.Env, opts EvalOptions, depth int) (Me
 		if err != nil {
 			return out, fmt.Errorf("model: %s call to %s at line %d: %w", name, call.Callee, call.Line, err)
 		}
-		mi := roundMult(mult)
+		mi, err := roundMult(mult)
+		if err != nil {
+			return out, fmt.Errorf("model: %s call to %s at line %d: %w", name, call.Callee, call.Line, err)
+		}
 		if mi == 0 {
 			continue
 		}
@@ -257,7 +332,9 @@ func (m *Model) eval(name string, env expr.Env, opts EvalOptions, depth int) (Me
 			}
 			return out, err
 		}
-		out.Add(sub, mi)
+		if err := out.Add(sub, mi); err != nil {
+			return out, fmt.Errorf("model: %s call to %s at line %d: %w", name, call.Callee, call.Line, err)
+		}
 	}
 	return out, nil
 }
@@ -287,9 +364,14 @@ func (m *Model) evalOpcodes(name string, env expr.Env, depth int, acc map[ir.Op]
 		if err != nil {
 			return fmt.Errorf("model: %s line %d: %w", name, s.Line, err)
 		}
-		mi := roundMult(mult)
+		mi, err := roundMult(mult)
+		if err != nil {
+			return fmt.Errorf("model: %s line %d: %w", name, s.Line, err)
+		}
 		for op, n := range s.Ops {
-			acc[op] += n * mi
+			if err := accumOp(acc, op, n, mi); err != nil {
+				return fmt.Errorf("model: %s line %d: %w", name, s.Line, err)
+			}
 		}
 	}
 	for _, call := range f.Calls {
@@ -297,7 +379,10 @@ func (m *Model) evalOpcodes(name string, env expr.Env, depth int, acc map[ir.Op]
 		if err != nil {
 			return fmt.Errorf("model: %s call to %s at line %d: %w", name, call.Callee, call.Line, err)
 		}
-		mi := roundMult(mult)
+		mi, err := roundMult(mult)
+		if err != nil {
+			return fmt.Errorf("model: %s call to %s at line %d: %w", name, call.Callee, call.Line, err)
+		}
 		if mi == 0 {
 			continue
 		}
@@ -315,9 +400,32 @@ func (m *Model) evalOpcodes(name string, env expr.Env, depth int, acc map[ir.Op]
 			return err
 		}
 		for op, n := range sub {
-			acc[op] += n * mi
+			if err := accumOp(acc, op, n, mi); err != nil {
+				return fmt.Errorf("model: %s call to %s at line %d: %w", name, call.Callee, call.Line, err)
+			}
 		}
 	}
+	return nil
+}
+
+// accumOp adds n*mult into acc[op] with overflow checks. A zero
+// contribution is a no-op: it must not materialize a zero-valued key,
+// which would leak "category: 0" rows into the bucketed views and make
+// the map's key set depend on which multiplicities happened to round to
+// zero.
+func accumOp(acc map[ir.Op]int64, op ir.Op, n, mult int64) error {
+	p, ok := mulChecked(n, mult)
+	if !ok {
+		return ErrOverflow
+	}
+	if p == 0 {
+		return nil
+	}
+	s, ok := addChecked(acc[op], p)
+	if !ok {
+		return ErrOverflow
+	}
+	acc[op] = s
 	return nil
 }
 
@@ -340,6 +448,13 @@ func CategoryTable(met Metrics) []struct {
 			Count    int64
 		}{ir.Category(c).String(), met.ByCategory[c]})
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].Count > rows[j].Count })
+	// Count-descending with a name tiebreak: tied rows must render in the
+	// same order on every run (outputs are cached and byte-compared).
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Count != rows[j].Count {
+			return rows[i].Count > rows[j].Count
+		}
+		return rows[i].Category < rows[j].Category
+	})
 	return rows
 }

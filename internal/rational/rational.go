@@ -18,6 +18,20 @@ type Rat struct {
 	r *big.Rat // nil means zero
 }
 
+// smallInts caches the rationals 0..smallIntMax. Rat values are
+// immutable (every operation allocates a fresh big.Rat), so sharing the
+// backing pointers is safe, and grid sweeps build environments from
+// small integers constantly.
+const smallIntMax = 256
+
+var smallInts = func() [smallIntMax + 1]Rat {
+	var out [smallIntMax + 1]Rat
+	for i := range out {
+		out[i] = Rat{big.NewRat(int64(i), 1)}
+	}
+	return out
+}()
+
 // Zero and One are the common constants.
 var (
 	Zero = FromInt(0)
@@ -25,7 +39,12 @@ var (
 )
 
 // FromInt returns the rational n/1.
-func FromInt(n int64) Rat { return Rat{big.NewRat(n, 1)} }
+func FromInt(n int64) Rat {
+	if n >= 0 && n <= smallIntMax {
+		return smallInts[n]
+	}
+	return Rat{big.NewRat(n, 1)}
+}
 
 // FromFrac returns the rational num/den. It panics if den == 0.
 func FromFrac(num, den int64) Rat {

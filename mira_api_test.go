@@ -1,6 +1,8 @@
 package mira_test
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -174,5 +176,62 @@ double f(double *x, int n) {
 	}
 	if m0.FPI() != 4 {
 		t.Errorf("unoptimized FPI = %d", m0.FPI())
+	}
+}
+
+// TestPublicAPISweep covers the public sweep surface: Result.Sweep
+// evaluates a grid through the compiled model, Result.Compile exposes
+// the closed form directly, and the overflow contract is a typed,
+// per-point mira.ErrOverflow.
+func TestPublicAPISweep(t *testing.T) {
+	res, err := mira.Analyze("s.c", apiSrc, mira.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := res.Sweep(context.Background(), mira.SweepSpec{
+		Fn:   "scale",
+		Kind: mira.KindStatic,
+		Axes: []mira.SweepAxis{{Name: "n", Values: []int64{10, 100, 1000, 4_000_000_000_000_000_000}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Points) != 4 {
+		t.Fatalf("points = %d", len(sw.Points))
+	}
+	for i, n := range []int64{10, 100, 1000} {
+		p := sw.Points[i]
+		if p.Err != nil {
+			t.Fatalf("n=%d: %v", n, p.Err)
+		}
+		want, err := res.Static("scale", mira.IntArgs(map[string]int64{"n": n}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *p.Metrics != want {
+			t.Errorf("n=%d: sweep %+v != Static %+v", n, *p.Metrics, want)
+		}
+	}
+	if !errors.Is(sw.Points[3].Err, mira.ErrOverflow) {
+		t.Errorf("huge point err = %v, want mira.ErrOverflow", sw.Points[3].Err)
+	}
+
+	cm, err := res.Compile("scale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, err := cm.Eval(mira.IntArgs(map[string]int64{"n": 77}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := res.Static("scale", mira.IntArgs(map[string]int64{"n": 77}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met != want {
+		t.Errorf("compiled %+v != Static %+v", met, want)
+	}
+	if ps := cm.Params(); len(ps) != 1 || ps[0] != "n" {
+		t.Errorf("params = %v", ps)
 	}
 }

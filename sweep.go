@@ -1,0 +1,78 @@
+package mira
+
+import (
+	"context"
+
+	"mira/internal/engine"
+	"mira/internal/model"
+)
+
+// This file is the public sweep surface: mass parameter studies over
+// one analyzed program. [Result.Sweep] compiles the queried function's
+// model to closed form once (partial evaluation of the whole call tree
+// — see [Result.Compile]) and then evaluates every grid point as a flat
+// expression evaluation, fanned out over the engine's worker pool. A
+// Fig. 7-style 10k-point size×architecture grid costs one compilation
+// plus 10k near-arithmetic evaluations instead of 10k full model
+// walks — the curves the paper's evaluation section plots, and the
+// per-size metric vectors time-series clustering consumers feed on,
+// at interactive cost.
+
+// SweepSpec describes a parameter sweep: evaluate Kind for Fn at every
+// point of a grid. The grid is the cross product of Axes or the
+// explicit Points list, each point completed by the fixed Base
+// bindings; Archs multiplies the grid across architecture descriptions
+// for roofline and fine-category sweeps. A grid may expand to at most
+// [MaxSweepPoints] cells.
+type SweepSpec = engine.SweepSpec
+
+// SweepAxis is one sweep dimension: a parameter name and its values.
+type SweepAxis = engine.SweepAxis
+
+// SweepPoint is one evaluated grid cell, with a per-point error: an
+// overflowing size or a cancelled context fails the cell, not the
+// sweep.
+type SweepPoint = engine.SweepPoint
+
+// SweepResult is a completed sweep in grid order (axes vary rightmost-
+// fastest, architectures outermost).
+type SweepResult = engine.SweepResult
+
+// MaxSweepPoints bounds one sweep's expanded grid.
+const MaxSweepPoints = engine.MaxSweepPoints
+
+// CompiledModel is a function's call tree partially evaluated to
+// closed form: Eval is a flat expression evaluation with no recursion
+// and no environment copying, byte-identical to the tree-walk Static
+// evaluation — including the typed [ErrOverflow] on counts that leave
+// int64. Safe for concurrent use.
+type CompiledModel = model.CompiledModel
+
+// ErrOverflow is the typed error every evaluation path returns when an
+// instruction count or multiplicity no longer fits in int64 (check
+// with errors.Is). Sweeps at dgemm-like n^3 scales cross this boundary
+// long before the model itself breaks down; the error is per-point, so
+// the rest of the sweep still evaluates.
+var ErrOverflow = model.ErrOverflow
+
+// ErrSweepTooLarge is the typed error Sweep returns when a grid would
+// expand past MaxSweepPoints (check with errors.Is); split the study.
+var ErrSweepTooLarge = engine.ErrSweepTooLarge
+
+// Sweep evaluates spec's grid against the analyzed program. The error
+// return covers the spec itself (unknown function or kind, bad grid,
+// too many points); per-point failures — including cancellation —
+// land in each SweepPoint.Err.
+func (r *Result) Sweep(ctx context.Context, spec SweepSpec) (*SweepResult, error) {
+	return r.a.Sweep(ctx, spec)
+}
+
+// Compile partially evaluates fn's call tree to closed form, cached
+// per analyzed content: callees are inlined, constant sites folded,
+// and each metric series collapsed over the function's free
+// parameters. Use the result's Eval for one-off points, or
+// [Result.Sweep] to evaluate grids with fan-out, limits, and per-point
+// errors.
+func (r *Result) Compile(fn string) (*CompiledModel, error) {
+	return r.a.Compiled(fn, false)
+}
