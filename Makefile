@@ -27,15 +27,17 @@ bench:
 	$(GO) test -bench . -benchtime 1x ./
 
 # bench-baseline records the performance trajectory: the sweep
-# (compiled-vs-treewalk) and cache (cold-vs-warm) benchmarks as a
+# (compiled-vs-treewalk), cache (cold-vs-warm), and report-path
+# (suite -> engine sweeps -> typed report -> JSON) benchmarks as a
 # test2json event stream, one run each. CI uploads the file as a
 # non-gating artifact so regressions are visible across PRs.
-BENCH_BASELINE_OUT ?= BENCH_4.json
+BENCH_BASELINE_OUT ?= BENCH_5.json
 bench-baseline:
 	$(GO) test -json -run xxx -benchtime 1x \
-		-bench 'BenchmarkSweep_CompiledVsTreeWalk|BenchmarkSweep_CompileOnce|BenchmarkEngineEval_ColdVsWarm' \
+		-bench 'BenchmarkSweep_CompiledVsTreeWalk|BenchmarkSweep_CompileOnce|BenchmarkEngineEval_ColdVsWarm|BenchmarkReport_SuitePath' \
 		. > $(BENCH_BASELINE_OUT)
 	@grep -o '"Output":".*speedup-x[^"]*"' $(BENCH_BASELINE_OUT) | tail -1
+	@grep -o '"Output":".*rows/s[^"]*"' $(BENCH_BASELINE_OUT) | tail -1
 
 serve:
 	$(GO) run ./cmd/mira-serve -cache-dir .mira-cache

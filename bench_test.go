@@ -9,6 +9,7 @@ package mira_test
 import (
 	"context"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"testing"
@@ -20,6 +21,7 @@ import (
 	"mira/internal/engine"
 	"mira/internal/experiments"
 	"mira/internal/expr"
+	"mira/internal/report"
 )
 
 // printOnce keys the regenerated artifacts so each prints exactly once
@@ -32,17 +34,42 @@ func printArtifact(key, text string) {
 	}
 }
 
+// benchEng is the shared benchmark engine: experiments take the engine
+// and context explicitly, and the suite benefits from one shared
+// pipeline/evaluation cache exactly like the CLI does.
+var benchEng = engine.New(engine.Options{})
+
+func bctx() context.Context { return context.Background() }
+
+// tablesText renders report tables in the paper's ASCII style for the
+// printed artifacts.
+func tablesText(tables ...report.Table) string {
+	rep := report.Report{Tables: tables}
+	return rep.Text()
+}
+
+// maxErrPct folds validation rows to their largest defined error.
+func maxErrPct(rows []experiments.ValidationRow) float64 {
+	maxErr := 0.0
+	for _, r := range rows {
+		if e, ok := r.ErrorPct(); ok && e > maxErr {
+			maxErr = e
+		}
+	}
+	return maxErr
+}
+
 // BenchmarkTableI_LoopCoverage regenerates the loop-coverage survey
 // (paper Table I: 77-100% across ten applications).
 func BenchmarkTableI_LoopCoverage(b *testing.B) {
-	rows, err := experiments.TableI()
+	rows, err := experiments.TableI(bctx(), benchEng)
 	if err != nil {
 		b.Fatal(err)
 	}
-	printArtifact("tableI", experiments.FormatTableI(rows))
+	printArtifact("tableI", tablesText(experiments.TableITable(rows)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.TableI(); err != nil {
+		if _, err := experiments.TableI(bctx(), benchEng); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -53,15 +80,15 @@ func BenchmarkTableI_LoopCoverage(b *testing.B) {
 // dominates, SSE2 packed arithmetic carries the FPI).
 func BenchmarkTableII_CgSolveCategories(b *testing.B) {
 	s := experiments.MiniFESizes{NX: 30, NY: 30, NZ: 30, MaxIter: 20, NnzRowAnnotation: 25}
-	rows, err := experiments.TableII(s)
+	rows, err := experiments.TableII(bctx(), benchEng, s)
 	if err != nil {
 		b.Fatal(err)
 	}
-	printArtifact("tableII", experiments.FormatTableII(rows)+
+	printArtifact("tableII", tablesText(experiments.TableIITable(rows))+
 		"(paper Table II at this config: int data transfer 2.42E9, SSE2 arith 1.93E8, ...)\n")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.TableII(s); err != nil {
+		if _, err := experiments.TableII(bctx(), benchEng, s); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -71,7 +98,7 @@ func BenchmarkTableII_CgSolveCategories(b *testing.B) {
 // (category shares of cg_solve).
 func BenchmarkFig6_InstructionDistribution(b *testing.B) {
 	s := experiments.MiniFESizes{NX: 30, NY: 30, NZ: 30, MaxIter: 20, NnzRowAnnotation: 25}
-	rows, err := experiments.TableII(s)
+	rows, err := experiments.TableII(bctx(), benchEng, s)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -85,7 +112,7 @@ func BenchmarkFig6_InstructionDistribution(b *testing.B) {
 		"Fig. 6: SSE2 packed arithmetic share of cg_solve = %.1f%% (the separated pie slice)", sse2Share))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.TableII(s); err != nil {
+		if _, err := experiments.TableII(bctx(), benchEng, s); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -98,59 +125,47 @@ func BenchmarkFig6_InstructionDistribution(b *testing.B) {
 // measures the static model evaluation, which is the paper's headline
 // cost advantage.
 func BenchmarkTableIII_StreamFPI(b *testing.B) {
-	rows, err := experiments.TableIII([]int64{2_000_000, 5_000_000, 10_000_000})
+	rows, err := experiments.TableIII(bctx(), benchEng, []int64{2_000_000, 5_000_000, 10_000_000})
 	if err != nil {
 		b.Fatal(err)
 	}
-	maxErr := 0.0
-	for _, r := range rows {
-		if e := r.ErrorPct(); e > maxErr {
-			maxErr = e
-		}
-	}
-	static100M, err := experiments.StreamStaticFPI(100_000_000)
+	static100M, err := experiments.StreamStaticFPI(bctx(), benchEng, 100_000_000)
 	if err != nil {
 		b.Fatal(err)
 	}
 	printArtifact("tableIII",
-		experiments.FormatTable("Table III: STREAM FPI (paper err: 0.19-0.47%)", rows)+
+		tablesText(experiments.ValidationTable("table_iii", "Table III: STREAM FPI (paper err: 0.19-0.47%)", rows))+
 			fmt.Sprintf("static-only at paper size 100M: %.4g (paper: 2.050E10)\n", float64(static100M)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.StreamStaticFPI(100_000_000); err != nil {
+		if _, err := experiments.StreamStaticFPI(bctx(), benchEng, 100_000_000); err != nil {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(maxErr, "max-err-%")
+	b.ReportMetric(maxErrPct(rows), "max-err-%")
 }
 
 // BenchmarkTableIV_DgemmFPI regenerates the DGEMM validation (paper Table
 // IV: error <= 0.05%; ours exact).
 func BenchmarkTableIV_DgemmFPI(b *testing.B) {
-	rows, err := experiments.TableIV([]int64{64, 96, 128}, 4)
+	rows, err := experiments.TableIV(bctx(), benchEng, []int64{64, 96, 128}, 4)
 	if err != nil {
 		b.Fatal(err)
 	}
-	maxErr := 0.0
-	for _, r := range rows {
-		if e := r.ErrorPct(); e > maxErr {
-			maxErr = e
-		}
-	}
-	static1024, err := experiments.DgemmStaticFPI(1024, 30)
+	static1024, err := experiments.DgemmStaticFPI(bctx(), benchEng, 1024, 30)
 	if err != nil {
 		b.Fatal(err)
 	}
 	printArtifact("tableIV",
-		experiments.FormatTable("Table IV: DGEMM FPI (paper err: 0.0012-0.05%)", rows)+
+		tablesText(experiments.ValidationTable("table_iv", "Table IV: DGEMM FPI (paper err: 0.0012-0.05%)", rows))+
 			fmt.Sprintf("static-only at paper size 1024 (nrep=30): %.5g (paper: 6.4519E10)\n", float64(static1024)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.DgemmStaticFPI(1024, 30); err != nil {
+		if _, err := experiments.DgemmStaticFPI(bctx(), benchEng, 1024, 30); err != nil {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(maxErr, "max-err-%")
+	b.ReportMetric(maxErrPct(rows), "max-err-%")
 }
 
 // BenchmarkTableV_MiniFEFPI regenerates the miniFE per-function validation
@@ -163,30 +178,24 @@ func BenchmarkTableV_MiniFEFPI(b *testing.B) {
 		{NX: 30, NY: 30, NZ: 30, MaxIter: 20, NnzRowAnnotation: 25},
 		{NX: 35, NY: 40, NZ: 45, MaxIter: 20, NnzRowAnnotation: 25},
 	}
-	rows, err := experiments.TableV(sizes)
+	rows, err := experiments.TableV(bctx(), benchEng, sizes)
 	if err != nil {
 		b.Fatal(err)
 	}
-	maxErr := 0.0
-	for _, r := range rows {
-		if e := r.ErrorPct(); e > maxErr {
-			maxErr = e
-		}
-	}
 	printArtifact("tableV",
-		experiments.FormatTable("Table V: miniFE FPI (paper err: 0.011-3.08%, growing with size)", rows))
+		tablesText(experiments.ValidationTable("table_v", "Table V: miniFE FPI (paper err: 0.011-3.08%, growing with size)", rows)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.MiniFEStatic(sizes[0]); err != nil {
+		if _, err := experiments.MiniFEStatic(bctx(), benchEng, sizes[0]); err != nil {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(maxErr, "max-err-%")
+	b.ReportMetric(maxErrPct(rows), "max-err-%")
 }
 
 // BenchmarkFig7_ValidationSeries regenerates the four validation panels.
 func BenchmarkFig7_ValidationSeries(b *testing.B) {
-	series, err := experiments.Fig7(
+	series, err := experiments.Fig7(bctx(), benchEng,
 		[]int64{1_000_000, 2_000_000, 5_000_000},
 		[]int64{48, 64, 96}, 4,
 		[]experiments.MiniFESizes{
@@ -197,11 +206,11 @@ func BenchmarkFig7_ValidationSeries(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	printArtifact("fig7", experiments.FormatFig7(series))
+	printArtifact("fig7", tablesText(experiments.Fig7Tables(series)...))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, n := range []int64{1_000_000, 2_000_000, 5_000_000} {
-			if _, err := experiments.StreamStaticFPI(n); err != nil {
+			if _, err := experiments.StreamStaticFPI(bctx(), benchEng, n); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -212,7 +221,7 @@ func BenchmarkFig7_ValidationSeries(b *testing.B) {
 // prediction (paper: instruction-based AI of cg_solve = 0.53).
 func BenchmarkPrediction_ArithmeticIntensity(b *testing.B) {
 	s := experiments.MiniFESizes{NX: 30, NY: 30, NZ: 30, MaxIter: 20, NnzRowAnnotation: 25}
-	an, err := experiments.Prediction(s, arch.Arya())
+	an, err := experiments.Prediction(bctx(), benchEng, s, arch.Arya())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -220,7 +229,7 @@ func BenchmarkPrediction_ArithmeticIntensity(b *testing.B) {
 		fmt.Sprintf("Prediction (paper: AI = 1.93E8/3.67E8 = 0.53):\n%s", an))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Prediction(s, arch.Arya()); err != nil {
+		if _, err := experiments.Prediction(bctx(), benchEng, s, arch.Arya()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -232,14 +241,14 @@ func BenchmarkPrediction_ArithmeticIntensity(b *testing.B) {
 // smoothing kernel, PBound overcounts FPI by >70% while the binary-aware
 // model is exact.
 func BenchmarkAblation_PBoundVsMira(b *testing.B) {
-	rows, err := experiments.Ablation([]int64{1024, 4096, 16384})
+	rows, err := experiments.Ablation(bctx(), benchEng, []int64{1024, 4096, 16384})
 	if err != nil {
 		b.Fatal(err)
 	}
-	printArtifact("ablation", experiments.FormatAblation(rows))
+	printArtifact("ablation", tablesText(experiments.AblationTable(rows)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Ablation([]int64{1024}); err != nil {
+		if _, err := experiments.Ablation(bctx(), benchEng, []int64{1024}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -272,14 +281,14 @@ func BenchmarkFig5_PythonModelGeneration(b *testing.B) {
 func BenchmarkStaticVsDynamicCost(b *testing.B) {
 	n := int64(1_000_000)
 	t0 := time.Now()
-	if _, err := experiments.StreamDynamicFPI(n); err != nil {
+	if _, err := experiments.StreamDynamicFPI(bctx(), benchEng, n); err != nil {
 		b.Fatal(err)
 	}
 	dynDur := time.Since(t0)
 	t0 = time.Now()
 	const staticReps = 100
 	for i := 0; i < staticReps; i++ {
-		if _, err := experiments.StreamStaticFPI(n); err != nil {
+		if _, err := experiments.StreamStaticFPI(bctx(), benchEng, n); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -290,7 +299,7 @@ func BenchmarkStaticVsDynamicCost(b *testing.B) {
 		dynDur, staticDur, ratio))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.StreamStaticFPI(n); err != nil {
+		if _, err := experiments.StreamStaticFPI(bctx(), benchEng, n); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -303,7 +312,7 @@ func BenchmarkStaticVsDynamicCost(b *testing.B) {
 // walks the model's call tree and polyhedral multiplicities every
 // iteration (the raw pipeline); "warm" is the engine's memo hit.
 func BenchmarkEngineEval_ColdVsWarm(b *testing.B) {
-	a, err := experiments.MiniFEPipeline()
+	a, err := experiments.MiniFEPipeline(bctx(), benchEng)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -487,7 +496,7 @@ func BenchmarkSweep_CompiledVsTreeWalk(b *testing.B) {
 // cost a sweep amortizes (miniFE's cg_solve, the deepest call tree in
 // the suite).
 func BenchmarkSweep_CompileOnce(b *testing.B) {
-	a, err := experiments.MiniFEPipeline()
+	a, err := experiments.MiniFEPipeline(bctx(), benchEng)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -517,6 +526,59 @@ func BenchmarkPublicEngineAPI(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkReport_SuitePath measures the report subsystem end to end:
+// a declarative grid suite (1k-point STREAM static sweep plus a
+// roofline section) compiled to engine sweeps, assembled into a typed
+// report, and JSON-encoded — the full POST /report service path minus
+// HTTP. The whole-report row throughput is the custom metric.
+func BenchmarkReport_SuitePath(b *testing.B) {
+	e, err := mira.NewEngine(0, mira.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	suite := mira.Suite{
+		Name: "bench_report",
+		Sections: []mira.Section{
+			mira.GridSection{
+				Name:     "stream_scaling",
+				Workload: mira.WorkloadRef{Name: "stream"},
+				Fn:       "stream",
+				Axes:     []mira.SweepAxis{{Name: "n", Values: sweepGridSizes(1000)}},
+			},
+			mira.GridSection{
+				Name:     "stream_roofline",
+				Workload: mira.WorkloadRef{Name: "stream"},
+				Fn:       "stream",
+				Kind:     mira.KindRoofline,
+				Points:   []map[string]int64{{"n": 1_000_000}},
+				Archs:    []string{"arya", "frankenstein"},
+			},
+		},
+	}
+	// One checked pass: every row present, no per-cell failures.
+	rep, err := e.Report(context.Background(), suite)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.Rows() != 1002 {
+		b.Fatalf("rows = %d, want 1002", rep.Rows())
+	}
+	if errs := rep.Errs(); len(errs) > 0 {
+		b.Fatal(errs[0])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := e.Report(context.Background(), suite)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rep.EncodeJSON(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rep.Rows()*b.N)/b.Elapsed().Seconds(), "rows/s")
 }
 
 func firstLines(s string, n int) string {

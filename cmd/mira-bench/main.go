@@ -1,19 +1,31 @@
 // Command mira-bench regenerates the paper's evaluation tables and
-// figures (Sec. IV) and prints them with paper-vs-measured context.
+// figures (Sec. IV) as report suites and emits them in any report
+// encoding.
 //
 // Usage:
 //
-//	mira-bench [-table I|II|III|IV|V] [-figure 6|7] [-prediction]
-//	           [-ablation] [-all] [-paper-sizes] [-j n]
+//	mira-bench [-suite names] [-table I|II|III|IV|V] [-figure 6|7]
+//	           [-prediction] [-ablation] [-all]
+//	           [-format table|json|csv|markdown]
+//	           [-scaled] [-paper-sizes] [-j n]
 //	mira-bench -serve-stats http://host:7319
 //
-// Dynamic (VM) runs default to scaled sizes; -paper-sizes additionally
+// Every experiment is a named report suite (internal/experiments over
+// internal/report): the engine and the signal context are injected
+// explicitly, -j bounds the worker pool (0 = GOMAXPROCS, 1 = serial),
+// and ^C cancels a long regeneration at the next size boundary.
+// -format selects the encoding: "table" is the paper's ASCII style
+// (with per-suite banners); json/csv/markdown emit machine-readable
+// artifacts with no banners, so output can pipe straight into a file.
+// Selecting several suites with -format json emits one valid JSON
+// document: a single report object for one suite, an array of report
+// objects otherwise.
+//
+// Dynamic (VM) runs default to the paper-faithful sizes (minutes of VM
+// time for -all); -scaled switches to the proportionally scaled
+// configuration that finishes in seconds. -paper-sizes additionally
 // evaluates the static model at the paper's full problem sizes (cheap:
-// the model is closed-form). Experiments run through the shared
-// analysis engine: -j bounds its worker pool (0 = GOMAXPROCS); -j 1
-// forces the serial path. Static columns evaluate as batched query
-// matrices (engine.Query), and ^C cancels a long regeneration at the
-// next size boundary.
+// the model is closed-form).
 //
 // -serve-stats scrapes a running mira-serve daemon's /metrics endpoint,
 // lint-parses the OpenMetrics exposition, and prints the cache and
@@ -23,6 +35,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -34,17 +47,22 @@ import (
 	"syscall"
 	"time"
 
-	"mira/internal/arch"
+	"mira/internal/engine"
 	"mira/internal/experiments"
 	"mira/internal/obs"
+	"mira/internal/report"
 )
 
 func main() {
+	suiteList := flag.String("suite", "", "comma-separated report suites to run (see -list)")
+	list := flag.Bool("list", false, "list the named suites and exit")
 	table := flag.String("table", "", "table to regenerate: I, II, III, IV, V")
 	figure := flag.String("figure", "", "figure to regenerate: 6, 7")
 	prediction := flag.Bool("prediction", false, "arithmetic-intensity prediction (Sec. IV-D2)")
 	ablation := flag.Bool("ablation", false, "PBound vs Mira ablation")
 	all := flag.Bool("all", false, "everything")
+	format := flag.String("format", "table", "output encoding: table, json, csv, markdown")
+	scaled := flag.Bool("scaled", false, "run dynamic columns at the scaled (seconds-fast) sizes")
 	paperSizes := flag.Bool("paper-sizes", false, "also evaluate the static model at the paper's full sizes")
 	jobs := flag.Int("j", 0, "analysis-engine workers (0 = GOMAXPROCS, 1 = serial)")
 	serveStats := flag.String("serve-stats", "", "scrape and summarize a running mira-serve daemon (base URL)")
@@ -58,140 +76,187 @@ func main() {
 		return
 	}
 
-	if *jobs != 0 {
-		experiments.SetWorkers(*jobs)
+	cfg := experiments.PaperConfig()
+	if *scaled {
+		cfg = experiments.ScaledConfig()
 	}
+	if *list {
+		for _, s := range experiments.Suites(cfg) {
+			fmt.Printf("%-12s %s\n", s.Name, s.Title)
+		}
+		return
+	}
+
+	enc, err := report.ParseFormat(*format)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mira-bench: %v\n", err)
+		os.Exit(2)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	experiments.SetContext(ctx)
+	eng := engine.New(engine.Options{Workers: *jobs})
+	runner := report.NewRunner(eng)
 
-	any := false
-	run := func(name string, f func() error) {
-		any = true
-		fmt.Printf("==== %s ====\n", name)
-		if err := f(); err != nil {
+	banners := enc == report.FormatTable
+	if *paperSizes && !banners {
+		// The paper-size static extras are free-form lines that would
+		// corrupt a machine-readable stream; refuse rather than
+		// silently drop an explicitly requested evaluation.
+		fmt.Fprintln(os.Stderr, "mira-bench: -paper-sizes requires -format table")
+		os.Exit(2)
+	}
+	names, err := selectSuites(cfg, *suiteList, *table, *figure, *prediction, *ablation, *all)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mira-bench: %v\n", err)
+		os.Exit(2)
+	}
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "nothing selected; use -all, -suite, or see -help and -list")
+		os.Exit(2)
+	}
+	suites := experiments.SuiteMap(cfg)
+	// JSON output must stay one valid document even across -all: the
+	// suite reports collect into a single top-level array instead of
+	// concatenated objects no parser would accept.
+	var jsonReports []*report.Report
+	for i, name := range names {
+		s := suites[name]
+		if banners {
+			fmt.Printf("==== %s ====\n", s.Title)
+		}
+		rep, err := runner.Run(ctx, s)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "mira-bench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Println()
-	}
-
-	wantTable := func(t string) bool { return *all || *table == t }
-	wantFigure := func(f string) bool { return *all || *figure == f }
-
-	// The paper's exact miniFE configurations: 30x30x30 and 35x40x45.
-	// Unlike STREAM/DGEMM, these run at full size on the VM in seconds.
-	miniSmall := experiments.MiniFESizes{NX: 30, NY: 30, NZ: 30, MaxIter: 20, NnzRowAnnotation: 25}
-	miniLarge := experiments.MiniFESizes{NX: 35, NY: 40, NZ: 45, MaxIter: 20, NnzRowAnnotation: 25}
-
-	if wantTable("I") {
-		run("Table I: loop coverage", func() error {
-			rows, err := experiments.TableI()
-			if err != nil {
-				return err
+		switch {
+		case enc == report.FormatJSON:
+			jsonReports = append(jsonReports, rep)
+		default:
+			if !banners && i > 0 {
+				fmt.Println()
 			}
-			fmt.Print(experiments.FormatTableI(rows))
-			return nil
-		})
-	}
-	if wantTable("II") || wantFigure("6") {
-		run("Table II + Fig. 6: cg_solve instruction categories", func() error {
-			rows, err := experiments.TableII(miniSmall)
-			if err != nil {
-				return err
+			if err := rep.Encode(os.Stdout, enc); err != nil {
+				fmt.Fprintf(os.Stderr, "mira-bench: %s: %v\n", name, err)
+				os.Exit(1)
 			}
-			fmt.Print(experiments.FormatTableII(rows))
-			return nil
-		})
-	}
-	if wantTable("III") {
-		run("Table III: STREAM FPI (paper: err <= 0.47%)", func() error {
-			rows, err := experiments.TableIII([]int64{2_000_000, 5_000_000, 10_000_000})
-			if err != nil {
-				return err
-			}
-			fmt.Print(experiments.FormatTable("STREAM validation (dynamic at scaled sizes)", rows))
-			if *paperSizes {
-				for _, n := range []int64{2_000_000, 50_000_000, 100_000_000} {
-					static, err := experiments.StreamStaticFPI(n)
-					if err != nil {
-						return err
-					}
-					fmt.Printf("static-only at paper size %-12d Mira=%.4g (paper Mira: 8.20E7 / 4.100E9 / 2.050E10)\n",
-						n, float64(static))
+		}
+		if banners {
+			if name == "table_iii" && *paperSizes {
+				if err := paperSizeLines(ctx, eng, "stream"); err != nil {
+					fmt.Fprintf(os.Stderr, "mira-bench: %v\n", err)
+					os.Exit(1)
 				}
 			}
-			return nil
-		})
-	}
-	if wantTable("IV") {
-		run("Table IV: DGEMM FPI (paper: err <= 0.05%)", func() error {
-			rows, err := experiments.TableIV([]int64{64, 96, 128}, 4)
-			if err != nil {
-				return err
-			}
-			fmt.Print(experiments.FormatTable("DGEMM validation (dynamic at scaled sizes, nrep=4)", rows))
-			if *paperSizes {
-				for _, n := range []int64{256, 512, 1024} {
-					static, err := experiments.DgemmStaticFPI(n, 30)
-					if err != nil {
-						return err
-					}
-					fmt.Printf("static-only at paper size %-6d (nrep=30) Mira=%.5g (paper Mira: 1.0125E9 / 8.0769E9 / 6.4519E10)\n",
-						n, float64(static))
+			if name == "table_iv" && *paperSizes {
+				if err := paperSizeLines(ctx, eng, "dgemm"); err != nil {
+					fmt.Fprintf(os.Stderr, "mira-bench: %v\n", err)
+					os.Exit(1)
 				}
 			}
-			return nil
-		})
+			fmt.Println()
+		}
 	}
-	if wantTable("V") {
-		run("Table V: miniFE per-function FPI (paper: err 0.011% - 3.08%)", func() error {
-			rows, err := experiments.TableV([]experiments.MiniFESizes{miniSmall, miniLarge})
+	if enc == report.FormatJSON {
+		var err error
+		if len(jsonReports) == 1 {
+			err = jsonReports[0].EncodeJSON(os.Stdout)
+		} else {
+			err = json.NewEncoder(os.Stdout).Encode(jsonReports)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mira-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// selectSuites maps the legacy table/figure flags and the -suite list
+// to suite names, in the paper's presentation order. Invalid flag
+// values and unknown suite names error here, before any suite runs — a
+// typo must fail fast, not after minutes of VM work have streamed.
+func selectSuites(cfg experiments.SuiteConfig, suiteList, table, figure string, prediction, ablation, all bool) ([]string, error) {
+	known := experiments.SuiteNames(cfg)
+	isKnown := map[string]bool{}
+	for _, n := range known {
+		isKnown[n] = true
+	}
+	want := map[string]bool{}
+	if all {
+		for _, n := range known {
+			want[n] = true
+		}
+	}
+	for _, n := range strings.Split(suiteList, ",") {
+		if n = strings.TrimSpace(n); n == "" {
+			continue
+		} else if !isKnown[n] {
+			return nil, fmt.Errorf("unknown suite %q (see -list)", n)
+		} else {
+			want[n] = true
+		}
+	}
+	byFlag := map[string]string{
+		"I": "table_i", "II": "table_ii", "III": "table_iii",
+		"IV": "table_iv", "V": "table_v",
+	}
+	switch {
+	case table == "":
+	case byFlag[table] != "":
+		want[byFlag[table]] = true
+	default:
+		return nil, fmt.Errorf("unknown table %q (tables: I, II, III, IV, V)", table)
+	}
+	switch figure {
+	case "":
+	case "6":
+		want["table_ii"] = true // Fig. 6 is Table II's distribution column
+	case "7":
+		want["fig7"] = true
+	default:
+		return nil, fmt.Errorf("unknown figure %q (figures: 6, 7)", figure)
+	}
+	if prediction {
+		want["prediction"] = true
+	}
+	if ablation {
+		want["ablation"] = true
+	}
+	var out []string
+	for _, n := range known {
+		if want[n] {
+			out = append(out, n)
+		}
+	}
+	return out, nil
+}
+
+// paperSizeLines prints the static-only evaluations at the paper's full
+// problem sizes (closed-form, instant) with the paper's reference
+// values.
+func paperSizeLines(ctx context.Context, eng *engine.Engine, workload string) error {
+	switch workload {
+	case "stream":
+		for _, n := range []int64{2_000_000, 50_000_000, 100_000_000} {
+			static, err := experiments.StreamStaticFPI(ctx, eng, n)
 			if err != nil {
 				return err
 			}
-			fmt.Print(experiments.FormatTable("miniFE validation (nnz_row annotation = 25)", rows))
-			return nil
-		})
-	}
-	if wantFigure("7") {
-		run("Fig. 7: validation series", func() error {
-			series, err := experiments.Fig7(
-				[]int64{1_000_000, 2_000_000, 5_000_000},
-				[]int64{48, 64, 96}, 4,
-				[]experiments.MiniFESizes{miniSmall, miniLarge},
-			)
+			fmt.Printf("static-only at paper size %-12d Mira=%.4g (paper Mira: 8.20E7 / 4.100E9 / 2.050E10)\n",
+				n, float64(static))
+		}
+	case "dgemm":
+		for _, n := range []int64{256, 512, 1024} {
+			static, err := experiments.DgemmStaticFPI(ctx, eng, n, 30)
 			if err != nil {
 				return err
 			}
-			fmt.Print(experiments.FormatFig7(series))
-			return nil
-		})
+			fmt.Printf("static-only at paper size %-6d (nrep=30) Mira=%.5g (paper Mira: 1.0125E9 / 8.0769E9 / 6.4519E10)\n",
+				n, float64(static))
+		}
 	}
-	if *all || *prediction {
-		run("Prediction: instruction-based arithmetic intensity (paper: 0.53)", func() error {
-			an, err := experiments.Prediction(miniSmall, arch.Arya())
-			if err != nil {
-				return err
-			}
-			fmt.Println(an.String())
-			return nil
-		})
-	}
-	if *all || *ablation {
-		run("Ablation: PBound (source-only) vs Mira (source+binary)", func() error {
-			rows, err := experiments.Ablation([]int64{1024, 4096, 16384})
-			if err != nil {
-				return err
-			}
-			fmt.Print(experiments.FormatAblation(rows))
-			return nil
-		})
-	}
-	if !any {
-		fmt.Fprintln(os.Stderr, "nothing selected; use -all or see -help")
-		os.Exit(2)
-	}
+	return nil
 }
 
 // printServeStats scrapes base's /metrics, lint-parses the exposition,
@@ -237,6 +302,7 @@ func printServeStats(w io.Writer, base string) error {
 	fmt.Fprintf(w, "  cold analyze latency  %s\n", meanMs("mira_analyze_seconds"))
 	fmt.Fprintf(w, "  warm rebuild latency  %s\n", meanMs("mira_rebuild_seconds"))
 	fmt.Fprintf(w, "  eval latency          %s\n", meanMs("mira_eval_seconds"))
+	fmt.Fprintf(w, "  report latency        %s\n", meanMs("mira_report_seconds"))
 	fmt.Fprintf(w, "  store errors          %g\n", exp.Value("mira_store_errors_total"))
 	fmt.Fprintf(w, "  in-flight analyses    %g\n", exp.Value("mira_analyses_inflight"))
 	fmt.Fprintf(w, "  resident analyses     %g\n", exp.Value("mira_resident_analyses"))

@@ -8,14 +8,20 @@
 //
 // Endpoints:
 //
-//	POST /analyze  {"name","source"[,"fn","env"]}  -> model summary (+ Table II)
-//	POST /eval     {"key"|"source","fn","env"[,"exclusive"]} -> metrics
-//	POST /query    {"key"|"source","queries":[{"fn","env","kind"[,"arch"]}]}
-//	               -> batched per-query results (kinds: static,
-//	               static_exclusive, categories, fine_categories,
-//	               roofline, pbound)
-//	GET  /metrics  OpenMetrics text exposition (cache, latency, HTTP series)
-//	GET  /healthz  liveness + uptime
+//	POST /analyze   {"name","source"[,"fn","env"]}  -> model summary (+ Table II)
+//	POST /eval      {"key"|"source","fn","env"[,"exclusive"]} -> metrics
+//	POST /query     {"key"|"source","queries":[{"fn","env","kind"[,"arch"]}]}
+//	                -> batched per-query results (kinds: static,
+//	                static_exclusive, categories, fine_categories,
+//	                roofline, pbound)
+//	POST /report    {"suite":name} | {"spec":{...}} [+"format"] -> a typed
+//	                report (the paper's tables/figures by name, or an
+//	                inline workload x grid x kind spec) as JSON, CSV,
+//	                ASCII table, or Markdown
+//	GET  /workloads embedded workload registry with content keys (query
+//	                by key without uploading source) + named suites
+//	GET  /metrics   OpenMetrics text exposition (cache, latency, HTTP series)
+//	GET  /healthz   liveness + uptime
 //
 // Every handler threads the request context into the engine, so a
 // client dropping its connection aborts the evaluation it abandoned.
@@ -25,7 +31,7 @@
 // Usage:
 //
 //	mira-serve [-addr :7319] [-cache-dir DIR] [-j n] [-arch name]
-//	           [-lenient] [-no-opt] [-drain 30s]
+//	           [-lenient] [-no-opt] [-drain 30s] [-paper-suites]
 package main
 
 import (
@@ -45,6 +51,7 @@ import (
 	"mira/internal/cachestore"
 	"mira/internal/core"
 	"mira/internal/engine"
+	"mira/internal/experiments"
 	"mira/internal/obs"
 )
 
@@ -57,17 +64,19 @@ func main() {
 	lenient := flag.Bool("lenient", false, "downgrade unanalyzable branches to warnings")
 	noOpt := flag.Bool("no-opt", false, "compile without optimizations")
 	drain := flag.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight requests to finish")
+	paperSuites := flag.Bool("paper-suites", false,
+		"serve the named report suites at the paper's full dynamic sizes (minutes of VM time per request) instead of the scaled ones")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, *cacheDir, *jobs, *maxResident, *archName, *lenient, *noOpt, *drain); err != nil {
+	if err := run(ctx, *addr, *cacheDir, *jobs, *maxResident, *archName, *lenient, *noOpt, *drain, *paperSuites); err != nil {
 		fmt.Fprintf(os.Stderr, "mira-serve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, addr, cacheDir string, jobs, maxResident int, archName string, lenient, noOpt bool, drain time.Duration) error {
+func run(ctx context.Context, addr, cacheDir string, jobs, maxResident int, archName string, lenient, noOpt bool, drain time.Duration, paperSuites bool) error {
 	a, err := arch.Lookup(archName)
 	if err != nil {
 		return err
@@ -89,10 +98,20 @@ func run(ctx context.Context, addr, cacheDir string, jobs, maxResident int, arch
 		MaxResident: maxResident,
 		Obs:         reg,
 	})
+	// Named report suites: the scaled configuration by default, so a
+	// POST /report completes within the write timeout; -paper-suites
+	// opts into the paper-faithful sizes for offline regeneration
+	// (handleReport extends its own per-request write deadline — the
+	// dynamic columns take minutes of VM time — without loosening the
+	// slow-client timeouts on any other endpoint).
+	suiteCfg := experiments.ScaledConfig()
+	if paperSuites {
+		suiteCfg = experiments.PaperConfig()
+	}
 	// Full timeout set: a resident daemon must shrug off slow-body
 	// clients, not accumulate their goroutines.
 	srv := &http.Server{
-		Handler:           newServer(eng, reg),
+		Handler:           newServer(eng, reg, experiments.SuiteMap(suiteCfg)),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,

@@ -8,6 +8,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"sort"
 	"strings"
 	"time"
 
@@ -16,6 +17,7 @@ import (
 	"mira/internal/model"
 	"mira/internal/obs"
 	"mira/internal/pbound"
+	"mira/internal/report"
 	"mira/internal/roofline"
 )
 
@@ -33,38 +35,57 @@ const openMetricsContentType = "application/openmetrics-text; version=1.0.0; cha
 
 // server is the mira-serve HTTP layer over one analysis engine.
 type server struct {
-	eng   *engine.Engine
-	reg   *obs.Registry
-	start time.Time
+	eng    *engine.Engine
+	reg    *obs.Registry
+	runner *report.Runner
+	// suites are the named report suites served by POST /report
+	// (typically the paper suites from internal/experiments).
+	suites map[string]report.Suite
+	// workloads is the GET /workloads payload, computed once: the
+	// embedded registry's content keys are fixed for a given engine.
+	workloads []workloadInfo
+	start     time.Time
 
-	reqAnalyze *obs.Counter
-	reqEval    *obs.Counter
-	reqQuery   *obs.Counter
-	reqSweep   *obs.Counter
-	reqErrors  *obs.Counter
-	httpLat    *obs.Summary
+	reqAnalyze   *obs.Counter
+	reqEval      *obs.Counter
+	reqQuery     *obs.Counter
+	reqSweep     *obs.Counter
+	reqReport    *obs.Counter
+	reqWorkloads *obs.Counter
+	reqErrors    *obs.Counter
+	httpLat      *obs.Summary
 }
 
 // newServer wires the handler set. The registry must be the one the
-// engine reports into, so /metrics exposes engine and HTTP series
-// together.
-func newServer(eng *engine.Engine, reg *obs.Registry) http.Handler {
+// engine reports into, so /metrics exposes engine, report, and HTTP
+// series together. suites are the named reports POST /report serves by
+// name (nil means inline specs only).
+func newServer(eng *engine.Engine, reg *obs.Registry, suites map[string]report.Suite) http.Handler {
 	s := &server{
-		eng:        eng,
-		reg:        reg,
-		start:      time.Now(),
-		reqAnalyze: reg.Counter("mira_http_analyze_requests", "POST /analyze requests"),
-		reqEval:    reg.Counter("mira_http_eval_requests", "POST /eval requests"),
-		reqQuery:   reg.Counter("mira_http_query_requests", "POST /query requests"),
-		reqSweep:   reg.Counter("mira_http_sweep_requests", "POST /sweep requests"),
-		reqErrors:  reg.Counter("mira_http_request_errors", "requests answered with a 4xx/5xx status"),
-		httpLat:    reg.Summary("mira_http_seconds", "HTTP request latency"),
+		eng:          eng,
+		reg:          reg,
+		runner:       report.NewRunner(eng).WithObs(reg),
+		suites:       suites,
+		start:        time.Now(),
+		reqAnalyze:   reg.Counter("mira_http_analyze_requests", "POST /analyze requests"),
+		reqEval:      reg.Counter("mira_http_eval_requests", "POST /eval requests"),
+		reqQuery:     reg.Counter("mira_http_query_requests", "POST /query requests"),
+		reqSweep:     reg.Counter("mira_http_sweep_requests", "POST /sweep requests"),
+		reqReport:    reg.Counter("mira_http_report_requests", "POST /report requests"),
+		reqWorkloads: reg.Counter("mira_http_workload_requests", "GET /workloads requests"),
+		reqErrors:    reg.Counter("mira_http_request_errors", "requests answered with a 4xx/5xx status"),
+		httpLat:      reg.Summary("mira_http_seconds", "HTTP request latency"),
+	}
+	for _, wl := range report.Workloads() {
+		s.workloads = append(s.workloads, workloadInfo{Workload: wl, Key: eng.Key(wl.Source)})
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /analyze", s.handleAnalyze)
 	mux.HandleFunc("POST /eval", s.handleEval)
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("POST /sweep", s.handleSweep)
+	mux.HandleFunc("POST /report", s.handleReport)
+	mux.HandleFunc("GET /workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s.instrument(mux)
@@ -262,9 +283,19 @@ type evalResponse struct {
 func (s *server) resolveAnalysis(w http.ResponseWriter, r *http.Request, key, name, source string) (*engine.Analysis, bool) {
 	switch {
 	case key != "":
-		a, ok := s.eng.Lookup(key)
-		if !ok {
-			s.apiError(w, http.StatusNotFound, "unknown analysis key %q (POST /analyze first, or send source)", key)
+		// Key resolution is the report layer's: resident analyses
+		// first, then the embedded workload registry (a client may hold
+		// a GET /workloads key for a source it never uploaded).
+		a, err := s.runner.Analyze(r.Context(), report.WorkloadRef{Key: key})
+		if err != nil {
+			if clientGone(r) {
+				return nil, false
+			}
+			if errors.Is(err, report.ErrUnknownKey) {
+				s.apiError(w, http.StatusNotFound, "unknown analysis key %q (POST /analyze first, send source, or use a GET /workloads key)", key)
+			} else {
+				s.apiError(w, statusFor(err), "analyze: %v", err)
+			}
 			return nil, false
 		}
 		return a, true
@@ -581,6 +612,128 @@ func sweepCell(p *engine.SweepPoint) sweepPointCell {
 		cell.PBound = p.PBound
 	}
 	return cell
+}
+
+// workloadInfo is one GET /workloads entry: the registry metadata plus
+// the engine's content key, so a client can POST /query or /report by
+// key without ever uploading the source text.
+type workloadInfo struct {
+	report.Workload
+	Key string `json:"key"`
+}
+
+type workloadsResponse struct {
+	Workloads []workloadInfo `json:"workloads"`
+	// Suites are the named report suites POST /report serves.
+	Suites []string `json:"suites"`
+}
+
+// handleWorkloads lists the embedded workload registry with content
+// keys, and the named suites, for client discovery.
+func (s *server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	s.reqWorkloads.Inc()
+	resp := workloadsResponse{Workloads: s.workloads, Suites: []string{}}
+	for name := range s.suites {
+		resp.Suites = append(resp.Suites, name)
+	}
+	sort.Strings(resp.Suites)
+	s.writeJSON(w, resp)
+}
+
+// reportRequest is one POST /report body: a named suite or an inline
+// declarative spec, plus the response encoding.
+type reportRequest struct {
+	// Suite names a registered suite (see GET /workloads).
+	Suite string `json:"suite,omitempty"`
+	// Spec is an inline declarative suite: grid sections over named
+	// workloads, keys, or inline sources.
+	Spec *report.SuiteSpec `json:"spec,omitempty"`
+	// Format selects the response encoding: json (default), csv,
+	// table, or markdown.
+	Format string `json:"format,omitempty"`
+}
+
+// reportWriteDeadline bounds one /report request end to end. The
+// server-wide WriteTimeout stays tight for every other endpoint; a
+// report over the paper-faithful suites legitimately runs minutes of
+// VM work, so only this handler extends its own connection's deadline.
+const reportWriteDeadline = 30 * time.Minute
+
+// handleReport runs a report suite — the paper's tables and figures, or
+// any client-defined scenario grid — and answers in the requested
+// encoding. Spec problems (unknown suite, workload, function, kind; an
+// over-limit grid) are 4xx before evaluation; per-cell failures ride in
+// the rows; the whole run is tied to the request context, so a dropped
+// connection cancels the remaining sections.
+func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
+	s.reqReport.Inc()
+	// Best-effort: a ResponseWriter that cannot move its deadline just
+	// keeps the server-wide one.
+	_ = http.NewResponseController(w).SetWriteDeadline(time.Now().Add(reportWriteDeadline))
+	var req reportRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	format := report.FormatJSON
+	if req.Format != "" {
+		var err error
+		if format, err = report.ParseFormat(req.Format); err != nil {
+			s.apiError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	var suite report.Suite
+	switch {
+	case req.Suite != "" && req.Spec != nil:
+		s.apiError(w, http.StatusBadRequest, "give a suite name or an inline spec, not both")
+		return
+	case req.Suite != "":
+		named, ok := s.suites[req.Suite]
+		if !ok {
+			names := make([]string, 0, len(s.suites))
+			for name := range s.suites {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			s.apiError(w, http.StatusNotFound, "unknown suite %q (suites: %s)", req.Suite, strings.Join(names, ", "))
+			return
+		}
+		suite = named
+	case req.Spec != nil:
+		compiled, err := req.Spec.Suite()
+		if err != nil {
+			s.apiError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		suite = compiled
+	default:
+		s.apiError(w, http.StatusBadRequest, "need suite or spec")
+		return
+	}
+
+	rep, err := s.runner.Run(r.Context(), suite)
+	if err != nil {
+		if clientGone(r) {
+			return
+		}
+		status := statusFor(err)
+		if errors.Is(err, engine.ErrSweepTooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		s.apiError(w, status, "report: %v", err)
+		return
+	}
+	if clientGone(r) {
+		return
+	}
+	if format == report.FormatJSON {
+		w.Header().Set("Content-Type", "application/json")
+	} else {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	}
+	if err := rep.Encode(w, format); err != nil {
+		log.Printf("mira-serve: write report: %v", err)
+	}
 }
 
 func toPayload(met model.Metrics, tab map[string]int64) *metricsPayload {

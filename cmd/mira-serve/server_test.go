@@ -13,7 +13,9 @@ import (
 	"mira/internal/cachestore"
 	"mira/internal/core"
 	"mira/internal/engine"
+	"mira/internal/experiments"
 	"mira/internal/obs"
+	"mira/internal/report"
 )
 
 const kernelSrc = `
@@ -40,7 +42,22 @@ func newTestServer(t *testing.T, cacheDir string) http.Handler {
 	}
 	reg := obs.NewRegistry()
 	eng := engine.New(engine.Options{Core: core.Options{}, Store: store, Obs: reg})
-	return newServer(eng, reg)
+	return newServer(eng, reg, testSuites())
+}
+
+// testSuites are the named paper suites at sizes small enough for unit
+// tests (the VM-validated columns run in milliseconds).
+func testSuites() map[string]report.Suite {
+	cfg := experiments.ScaledConfig()
+	cfg.StreamSizes = []int64{1000, 2000}
+	cfg.DgemmSizes = []int64{8, 12}
+	cfg.Fig7Stream = []int64{1000, 2000}
+	cfg.Fig7Dgemm = []int64{8, 12}
+	cfg.AblationSizes = []int64{64, 256}
+	small := experiments.MiniFESizes{NX: 5, NY: 5, NZ: 5, MaxIter: 4, NnzRowAnnotation: 18}
+	large := experiments.MiniFESizes{NX: 6, NY: 6, NZ: 6, MaxIter: 4, NnzRowAnnotation: 19}
+	cfg.MiniSmall, cfg.MiniLarge = small, large
+	return experiments.SuiteMap(cfg)
 }
 
 func postJSON(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {

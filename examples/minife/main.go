@@ -5,34 +5,45 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
+	"mira/internal/engine"
 	"mira/internal/experiments"
+	"mira/internal/report"
 )
 
 func main() {
+	ctx := context.Background()
+	eng := engine.New(engine.Options{})
+
 	s := experiments.MiniFESizes{NX: 10, NY: 10, NZ: 10, MaxIter: 10}
 	s.NnzRowAnnotation = (s.TrueNNZ() + s.Rows()/2) / s.Rows() // best user estimate
 
 	// Table II + Fig. 6.
-	rows, err := experiments.TableII(s)
+	rows, err := experiments.TableII(ctx, eng, s)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(experiments.FormatTableII(rows))
 
 	// Validation (Table V shape).
-	vrows, err := experiments.TableV([]experiments.MiniFESizes{s})
+	vrows, err := experiments.TableV(ctx, eng, []experiments.MiniFESizes{s})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println()
-	fmt.Print(experiments.FormatTable("miniFE validation", vrows))
+	rep := report.Report{Tables: []report.Table{
+		experiments.TableIITable(rows),
+		experiments.ValidationTable("table_v", "miniFE validation", vrows),
+	}}
+	if err := rep.EncodeText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 
 	// The generated Python model (paper Fig. 5 artifact) for waxpby.
-	p, err := experiments.MiniFEPipeline()
+	p, err := experiments.MiniFEPipeline(ctx, eng)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,75 @@
+// Report example: the declarative results layer. Builds a suite — one
+// grid section over the embedded STREAM workload plus one over inline
+// caller-supplied source — runs it through an engine, and prints the
+// same typed report in the paper's ASCII style, as Markdown, and as
+// JSON. The identical suite shape (as a JSON spec) can be POSTed to a
+// running mira-serve daemon's /report endpoint.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"mira"
+)
+
+const kernelSrc = `double kernel(double *x, int n) {
+	double s;
+	int i;
+	s = 0.0;
+	for (i = 0; i < n; i++) {
+		s = s + x[i] * 2.0;
+	}
+	return s;
+}
+`
+
+func main() {
+	eng, err := mira.NewEngine(0, mira.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	suite := mira.Suite{
+		Name:  "scaling_study",
+		Title: "STREAM and a custom kernel, statically swept",
+		Sections: []mira.Section{
+			mira.GridSection{
+				Name:     "stream_fpi",
+				Caption:  "STREAM static FPI scaling (Table III 'Mira' column)",
+				Workload: mira.WorkloadRef{Name: "stream"}, // embedded registry
+				Fn:       "stream",
+				Axes:     []mira.SweepAxis{{Name: "n", Values: []int64{2_000_000, 50_000_000, 100_000_000}}},
+			},
+			mira.GridSection{
+				Name:     "kernel_roofline",
+				Caption:  "custom kernel roofline across machines",
+				Workload: mira.WorkloadRef{File: "kernel.c", Source: kernelSrc}, // caller-supplied
+				Fn:       "kernel",
+				Kind:     mira.KindRoofline,
+				Points:   []map[string]int64{{"n": 1_000_000}},
+				Archs:    []string{"arya", "frankenstein"},
+			},
+		},
+	}
+
+	rep, err := eng.Report(context.Background(), suite)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== paper ASCII style ==")
+	if err := rep.Encode(os.Stdout, mira.FormatTable); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== markdown ==")
+	if err := rep.Encode(os.Stdout, mira.FormatMarkdown); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== json ==")
+	if err := rep.Encode(os.Stdout, mira.FormatJSON); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -6,20 +6,24 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"mira/internal/arch"
 	"mira/internal/dynamic"
+	"mira/internal/engine"
 	"mira/internal/experiments"
 	"mira/internal/vm"
 )
 
 func main() {
+	ctx := context.Background()
+	eng := engine.New(engine.Options{})
 	s := experiments.MiniFESizes{NX: 10, NY: 10, NZ: 10, MaxIter: 10, NnzRowAnnotation: 19}
 
 	for _, d := range []*arch.Description{arch.Arya(), arch.Frankenstein()} {
-		an, err := experiments.Prediction(s, d)
+		an, err := experiments.Prediction(ctx, eng, s, d)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -30,7 +34,7 @@ func main() {
 	// The hardware-counter angle: on arya (Haswell-like) PAPI_FP_INS does
 	// not exist, so a dynamic profiler cannot produce the number the
 	// static model just did.
-	p, err := experiments.MiniFEPipeline()
+	p, err := experiments.MiniFEPipeline(ctx, eng)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,26 +5,38 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
+	"mira/internal/engine"
 	"mira/internal/experiments"
+	"mira/internal/report"
 )
 
 func main() {
+	ctx := context.Background()
+	eng := engine.New(engine.Options{})
+
 	// Paired static/dynamic validation at a VM-friendly size.
-	rows, err := experiments.TableIII([]int64{2_000_000})
+	rows, err := experiments.TableIII(ctx, eng, []int64{2_000_000})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(experiments.FormatTable("STREAM validation (Table III row)", rows))
+	rep := report.Report{Tables: []report.Table{
+		experiments.ValidationTable("table_iii", "STREAM validation (Table III row)", rows),
+	}}
+	if err := rep.EncodeText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 
 	// Static-only evaluation at the paper's sizes.
 	fmt.Println("\nStatic model at the paper's sizes (Table III 'Mira' column):")
 	for _, n := range []int64{2_000_000, 50_000_000, 100_000_000} {
 		start := time.Now()
-		fpi, err := experiments.StreamStaticFPI(n)
+		fpi, err := experiments.StreamStaticFPI(ctx, eng, n)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,6 +5,13 @@
 // instrumentation-based TAU/PAPI measurement), and reports the relative
 // error exactly as Tables III–V do.
 //
+// The package holds no state: every experiment takes the analysis
+// engine and the scheduling context explicitly, so concurrent callers
+// (the report runner, the daemon, tests) share one engine's caches
+// without stepping on each other. The named paper suites in suites.go
+// wrap these functions as report.Suite values — the declarative form
+// the CLI and daemon serve.
+//
 // Scale note (documented in EXPERIMENTS.md): dynamic runs use
 // proportionally scaled problem sizes — interpreting 100M-element STREAM
 // on a VM is the part of the paper's testbed we must simulate — while the
@@ -15,11 +22,11 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"strings"
 
 	"mira/internal/benchprogs"
 	"mira/internal/engine"
 	"mira/internal/expr"
+	"mira/internal/report"
 	"mira/internal/vm"
 )
 
@@ -31,83 +38,87 @@ type ValidationRow struct {
 	Static   int64 // "Mira" FPI (model evaluation)
 }
 
-// ErrorPct returns the |static-dynamic|/dynamic percentage.
-func (r ValidationRow) ErrorPct() float64 {
+// ErrorPct returns the |static-dynamic|/dynamic percentage and whether
+// it is defined: a zero dynamic count has no meaningful relative error
+// (it used to render as an arbitrary figure; reports now show "n/a" and
+// encode JSON null).
+func (r ValidationRow) ErrorPct() (float64, bool) {
 	if r.Dynamic == 0 {
-		if r.Static == 0 {
-			return 0
-		}
-		return 100
+		return 0, false
 	}
 	d := float64(r.Static-r.Dynamic) / float64(r.Dynamic) * 100
 	if d < 0 {
-		return -d
+		return -d, true
 	}
-	return d
+	return d, true
 }
 
-// SignedErrorPct keeps the sign (negative = static undercounts).
-func (r ValidationRow) SignedErrorPct() float64 {
+// SignedErrorPct keeps the sign (negative = static undercounts), with
+// the same definedness rule as ErrorPct.
+func (r ValidationRow) SignedErrorPct() (float64, bool) {
 	if r.Dynamic == 0 {
-		return 0
+		return 0, false
 	}
-	return float64(r.Static-r.Dynamic) / float64(r.Dynamic) * 100
+	return float64(r.Static-r.Dynamic) / float64(r.Dynamic) * 100, true
 }
 
 func (r ValidationRow) String() string {
-	return fmt.Sprintf("%-14s %-28s TAU=%-14.4g Mira=%-14.4g err=%.3f%%",
-		r.Label, r.Function, float64(r.Dynamic), float64(r.Static), r.ErrorPct())
-}
-
-// FormatTable renders rows with a caption, in the paper's table style.
-func FormatTable(caption string, rows []ValidationRow) string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "%s\n", caption)
-	fmt.Fprintf(&sb, "%-14s %-28s %-14s %-14s %s\n", "Size", "Function", "TAU", "Mira", "Error")
-	for _, r := range rows {
-		fmt.Fprintf(&sb, "%-14s %-28s %-14.4g %-14.4g %.3f%%\n",
-			r.Label, r.Function, float64(r.Dynamic), float64(r.Static), r.ErrorPct())
+	err := "n/a"
+	if pct, ok := r.ErrorPct(); ok {
+		err = fmt.Sprintf("%.3f%%", pct)
 	}
-	return sb.String()
+	return fmt.Sprintf("%-14s %-28s TAU=%-14.4g Mira=%-14.4g err=%s",
+		r.Label, r.Function, float64(r.Dynamic), float64(r.Static), err)
 }
 
-// eng is the shared analysis service: every workload pipeline is built
-// through its content-hash cache, and repeated model queries hit the
-// memoized evaluation layer. Experiments that loop over independent
-// sizes or applications fan out through engine.ForEachCtx with the same
-// parallelism bound, and static evaluations go through the batched
-// query API (engine.Query matrices), exactly like external consumers.
-var eng = engine.New(engine.Options{})
-
-// sweepCtx governs every sweep's scheduling and query evaluation.
-// Background by default; mira-bench installs its signal context so ^C
-// stops a long regeneration at the next size boundary.
-var sweepCtx = context.Background()
-
-// SetWorkers rebuilds the shared engine with a new parallelism bound
-// (0 = GOMAXPROCS). Intended for CLI startup (mira-bench -j); swapping
-// the engine drops its caches, so call it before running experiments.
-func SetWorkers(n int) {
-	eng = engine.New(engine.Options{Workers: n})
+// errCell converts the row's relative error to a report cell: the
+// percentage, or null when undefined.
+func (r ValidationRow) errCell() report.Value {
+	pct, ok := r.ErrorPct()
+	if !ok {
+		return report.Null()
+	}
+	return report.Float(pct)
 }
 
-// Workers reports the shared engine's parallelism bound.
-func Workers() int { return eng.Workers() }
+// ValidationColumns is the Table III/IV/V column schema — the paper's
+// fixed-width layout, unchanged from the legacy renderer.
+func ValidationColumns() []report.Column {
+	return []report.Column{
+		{Name: "Size", Kind: report.ColString, Width: 14},
+		{Name: "Function", Kind: report.ColString, Width: 28},
+		{Name: "TAU", Kind: report.ColFloat, Prec: 4, Width: 14},
+		{Name: "Mira", Kind: report.ColFloat, Prec: 4, Width: 14},
+		{Name: "Error", Kind: report.ColPct, Prec: 3},
+	}
+}
 
-// SetContext installs the context every subsequent sweep schedules
-// under (CLI startup, like SetWorkers). Cancelling it makes running
-// sweeps return its error at the next query or size boundary.
-func SetContext(ctx context.Context) { sweepCtx = ctx }
+// ValidationTable assembles validation rows into a report table under
+// the shared schema.
+func ValidationTable(name, caption string, rows []ValidationRow) report.Table {
+	t := report.Table{Name: name, Caption: caption, Columns: ValidationColumns()}
+	t.Rows = make([]report.Row, len(rows))
+	for i, r := range rows {
+		t.Rows[i] = report.Row{Cells: []report.Value{
+			report.Str(r.Label), report.Str(r.Function),
+			report.Int(r.Dynamic), report.Int(r.Static),
+			r.errCell(),
+		}}
+	}
+	return t
+}
 
-func analyzed(name, src string) (*engine.Analysis, error) {
-	return eng.AnalyzeCtx(sweepCtx, name, src)
+// analyzed resolves one workload source through the engine's
+// content-hash cache.
+func analyzed(ctx context.Context, eng *engine.Engine, name, src string) (*engine.Analysis, error) {
+	return eng.AnalyzeCtx(ctx, name, src)
 }
 
 // runQueries evaluates a query batch against one analyzed workload and
 // flattens the per-query errors: experiment sweeps want the first
 // failure, not a partial table.
-func runQueries(a *engine.Analysis, queries []engine.Query) ([]engine.QueryResult, error) {
-	results := a.Run(sweepCtx, queries)
+func runQueries(ctx context.Context, a *engine.Analysis, queries []engine.Query) ([]engine.QueryResult, error) {
+	results := a.Run(ctx, queries)
 	for _, r := range results {
 		if r.Err != nil {
 			return nil, fmt.Errorf("%s %s: %w", r.Query.Kind, r.Query.Fn, r.Err)
@@ -118,8 +129,8 @@ func runQueries(a *engine.Analysis, queries []engine.Query) ([]engine.QueryResul
 
 // staticFPI evaluates one KindStatic cell — the single-cell degenerate
 // case of a query batch.
-func staticFPI(a *engine.Analysis, fn string, env expr.Env) (int64, error) {
-	res, err := runQueries(a, []engine.Query{{Fn: fn, Env: env, Kind: engine.KindStatic}})
+func staticFPI(ctx context.Context, a *engine.Analysis, fn string, env expr.Env) (int64, error) {
+	res, err := runQueries(ctx, a, []engine.Query{{Fn: fn, Env: env, Kind: engine.KindStatic}})
 	if err != nil {
 		return 0, err
 	}
@@ -131,8 +142,8 @@ func staticFPI(a *engine.Analysis, fn string, env expr.Env) (int64, error) {
 // a flat expression evaluation. This is how every scaling column of the
 // evaluation section (Table III/IV sizes, the Fig. 7 x-axes) is
 // produced.
-func sweepFPI(a *engine.Analysis, fn, axis string, values []int64, base map[string]int64) ([]int64, error) {
-	res, err := a.Sweep(sweepCtx, engine.SweepSpec{
+func sweepFPI(ctx context.Context, a *engine.Analysis, fn, axis string, values []int64, base map[string]int64) ([]int64, error) {
+	res, err := a.Sweep(ctx, engine.SweepSpec{
 		Fn:   fn,
 		Kind: engine.KindStatic,
 		Axes: []engine.SweepAxis{{Name: axis, Values: values}},
@@ -148,23 +159,23 @@ func sweepFPI(a *engine.Analysis, fn, axis string, values []int64, base map[stri
 // STREAM (Table III, Fig. 7a)
 
 // StreamPipeline analyzes the STREAM workload.
-func StreamPipeline() (*engine.Analysis, error) {
-	return analyzed("stream.c", benchprogs.Stream)
+func StreamPipeline(ctx context.Context, eng *engine.Engine) (*engine.Analysis, error) {
+	return analyzed(ctx, eng, "stream.c", benchprogs.Stream)
 }
 
 // StreamStaticFPI evaluates the model's FPI for array length n.
-func StreamStaticFPI(n int64) (int64, error) {
-	p, err := StreamPipeline()
+func StreamStaticFPI(ctx context.Context, eng *engine.Engine, n int64) (int64, error) {
+	p, err := StreamPipeline(ctx, eng)
 	if err != nil {
 		return 0, err
 	}
-	return staticFPI(p, "stream", expr.EnvFromInts(map[string]int64{"n": n}))
+	return staticFPI(ctx, p, "stream", expr.EnvFromInts(map[string]int64{"n": n}))
 }
 
 // StreamDynamicFPI executes STREAM on the VM for array length n and
 // returns the measured FPI of the stream entry (inclusive).
-func StreamDynamicFPI(n int64) (int64, error) {
-	p, err := StreamPipeline()
+func StreamDynamicFPI(ctx context.Context, eng *engine.Engine, n int64) (int64, error) {
+	p, err := StreamPipeline(ctx, eng)
 	if err != nil {
 		return 0, err
 	}
@@ -183,29 +194,29 @@ func StreamDynamicFPI(n int64) (int64, error) {
 }
 
 // TableIII reproduces the STREAM FPI validation. dynSizes lists sizes for
-// paired static/dynamic rows; staticOnly lists additional sizes evaluated
-// statically only (the paper's 50M and 100M points, which the VM
-// substitutes by scaling — see EXPERIMENTS.md). The static column is one
-// compiled sweep over the size axis; the dynamic column fans the VM runs
-// out across the worker bound.
-func TableIII(dynSizes []int64) ([]ValidationRow, error) {
-	p, err := StreamPipeline()
+// paired static/dynamic rows (the paper's 50M and 100M points run
+// statically only, which the VM substitutes by scaling — see
+// EXPERIMENTS.md). The static column is one compiled sweep over the size
+// axis; the dynamic column fans the VM runs out across the engine's
+// worker bound.
+func TableIII(ctx context.Context, eng *engine.Engine, dynSizes []int64) ([]ValidationRow, error) {
+	p, err := StreamPipeline(ctx, eng)
 	if err != nil {
 		return nil, err
 	}
-	statics, err := sweepFPI(p, "stream", "n", dynSizes, nil)
+	statics, err := sweepFPI(ctx, p, "stream", "n", dynSizes, nil)
 	if err != nil {
 		return nil, err
 	}
 	rows := make([]ValidationRow, len(dynSizes))
-	err = engine.ForEachCtx(sweepCtx, Workers(), len(dynSizes), func(i int) error {
+	err = engine.ForEachCtx(ctx, eng.Workers(), len(dynSizes), func(i int) error {
 		n := dynSizes[i]
-		dyn, err := StreamDynamicFPI(n)
+		dyn, err := StreamDynamicFPI(ctx, eng, n)
 		if err != nil {
 			return err
 		}
 		rows[i] = ValidationRow{
-			Label: fmt.Sprintf("%dM", n/1_000_000), Function: "stream",
+			Label: sizeLabel(n), Function: "stream",
 			Dynamic: dyn, Static: statics[i],
 		}
 		return nil
@@ -216,27 +227,36 @@ func TableIII(dynSizes []int64) ([]ValidationRow, error) {
 	return rows, nil
 }
 
+// sizeLabel renders a STREAM size the way the paper's Table III labels
+// it (millions of elements).
+func sizeLabel(n int64) string {
+	if n >= 1_000_000 && n%1_000_000 == 0 {
+		return fmt.Sprintf("%dM", n/1_000_000)
+	}
+	return fmt.Sprintf("%d", n)
+}
+
 // ---------------------------------------------------------------------------
 // DGEMM (Table IV, Fig. 7b)
 
 // DgemmPipeline analyzes the DGEMM workload.
-func DgemmPipeline() (*engine.Analysis, error) {
-	return analyzed("dgemm.c", benchprogs.Dgemm)
+func DgemmPipeline(ctx context.Context, eng *engine.Engine) (*engine.Analysis, error) {
+	return analyzed(ctx, eng, "dgemm.c", benchprogs.Dgemm)
 }
 
 // DgemmStaticFPI evaluates the model's FPI for matrix order n with nrep
 // repetitions.
-func DgemmStaticFPI(n, nrep int64) (int64, error) {
-	p, err := DgemmPipeline()
+func DgemmStaticFPI(ctx context.Context, eng *engine.Engine, n, nrep int64) (int64, error) {
+	p, err := DgemmPipeline(ctx, eng)
 	if err != nil {
 		return 0, err
 	}
-	return staticFPI(p, "dgemm_bench", expr.EnvFromInts(map[string]int64{"n": n, "nrep": nrep}))
+	return staticFPI(ctx, p, "dgemm_bench", expr.EnvFromInts(map[string]int64{"n": n, "nrep": nrep}))
 }
 
 // DgemmDynamicFPI executes DGEMM on the VM.
-func DgemmDynamicFPI(n, nrep int64) (int64, error) {
-	p, err := DgemmPipeline()
+func DgemmDynamicFPI(ctx context.Context, eng *engine.Engine, n, nrep int64) (int64, error) {
+	p, err := DgemmPipeline(ctx, eng)
 	if err != nil {
 		return 0, err
 	}
@@ -262,19 +282,19 @@ func DgemmDynamicFPI(n, nrep int64) (int64, error) {
 
 // TableIV reproduces the DGEMM FPI validation: the static column is one
 // compiled sweep over the size axis (nrep fixed in the base bindings),
-// the dynamic column fans out across the worker bound.
-func TableIV(sizes []int64, nrep int64) ([]ValidationRow, error) {
-	p, err := DgemmPipeline()
+// the dynamic column fans out across the engine's worker bound.
+func TableIV(ctx context.Context, eng *engine.Engine, sizes []int64, nrep int64) ([]ValidationRow, error) {
+	p, err := DgemmPipeline(ctx, eng)
 	if err != nil {
 		return nil, err
 	}
-	statics, err := sweepFPI(p, "dgemm_bench", "n", sizes, map[string]int64{"nrep": nrep})
+	statics, err := sweepFPI(ctx, p, "dgemm_bench", "n", sizes, map[string]int64{"nrep": nrep})
 	if err != nil {
 		return nil, err
 	}
 	rows := make([]ValidationRow, len(sizes))
-	err = engine.ForEachCtx(sweepCtx, Workers(), len(sizes), func(i int) error {
-		dyn, err := DgemmDynamicFPI(sizes[i], nrep)
+	err = engine.ForEachCtx(ctx, eng.Workers(), len(sizes), func(i int) error {
+		dyn, err := DgemmDynamicFPI(ctx, eng, sizes[i], nrep)
 		if err != nil {
 			return err
 		}

@@ -1,18 +1,30 @@
 package experiments
 
 import (
+	"context"
+	"strings"
 	"testing"
+
+	"mira/internal/engine"
+	"mira/internal/report"
 )
+
+// testEng is the shared test engine; experiments take it explicitly, so
+// every test passes the same engine and a background context the way
+// production callers (report runner, CLIs) do.
+var testEng = engine.New(engine.Options{})
+
+func bg() context.Context { return context.Background() }
 
 // TestStreamStaticMatchesDynamic: STREAM is fully affine with no external
 // calls, so the static model must match the VM exactly at any size.
 func TestStreamStaticMatchesDynamic(t *testing.T) {
 	for _, n := range []int64{1000, 10000} {
-		dyn, err := StreamDynamicFPI(n)
+		dyn, err := StreamDynamicFPI(bg(), testEng, n)
 		if err != nil {
 			t.Fatal(err)
 		}
-		static, err := StreamStaticFPI(n)
+		static, err := StreamStaticFPI(bg(), testEng, n)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -38,7 +50,7 @@ func TestStreamStaticAtPaperSizes(t *testing.T) {
 		{50_000_000, 2_000_000_000},  // paper: Mira 4.100E9 (2 flops/elem counted per kernel pass differs; see EXPERIMENTS.md)
 		{100_000_000, 4_000_000_000}, // paper: Mira 2.050E10
 	} {
-		got, err := StreamStaticFPI(c.n)
+		got, err := StreamStaticFPI(bg(), testEng, c.n)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -50,11 +62,11 @@ func TestStreamStaticAtPaperSizes(t *testing.T) {
 
 func TestDgemmStaticMatchesDynamic(t *testing.T) {
 	for _, n := range []int64{8, 24} {
-		dyn, err := DgemmDynamicFPI(n, 3)
+		dyn, err := DgemmDynamicFPI(bg(), testEng, n, 3)
 		if err != nil {
 			t.Fatal(err)
 		}
-		static, err := DgemmStaticFPI(n, 3)
+		static, err := DgemmStaticFPI(bg(), testEng, n, 3)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -73,7 +85,7 @@ func TestMiniFEValidation(t *testing.T) {
 	// Bind the annotation to the rounded true average row length, the
 	// best value a careful user could supply.
 	s.NnzRowAnnotation = (s.TrueNNZ() + s.Rows()/2) / s.Rows()
-	rows, err := TableV([]MiniFESizes{s})
+	rows, err := TableV(bg(), testEng, []MiniFESizes{s})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,9 +98,9 @@ func TestMiniFEValidation(t *testing.T) {
 		}
 		// Residual error: annotation rounding plus the invisible sqrt
 		// library body. Both are small (paper's Table V band is <= 3.08%).
-		if r.ErrorPct() > 5 {
-			t.Errorf("%s: error %.2f%% too large (dyn=%d static=%d)",
-				r.Function, r.ErrorPct(), r.Dynamic, r.Static)
+		if pct, ok := r.ErrorPct(); !ok || pct > 5 {
+			t.Errorf("%s: error %.2f%% too large or undefined (dyn=%d static=%d)",
+				r.Function, pct, r.Dynamic, r.Static)
 		}
 	}
 	// waxpby is fully affine: error must be ~0 (only call-free body).
@@ -105,31 +117,76 @@ func TestMiniFEExactAnnotation(t *testing.T) {
 	s := MiniFESizes{NX: 6, NY: 6, NZ: 6, MaxIter: 4, NnzRowAnnotation: 0}
 	// True average nnz/row for 6^3: (16^3)/216 = 18.96 -> use rounded 19.
 	s.NnzRowAnnotation = (s.TrueNNZ() + s.Rows()/2) / s.Rows()
-	dyn, err := MiniFEDynamic(s)
+	dyn, err := MiniFEDynamic(bg(), testEng, s)
 	if err != nil {
 		t.Fatal(err)
 	}
-	static, err := MiniFEStatic(s)
+	static, err := MiniFEStatic(bg(), testEng, s)
 	if err != nil {
 		t.Fatal(err)
 	}
 	r := ValidationRow{Dynamic: dyn["MatVec::operator()"], Static: static["MatVec::operator()"]}
-	if r.ErrorPct() > 2.0 {
-		t.Errorf("matvec with exact annotation: err=%.3f%% (dyn=%d static=%d)",
-			r.ErrorPct(), r.Dynamic, r.Static)
+	if pct, ok := r.ErrorPct(); !ok || pct > 2.0 {
+		t.Errorf("matvec with exact annotation: err=%.3f%% ok=%v (dyn=%d static=%d)",
+			pct, ok, r.Dynamic, r.Static)
 	}
 }
 
 func TestValidationRowFormatting(t *testing.T) {
 	r := ValidationRow{Label: "2M", Function: "stream", Dynamic: 100, Static: 99}
-	if r.ErrorPct() != 1.0 {
-		t.Errorf("ErrorPct = %g", r.ErrorPct())
+	if pct, ok := r.ErrorPct(); !ok || pct != 1.0 {
+		t.Errorf("ErrorPct = %g, %v", pct, ok)
 	}
-	if r.SignedErrorPct() != -1.0 {
-		t.Errorf("SignedErrorPct = %g", r.SignedErrorPct())
+	if pct, ok := r.SignedErrorPct(); !ok || pct != -1.0 {
+		t.Errorf("SignedErrorPct = %g, %v", pct, ok)
 	}
-	out := FormatTable("Table X", []ValidationRow{r})
-	if len(out) == 0 {
-		t.Error("empty table")
+	if got := ValidationTable("t", "Table X", []ValidationRow{r}).Name; got != "t" {
+		t.Errorf("table name = %q", got)
+	}
+	if s := r.String(); !strings.Contains(s, "1.000%") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+// TestValidationRowZeroDynamic is the division-by-zero regression test:
+// a zero dynamic count must report an undefined error — "n/a" in the
+// table rendering, null in JSON — never a fabricated percentage or an
+// infinity.
+func TestValidationRowZeroDynamic(t *testing.T) {
+	rows := []ValidationRow{
+		{Label: "0", Function: "empty", Dynamic: 0, Static: 5},
+		{Label: "0", Function: "both_zero", Dynamic: 0, Static: 0},
+		{Label: "1", Function: "fine", Dynamic: 100, Static: 100},
+	}
+	for _, r := range rows[:2] {
+		if _, ok := r.ErrorPct(); ok {
+			t.Errorf("%s: ErrorPct defined for zero dynamic", r.Function)
+		}
+		if _, ok := r.SignedErrorPct(); ok {
+			t.Errorf("%s: SignedErrorPct defined for zero dynamic", r.Function)
+		}
+		if s := r.String(); !strings.Contains(s, "err=n/a") {
+			t.Errorf("%s: String() = %q, want err=n/a", r.Function, s)
+		}
+	}
+
+	rep := report.Report{Suite: "zero", Tables: []report.Table{ValidationTable("t", "Zero", rows)}}
+	text := rep.Text()
+	if strings.Contains(text, "Inf") || strings.Contains(text, "NaN") {
+		t.Errorf("table renders an infinity:\n%s", text)
+	}
+	if !strings.Contains(text, "n/a") {
+		t.Errorf("table does not render n/a:\n%s", text)
+	}
+	var sb strings.Builder
+	if err := rep.EncodeJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	js := sb.String()
+	if !strings.Contains(js, `["0","empty",0,5,null]`) {
+		t.Errorf("JSON does not encode the undefined error as null: %s", js)
+	}
+	if !strings.Contains(js, `["1","fine",100,100,0]`) {
+		t.Errorf("JSON lost the defined error: %s", js)
 	}
 }

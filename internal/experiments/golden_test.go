@@ -1,0 +1,176 @@
+package experiments
+
+// Golden tests for the report redesign: the new table encoder must
+// render the paper's tables byte-equal to the legacy Fprintf-built
+// renderers (FormatTable / FormatTableI / FormatTableII / FormatFig7,
+// reproduced verbatim below as test oracles), so the redesign provably
+// changes none of the published numbers or their presentation.
+//
+// Table I and Table II render at the paper's default sizes (they are
+// static/model-only and free at any size); the VM-validated tables use
+// the proportionally scaled sizes — byte equality of the *encoding* is
+// what these tests pin, and it holds at every size.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mira/internal/report"
+)
+
+// legacyErrPct is the legacy ValidationRow.ErrorPct for nonzero dynamic
+// counts (the golden rows all have real measurements).
+func legacyErrPct(dyn, static int64) float64 {
+	d := float64(static-dyn) / float64(dyn) * 100
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// legacyFormatTable is the deleted experiments.FormatTable, verbatim.
+func legacyFormatTable(caption string, rows []ValidationRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", caption)
+	fmt.Fprintf(&sb, "%-14s %-28s %-14s %-14s %s\n", "Size", "Function", "TAU", "Mira", "Error")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-14s %-28s %-14.4g %-14.4g %.3f%%\n",
+			r.Label, r.Function, float64(r.Dynamic), float64(r.Static), legacyErrPct(r.Dynamic, r.Static))
+	}
+	return sb.String()
+}
+
+// legacyFormatTableI is the deleted experiments.FormatTableI, verbatim.
+func legacyFormatTableI(rows []TableIRow) string {
+	var sb strings.Builder
+	sb.WriteString("Table I: Loop coverage in high-performance applications\n")
+	fmt.Fprintf(&sb, "%-12s %-8s %-12s %-12s %s\n",
+		"Application", "Loops", "Statements", "InLoops", "Percentage")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-12s %-8d %-12d %-12d %.0f%%\n",
+			r.Application, r.Loops, r.Statements, r.InLoops, r.Percentage)
+	}
+	return sb.String()
+}
+
+// legacyFormatTableII is the deleted experiments.FormatTableII, verbatim.
+func legacyFormatTableII(rows []CategoryRow) string {
+	var sb strings.Builder
+	sb.WriteString("Table II: Categorized Instruction Counts of Function cg_solve\n")
+	fmt.Fprintf(&sb, "%-42s %-14s %s\n", "Category", "Count", "Share (Fig. 6)")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-42s %-14.3g %.1f%%\n", r.Category, float64(r.Count), r.Fraction*100)
+	}
+	return sb.String()
+}
+
+// legacyFormatFig7 is the deleted experiments.FormatFig7, verbatim.
+func legacyFormatFig7(series []Fig7Series) string {
+	var sb strings.Builder
+	for _, s := range series {
+		sb.WriteString(s.Title + "\n")
+		fmt.Fprintf(&sb, "  %-24s %-14s %-14s %s\n", "x", "TAU", "Mira", "err")
+		for i := range s.Labels {
+			fmt.Fprintf(&sb, "  %-24s %-14.4g %-14.4g %.3f%%\n",
+				s.Labels[i], float64(s.TAU[i]), float64(s.Mira[i]), legacyErrPct(s.TAU[i], s.Mira[i]))
+		}
+	}
+	return sb.String()
+}
+
+func encodeTables(t *testing.T, tables ...report.Table) string {
+	t.Helper()
+	rep := report.Report{Tables: tables}
+	var sb strings.Builder
+	if err := rep.EncodeText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func diffGolden(t *testing.T, what, got, want string) {
+	t.Helper()
+	if got == want {
+		return
+	}
+	gl, wl := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(gl) || i < len(wl); i++ {
+		var g, w string
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if g != w {
+			t.Errorf("%s: line %d differs:\n got: %q\nwant: %q", what, i+1, g, w)
+			return
+		}
+	}
+	t.Errorf("%s: outputs differ in length only:\n got:\n%s\nwant:\n%s", what, got, want)
+}
+
+// TestGoldenTableI: the loop-coverage survey at the paper's content.
+func TestGoldenTableI(t *testing.T) {
+	rows, err := TableI(bg(), testEng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffGolden(t, "table I", encodeTables(t, TableITable(rows)), legacyFormatTableI(rows))
+}
+
+// TestGoldenTableII: cg_solve's categorized counts at the paper's
+// default 30x30x30 brick (model evaluation — free at full size).
+func TestGoldenTableII(t *testing.T) {
+	rows, err := TableII(bg(), testEng, PaperConfig().MiniSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffGolden(t, "table II", encodeTables(t, TableIITable(rows)), legacyFormatTableII(rows))
+}
+
+// TestGoldenValidationTables: the Table III/IV/V layout over VM-paired
+// rows at scaled sizes.
+func TestGoldenValidationTables(t *testing.T) {
+	c := ScaledConfig()
+	iii, err := TableIII(bg(), testEng, c.StreamSizes[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffGolden(t, "table III",
+		encodeTables(t, ValidationTable("table_iii", "STREAM validation (dynamic at scaled sizes)", iii)),
+		legacyFormatTable("STREAM validation (dynamic at scaled sizes)", iii))
+
+	iv, err := TableIV(bg(), testEng, c.DgemmSizes[:2], c.DgemmReps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffGolden(t, "table IV",
+		encodeTables(t, ValidationTable("table_iv", "DGEMM validation", iv)),
+		legacyFormatTable("DGEMM validation", iv))
+
+	v, err := TableV(bg(), testEng, []MiniFESizes{c.MiniSmall})
+	if err != nil {
+		t.Fatal(err)
+	}
+	caption := fmt.Sprintf("miniFE validation (nnz_row annotation = %d)", c.MiniSmall.NnzRowAnnotation)
+	diffGolden(t, "table V",
+		encodeTables(t, ValidationTable("table_v", caption, v)),
+		legacyFormatTable(caption, v))
+}
+
+// TestGoldenFig7: the four-panel series block — tables with the Fig. 7
+// indent, concatenated with no separators, exactly like the legacy
+// renderer.
+func TestGoldenFig7(t *testing.T) {
+	series, err := Fig7(bg(), testEng,
+		[]int64{1000, 2000},
+		[]int64{8, 12}, 2,
+		[]MiniFESizes{{NX: 5, NY: 5, NZ: 5, MaxIter: 4, NnzRowAnnotation: 18}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffGolden(t, "fig 7", encodeTables(t, Fig7Tables(series)...), legacyFormatFig7(series))
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"mira/internal/benchprogs"
@@ -10,8 +11,8 @@ import (
 )
 
 // MiniFEPipeline analyzes the miniFE workload.
-func MiniFEPipeline() (*engine.Analysis, error) {
-	return analyzed("minife.c", benchprogs.MiniFE)
+func MiniFEPipeline(ctx context.Context, eng *engine.Engine) (*engine.Analysis, error) {
+	return analyzed(ctx, eng, "minife.c", benchprogs.MiniFE)
 }
 
 // MiniFESizes describes one miniFE configuration.
@@ -35,22 +36,29 @@ func (s MiniFESizes) TrueNNZ() int64 {
 	return (3*s.NX - 2) * (3*s.NY - 2) * (3*s.NZ - 2)
 }
 
-// MiniFEEnv builds the model evaluation environment.
-func (s MiniFESizes) MiniFEEnv() expr.Env {
-	return expr.EnvFromInts(map[string]int64{
+// MiniFEPoint builds the configuration's parameter bindings in sweep
+// point form — what a declarative grid section or PredictionSweep feeds
+// the engine.
+func (s MiniFESizes) MiniFEPoint() map[string]int64 {
+	return map[string]int64{
 		"nx": s.NX, "ny": s.NY, "nz": s.NZ,
 		"n":        s.Rows(),
 		"max_iter": s.MaxIter,
 		"nnz_row":  s.NnzRowAnnotation,
-	})
+	}
+}
+
+// MiniFEEnv builds the model evaluation environment.
+func (s MiniFESizes) MiniFEEnv() expr.Env {
+	return expr.EnvFromInts(s.MiniFEPoint())
 }
 
 // MiniFEDynamic executes miniFE on the VM and returns per-function
 // inclusive FPI for the three functions Table V reports. waxpby and the
 // matvec operator are reported per single invocation (total / calls),
 // matching the paper's per-call magnitudes.
-func MiniFEDynamic(s MiniFESizes) (map[string]int64, error) {
-	p, err := MiniFEPipeline()
+func MiniFEDynamic(ctx context.Context, eng *engine.Engine, s MiniFESizes) (map[string]int64, error) {
+	p, err := MiniFEPipeline(ctx, eng)
 	if err != nil {
 		return nil, err
 	}
@@ -107,8 +115,8 @@ func MiniFEDynamic(s MiniFESizes) (map[string]int64, error) {
 // Per-invocation functions are evaluated with their own parameters bound
 // the way cg_solve binds them. The whole per-function column is one
 // query batch sharing the (function, env) memo.
-func MiniFEStatic(s MiniFESizes) (map[string]int64, error) {
-	p, err := MiniFEPipeline()
+func MiniFEStatic(ctx context.Context, eng *engine.Engine, s MiniFESizes) (map[string]int64, error) {
+	p, err := MiniFEPipeline(ctx, eng)
 	if err != nil {
 		return nil, err
 	}
@@ -117,7 +125,7 @@ func MiniFEStatic(s MiniFESizes) (map[string]int64, error) {
 	for i, fn := range tableVFuncs {
 		queries[i] = engine.Query{Fn: fn, Env: env, Kind: engine.KindStatic}
 	}
-	results, err := runQueries(p, queries)
+	results, err := runQueries(ctx, p, queries)
 	if err != nil {
 		return nil, err
 	}
@@ -137,15 +145,15 @@ var tableVFuncs = []string{"waxpby", "MatVec::operator()", "cg_solve", "dot"}
 // TableV reproduces the miniFE per-function FPI validation rows. The
 // sizes are independent (one VM run plus one set of model queries each),
 // so the sweep fans out across the engine's worker bound.
-func TableV(sizes []MiniFESizes) ([]ValidationRow, error) {
+func TableV(ctx context.Context, eng *engine.Engine, sizes []MiniFESizes) ([]ValidationRow, error) {
 	perSize := make([][]ValidationRow, len(sizes))
-	err := engine.ForEachCtx(sweepCtx, Workers(), len(sizes), func(i int) error {
+	err := engine.ForEachCtx(ctx, eng.Workers(), len(sizes), func(i int) error {
 		s := sizes[i]
-		dyn, err := MiniFEDynamic(s)
+		dyn, err := MiniFEDynamic(ctx, eng, s)
 		if err != nil {
 			return err
 		}
-		static, err := MiniFEStatic(s)
+		static, err := MiniFEStatic(ctx, eng, s)
 		if err != nil {
 			return err
 		}

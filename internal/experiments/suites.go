@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"mira/internal/engine"
+	"mira/internal/report"
+)
+
+// SuiteConfig parameterizes the named paper suites: which sizes the
+// dynamic (VM) validation columns run at. The static model is free at
+// any size; the VM is the expensive part, so servers and tests run the
+// proportionally scaled configuration while the CLI defaults to the
+// paper-faithful one.
+type SuiteConfig struct {
+	// StreamSizes are Table III's paired static/dynamic sizes.
+	StreamSizes []int64
+	// DgemmSizes and DgemmReps parameterize Table IV.
+	DgemmSizes []int64
+	DgemmReps  int64
+	// MiniSmall and MiniLarge are the two miniFE configurations
+	// (Tables II/V, Fig. 7c/d, the prediction).
+	MiniSmall, MiniLarge MiniFESizes
+	// Fig7Stream and Fig7Dgemm are the Fig. 7a/7b x-axes.
+	Fig7Stream, Fig7Dgemm []int64
+	// AblationSizes are the PBound-vs-Mira comparison points.
+	AblationSizes []int64
+	// PredictionArch names the architecture description the Sec. IV-D2
+	// prediction runs on.
+	PredictionArch string
+}
+
+// PaperConfig is the paper-faithful configuration mira-bench defaults
+// to: the exact miniFE bricks, STREAM/DGEMM dynamic runs at the largest
+// sizes the VM substitutes for the testbed (minutes of VM time).
+func PaperConfig() SuiteConfig {
+	return SuiteConfig{
+		StreamSizes:    []int64{2_000_000, 5_000_000, 10_000_000},
+		DgemmSizes:     []int64{64, 96, 128},
+		DgemmReps:      4,
+		MiniSmall:      MiniFESizes{NX: 30, NY: 30, NZ: 30, MaxIter: 20, NnzRowAnnotation: 25},
+		MiniLarge:      MiniFESizes{NX: 35, NY: 40, NZ: 45, MaxIter: 20, NnzRowAnnotation: 25},
+		Fig7Stream:     []int64{1_000_000, 2_000_000, 5_000_000},
+		Fig7Dgemm:      []int64{48, 64, 96},
+		AblationSizes:  []int64{1024, 4096, 16384},
+		PredictionArch: "arya",
+	}
+}
+
+// ScaledConfig is the proportionally scaled configuration (see
+// EXPERIMENTS.md): every suite completes in seconds, so a resident
+// daemon can serve POST /report without holding a connection for
+// minutes. The miniFE annotations bind the rounded true average row
+// length, the best value a careful user could supply at these sizes.
+func ScaledConfig() SuiteConfig {
+	small := MiniFESizes{NX: 6, NY: 6, NZ: 6, MaxIter: 8}
+	small.NnzRowAnnotation = (small.TrueNNZ() + small.Rows()/2) / small.Rows()
+	large := MiniFESizes{NX: 8, NY: 8, NZ: 8, MaxIter: 8}
+	large.NnzRowAnnotation = (large.TrueNNZ() + large.Rows()/2) / large.Rows()
+	return SuiteConfig{
+		StreamSizes:    []int64{20_000, 50_000, 100_000},
+		DgemmSizes:     []int64{16, 24, 32},
+		DgemmReps:      2,
+		MiniSmall:      small,
+		MiniLarge:      large,
+		Fig7Stream:     []int64{10_000, 20_000, 50_000},
+		Fig7Dgemm:      []int64{12, 16, 24},
+		AblationSizes:  []int64{256, 1024, 4096},
+		PredictionArch: "arya",
+	}
+}
+
+// Suites returns the named paper suites under c, in the paper's
+// presentation order. Each suite is a thin declarative wrapper over the
+// experiment functions: the engine and context are injected by the
+// report runner, never held in package state.
+func Suites(c SuiteConfig) []report.Suite {
+	return []report.Suite{
+		{
+			Name:  "table_i",
+			Title: "Table I: loop coverage",
+			Sections: []report.Section{report.SectionFunc(func(ctx context.Context, r *report.Runner) ([]report.Table, error) {
+				rows, err := TableI(ctx, r.Engine())
+				if err != nil {
+					return nil, err
+				}
+				return []report.Table{TableITable(rows)}, nil
+			})},
+		},
+		{
+			Name:  "table_ii",
+			Title: "Table II + Fig. 6: cg_solve instruction categories",
+			Sections: []report.Section{report.SectionFunc(func(ctx context.Context, r *report.Runner) ([]report.Table, error) {
+				rows, err := TableII(ctx, r.Engine(), c.MiniSmall)
+				if err != nil {
+					return nil, err
+				}
+				return []report.Table{TableIITable(rows)}, nil
+			})},
+		},
+		{
+			Name:  "table_iii",
+			Title: "Table III: STREAM FPI (paper: err <= 0.47%)",
+			Sections: []report.Section{report.SectionFunc(func(ctx context.Context, r *report.Runner) ([]report.Table, error) {
+				rows, err := TableIII(ctx, r.Engine(), c.StreamSizes)
+				if err != nil {
+					return nil, err
+				}
+				return []report.Table{ValidationTable("table_iii", "STREAM validation (dynamic at scaled sizes)", rows)}, nil
+			})},
+		},
+		{
+			Name:  "table_iv",
+			Title: "Table IV: DGEMM FPI (paper: err <= 0.05%)",
+			Sections: []report.Section{report.SectionFunc(func(ctx context.Context, r *report.Runner) ([]report.Table, error) {
+				rows, err := TableIV(ctx, r.Engine(), c.DgemmSizes, c.DgemmReps)
+				if err != nil {
+					return nil, err
+				}
+				caption := fmt.Sprintf("DGEMM validation (dynamic at scaled sizes, nrep=%d)", c.DgemmReps)
+				return []report.Table{ValidationTable("table_iv", caption, rows)}, nil
+			})},
+		},
+		{
+			Name:  "table_v",
+			Title: "Table V: miniFE per-function FPI (paper: err 0.011% - 3.08%)",
+			Sections: []report.Section{report.SectionFunc(func(ctx context.Context, r *report.Runner) ([]report.Table, error) {
+				rows, err := TableV(ctx, r.Engine(), []MiniFESizes{c.MiniSmall, c.MiniLarge})
+				if err != nil {
+					return nil, err
+				}
+				caption := fmt.Sprintf("miniFE validation (nnz_row annotation = %d)", c.MiniSmall.NnzRowAnnotation)
+				return []report.Table{ValidationTable("table_v", caption, rows)}, nil
+			})},
+		},
+		{
+			Name:  "fig7",
+			Title: "Fig. 7: validation series",
+			Sections: []report.Section{report.SectionFunc(func(ctx context.Context, r *report.Runner) ([]report.Table, error) {
+				series, err := Fig7(ctx, r.Engine(), c.Fig7Stream, c.Fig7Dgemm, c.DgemmReps,
+					[]MiniFESizes{c.MiniSmall, c.MiniLarge})
+				if err != nil {
+					return nil, err
+				}
+				return Fig7Tables(series), nil
+			})},
+		},
+		{
+			Name:  "prediction",
+			Title: "Prediction: instruction-based arithmetic intensity (paper: 0.53)",
+			// The prediction is fully declarative: a roofline grid
+			// section over the embedded miniFE workload.
+			Sections: []report.Section{report.GridSection{
+				Name:     "prediction",
+				Caption:  "cg_solve roofline assessment",
+				Workload: report.WorkloadRef{Name: "minife"},
+				Fn:       "cg_solve",
+				Kind:     engine.KindRoofline,
+				Points:   []map[string]int64{c.MiniSmall.MiniFEPoint(), c.MiniLarge.MiniFEPoint()},
+				Archs:    []string{c.PredictionArch},
+			}},
+		},
+		{
+			Name:  "ablation",
+			Title: "Ablation: PBound (source-only) vs Mira (source+binary)",
+			Sections: []report.Section{report.SectionFunc(func(ctx context.Context, r *report.Runner) ([]report.Table, error) {
+				rows, err := Ablation(ctx, r.Engine(), c.AblationSizes)
+				if err != nil {
+					return nil, err
+				}
+				return []report.Table{AblationTable(rows)}, nil
+			})},
+		},
+	}
+}
+
+// SuiteMap indexes the named suites by name.
+func SuiteMap(c SuiteConfig) map[string]report.Suite {
+	out := map[string]report.Suite{}
+	for _, s := range Suites(c) {
+		out[s.Name] = s
+	}
+	return out
+}
+
+// SuiteNames lists the named suites in presentation order.
+func SuiteNames(c SuiteConfig) []string {
+	suites := Suites(c)
+	names := make([]string, len(suites))
+	for i, s := range suites {
+		names[i] = s.Name
+	}
+	return names
+}

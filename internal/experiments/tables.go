@@ -1,17 +1,17 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
-	"strings"
 
 	"mira/internal/arch"
 	"mira/internal/benchprogs"
 	"mira/internal/engine"
 	"mira/internal/expr"
-	"mira/internal/ir"
 	"mira/internal/loopcov"
 	"mira/internal/parser"
+	"mira/internal/report"
 	"mira/internal/roofline"
 	"mira/internal/synth"
 	"mira/internal/vm"
@@ -33,10 +33,10 @@ type TableIRow struct {
 // application's profile, parse it with the real front end, and measure.
 // The ten applications are independent, so the survey fans out across
 // the engine's worker bound; rows come back in profile order.
-func TableI() ([]TableIRow, error) {
+func TableI(ctx context.Context, eng *engine.Engine) ([]TableIRow, error) {
 	profiles := synth.TableIProfiles
 	rows := make([]TableIRow, len(profiles))
-	err := engine.ForEachCtx(sweepCtx, Workers(), len(profiles), func(i int) error {
+	err := engine.ForEachCtx(ctx, eng.Workers(), len(profiles), func(i int) error {
 		p := profiles[i]
 		src, err := synth.Generate(p)
 		if err != nil {
@@ -62,17 +62,28 @@ func TableI() ([]TableIRow, error) {
 	return rows, nil
 }
 
-// FormatTableI renders Table I.
-func FormatTableI(rows []TableIRow) string {
-	var sb strings.Builder
-	sb.WriteString("Table I: Loop coverage in high-performance applications\n")
-	fmt.Fprintf(&sb, "%-12s %-8s %-12s %-12s %s\n",
-		"Application", "Loops", "Statements", "InLoops", "Percentage")
-	for _, r := range rows {
-		fmt.Fprintf(&sb, "%-12s %-8d %-12d %-12d %.0f%%\n",
-			r.Application, r.Loops, r.Statements, r.InLoops, r.Percentage)
+// TableITable assembles Table I rows under the paper's schema.
+func TableITable(rows []TableIRow) report.Table {
+	t := report.Table{
+		Name:    "table_i",
+		Caption: "Table I: Loop coverage in high-performance applications",
+		Columns: []report.Column{
+			{Name: "Application", Kind: report.ColString, Width: 12},
+			{Name: "Loops", Kind: report.ColInt, Width: 8},
+			{Name: "Statements", Kind: report.ColInt, Width: 12},
+			{Name: "InLoops", Kind: report.ColInt, Width: 12},
+			{Name: "Percentage", Kind: report.ColPct, Prec: 0},
+		},
 	}
-	return sb.String()
+	t.Rows = make([]report.Row, len(rows))
+	for i, r := range rows {
+		t.Rows[i] = report.Row{Cells: []report.Value{
+			report.Str(r.Application), report.Int(int64(r.Loops)),
+			report.Int(int64(r.Statements)), report.Int(int64(r.InLoops)),
+			report.Float(r.Percentage),
+		}}
+	}
+	return t
 }
 
 // ---------------------------------------------------------------------------
@@ -87,12 +98,12 @@ type CategoryRow struct {
 
 // TableII evaluates the static model of cg_solve via a KindCategories
 // query and derives the Fig. 6 distribution from the bucketed counts.
-func TableII(s MiniFESizes) ([]CategoryRow, error) {
-	p, err := MiniFEPipeline()
+func TableII(ctx context.Context, eng *engine.Engine, s MiniFESizes) ([]CategoryRow, error) {
+	p, err := MiniFEPipeline(ctx, eng)
 	if err != nil {
 		return nil, err
 	}
-	res, err := runQueries(p, []engine.Query{
+	res, err := runQueries(ctx, p, []engine.Query{
 		{Fn: "cg_solve", Env: s.MiniFEEnv(), Kind: engine.KindCategories},
 	})
 	if err != nil {
@@ -121,32 +132,42 @@ func TableII(s MiniFESizes) ([]CategoryRow, error) {
 	return rows, nil
 }
 
+// TableIITable assembles the category table and Fig. 6 distribution
+// under the paper's schema.
+func TableIITable(rows []CategoryRow) report.Table {
+	t := report.Table{
+		Name:    "table_ii",
+		Caption: "Table II: Categorized Instruction Counts of Function cg_solve",
+		Columns: []report.Column{
+			{Name: "Category", Kind: report.ColString, Width: 42},
+			{Name: "Count", Kind: report.ColFloat, Prec: 3, Width: 14},
+			{Name: "Share (Fig. 6)", Kind: report.ColPct, Prec: 1},
+		},
+	}
+	t.Rows = make([]report.Row, len(rows))
+	for i, r := range rows {
+		t.Rows[i] = report.Row{Cells: []report.Value{
+			report.Str(r.Category), report.Int(r.Count), report.Float(r.Fraction * 100),
+		}}
+	}
+	return t
+}
+
 // Fine64Categories evaluates cg_solve against the architecture description
 // file's full fine-grained categorization — a KindFineCategories query
 // carrying the caller's description as a per-query override.
-func Fine64Categories(s MiniFESizes, d *arch.Description) (map[string]int64, error) {
-	p, err := MiniFEPipeline()
+func Fine64Categories(ctx context.Context, eng *engine.Engine, s MiniFESizes, d *arch.Description) (map[string]int64, error) {
+	p, err := MiniFEPipeline(ctx, eng)
 	if err != nil {
 		return nil, err
 	}
-	res, err := runQueries(p, []engine.Query{
+	res, err := runQueries(ctx, p, []engine.Query{
 		{Fn: "cg_solve", Env: s.MiniFEEnv(), Kind: engine.KindFineCategories, ArchDesc: d},
 	})
 	if err != nil {
 		return nil, err
 	}
 	return res[0].Categories, nil
-}
-
-// FormatTableII renders the category table and Fig. 6 distribution.
-func FormatTableII(rows []CategoryRow) string {
-	var sb strings.Builder
-	sb.WriteString("Table II: Categorized Instruction Counts of Function cg_solve\n")
-	fmt.Fprintf(&sb, "%-42s %-14s %s\n", "Category", "Count", "Share (Fig. 6)")
-	for _, r := range rows {
-		fmt.Fprintf(&sb, "%-42s %-14.3g %.1f%%\n", r.Category, float64(r.Count), r.Fraction*100)
-	}
-	return sb.String()
 }
 
 // ---------------------------------------------------------------------------
@@ -165,20 +186,20 @@ type Fig7Series struct {
 // sweeps over the size axes — the model is partially evaluated once per
 // workload and the whole curve is flat expression evaluation; the
 // dynamic ("TAU") columns execute per point on the VM.
-func Fig7(streamSizes []int64, dgemmSizes []int64, dgemmReps int64, minife []MiniFESizes) ([]Fig7Series, error) {
+func Fig7(ctx context.Context, eng *engine.Engine, streamSizes []int64, dgemmSizes []int64, dgemmReps int64, minife []MiniFESizes) ([]Fig7Series, error) {
 	var out []Fig7Series
 
-	streamP, err := StreamPipeline()
+	streamP, err := StreamPipeline(ctx, eng)
 	if err != nil {
 		return nil, err
 	}
-	streamStatic, err := sweepFPI(streamP, "stream", "n", streamSizes, nil)
+	streamStatic, err := sweepFPI(ctx, streamP, "stream", "n", streamSizes, nil)
 	if err != nil {
 		return nil, err
 	}
 	sStream := Fig7Series{Title: "Fig 7(a): STREAM FPI", Mira: streamStatic}
 	for _, n := range streamSizes {
-		dyn, err := StreamDynamicFPI(n)
+		dyn, err := StreamDynamicFPI(ctx, eng, n)
 		if err != nil {
 			return nil, err
 		}
@@ -187,17 +208,17 @@ func Fig7(streamSizes []int64, dgemmSizes []int64, dgemmReps int64, minife []Min
 	}
 	out = append(out, sStream)
 
-	dgemmP, err := DgemmPipeline()
+	dgemmP, err := DgemmPipeline(ctx, eng)
 	if err != nil {
 		return nil, err
 	}
-	dgemmStatic, err := sweepFPI(dgemmP, "dgemm_bench", "n", dgemmSizes, map[string]int64{"nrep": dgemmReps})
+	dgemmStatic, err := sweepFPI(ctx, dgemmP, "dgemm_bench", "n", dgemmSizes, map[string]int64{"nrep": dgemmReps})
 	if err != nil {
 		return nil, err
 	}
 	sDgemm := Fig7Series{Title: "Fig 7(b): DGEMM FPI", Mira: dgemmStatic}
 	for _, n := range dgemmSizes {
-		dyn, err := DgemmDynamicFPI(n, dgemmReps)
+		dyn, err := DgemmDynamicFPI(ctx, eng, n, dgemmReps)
 		if err != nil {
 			return nil, err
 		}
@@ -207,14 +228,14 @@ func Fig7(streamSizes []int64, dgemmSizes []int64, dgemmReps int64, minife []Min
 	out = append(out, sDgemm)
 
 	miniSeries := make([]Fig7Series, len(minife))
-	err = engine.ForEachCtx(sweepCtx, Workers(), len(minife), func(pi int) error {
+	err = engine.ForEachCtx(ctx, eng.Workers(), len(minife), func(pi int) error {
 		cfg := minife[pi]
 		s := Fig7Series{Title: fmt.Sprintf("Fig 7(%c): miniFE FPI %dx%dx%d", 'c'+pi, cfg.NX, cfg.NY, cfg.NZ)}
-		dyn, err := MiniFEDynamic(cfg)
+		dyn, err := MiniFEDynamic(ctx, eng, cfg)
 		if err != nil {
 			return err
 		}
-		static, err := MiniFEStatic(cfg)
+		static, err := MiniFEStatic(ctx, eng, cfg)
 		if err != nil {
 			return err
 		}
@@ -233,19 +254,32 @@ func Fig7(streamSizes []int64, dgemmSizes []int64, dgemmReps int64, minife []Min
 	return out, nil
 }
 
-// FormatFig7 renders the series as aligned text ("plots" in row form).
-func FormatFig7(series []Fig7Series) string {
-	var sb strings.Builder
-	for _, s := range series {
-		sb.WriteString(s.Title + "\n")
-		fmt.Fprintf(&sb, "  %-24s %-14s %-14s %s\n", "x", "TAU", "Mira", "err")
+// Fig7Tables renders the series as report tables, one per panel, in the
+// paper's indented row-plot style (aligned text "plots" in row form).
+func Fig7Tables(series []Fig7Series) []report.Table {
+	out := make([]report.Table, len(series))
+	for si, s := range series {
+		t := report.Table{
+			Name:    fmt.Sprintf("fig7_%d", si),
+			Caption: s.Title,
+			Indent:  2,
+			Columns: []report.Column{
+				{Name: "x", Kind: report.ColString, Width: 24},
+				{Name: "TAU", Kind: report.ColFloat, Prec: 4, Width: 14},
+				{Name: "Mira", Kind: report.ColFloat, Prec: 4, Width: 14},
+				{Name: "err", Kind: report.ColPct, Prec: 3},
+			},
+		}
+		t.Rows = make([]report.Row, len(s.Labels))
 		for i := range s.Labels {
 			r := ValidationRow{Dynamic: s.TAU[i], Static: s.Mira[i]}
-			fmt.Fprintf(&sb, "  %-24s %-14.4g %-14.4g %.3f%%\n",
-				s.Labels[i], float64(s.TAU[i]), float64(s.Mira[i]), r.ErrorPct())
+			t.Rows[i] = report.Row{Cells: []report.Value{
+				report.Str(s.Labels[i]), report.Int(s.TAU[i]), report.Int(s.Mira[i]), r.errCell(),
+			}}
 		}
+		out[si] = t
 	}
-	return sb.String()
+	return out
 }
 
 // ---------------------------------------------------------------------------
@@ -255,12 +289,12 @@ func FormatFig7(series []Fig7Series) string {
 // and roofline assessment on an architecture description — a single
 // KindRoofline query carrying the caller's description as a per-query
 // override.
-func Prediction(s MiniFESizes, d *arch.Description) (*roofline.Analysis, error) {
-	p, err := MiniFEPipeline()
+func Prediction(ctx context.Context, eng *engine.Engine, s MiniFESizes, d *arch.Description) (*roofline.Analysis, error) {
+	p, err := MiniFEPipeline(ctx, eng)
 	if err != nil {
 		return nil, err
 	}
-	res, err := runQueries(p, []engine.Query{
+	res, err := runQueries(ctx, p, []engine.Query{
 		{Fn: "cg_solve", Env: s.MiniFEEnv(), Kind: engine.KindRoofline, ArchDesc: d},
 	})
 	if err != nil {
@@ -275,21 +309,16 @@ func Prediction(s MiniFESizes, d *arch.Description) (*roofline.Analysis, error) 
 // compiled sweep over explicit points (the miniFE parameters move
 // together — n = nx*ny*nz — so the grid is a point list, not a cross
 // product). Results come back in sizes order.
-func PredictionSweep(sizes []MiniFESizes, d *arch.Description) ([]*roofline.Analysis, error) {
-	p, err := MiniFEPipeline()
+func PredictionSweep(ctx context.Context, eng *engine.Engine, sizes []MiniFESizes, d *arch.Description) ([]*roofline.Analysis, error) {
+	p, err := MiniFEPipeline(ctx, eng)
 	if err != nil {
 		return nil, err
 	}
 	points := make([]map[string]int64, len(sizes))
 	for i, s := range sizes {
-		points[i] = map[string]int64{
-			"nx": s.NX, "ny": s.NY, "nz": s.NZ,
-			"n":        s.Rows(),
-			"max_iter": s.MaxIter,
-			"nnz_row":  s.NnzRowAnnotation,
-		}
+		points[i] = s.MiniFEPoint()
 	}
-	res, err := p.Sweep(sweepCtx, engine.SweepSpec{
+	res, err := p.Sweep(ctx, engine.SweepSpec{
 		Fn:       "cg_solve",
 		Kind:     engine.KindRoofline,
 		Points:   points,
@@ -327,8 +356,8 @@ type AblationRow struct {
 // estimator columns come from one query matrix — a KindStatic and a
 // KindPBound cell per size, the PBound baseline now a first-class query
 // kind instead of a hand-rolled second pipeline.
-func Ablation(sizes []int64) ([]AblationRow, error) {
-	p, err := analyzed("ablation.c", ablationSrc)
+func Ablation(ctx context.Context, eng *engine.Engine, sizes []int64) ([]AblationRow, error) {
+	p, err := analyzed(ctx, eng, "ablation.c", ablationSrc)
 	if err != nil {
 		return nil, err
 	}
@@ -340,13 +369,13 @@ func Ablation(sizes []int64) ([]AblationRow, error) {
 			engine.Query{Fn: "smooth", Env: env(n), Kind: engine.KindPBound},
 		)
 	}
-	statics, err := runQueries(p, queries)
+	statics, err := runQueries(ctx, p, queries)
 	if err != nil {
 		return nil, err
 	}
 
 	rows := make([]AblationRow, len(sizes))
-	err = engine.ForEachCtx(sweepCtx, Workers(), len(sizes), func(i int) error {
+	err = engine.ForEachCtx(ctx, eng.Workers(), len(sizes), func(i int) error {
 		n := sizes[i]
 		dyn, err := ablationDynamic(p, n)
 		if err != nil {
@@ -397,31 +426,29 @@ func ablationDynamic(p *engine.Analysis, n int64) (int64, error) {
 	return int64(st.FPIInclusive()), nil
 }
 
-// FormatAblation renders the ablation table.
-func FormatAblation(rows []AblationRow) string {
-	var sb strings.Builder
-	sb.WriteString("Ablation: source-only (PBound) vs source+binary (Mira) FPI estimates\n")
-	fmt.Fprintf(&sb, "%-10s %-14s %-14s %-12s %-14s %s\n",
-		"n", "VM measured", "Mira", "Mira err", "PBound", "PBound err")
-	for _, r := range rows {
-		fmt.Fprintf(&sb, "%-10d %-14d %-14d %-12s %-14d %s\n",
-			r.N, r.Dynamic, r.Mira, fmt.Sprintf("%.2f%%", r.MiraErrPct),
-			r.PBound, fmt.Sprintf("%.2f%%", r.PBoundErrPct))
+// AblationTable assembles ablation rows under the legacy schema.
+func AblationTable(rows []AblationRow) report.Table {
+	t := report.Table{
+		Name:    "ablation",
+		Caption: "Ablation: source-only (PBound) vs source+binary (Mira) FPI estimates",
+		Columns: []report.Column{
+			{Name: "n", Kind: report.ColInt, Width: 10},
+			{Name: "VM measured", Kind: report.ColInt, Width: 14},
+			{Name: "Mira", Kind: report.ColInt, Width: 14},
+			{Name: "Mira err", Kind: report.ColPct, Prec: 2, Width: 12},
+			{Name: "PBound", Kind: report.ColInt, Width: 14},
+			{Name: "PBound err", Kind: report.ColPct, Prec: 2},
+		},
 	}
-	return sb.String()
+	t.Rows = make([]report.Row, len(rows))
+	for i, r := range rows {
+		t.Rows[i] = report.Row{Cells: []report.Value{
+			report.Int(r.N), report.Int(r.Dynamic), report.Int(r.Mira),
+			report.Float(r.MiraErrPct), report.Int(r.PBound), report.Float(r.PBoundErrPct),
+		}}
+	}
+	return t
 }
 
 // ablationSrc aliases the benchprogs kernel.
 var ablationSrc = benchprogs.Ablation
-
-// categoriesString formats per-category counts.
-func categoriesString(c [ir.NumCategories]int64) string {
-	var sb strings.Builder
-	for i, n := range c {
-		if n == 0 {
-			continue
-		}
-		fmt.Fprintf(&sb, "%s=%d ", ir.Category(i), n)
-	}
-	return sb.String()
-}

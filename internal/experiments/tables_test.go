@@ -5,10 +5,17 @@ import (
 	"testing"
 
 	"mira/internal/arch"
+	"mira/internal/report"
 )
 
+func tableText(t *testing.T, tab report.Table) string {
+	t.Helper()
+	rep := report.Report{Tables: []report.Table{tab}}
+	return rep.Text()
+}
+
 func TestTableIRegeneratesSurvey(t *testing.T) {
-	rows, err := TableI()
+	rows, err := TableI(bg(), testEng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +36,7 @@ func TestTableIRegeneratesSurvey(t *testing.T) {
 	if r := byName["lucas"]; r.Statements != 2070 || r.InLoops != 2050 {
 		t.Errorf("lucas = %+v", r)
 	}
-	out := FormatTableI(rows)
+	out := tableText(t, TableITable(rows))
 	if !strings.Contains(out, "applu") || !strings.Contains(out, "84%") {
 		t.Errorf("formatted table missing rows:\n%s", out)
 	}
@@ -37,7 +44,7 @@ func TestTableIRegeneratesSurvey(t *testing.T) {
 
 func TestTableIICategoriesAndFig6(t *testing.T) {
 	s := MiniFESizes{NX: 6, NY: 6, NZ: 6, MaxIter: 8, NnzRowAnnotation: 19}
-	rows, err := TableII(s)
+	rows, err := TableII(bg(), testEng, s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +78,7 @@ func TestTableIICategoriesAndFig6(t *testing.T) {
 	if rows[0].Category != "Integer data transfer instruction" {
 		t.Errorf("top category = %q, want integer data transfer", rows[0].Category)
 	}
-	out := FormatTableII(rows)
+	out := tableText(t, TableIITable(rows))
 	if !strings.Contains(out, "SSE2 packed arithmetic") {
 		t.Errorf("format missing rows:\n%s", out)
 	}
@@ -80,7 +87,7 @@ func TestTableIICategoriesAndFig6(t *testing.T) {
 func TestFine64Categories(t *testing.T) {
 	s := MiniFESizes{NX: 5, NY: 5, NZ: 5, MaxIter: 4, NnzRowAnnotation: 18}
 	d := arch.Arya()
-	fine, err := Fine64Categories(s, d)
+	fine, err := Fine64Categories(bg(), testEng, s, d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +116,7 @@ func TestFine64Categories(t *testing.T) {
 }
 
 func TestFig7Series(t *testing.T) {
-	series, err := Fig7(
+	series, err := Fig7(bg(), testEng,
 		[]int64{1000, 2000},
 		[]int64{8, 12}, 2,
 		[]MiniFESizes{{NX: 5, NY: 5, NZ: 5, MaxIter: 4, NnzRowAnnotation: 18}},
@@ -126,19 +133,24 @@ func TestFig7Series(t *testing.T) {
 		}
 		for i := range s.TAU {
 			r := ValidationRow{Dynamic: s.TAU[i], Static: s.Mira[i]}
-			if r.ErrorPct() > 10 {
-				t.Errorf("%s[%s]: error %.2f%%", s.Title, s.Labels[i], r.ErrorPct())
+			if pct, ok := r.ErrorPct(); !ok || pct > 10 {
+				t.Errorf("%s[%s]: error %.2f%% (ok=%v)", s.Title, s.Labels[i], pct, ok)
 			}
 		}
 	}
-	if out := FormatFig7(series); !strings.Contains(out, "Fig 7(a)") {
+	tables := Fig7Tables(series)
+	if len(tables) != 3 {
+		t.Fatalf("got %d tables", len(tables))
+	}
+	rep := report.Report{Tables: tables}
+	if out := rep.Text(); !strings.Contains(out, "Fig 7(a)") {
 		t.Errorf("format missing panels:\n%s", out)
 	}
 }
 
 func TestPredictionArithmeticIntensity(t *testing.T) {
 	s := MiniFESizes{NX: 6, NY: 6, NZ: 6, MaxIter: 8, NnzRowAnnotation: 19}
-	an, err := Prediction(s, arch.Arya())
+	an, err := Prediction(bg(), testEng, s, arch.Arya())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +177,7 @@ func TestPredictionSweepMatchesPointQueries(t *testing.T) {
 		{NX: 6, NY: 6, NZ: 6, MaxIter: 8, NnzRowAnnotation: 19},
 		{NX: 7, NY: 6, NZ: 5, MaxIter: 8, NnzRowAnnotation: 19},
 	}
-	got, err := PredictionSweep(sizes, arch.Arya())
+	got, err := PredictionSweep(bg(), testEng, sizes, arch.Arya())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +185,7 @@ func TestPredictionSweepMatchesPointQueries(t *testing.T) {
 		t.Fatalf("rooflines = %d, want %d", len(got), len(sizes))
 	}
 	for i, s := range sizes {
-		want, err := Prediction(s, arch.Arya())
+		want, err := Prediction(bg(), testEng, s, arch.Arya())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -184,7 +196,7 @@ func TestPredictionSweepMatchesPointQueries(t *testing.T) {
 }
 
 func TestAblationPBoundVsMira(t *testing.T) {
-	rows, err := Ablation([]int64{64, 256})
+	rows, err := Ablation(bg(), testEng, []int64{64, 256})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +214,37 @@ func TestAblationPBoundVsMira(t *testing.T) {
 			t.Errorf("n=%d: PBound error only %.1f%%; optimization gap not visible", r.N, r.PBoundErrPct)
 		}
 	}
-	if out := FormatAblation(rows); !strings.Contains(out, "PBound") {
+	if out := tableText(t, AblationTable(rows)); !strings.Contains(out, "PBound") {
 		t.Errorf("format broken:\n%s", out)
+	}
+}
+
+// TestSuites: every named suite is well-formed and the scaled
+// configuration's cheap suites run end to end through a runner.
+func TestSuitesRun(t *testing.T) {
+	c := ScaledConfig()
+	names := SuiteNames(c)
+	wantNames := []string{"table_i", "table_ii", "table_iii", "table_iv", "table_v", "fig7", "prediction", "ablation"}
+	if len(names) != len(wantNames) {
+		t.Fatalf("suites = %v", names)
+	}
+	for i := range names {
+		if names[i] != wantNames[i] {
+			t.Errorf("suite %d = %q, want %q", i, names[i], wantNames[i])
+		}
+	}
+	suites := SuiteMap(c)
+	r := report.NewRunner(testEng)
+	for _, name := range []string{"table_i", "table_ii", "prediction", "ablation"} {
+		rep, err := r.Run(bg(), suites[name])
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep.Suite != name || rep.Rows() == 0 {
+			t.Errorf("%s: empty report %+v", name, rep)
+		}
+		if errs := rep.Errs(); errs != nil {
+			t.Errorf("%s: row errors: %v", name, errs)
+		}
 	}
 }

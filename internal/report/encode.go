@@ -1,0 +1,333 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Format names an encoding of a Report.
+type Format int
+
+const (
+	// FormatTable is the paper's fixed-width ASCII table style — the
+	// byte-exact successor of the legacy Format* renderers.
+	FormatTable Format = iota
+	// FormatJSON is the structured wire form (the /report default).
+	FormatJSON
+	// FormatCSV is one comma-separated block per table, full precision.
+	FormatCSV
+	// FormatMarkdown renders GitHub-style pipe tables.
+	FormatMarkdown
+
+	numFormats
+)
+
+var formatNames = [numFormats]string{
+	FormatTable:    "table",
+	FormatJSON:     "json",
+	FormatCSV:      "csv",
+	FormatMarkdown: "markdown",
+}
+
+// String returns the format's wire name.
+func (f Format) String() string {
+	if f < 0 || f >= numFormats {
+		return fmt.Sprintf("Format(%d)", int(f))
+	}
+	return formatNames[f]
+}
+
+// ParseFormat maps a wire name ("table", "json", "csv", "markdown",
+// "md") to its Format.
+func ParseFormat(s string) (Format, error) {
+	if s == "md" {
+		return FormatMarkdown, nil
+	}
+	for f, name := range formatNames {
+		if s == name {
+			return Format(f), nil
+		}
+	}
+	return 0, fmt.Errorf("report: unknown format %q (formats: table, json, csv, markdown)", s)
+}
+
+// Encode writes the report in the given format.
+func (r *Report) Encode(w io.Writer, f Format) error {
+	switch f {
+	case FormatTable:
+		return r.EncodeText(w)
+	case FormatJSON:
+		return r.EncodeJSON(w)
+	case FormatCSV:
+		return r.EncodeCSV(w)
+	case FormatMarkdown:
+		return r.EncodeMarkdown(w)
+	}
+	return fmt.Errorf("report: unknown format %d", int(f))
+}
+
+// Text renders the report in the paper's ASCII style as a string.
+func (r *Report) Text() string {
+	var sb strings.Builder
+	_ = r.EncodeText(&sb)
+	return sb.String()
+}
+
+// EncodeText writes the paper's fixed-width ASCII table style: caption
+// line, padded header, padded rows. Tables follow one another directly
+// (the Fig. 7 series read as one block). Failed rows render their
+// parameter cells with "n/a" values and are listed after the table with
+// their errors, so a partial result never hides its failures.
+func (r *Report) EncodeText(w io.Writer) error {
+	for ti := range r.Tables {
+		if err := r.Tables[ti].encodeText(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *Table) encodeText(w io.Writer) error {
+	if t.Caption != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Caption); err != nil {
+			return err
+		}
+	}
+	// Render every cell once; auto widths (Width == 0) derive from the
+	// rendered strings, so a 64k-row sweep table formats each cell a
+	// single time.
+	lines := make([][]string, 0, len(t.Rows)+1)
+	header := make([]string, len(t.Columns))
+	for ci, col := range t.Columns {
+		header[ci] = col.Name
+	}
+	lines = append(lines, header)
+	var failed []int
+	for ri := range t.Rows {
+		row := &t.Rows[ri]
+		cells := make([]string, len(t.Columns))
+		for ci, col := range t.Columns {
+			if ci < len(row.Cells) {
+				cells[ci] = row.Cells[ci].render(col)
+			}
+		}
+		lines = append(lines, cells)
+		if row.Error != "" {
+			failed = append(failed, ri)
+		}
+	}
+	ws := make([]int, len(t.Columns))
+	for ci, col := range t.Columns {
+		if col.Width > 0 {
+			ws[ci] = col.Width
+			continue
+		}
+		for _, cells := range lines {
+			if n := len(cells[ci]); n > ws[ci] {
+				ws[ci] = n
+			}
+		}
+	}
+
+	indent := strings.Repeat(" ", t.Indent)
+	var sb strings.Builder
+	for _, cells := range lines {
+		sb.Reset()
+		sb.WriteString(indent)
+		for ci, c := range cells {
+			if ci > 0 {
+				sb.WriteByte(' ')
+			}
+			if ci < len(cells)-1 {
+				fmt.Fprintf(&sb, "%-*s", ws[ci], c)
+			} else {
+				sb.WriteString(c)
+			}
+		}
+		sb.WriteByte('\n')
+		if _, err := io.WriteString(w, sb.String()); err != nil {
+			return err
+		}
+	}
+	for _, ri := range failed {
+		if _, err := fmt.Fprintf(w, "%s! row %d: %s\n", indent, ri, t.Rows[ri].Error); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EncodeMarkdown writes GitHub-style pipe tables, one per section, with
+// the caption as a bold line above.
+func (r *Report) EncodeMarkdown(w io.Writer) error {
+	for ti := range r.Tables {
+		t := &r.Tables[ti]
+		if ti > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if t.Caption != "" {
+			if _, err := fmt.Fprintf(w, "**%s**\n\n", t.Caption); err != nil {
+				return err
+			}
+		}
+		row := func(cells []string) error {
+			_, err := fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | "))
+			return err
+		}
+		header := make([]string, len(t.Columns))
+		rule := make([]string, len(t.Columns))
+		for ci, col := range t.Columns {
+			header[ci] = col.Name
+			if col.Kind == ColString {
+				rule[ci] = "---"
+			} else {
+				rule[ci] = "---:"
+			}
+		}
+		if err := row(header); err != nil {
+			return err
+		}
+		if err := row(rule); err != nil {
+			return err
+		}
+		for ri := range t.Rows {
+			cells := make([]string, len(t.Columns))
+			for ci, col := range t.Columns {
+				if ci < len(t.Rows[ri].Cells) {
+					cells[ci] = t.Rows[ri].Cells[ci].render(col)
+				}
+			}
+			if e := t.Rows[ri].Error; e != "" {
+				cells[len(cells)-1] += " (error: " + e + ")"
+			}
+			if err := row(cells); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// EncodeCSV writes one CSV block per table: a `# name: caption` comment
+// line, the header, then full-precision rows (null cells are empty
+// fields; a failed row carries its error in a trailing `error` column).
+func (r *Report) EncodeCSV(w io.Writer) error {
+	for ti := range r.Tables {
+		t := &r.Tables[ti]
+		if ti > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# %s: %s\n", t.Name, t.Caption); err != nil {
+			return err
+		}
+		cw := csv.NewWriter(w)
+		header := make([]string, len(t.Columns), len(t.Columns)+1)
+		for ci, col := range t.Columns {
+			header[ci] = col.Name
+		}
+		header = append(header, "error")
+		if err := cw.Write(header); err != nil {
+			return err
+		}
+		for ri := range t.Rows {
+			cells := make([]string, len(t.Columns), len(t.Columns)+1)
+			for ci := range t.Columns {
+				if ci < len(t.Rows[ri].Cells) {
+					cells[ci] = t.Rows[ri].Cells[ci].renderRaw()
+				}
+			}
+			cells = append(cells, t.Rows[ri].Error)
+			if err := cw.Write(cells); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		if err := cw.Error(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonColumn is a column's wire form.
+type jsonColumn struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+// jsonRow is a row's wire form: cells aligned with the column schema
+// (string, number, or null per the column kind), plus the row error.
+type jsonRow struct {
+	Cells []any  `json:"cells"`
+	Error string `json:"error,omitempty"`
+}
+
+// jsonTable is a table's wire form.
+type jsonTable struct {
+	Name    string       `json:"name"`
+	Caption string       `json:"caption,omitempty"`
+	Columns []jsonColumn `json:"columns"`
+	Rows    []jsonRow    `json:"rows"`
+}
+
+// jsonReport is the report wire form.
+type jsonReport struct {
+	Suite  string      `json:"suite"`
+	Title  string      `json:"title,omitempty"`
+	Tables []jsonTable `json:"tables"`
+}
+
+// EncodeJSON writes the structured wire form: typed cells (integer
+// counts stay exact int64 JSON numbers; null cells encode as JSON
+// null), per-row errors, tables in suite order.
+func (r *Report) EncodeJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(r.jsonValue())
+}
+
+// MarshalJSON renders the same wire form as EncodeJSON, so collections
+// of reports ([]*Report) marshal as one valid JSON document.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.jsonValue())
+}
+
+func (r *Report) jsonValue() jsonReport {
+	out := jsonReport{Suite: r.Suite, Title: r.Title, Tables: make([]jsonTable, len(r.Tables))}
+	for ti := range r.Tables {
+		t := &r.Tables[ti]
+		jt := jsonTable{Name: t.Name, Caption: t.Caption, Columns: make([]jsonColumn, len(t.Columns)), Rows: make([]jsonRow, len(t.Rows))}
+		for ci, col := range t.Columns {
+			jt.Columns[ci] = jsonColumn{Name: col.Name, Kind: col.Kind.String()}
+		}
+		for ri := range t.Rows {
+			row := &t.Rows[ri]
+			jr := jsonRow{Cells: make([]any, len(row.Cells)), Error: row.Error}
+			for ci := range row.Cells {
+				jr.Cells[ci] = cellJSON(row.Cells[ci])
+			}
+			jt.Rows[ri] = jr
+		}
+		out.Tables[ti] = jt
+	}
+	return out
+}
+
+// cellJSON converts a cell to its JSON-native value.
+func cellJSON(v Value) any {
+	switch v.tag {
+	case tagStr:
+		return v.s
+	case tagInt:
+		return v.i
+	case tagFloat:
+		return v.f
+	}
+	return nil
+}

@@ -1,0 +1,432 @@
+package report
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"mira/internal/engine"
+	"mira/internal/expr"
+	"mira/internal/obs"
+)
+
+const kernelSrc = `double kernel(double *x, int n) {
+	double s;
+	int i;
+	s = 0.0;
+	for (i = 0; i < n; i++) {
+		s = s + x[i] * 2.0;
+	}
+	return s;
+}
+`
+
+func testRunner(t testing.TB) *Runner {
+	t.Helper()
+	return NewRunner(engine.New(engine.Options{Workers: 2}))
+}
+
+func TestValueRendering(t *testing.T) {
+	cases := []struct {
+		v    Value
+		col  Column
+		want string
+	}{
+		{Str("stream"), Column{Kind: ColString}, "stream"},
+		{Int(80000000), Column{Kind: ColInt}, "80000000"},
+		{Int(80000000), Column{Kind: ColFloat, Prec: 4}, "8e+07"},
+		{Float(0.4655), Column{Kind: ColPct, Prec: 3}, "0.466%"},
+		{Float(74.2), Column{Kind: ColPct, Prec: 0}, "74%"},
+		{Null(), Column{Kind: ColPct, Prec: 3}, "n/a"},
+		{Null(), Column{Kind: ColInt}, "n/a"},
+	}
+	for _, c := range cases {
+		if got := c.v.render(c.col); got != c.want {
+			t.Errorf("render(%+v, %+v) = %q, want %q", c.v, c.col, got, c.want)
+		}
+	}
+}
+
+// TestEncodeTextLegacyStyle pins the text encoder to the paper's
+// fixed-width convention: caption line, left-justified padded columns
+// separated by one space, last column unpadded.
+func TestEncodeTextLegacyStyle(t *testing.T) {
+	rep := &Report{Suite: "x", Tables: []Table{{
+		Name:    "t",
+		Caption: "Table X",
+		Columns: []Column{
+			{Name: "Size", Kind: ColString, Width: 14},
+			{Name: "Function", Kind: ColString, Width: 28},
+			{Name: "TAU", Kind: ColFloat, Prec: 4, Width: 14},
+			{Name: "Mira", Kind: ColFloat, Prec: 4, Width: 14},
+			{Name: "Error", Kind: ColPct, Prec: 3},
+		},
+		Rows: []Row{{Cells: []Value{Str("2M"), Str("stream"), Int(80000000), Int(80000000), Float(0)}}},
+	}}}
+	want := "Table X\n" +
+		fmt.Sprintf("%-14s %-28s %-14s %-14s %s\n", "Size", "Function", "TAU", "Mira", "Error") +
+		fmt.Sprintf("%-14s %-28s %-14.4g %-14.4g %.3f%%\n", "2M", "stream", 8e7, 8e7, 0.0)
+	if got := rep.Text(); got != want {
+		t.Errorf("text encoding drifted from the legacy style:\ngot:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+// TestEncodeTextIndent: the Fig. 7 series style indents header and rows
+// but not the caption.
+func TestEncodeTextIndent(t *testing.T) {
+	rep := &Report{Tables: []Table{{
+		Caption: "Fig 7(a): STREAM FPI",
+		Indent:  2,
+		Columns: []Column{{Name: "x", Kind: ColString, Width: 24}, {Name: "err", Kind: ColPct, Prec: 3}},
+		Rows:    []Row{{Cells: []Value{Str("1000000"), Float(0)}}},
+	}}}
+	want := "Fig 7(a): STREAM FPI\n" +
+		fmt.Sprintf("  %-24s %s\n", "x", "err") +
+		fmt.Sprintf("  %-24s %.3f%%\n", "1000000", 0.0)
+	if got := rep.Text(); got != want {
+		t.Errorf("indent drifted:\ngot:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestEncodeTextAutoWidth(t *testing.T) {
+	rep := &Report{Tables: []Table{{
+		Columns: []Column{{Name: "n", Kind: ColInt}, {Name: "fpi", Kind: ColInt}},
+		Rows: []Row{
+			{Cells: []Value{Int(10), Int(5)}},
+			{Cells: []Value{Int(100000), Int(42)}},
+		},
+	}}}
+	want := "n      fpi\n10     5\n100000 42\n"
+	if got := rep.Text(); got != want {
+		t.Errorf("auto width:\ngot:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+// TestGridSectionStatic runs a declarative grid suite end to end and
+// checks the rows match direct engine queries, in grid order.
+func TestGridSectionStatic(t *testing.T) {
+	r := testRunner(t)
+	ctx := context.Background()
+	suite := Suite{Name: "grid", Sections: []Section{GridSection{
+		Name:     "kernel_fpi",
+		Caption:  "kernel static counts",
+		Workload: WorkloadRef{File: "kernel.c", Source: kernelSrc},
+		Fn:       "kernel",
+		Kind:     engine.KindStatic,
+		Axes:     []engine.SweepAxis{{Name: "n", Values: []int64{10, 100, 1000}}},
+	}}}
+	rep, err := r.Run(ctx, suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) != 1 {
+		t.Fatalf("tables = %d", len(rep.Tables))
+	}
+	tab := rep.Tables[0]
+	wantCols := []string{"n", "instrs", "flops", "fpi"}
+	if len(tab.Columns) != len(wantCols) {
+		t.Fatalf("columns = %+v", tab.Columns)
+	}
+	for i, c := range tab.Columns {
+		if c.Name != wantCols[i] {
+			t.Errorf("column %d = %q, want %q", i, c.Name, wantCols[i])
+		}
+	}
+	a, err := r.Analyze(ctx, WorkloadRef{File: "kernel.c", Source: kernelSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range []int64{10, 100, 1000} {
+		res := a.RunOne(ctx, engine.Query{Fn: "kernel", Env: expr.EnvFromInts(map[string]int64{"n": n})})
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		row := tab.Rows[i]
+		if row.Error != "" {
+			t.Fatalf("row %d error: %s", i, row.Error)
+		}
+		got := []Value{Int(n), Int(res.Metrics.Instrs), Int(res.Metrics.Flops), Int(res.Metrics.FPI())}
+		for ci := range got {
+			if row.Cells[ci] != got[ci] {
+				t.Errorf("row %d cell %d = %+v, want %+v", i, ci, row.Cells[ci], got[ci])
+			}
+		}
+	}
+}
+
+// TestGridSectionPerRowError: an overflowing point fails its row, not
+// the suite; the row keeps its parameter cells and grid position.
+func TestGridSectionPerRowError(t *testing.T) {
+	r := testRunner(t)
+	rep, err := r.Run(context.Background(), Suite{Name: "overflow", Sections: []Section{GridSection{
+		Workload: WorkloadRef{File: "kernel.c", Source: kernelSrc},
+		Fn:       "kernel",
+		Kind:     engine.KindStatic,
+		Axes:     []engine.SweepAxis{{Name: "n", Values: []int64{1000, 4_000_000_000_000_000_000}}},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := rep.Tables[0]
+	if tab.Rows[0].Error != "" {
+		t.Errorf("row 0 unexpectedly failed: %s", tab.Rows[0].Error)
+	}
+	if tab.Rows[1].Error == "" {
+		t.Fatal("overflow row carries no error")
+	}
+	if got := tab.Rows[1].Cells[0]; got != Int(4_000_000_000_000_000_000) {
+		t.Errorf("failed row lost its parameter cell: %+v", got)
+	}
+	for _, c := range tab.Rows[1].Cells[1:] {
+		if !c.IsNull() {
+			t.Errorf("failed row value cell not null: %+v", c)
+		}
+	}
+	if errs := rep.Errs(); len(errs) != 1 {
+		t.Errorf("Errs = %v", errs)
+	}
+	if text := rep.Text(); !strings.Contains(text, "! row 1:") {
+		t.Errorf("text encoding hides the failed row:\n%s", text)
+	}
+}
+
+// TestGridSectionCategoriesDeterministic: category columns are the
+// sorted union of names, so repeated runs encode byte-identically.
+func TestGridSectionCategoriesDeterministic(t *testing.T) {
+	r := testRunner(t)
+	sec := GridSection{
+		Workload: WorkloadRef{Name: "stream"},
+		Fn:       "stream",
+		Kind:     engine.KindCategories,
+		Points:   []map[string]int64{{"n": 64}, {"n": 128}},
+	}
+	var first string
+	for i := 0; i < 3; i++ {
+		rep, err := r.Run(context.Background(), Suite{Name: "cats", Sections: []Section{sec}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if text := rep.Text(); i == 0 {
+			first = text
+		} else if text != first {
+			t.Fatalf("run %d differs:\n%s\nvs\n%s", i, text, first)
+		}
+	}
+	if !strings.Contains(first, "n ") {
+		t.Errorf("missing param column:\n%s", first)
+	}
+}
+
+// TestWorkloadRefByKey: a client holding only a content key from GET
+// /workloads can reference an embedded workload that was never
+// explicitly analyzed — the registry backfills it.
+func TestWorkloadRefByKey(t *testing.T) {
+	r := testRunner(t)
+	w, ok := LookupWorkload("stream")
+	if !ok {
+		t.Fatal("no stream workload")
+	}
+	key := r.Engine().Key(w.Source)
+	if _, ok := r.Engine().Lookup(key); ok {
+		t.Fatal("stream unexpectedly resident before the test")
+	}
+	a, err := r.Analyze(context.Background(), WorkloadRef{Key: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != "stream.c" {
+		t.Errorf("resolved name = %q", a.Name)
+	}
+	if _, err := r.Analyze(context.Background(), WorkloadRef{Key: "nonsense"}); err == nil {
+		t.Error("unknown key did not error")
+	}
+}
+
+func TestWorkloadRefValidation(t *testing.T) {
+	r := testRunner(t)
+	for _, ref := range []WorkloadRef{
+		{},
+		{Name: "stream", Source: kernelSrc},
+		{Name: "no-such-workload"},
+	} {
+		if _, err := r.Analyze(context.Background(), ref); err == nil {
+			t.Errorf("ref %+v did not error", ref)
+		}
+	}
+}
+
+func TestSuiteSpecValidation(t *testing.T) {
+	ok := SuiteSpec{Sections: []GridSpec{{Workload: "stream", Fn: "stream", Axes: []engine.SweepAxis{{Name: "n", Values: []int64{10}}}}}}
+	s, err := ok.Suite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "inline" || len(s.Sections) != 1 {
+		t.Errorf("suite = %+v", s)
+	}
+	if gs, okc := s.Sections[0].(GridSection); !okc || gs.Kind != engine.KindStatic {
+		t.Errorf("kind did not default to static: %+v", s.Sections[0])
+	}
+
+	bad := []SuiteSpec{
+		{},
+		{Sections: []GridSpec{{Workload: "stream"}}},                             // no fn
+		{Sections: []GridSpec{{Workload: "stream", Fn: "stream", Kind: "nope"}}}, // bad kind
+		{Sections: make([]GridSpec, MaxSuiteSections+1)},
+	}
+	for i, spec := range bad {
+		if _, err := spec.Suite(); err == nil {
+			t.Errorf("spec %d did not error", i)
+		}
+	}
+}
+
+func TestSuiteLimits(t *testing.T) {
+	r := testRunner(t)
+	if _, err := r.Run(context.Background(), Suite{Name: "empty"}); err == nil {
+		t.Error("empty suite did not error")
+	}
+	big := Suite{Name: "big", Sections: make([]Section, MaxSuiteSections+1)}
+	if _, err := r.Run(context.Background(), big); err == nil {
+		t.Error("oversized suite did not error")
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	r := testRunner(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := r.Run(ctx, Suite{Name: "c", Sections: []Section{GridSection{
+		Workload: WorkloadRef{Name: "stream"}, Fn: "stream",
+		Axes: []engine.SweepAxis{{Name: "n", Values: []int64{10}}},
+	}}})
+	if err == nil {
+		t.Fatal("cancelled run did not error")
+	}
+}
+
+// TestEncodeJSON: null cells encode as JSON null, integer counts stay
+// exact, rows carry their errors.
+func TestEncodeJSON(t *testing.T) {
+	rep := &Report{Suite: "s", Title: "T", Tables: []Table{{
+		Name:    "t",
+		Columns: []Column{{Name: "n", Kind: ColInt}, {Name: "err_pct", Kind: ColPct, Prec: 3}},
+		Rows: []Row{
+			{Cells: []Value{Int(9007199254740993), Float(1.5)}},
+			{Cells: []Value{Int(2), Null()}, Error: "boom"},
+		},
+	}}}
+	var sb strings.Builder
+	if err := rep.EncodeJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if !strings.Contains(got, "9007199254740993") {
+		t.Errorf("int64 lost precision: %s", got)
+	}
+	if !strings.Contains(got, `[2,null]`) {
+		t.Errorf("null cell not encoded as JSON null: %s", got)
+	}
+	if !strings.Contains(got, `"error":"boom"`) {
+		t.Errorf("row error missing: %s", got)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(got), &decoded); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+}
+
+func TestEncodeCSVAndMarkdown(t *testing.T) {
+	rep := &Report{Suite: "s", Tables: []Table{{
+		Name: "t", Caption: "cap",
+		Columns: []Column{{Name: "a", Kind: ColString}, {Name: "pct", Kind: ColPct, Prec: 2}},
+		Rows: []Row{
+			{Cells: []Value{Str("x,y"), Float(12.345)}},
+			{Cells: []Value{Str("z"), Null()}, Error: "bad"},
+		},
+	}}}
+	var csvOut strings.Builder
+	if err := rep.EncodeCSV(&csvOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csvOut.String(), `"x,y",12.345,`) {
+		t.Errorf("csv quoting/precision:\n%s", csvOut.String())
+	}
+	if !strings.Contains(csvOut.String(), "z,,bad") {
+		t.Errorf("csv null/error row:\n%s", csvOut.String())
+	}
+	var md strings.Builder
+	if err := rep.EncodeMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "| a | pct |") || !strings.Contains(md.String(), "**cap**") {
+		t.Errorf("markdown:\n%s", md.String())
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Format
+	}{{"table", FormatTable}, {"json", FormatJSON}, {"csv", FormatCSV}, {"markdown", FormatMarkdown}, {"md", FormatMarkdown}} {
+		got, err := ParseFormat(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseFormat(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Error("bad format accepted")
+	}
+}
+
+// TestRunnerObs: the mira_report_* series count suite runs and rows.
+func TestRunnerObs(t *testing.T) {
+	reg := obs.NewRegistry()
+	r := NewRunner(engine.New(engine.Options{Workers: 1})).WithObs(reg)
+	_, err := r.Run(context.Background(), Suite{Name: "obs", Sections: []Section{GridSection{
+		Workload: WorkloadRef{File: "kernel.c", Source: kernelSrc},
+		Fn:       "kernel",
+		Axes:     []engine.SweepAxis{{Name: "n", Values: []int64{1, 2, 3}}},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.met.runs.Value(); got != 1 {
+		t.Errorf("runs = %d", got)
+	}
+	if got := r.met.rows.Value(); got != 3 {
+		t.Errorf("rows = %d", got)
+	}
+	var sb strings.Builder
+	if err := reg.WriteOpenMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "mira_report_runs_total 1") {
+		t.Errorf("exposition missing report series:\n%s", sb.String())
+	}
+}
+
+// TestWorkloads: the registry lists the paper's evaluation workloads.
+func TestWorkloads(t *testing.T) {
+	ws := Workloads()
+	if len(ws) < 4 {
+		t.Fatalf("workloads = %d", len(ws))
+	}
+	for _, name := range []string{"stream", "dgemm", "minife", "ablation"} {
+		w, ok := LookupWorkload(name)
+		if !ok {
+			t.Errorf("missing workload %q", name)
+			continue
+		}
+		if w.Source == "" || w.File == "" || len(w.Funcs) == 0 {
+			t.Errorf("workload %q incomplete: %+v", name, w)
+		}
+	}
+	// Mutating the returned slice must not corrupt the registry.
+	ws[0].Name = "clobbered"
+	if _, ok := LookupWorkload("stream"); !ok {
+		t.Error("registry aliased caller slice")
+	}
+}

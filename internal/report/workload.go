@@ -1,0 +1,134 @@
+package report
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"mira/internal/benchprogs"
+	"mira/internal/engine"
+)
+
+// ErrUnknownKey is the typed error a Key-form WorkloadRef resolves to
+// when the key names neither a resident analysis nor an embedded
+// workload (check with errors.Is; serving layers map it to 404).
+var ErrUnknownKey = errors.New("unknown analysis key")
+
+// Workload is one named, embedded program a suite can reference without
+// shipping source: the paper's evaluation workloads, registered over
+// the benchprogs sources.
+type Workload struct {
+	// Name is the registry name ("stream").
+	Name string `json:"name"`
+	// File is the source's analysis filename ("stream.c").
+	File string `json:"file"`
+	// Source is the MiniC text.
+	Source string `json:"-"`
+	// Doc is a one-line description.
+	Doc string `json:"doc,omitempty"`
+	// Funcs lists the entry points the paper's tables query.
+	Funcs []string `json:"funcs,omitempty"`
+}
+
+// builtinWorkloads is the embedded registry, in listing order.
+var builtinWorkloads = []Workload{
+	{
+		Name: "stream", File: "stream.c", Source: benchprogs.Stream,
+		Doc:   "STREAM memory-bandwidth kernels (Table III, Fig. 7a)",
+		Funcs: []string{"stream", "tuned_copy", "tuned_scale", "tuned_add", "tuned_triad"},
+	},
+	{
+		Name: "dgemm", File: "dgemm.c", Source: benchprogs.Dgemm,
+		Doc:   "HPCC-style DGEMM triple loop (Table IV, Fig. 7b)",
+		Funcs: []string{"dgemm_bench", "dgemm"},
+	},
+	{
+		Name: "minife", File: "minife.c", Source: benchprogs.MiniFE,
+		Doc:   "miniFE 27-point-stencil CG mini-app (Tables II/V, Figs. 6/7, prediction)",
+		Funcs: []string{"minife", "cg_solve", "waxpby", "dot", "MatVec::operator()"},
+	},
+	{
+		Name: "ablation", File: "ablation.c", Source: benchprogs.Ablation,
+		Doc:   "smooth kernel with foldable FP subexpressions (PBound-vs-Mira ablation)",
+		Funcs: []string{"smooth"},
+	},
+}
+
+// Workloads returns the embedded registry in listing order.
+func Workloads() []Workload {
+	out := make([]Workload, len(builtinWorkloads))
+	copy(out, builtinWorkloads)
+	return out
+}
+
+// LookupWorkload finds an embedded workload by registry name.
+func LookupWorkload(name string) (Workload, bool) {
+	for _, w := range builtinWorkloads {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// WorkloadNames returns the registry names, sorted.
+func WorkloadNames() []string {
+	names := make([]string, len(builtinWorkloads))
+	for i, w := range builtinWorkloads {
+		names[i] = w.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WorkloadRef names the program a section runs against: a registry
+// workload by Name, an already-analyzed program by engine content Key,
+// or caller-supplied inline Source (with an optional File label).
+// Exactly one of Name, Key, and Source must be set.
+type WorkloadRef struct {
+	Name   string `json:"workload,omitempty"`
+	Key    string `json:"key,omitempty"`
+	File   string `json:"file,omitempty"`
+	Source string `json:"source,omitempty"`
+}
+
+// resolve produces the analysis the ref points at, through the engine's
+// content-hash cache.
+func (ref WorkloadRef) resolve(ctx context.Context, eng *engine.Engine) (*engine.Analysis, error) {
+	set := 0
+	for _, ok := range []bool{ref.Name != "", ref.Key != "", ref.Source != ""} {
+		if ok {
+			set++
+		}
+	}
+	if set != 1 {
+		return nil, fmt.Errorf("report: workload ref needs exactly one of name, key, or source")
+	}
+	switch {
+	case ref.Name != "":
+		w, ok := LookupWorkload(ref.Name)
+		if !ok {
+			return nil, fmt.Errorf("report: unknown workload %q (workloads: %v)", ref.Name, WorkloadNames())
+		}
+		return eng.AnalyzeCtx(ctx, w.File, w.Source)
+	case ref.Key != "":
+		if a, ok := eng.Lookup(ref.Key); ok {
+			return a, nil
+		}
+		// The key may name an embedded workload a client discovered via
+		// GET /workloads without ever uploading its source: analyze it.
+		for _, w := range builtinWorkloads {
+			if eng.Key(w.Source) == ref.Key {
+				return eng.AnalyzeCtx(ctx, w.File, w.Source)
+			}
+		}
+		return nil, fmt.Errorf("report: %w %q", ErrUnknownKey, ref.Key)
+	default:
+		file := ref.File
+		if file == "" {
+			file = "input.c"
+		}
+		return eng.AnalyzeCtx(ctx, file, ref.Source)
+	}
+}

@@ -1,0 +1,87 @@
+package mira_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"mira"
+)
+
+// TestPublicReportAPI drives the report surface the way an external
+// consumer would: embedded workload registry, a declarative suite over
+// a registry workload plus inline source, every encoder.
+func TestPublicReportAPI(t *testing.T) {
+	e, err := mira.NewEngine(2, mira.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ws := mira.Workloads()
+	if len(ws) < 4 {
+		t.Fatalf("workloads = %d", len(ws))
+	}
+	if _, ok := mira.LookupWorkload("stream"); !ok {
+		t.Fatal("no stream workload")
+	}
+
+	suite := mira.Suite{
+		Name:  "public",
+		Title: "public API suite",
+		Sections: []mira.Section{
+			mira.GridSection{
+				Name:     "stream_fpi",
+				Caption:  "STREAM FPI",
+				Workload: mira.WorkloadRef{Name: "stream"},
+				Fn:       "stream",
+				Axes:     []mira.SweepAxis{{Name: "n", Values: []int64{100, 1000}}},
+			},
+			mira.GridSection{
+				Name:     "inline_pbound",
+				Workload: mira.WorkloadRef{File: "k.c", Source: "double k(double *x, int n) { double s; int i; s = 0.0; for (i = 0; i < n; i++) { s = s + x[i]; } return s; }"},
+				Fn:       "k",
+				Kind:     mira.KindPBound,
+				Points:   []map[string]int64{{"n": 50}},
+			},
+		},
+	}
+	rep, err := e.Report(context.Background(), suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Suite != "public" || len(rep.Tables) != 2 || rep.Rows() != 3 {
+		t.Fatalf("report shape: %+v", rep)
+	}
+	if errs := rep.Errs(); errs != nil {
+		t.Fatal(errs)
+	}
+	// stream FPI = 40n.
+	text := rep.Text()
+	for _, want := range []string{"STREAM FPI", "40000", "flops loads stores"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text missing %q:\n%s", want, text)
+		}
+	}
+	for _, f := range []mira.ReportFormat{mira.FormatTable, mira.FormatJSON, mira.FormatCSV, mira.FormatMarkdown} {
+		var sb strings.Builder
+		if err := rep.Encode(&sb, f); err != nil {
+			t.Errorf("encode %v: %v", f, err)
+		}
+		if sb.Len() == 0 {
+			t.Errorf("encode %v: empty", f)
+		}
+	}
+	if f, err := mira.ParseReportFormat("csv"); err != nil || f != mira.FormatCSV {
+		t.Errorf("ParseReportFormat: %v %v", f, err)
+	}
+
+	// A runner built once serves many suites against the same caches.
+	runner := e.NewReportRunner()
+	rep2, err := runner.Run(context.Background(), suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Text() != text {
+		t.Error("runner-produced report differs")
+	}
+}
