@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check fmt-check vet build test race bench bench-baseline serve examples clean
+.PHONY: all check fmt-check vet build test race bench bench-baseline bench-compare serve examples clean
 
 all: check
 
@@ -27,17 +27,32 @@ bench:
 	$(GO) test -bench . -benchtime 1x ./
 
 # bench-baseline records the performance trajectory: the sweep
-# (compiled-vs-treewalk), cache (cold-vs-warm), and report-path
-# (suite -> engine sweeps -> typed report -> JSON) benchmarks as a
-# test2json event stream, one run each. CI uploads the file as a
-# non-gating artifact so regressions are visible across PRs.
-BENCH_BASELINE_OUT ?= BENCH_5.json
+# (compiled-vs-treewalk), cache (cold-vs-warm), incremental-edit, and
+# report-path (suite -> engine sweeps -> typed report -> JSON)
+# benchmarks as a test2json event stream. -benchtime 5x keeps each
+# sample cheap while giving -compare a median to stand on. CI compares
+# a fresh run against the committed previous baseline (gating, see
+# bench-compare) and uploads the file as an artifact.
+BENCH_BASELINE_OUT ?= BENCH_6.json
+BENCH_SET = BenchmarkSweep_CompiledVsTreeWalk|BenchmarkSweep_CompileOnce|BenchmarkEngineEval_ColdVsWarm|BenchmarkReport_SuitePath|BenchmarkIncrementalEdit
 bench-baseline:
-	$(GO) test -json -run xxx -benchtime 1x \
-		-bench 'BenchmarkSweep_CompiledVsTreeWalk|BenchmarkSweep_CompileOnce|BenchmarkEngineEval_ColdVsWarm|BenchmarkReport_SuitePath' \
+	$(GO) test -json -run xxx -benchtime 5x \
+		-bench '$(BENCH_SET)' \
 		. > $(BENCH_BASELINE_OUT)
-	@grep -o '"Output":".*speedup-x[^"]*"' $(BENCH_BASELINE_OUT) | tail -1
+	@grep -o '"Output":".*speedup-x[^"]*"' $(BENCH_BASELINE_OUT) | tail -2
 	@grep -o '"Output":".*rows/s[^"]*"' $(BENCH_BASELINE_OUT) | tail -1
+
+# bench-compare gates on benchmark regressions: a fresh baseline against
+# the committed previous one, host-normalized (the two may come from
+# different machines), failing on >15% relative slowdowns in benchmarks
+# above the 100µs noise floor.
+BENCH_COMPARE_OLD ?= BENCH_5.json
+bench-compare:
+	$(GO) test -json -run xxx -benchtime 5x \
+		-bench '$(BENCH_SET)' \
+		. > BENCH_ci_fresh.json
+	$(GO) run ./cmd/mira-bench -compare -normalize -threshold 15 \
+		$(BENCH_COMPARE_OLD) BENCH_ci_fresh.json
 
 serve:
 	$(GO) run ./cmd/mira-serve -cache-dir .mira-cache

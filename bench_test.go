@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -429,8 +430,8 @@ func BenchmarkSweep_CompiledVsTreeWalk(b *testing.B) {
 		Axes: []engine.SweepAxis{{Name: "n", Values: sizes}},
 	}
 
-	// One checked pass both ways, also priming the compilation cache and
-	// feeding the printed speedup artifact.
+	// One checked pass both ways to prime the compilation cache, then
+	// separately timed steady-state passes for the speedup artifact.
 	walkOnce := func() {
 		for _, n := range sizes {
 			if _, err := a.Pipeline.StaticMetrics("stream", expr.EnvFromInts(map[string]int64{"n": n})); err != nil {
@@ -448,12 +449,10 @@ func BenchmarkSweep_CompiledVsTreeWalk(b *testing.B) {
 		}
 		return res
 	}
-	t0 := time.Now()
+	// Priming pass: caches the one-time symbolic compilation and feeds
+	// the correctness check below.
 	walkOnce()
-	walkDur := time.Since(t0)
-	t0 = time.Now()
 	res := sweepOnce(a)
-	sweepDur := time.Since(t0)
 	// The two paths must agree point for point before speed means anything.
 	for i, n := range sizes[:100] {
 		want, err := a.Pipeline.StaticMetrics("stream", expr.EnvFromInts(map[string]int64{"n": n}))
@@ -464,6 +463,17 @@ func BenchmarkSweep_CompiledVsTreeWalk(b *testing.B) {
 			b.Fatalf("n=%d: sweep %+v != tree walk %+v", n, *res.Points[i].Metrics, want)
 		}
 	}
+	// Steady-state timing, after priming: the speedup must compare the
+	// per-pass costs a real sweep user sees, not fold the one-time
+	// symbolic compile of the first pass into the ratio. (Measured cold,
+	// the headline number swings several x with harness noise while the
+	// per-pass ratio stays put.)
+	t0 := time.Now()
+	walkOnce()
+	walkDur := time.Since(t0)
+	t0 = time.Now()
+	sweepOnce(a)
+	sweepDur := time.Since(t0)
 	speedup := float64(walkDur) / float64(sweepDur)
 	printArtifact("sweep", fmt.Sprintf(
 		"Sweep engine at 10k-point STREAM grid, 1 worker: tree walk %v, compiled sweep %v (%.0fx)",
@@ -506,6 +516,87 @@ func BenchmarkSweep_CompileOnce(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkIncrementalEdit measures the function-granular incremental
+// path: edit ONE function of miniFE (the acceptance workload — classes,
+// annotations, the deepest call tree in the suite) and re-analyze
+// through a warm engine on 1 worker. Every iteration mutates a distinct
+// statement inside `minife` only, so the engine recompiles and
+// re-models exactly that function and serves the other five (plus the
+// extern) from the function memo. The acceptance bar is 5x over a cold
+// analysis of the same mutated source.
+func BenchmarkIncrementalEdit(b *testing.B) {
+	const marker = "return cg_solve(n, A, b, x, r, p, Ap, max_iter);"
+	if strings.Count(benchprogs.MiniFE, marker) != 1 {
+		b.Fatalf("mutation marker not unique in benchprogs.MiniFE")
+	}
+	// The mutation rides on the marker's own line, so no other
+	// function's positions move — position-sensitive function keys for
+	// everything but `minife` stay identical.
+	mutate := func(i int) string {
+		return strings.Replace(benchprogs.MiniFE, marker,
+			fmt.Sprintf("i = %d; %s", i, marker), 1)
+	}
+	coldOnce := func(i int) time.Duration {
+		e := engine.New(engine.Options{Workers: 1})
+		t0 := time.Now()
+		if _, err := e.Analyze("minife.c", mutate(i)); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+	editOnce := func(e *engine.Engine, i int) time.Duration {
+		t0 := time.Now()
+		a, err := e.Analyze("minife.c", mutate(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := time.Since(t0)
+		delta := a.Delta()
+		if delta == nil || len(delta.Compiled) != 1 || delta.Compiled[0] != "minife" {
+			b.Fatalf("expected exactly [minife] recompiled, got %+v", delta)
+		}
+		return d
+	}
+
+	// Best-of-three timed passes each way for the printed artifact and
+	// the speedup-x metric (the sub-benchmarks below record the ns/op);
+	// min is the standard one-shot noise reducer.
+	warm := engine.New(engine.Options{Workers: 1})
+	if _, err := warm.Analyze("minife.c", benchprogs.MiniFE); err != nil {
+		b.Fatal(err)
+	}
+	coldDur, editDur := time.Duration(1<<62), time.Duration(1<<62)
+	for i := 1; i <= 3; i++ {
+		if d := coldOnce(-i); d < coldDur {
+			coldDur = d
+		}
+		if d := editOnce(warm, -3-i); d < editDur {
+			editDur = d
+		}
+	}
+	speedup := float64(coldDur) / float64(editDur)
+	printArtifact("incremental", fmt.Sprintf(
+		"Incremental re-analysis after a one-function edit of miniFE, 1 worker: cold %v, incremental %v (%.1fx)",
+		coldDur, editDur, speedup))
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			coldOnce(i)
+		}
+	})
+	b.Run("edit", func(b *testing.B) {
+		e := engine.New(engine.Options{Workers: 1})
+		if _, err := e.Analyze("minife.c", benchprogs.MiniFE); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			editOnce(e, i)
+		}
+		b.ReportMetric(speedup, "speedup-x")
+	})
 }
 
 // BenchmarkPublicEngineAPI exercises the mira.Engine wrapper the way an

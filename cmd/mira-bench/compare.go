@@ -1,0 +1,231 @@
+package main
+
+// Benchmark regression comparison: `mira-bench -compare OLD.json
+// NEW.json` reads two `go test -bench -json` event streams (the
+// BENCH_*.json baselines committed by `make bench-baseline`), pairs the
+// benchmarks they share, and fails when NEW is slower than OLD beyond a
+// threshold. CI runs this as a gating step against the committed
+// baseline.
+//
+// Two realities of benchmark JSON shape the implementation:
+//
+//   - the files are line-delimited test2json events, not one JSON
+//     document: benchmark results hide inside "Output" events as the
+//     classic `BenchmarkName-8   100   12345 ns/op` lines;
+//   - OLD and NEW may come from different machines. -normalize divides
+//     every ratio by the median NEW/OLD ratio across the gated shared
+//     set, so a uniformly faster or slower host cancels out and only
+//     *relative* regressions trip the gate. Failing additionally
+//     requires the raw (un-normalized) ratio to exceed the threshold: a
+//     benchmark that got faster in absolute terms is never a
+//     regression, however unevenly its siblings improved.
+//
+// Benchmarks faster than the noise floor (100µs/op in the baseline) are
+// reported but never gate: sub-100µs numbers jitter past any reasonable
+// threshold on shared CI hardware.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// gateFloorNs is the ns/op floor below which a benchmark is too noisy to
+// gate on (reported, marked "noise", never failing).
+const gateFloorNs = 100_000
+
+// resultLineRE matches the `<iterations>\t<value> ns/op` result line go
+// test emits for one benchmark (the name rides in the event's Test
+// field, not in the line).
+var resultLineRE = regexp.MustCompile(`(?:^|\s)\d+\t\s*([0-9.]+) ns/op`)
+
+// procsSuffixRE strips a trailing -N GOMAXPROCS suffix so baselines
+// from hosts with different core counts still pair up.
+var procsSuffixRE = regexp.MustCompile(`-\d+$`)
+
+// testEvent is the subset of a test2json event -compare needs.
+type testEvent struct {
+	Action string `json:"Action"`
+	Test   string `json:"Test"`
+	Output string `json:"Output"`
+}
+
+// parseBenchJSON extracts benchmark name -> ns/op from one `go test
+// -bench -json` stream. A benchmark that appears multiple times (e.g.
+// -count>1) keeps its median, the robust center for timing samples.
+func parseBenchJSON(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	samples := map[string][]float64{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev testEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("%s: not a test2json stream: %w", path, err)
+		}
+		if ev.Action != "output" || !strings.HasPrefix(ev.Test, "Benchmark") {
+			continue
+		}
+		m := resultLineRE.FindStringSubmatch(ev.Output)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[1], 64)
+		if err != nil {
+			continue
+		}
+		name := procsSuffixRE.ReplaceAllString(ev.Test, "")
+		samples[name] = append(samples[name], ns)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	out := make(map[string]float64, len(samples))
+	for name, vals := range samples {
+		out[name] = median(vals)
+	}
+	return out, nil
+}
+
+func median(vals []float64) float64 {
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// compareRow is one shared benchmark's verdict.
+type compareRow struct {
+	name     string
+	oldNs    float64
+	newNs    float64
+	ratio    float64 // normalized NEW/OLD
+	raw      float64 // un-normalized NEW/OLD
+	gated    bool    // above the noise floor, so eligible to fail
+	regessed bool
+}
+
+// runCompare pairs the two baselines and prints the verdict table.
+// Returns the number of gating regressions (the process exit is nonzero
+// iff > 0). threshold is in percent; normalize divides ratios by the
+// shared-set median.
+func runCompare(w io.Writer, oldPath, newPath string, threshold float64, normalize bool) (int, error) {
+	oldNs, err := parseBenchJSON(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newNs, err := parseBenchJSON(newPath)
+	if err != nil {
+		return 0, err
+	}
+
+	var shared []string
+	for name := range oldNs {
+		if _, ok := newNs[name]; ok {
+			shared = append(shared, name)
+		}
+	}
+	if len(shared) == 0 {
+		return 0, fmt.Errorf("no shared benchmarks between %s and %s", oldPath, newPath)
+	}
+	sort.Strings(shared)
+
+	// The host factor comes from the gated (≥100µs) benchmarks only:
+	// sub-noise-floor timings jitter several-x between runs and would
+	// drag the median around, making solid benchmarks look regressed.
+	factor := 1.0
+	if normalize {
+		ratios := make([]float64, 0, len(shared))
+		for _, name := range shared {
+			if oldNs[name] >= gateFloorNs {
+				ratios = append(ratios, newNs[name]/oldNs[name])
+			}
+		}
+		if len(ratios) == 0 {
+			for _, name := range shared {
+				ratios = append(ratios, newNs[name]/oldNs[name])
+			}
+		}
+		factor = median(ratios)
+	}
+
+	limit := 1 + threshold/100
+	rows := make([]compareRow, 0, len(shared))
+	regressions := 0
+	for _, name := range shared {
+		r := compareRow{
+			name:  name,
+			oldNs: oldNs[name],
+			newNs: newNs[name],
+			ratio: (newNs[name] / oldNs[name]) / factor,
+			raw:   newNs[name] / oldNs[name],
+			gated: oldNs[name] >= gateFloorNs,
+		}
+		// Failing requires the slowdown in BOTH views: normalized (so a
+		// uniformly slower host doesn't fail everything) AND raw (so a
+		// benchmark that got faster in absolute terms is never flagged
+		// just because its siblings sped up more — normalization by the
+		// median makes the least-improved benchmark look "regressed"
+		// whenever improvements are uneven).
+		r.regessed = r.gated && r.ratio > limit && r.raw > limit
+		if r.regessed {
+			regressions++
+		}
+		rows = append(rows, r)
+	}
+
+	fmt.Fprintf(w, "benchmark comparison: %s -> %s (threshold %+.0f%%", oldPath, newPath, threshold)
+	if normalize {
+		fmt.Fprintf(w, ", host-normalized by %.3fx", factor)
+	}
+	fmt.Fprintf(w, ")\n\n")
+	fmt.Fprintf(w, "%-60s %14s %14s %8s  %s\n", "benchmark", "old ns/op", "new ns/op", "ratio", "verdict")
+	for _, r := range rows {
+		verdict := "ok"
+		switch {
+		case r.regessed:
+			verdict = "REGRESSION"
+		case !r.gated:
+			verdict = "noise (<100µs, not gated)"
+		case r.ratio > limit:
+			verdict = "ok (faster in absolute terms, not gated)"
+		case r.ratio < 1/limit:
+			verdict = "improved"
+		}
+		fmt.Fprintf(w, "%-60s %14.0f %14.0f %7.3fx  %s\n", r.name, r.oldNs, r.newNs, r.ratio, verdict)
+	}
+	onlyOld, onlyNew := 0, 0
+	for name := range oldNs {
+		if _, ok := newNs[name]; !ok {
+			onlyOld++
+		}
+	}
+	for name := range newNs {
+		if _, ok := oldNs[name]; !ok {
+			onlyNew++
+		}
+	}
+	fmt.Fprintf(w, "\n%d shared benchmarks (%d only in old, %d only in new), %d regression(s)\n",
+		len(shared), onlyOld, onlyNew, regressions)
+	return regressions, nil
+}

@@ -9,6 +9,14 @@
 //	           [-format table|json|csv|markdown]
 //	           [-scaled] [-paper-sizes] [-j n]
 //	mira-bench -serve-stats http://host:7319
+//	mira-bench -compare [-threshold pct] [-normalize] OLD.json NEW.json
+//
+// -compare reads two `go test -bench -json` baselines (BENCH_*.json),
+// pairs the benchmarks they share, and exits nonzero when one regresses
+// beyond -threshold percent (default 15). -normalize divides ratios by
+// the shared-set median so baselines from differently fast machines
+// compare relatively; benchmarks under 100µs/op are reported but never
+// gate (noise). CI runs this against the committed baseline.
 //
 // Every experiment is a named report suite (internal/experiments over
 // internal/report): the engine and the signal context are injected
@@ -66,7 +74,26 @@ func main() {
 	paperSizes := flag.Bool("paper-sizes", false, "also evaluate the static model at the paper's full sizes")
 	jobs := flag.Int("j", 0, "analysis-engine workers (0 = GOMAXPROCS, 1 = serial)")
 	serveStats := flag.String("serve-stats", "", "scrape and summarize a running mira-serve daemon (base URL)")
+	compare := flag.Bool("compare", false, "compare two `go test -bench -json` baselines (args: OLD.json NEW.json)")
+	threshold := flag.Float64("threshold", 15, "regression threshold for -compare, in percent")
+	normalize := flag.Bool("normalize", false, "normalize -compare ratios by the shared-set median (cross-machine baselines)")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: mira-bench -compare [-threshold pct] [-normalize] OLD.json NEW.json")
+			os.Exit(2)
+		}
+		regressions, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold, *normalize)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mira-bench: compare: %v\n", err)
+			os.Exit(2)
+		}
+		if regressions > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *serveStats != "" {
 		if err := printServeStats(os.Stdout, *serveStats); err != nil {
@@ -298,6 +325,7 @@ func printServeStats(w io.Writer, base string) error {
 	fmt.Fprintf(w, "mira-serve stats from %s\n\n", url)
 	fmt.Fprintf(w, "  live pipeline cache   %s\n", ratio("mira_pipeline_cache_hits_total", "mira_pipeline_cache_misses_total"))
 	fmt.Fprintf(w, "  persistent store      %s\n", ratio("mira_store_hits_total", "mira_store_misses_total"))
+	fmt.Fprintf(w, "  incremental reuse     %s\n", ratio("mira_incremental_hits_total", "mira_incremental_misses_total"))
 	fmt.Fprintf(w, "  eval memo             %s\n", ratio("mira_eval_memo_hits_total", "mira_eval_memo_misses_total"))
 	fmt.Fprintf(w, "  cold analyze latency  %s\n", meanMs("mira_analyze_seconds"))
 	fmt.Fprintf(w, "  warm rebuild latency  %s\n", meanMs("mira_rebuild_seconds"))
@@ -306,6 +334,7 @@ func printServeStats(w io.Writer, base string) error {
 	fmt.Fprintf(w, "  store errors          %g\n", exp.Value("mira_store_errors_total"))
 	fmt.Fprintf(w, "  in-flight analyses    %g\n", exp.Value("mira_analyses_inflight"))
 	fmt.Fprintf(w, "  resident analyses     %g\n", exp.Value("mira_resident_analyses"))
+	fmt.Fprintf(w, "  function memo cells   %g\n", exp.Value("mira_function_memo_entries"))
 	fmt.Fprintf(w, "  memo entries          %g\n", exp.Value("mira_eval_memo_entries"))
 
 	fmt.Fprintf(w, "\nraw samples:\n")

@@ -11,6 +11,14 @@
 //	-arch name      architecture description (FP counters only where real)
 //	-max-steps n    instruction budget
 //	-j n            analysis workers for batch mode (0 = GOMAXPROCS)
+//	-watch          re-analyze on change, printing only changed functions
+//	-interval d     poll interval for -watch (default 500ms)
+//
+// With -watch, mira-run polls the files (mtime + size) and re-analyzes
+// through the engine's function-granular incremental cache whenever one
+// changes, printing one row per *recompiled* function — unchanged
+// functions are reused from the function memo and stay silent. Exit with
+// SIGINT/SIGTERM.
 //
 // With multiple files, mira-run runs in batch mode: every file is
 // analyzed concurrently through the engine's worker pool (identical
@@ -33,6 +41,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"mira"
 	"mira/internal/arch"
@@ -46,6 +55,8 @@ func main() {
 	archName := flag.String("arch", "frankenstein", "architecture description")
 	maxSteps := flag.Uint64("max-steps", 0, "instruction budget (0 = default)")
 	workers := flag.Int("j", 0, "analysis workers for batch mode (0 = GOMAXPROCS)")
+	watch := flag.Bool("watch", false, "re-analyze on change, printing only changed functions")
+	interval := flag.Duration("interval", 500*time.Millisecond, "poll interval for -watch")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -70,6 +81,12 @@ func main() {
 	eng, err := mira.NewEngine(*workers, mira.Options{Lenient: true, Arch: *archName})
 	if err != nil {
 		fatal(err)
+	}
+	if *watch {
+		// Watch mode is signal-driven end to end: the loop exits when the
+		// context does.
+		runWatch(ctx, eng, flag.Args(), *interval)
+		return
 	}
 	// Read errors are per-file failures like any other: they must not
 	// abort the rest of the batch, so unreadable files are skipped at
@@ -115,6 +132,89 @@ func main() {
 	}
 	if failed > 0 {
 		os.Exit(1)
+	}
+}
+
+// fileStamp is the poll key of one watched file: re-analysis triggers
+// when either the modification time or the size moves.
+type fileStamp struct {
+	mod  time.Time
+	size int64
+}
+
+// runWatch polls paths and re-analyzes each through the engine's
+// incremental cache whenever its stamp changes, printing one row per
+// recompiled function. Reused functions stay silent; a content-identical
+// rewrite (touch, editor save with no edit) prints a single "unchanged"
+// line because the whole-source cache absorbs it before any pipeline
+// runs.
+func runWatch(ctx context.Context, eng *mira.Engine, paths []string, interval time.Duration) {
+	last := make(map[string]fileStamp, len(paths))
+	for ctx.Err() == nil {
+		for _, path := range paths {
+			info, err := os.Stat(path)
+			if err != nil {
+				if _, seen := last[path]; !seen {
+					fmt.Fprintf(os.Stderr, "mira-run: %s: %v\n", path, err)
+					last[path] = fileStamp{}
+				}
+				continue
+			}
+			st := fileStamp{mod: info.ModTime(), size: info.Size()}
+			if last[path] == st {
+				continue
+			}
+			last[path] = st
+			src, err := os.ReadFile(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mira-run: %s: %v\n", path, err)
+				continue
+			}
+			res, err := eng.AnalyzeCtx(ctx, path, string(src))
+			if err != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				fmt.Fprintf(os.Stderr, "mira-run: %s: %v\n", path, err)
+				continue
+			}
+			printDelta(path, res)
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(interval):
+		}
+	}
+}
+
+// printDelta prints one watch cycle's outcome: only the rows of
+// functions the incremental analysis actually recompiled. Closed-form
+// functions show their evaluated instruction counts; parametric ones
+// list the parameters a later query must bind.
+func printDelta(path string, res *mira.Result) {
+	now := time.Now().Format("15:04:05")
+	d := res.Delta()
+	if d == nil {
+		fmt.Printf("[%s] %s: unchanged\n", now, path)
+		return
+	}
+	fmt.Printf("[%s] %s: %d recompiled, %d reused\n", now, path, len(d.Compiled), len(d.Reused))
+	for _, fn := range d.Compiled {
+		f := res.Pipeline().Model.Funcs[fn]
+		switch {
+		case f == nil || f.Extern:
+			fmt.Printf("  ~ %s (extern)\n", fn)
+		case len(f.FreeParams()) > 0:
+			fmt.Printf("  ~ %s (parametric: %s)\n", fn, strings.Join(f.FreeParams(), ", "))
+		default:
+			met, err := res.Static(fn, nil)
+			if err != nil {
+				fmt.Printf("  ~ %s (unevaluated: %v)\n", fn, err)
+				continue
+			}
+			fmt.Printf("  ~ %s instrs=%d flops=%d fpi=%d\n", fn, met.Instrs, met.Flops, met.FPI())
+		}
 	}
 }
 

@@ -164,6 +164,16 @@ type metricsPayload struct {
 	Categories map[string]int64 `json:"categories,omitempty"`
 }
 
+// incrementalInfo reports the delta of a function-granular incremental
+// analysis: which functions were served from the engine's function memo
+// and which had to be recompiled, in link order. A client editing one
+// function of a large program sees exactly that function (plus its
+// transitive callers, whose Merkle keys include it) under "recompiled".
+type incrementalInfo struct {
+	Reused     []string `json:"reused"`
+	Recompiled []string `json:"recompiled"`
+}
+
 type analyzeResponse struct {
 	Key       string           `json:"key"`
 	Name      string           `json:"name"`
@@ -171,6 +181,9 @@ type analyzeResponse struct {
 	Functions []funcSummary    `json:"functions"`
 	TableII   map[string]int64 `json:"table_ii,omitempty"`
 	Metrics   *metricsPayload  `json:"metrics,omitempty"`
+	// Incremental is present when this analysis ran the incremental
+	// pipeline (absent for whole-source cache hits, where nothing ran).
+	Incremental *incrementalInfo `json:"incremental,omitempty"`
 }
 
 // statusFor maps an analysis/evaluation failure to an HTTP status:
@@ -222,6 +235,12 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		Key:      a.Key(),
 		Name:     a.Name,
 		Warnings: a.Warnings,
+	}
+	if d := a.Delta(); d != nil {
+		resp.Incremental = &incrementalInfo{
+			Reused:     append([]string{}, d.Reused...),
+			Recompiled: append([]string{}, d.Compiled...),
+		}
 	}
 	for _, fname := range a.Model.Order {
 		f := a.Model.Funcs[fname]

@@ -1,27 +1,29 @@
 // Package cachestore provides the content-addressed on-disk
-// implementation of engine.CacheStore: compiled analysis artifacts
-// (source text + encoded object file) that survive process restarts, so
-// a freshly started mira-serve daemon rebuilds hot models by decoding
-// stored bytes instead of recompiling.
+// implementation of engine.CacheStore and engine.FuncStore: compiled
+// analysis artifacts that survive process restarts, so a freshly started
+// mira-serve daemon rebuilds hot models by decoding stored bytes instead
+// of recompiling. Whole-source entries (source text + encoded object
+// file) and per-function entries (one compiled unit under its
+// function-content key) live side by side:
 //
-// Layout is git-style fan-out under a root directory:
-//
-//	<dir>/objects/<key[:2]>/<key>.mira
+//	<dir>/objects/<key[:2]>/<key>.mira    whole-source entries
+//	<dir>/funcs/<key[:2]>/<key>.mira      per-function units
 //
 // where key is the engine's content hash (hex). Each entry file is
 // self-contained and checksummed:
 //
-//	magic "MIRACS1\n"
-//	4 length-prefixed sections (uvarint length + bytes):
-//	    key, name, source, object
+//	magic "MIRACS<version>\n" (engine.CacheFormatVersion)
+//	length-prefixed sections (uvarint length + bytes):
+//	    whole-source: key, name, source, object
+//	    per-function: key, name, unit
 //	sha256 over everything before it (32 bytes)
 //
 // Writes go through a temp file in the same directory followed by an
 // atomic rename, so a crashed writer can never leave a half entry under
 // the final name. Reads verify the magic, the embedded key, the section
 // framing, and the checksum; any mismatch — truncation, corruption, a
-// future format — is a miss, never an error: a damaged cache degrades to
-// a recompile.
+// past or future format version — is a miss, never an error: a damaged
+// or stale cache degrades to a recompile, function by function.
 package cachestore
 
 import (
@@ -35,20 +37,28 @@ import (
 	"mira/internal/engine"
 )
 
-const magic = "MIRACS1\n"
+// magic is derived from the shared cache-key format version: bumping
+// engine.CacheFormatVersion retires every on-disk entry (whole-source
+// and per-function alike) as a clean miss.
+var magic = fmt.Sprintf("MIRACS%d\n", engine.CacheFormatVersion)
 
 // Disk is a content-addressed on-disk CacheStore.
 type Disk struct {
 	dir string
 }
 
-// Ensure the engine contract is met.
-var _ engine.CacheStore = (*Disk)(nil)
+// Ensure the engine contracts are met.
+var (
+	_ engine.CacheStore = (*Disk)(nil)
+	_ engine.FuncStore  = (*Disk)(nil)
+)
 
 // Open prepares a disk store rooted at dir, creating it if needed.
 func Open(dir string) (*Disk, error) {
-	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
-		return nil, fmt.Errorf("cachestore: %w", err)
+	for _, sub := range []string{"objects", "funcs"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("cachestore: %w", err)
+		}
 	}
 	return &Disk{dir: dir}, nil
 }
@@ -71,34 +81,72 @@ func validKey(key string) bool {
 	return true
 }
 
-func (d *Disk) path(key string) string {
-	return filepath.Join(d.dir, "objects", key[:2], key+".mira")
+func (d *Disk) path(sub, key string) string {
+	return filepath.Join(d.dir, sub, key[:2], key+".mira")
 }
 
-// Load reads, verifies, and decodes the entry stored under key. Any
-// defect in the on-disk bytes is a miss.
+// Load reads, verifies, and decodes the whole-source entry stored under
+// key. Any defect in the on-disk bytes is a miss.
 func (d *Disk) Load(key string) (*engine.Entry, bool) {
 	if !validKey(key) {
 		return nil, false
 	}
-	raw, err := os.ReadFile(d.path(key))
+	raw, err := os.ReadFile(d.path("objects", key))
 	if err != nil {
 		return nil, false
 	}
-	ent, err := decodeEntry(key, raw)
+	sections, err := decodeSections(key, raw, 4)
 	if err != nil {
 		return nil, false
 	}
-	return ent, true
+	return &engine.Entry{
+		Name:   string(sections[1]),
+		Source: string(sections[2]),
+		Object: append([]byte(nil), sections[3]...),
+	}, true
 }
 
 // Store persists e under key, atomically.
 func (d *Disk) Store(key string, e *engine.Entry) error {
+	return d.write("objects", key,
+		encodeSections([]byte(key), []byte(e.Name), []byte(e.Source), e.Object))
+}
+
+// LoadFunc reads, verifies, and decodes the per-function entry stored
+// under key (a function-content hash). The corruption contract is the
+// same as Load's: any defect is a miss, confined to this one entry —
+// sibling functions keep loading, and the caller recompiles exactly the
+// function that missed.
+func (d *Disk) LoadFunc(key string) (*engine.FuncEntry, bool) {
+	if !validKey(key) {
+		return nil, false
+	}
+	raw, err := os.ReadFile(d.path("funcs", key))
+	if err != nil {
+		return nil, false
+	}
+	sections, err := decodeSections(key, raw, 3)
+	if err != nil {
+		return nil, false
+	}
+	return &engine.FuncEntry{
+		Name: string(sections[1]),
+		Unit: append([]byte(nil), sections[2]...),
+	}, true
+}
+
+// StoreFunc persists e under key, atomically.
+func (d *Disk) StoreFunc(key string, e *engine.FuncEntry) error {
+	return d.write("funcs", key,
+		encodeSections([]byte(key), []byte(e.Name), e.Unit))
+}
+
+// write lands raw under sub/key via temp file + atomic rename.
+func (d *Disk) write(sub, key string, raw []byte) error {
 	if !validKey(key) {
 		return fmt.Errorf("cachestore: invalid key %q", key)
 	}
-	raw := encodeEntry(key, e)
-	target := d.path(key)
+	target := d.path(sub, key)
 	if err := os.MkdirAll(filepath.Dir(target), 0o755); err != nil {
 		return fmt.Errorf("cachestore: %w", err)
 	}
@@ -119,16 +167,21 @@ func (d *Disk) Store(key string, e *engine.Entry) error {
 	return nil
 }
 
-// Len counts the entries currently on disk (for stats and tests; it
-// walks the fan-out directories).
-func (d *Disk) Len() int {
+// Len counts the whole-source entries currently on disk (for stats and
+// tests; it walks the fan-out directories).
+func (d *Disk) Len() int { return d.countEntries("objects") }
+
+// FuncLen counts the per-function entries currently on disk.
+func (d *Disk) FuncLen() int { return d.countEntries("funcs") }
+
+func (d *Disk) countEntries(sub string) int {
 	n := 0
-	fans, _ := os.ReadDir(filepath.Join(d.dir, "objects"))
+	fans, _ := os.ReadDir(filepath.Join(d.dir, sub))
 	for _, fan := range fans {
 		if !fan.IsDir() {
 			continue
 		}
-		files, _ := os.ReadDir(filepath.Join(d.dir, "objects", fan.Name()))
+		files, _ := os.ReadDir(filepath.Join(d.dir, sub, fan.Name()))
 		for _, f := range files {
 			if filepath.Ext(f.Name()) == ".mira" {
 				n++
@@ -154,29 +207,33 @@ func putSection(buf *bytes.Buffer, b []byte) {
 	buf.Write(b)
 }
 
-func encodeEntry(key string, e *engine.Entry) []byte {
+// encodeSections frames the entry body shared by both entry kinds:
+// magic, uvarint-length-prefixed sections, trailing sha256.
+func encodeSections(sections ...[]byte) []byte {
 	var buf bytes.Buffer
 	buf.WriteString(magic)
-	putSection(&buf, []byte(key))
-	putSection(&buf, []byte(e.Name))
-	putSection(&buf, []byte(e.Source))
-	putSection(&buf, e.Object)
+	for _, s := range sections {
+		putSection(&buf, s)
+	}
 	sum := sha256.Sum256(buf.Bytes())
 	buf.Write(sum[:])
 	return buf.Bytes()
 }
 
-func decodeEntry(key string, raw []byte) (*engine.Entry, error) {
+// decodeSections verifies magic, checksum, and framing, and returns
+// exactly want sections; sections[0] must equal key. Any defect is an
+// error the caller turns into a miss.
+func decodeSections(key string, raw []byte, want int) ([][]byte, error) {
 	if len(raw) < len(magic)+sha256.Size || string(raw[:len(magic)]) != magic {
 		return nil, fmt.Errorf("bad magic or truncated")
 	}
 	body, sum := raw[:len(raw)-sha256.Size], raw[len(raw)-sha256.Size:]
-	want := sha256.Sum256(body)
-	if !bytes.Equal(sum, want[:]) {
+	wantSum := sha256.Sum256(body)
+	if !bytes.Equal(sum, wantSum[:]) {
 		return nil, fmt.Errorf("checksum mismatch")
 	}
 	r := body[len(magic):]
-	sections := make([][]byte, 4)
+	sections := make([][]byte, want)
 	for i := range sections {
 		length, n := binary.Uvarint(r)
 		if n <= 0 || uint64(len(r)-n) < length {
@@ -191,9 +248,5 @@ func decodeEntry(key string, raw []byte) (*engine.Entry, error) {
 	if string(sections[0]) != key {
 		return nil, fmt.Errorf("entry key %q under file key %q", sections[0], key)
 	}
-	return &engine.Entry{
-		Name:   string(sections[1]),
-		Source: string(sections[2]),
-		Object: append([]byte(nil), sections[3]...),
-	}, nil
+	return sections, nil
 }

@@ -1,18 +1,27 @@
 package cachestore_test
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
 
 	"mira/internal/benchprogs"
 	"mira/internal/cachestore"
+	"mira/internal/core"
 	"mira/internal/engine"
 	"mira/internal/expr"
 	"mira/internal/obs"
+	"mira/internal/parser"
+	"mira/internal/sema"
 )
 
 const kernelSrc = `
@@ -251,4 +260,184 @@ func BenchmarkColdVsWarmRestart(b *testing.B) {
 			return d
 		})
 	})
+}
+
+// TestDiskFuncRoundTrip covers the per-function side of the store.
+func TestDiskFuncRoundTrip(t *testing.T) {
+	d := openStore(t)
+	key := strings.Repeat("fe", 32)
+	if _, ok := d.LoadFunc(key); ok {
+		t.Fatal("hit on empty store")
+	}
+	ent := &engine.FuncEntry{Name: "minife", Unit: []byte{7, 0, 255, 1}}
+	if err := d.StoreFunc(key, ent); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := d.LoadFunc(key)
+	if !ok {
+		t.Fatal("stored function entry missed")
+	}
+	if got.Name != ent.Name || string(got.Unit) != string(ent.Unit) {
+		t.Errorf("round-trip mismatch: %+v", got)
+	}
+	if d.FuncLen() != 1 {
+		t.Errorf("FuncLen = %d, want 1", d.FuncLen())
+	}
+	if d.Len() != 0 {
+		t.Errorf("Len = %d, want 0 (function entries live under funcs/)", d.Len())
+	}
+}
+
+// funcKeysFor computes the same function-content keys a default engine
+// uses, so tests can locate a specific function's on-disk entry.
+func funcKeysFor(t *testing.T, name, src string) map[string]string {
+	t.Helper()
+	file, err := parser.ParseFile(name, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := sema.Analyze(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.FuncKeys(prog, core.Options{})
+}
+
+// TestFuncEntryCorruptionIsolated is the function-granularity corruption
+// contract end to end: with one per-function entry damaged on disk, a
+// restarted engine recompiles exactly that function (plus whatever the
+// edit itself invalidated), serves every sibling from its own entry, and
+// produces results identical to a cold analysis. No panic, no error, no
+// cross-entry poisoning.
+func TestFuncEntryCorruptionIsolated(t *testing.T) {
+	dir := t.TempDir()
+	d1, err := cachestore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := engine.New(engine.Options{Store: d1, Workers: 1})
+	if _, err := e1.Analyze("minife.c", benchprogs.MiniFE); err != nil {
+		t.Fatal(err)
+	}
+	if d1.FuncLen() == 0 {
+		t.Fatal("no per-function entries persisted")
+	}
+
+	// Corrupt exactly waxpby's entry: a leaf of the call graph, so an
+	// edit elsewhere cannot legitimately invalidate it.
+	keys := funcKeysFor(t, "minife.c", benchprogs.MiniFE)
+	waxpbyKey, ok := keys["waxpby"]
+	if !ok {
+		t.Fatalf("no key for waxpby in %v", keys)
+	}
+	entryPath := filepath.Join(dir, "funcs", waxpbyKey[:2], waxpbyKey+".mira")
+	raw, err := os.ReadFile(entryPath)
+	if err != nil {
+		t.Fatalf("waxpby entry not on disk: %v", err)
+	}
+	raw[len(raw)/2] ^= 1
+	if err := os.WriteFile(entryPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Edit inside minife only (a column shift on one of its lines), so
+	// the whole-source entry misses and the per-function path runs.
+	mutated := strings.Replace(benchprogs.MiniFE, "return cg_solve", " return cg_solve", 1)
+	if mutated == benchprogs.MiniFE {
+		t.Fatal("mutation did not change the source")
+	}
+
+	d2, err := cachestore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := engine.New(engine.Options{Store: d2, Workers: 1})
+	a, err := e2.Analyze("minife.c", mutated)
+	if err != nil {
+		t.Fatalf("analyze over corrupted store: %v", err)
+	}
+	delta := a.Delta()
+	if delta == nil {
+		t.Fatal("no delta from incremental build")
+	}
+	compiled := append([]string{}, delta.Compiled...)
+	sort.Strings(compiled)
+	if want := []string{"minife", "waxpby"}; !reflect.DeepEqual(compiled, want) {
+		t.Errorf("recompiled %v, want %v (edited fn + corrupted fn only)", compiled, want)
+	}
+	for _, q := range delta.Reused {
+		if q == "waxpby" {
+			t.Error("corrupt waxpby entry was served")
+		}
+	}
+
+	cold, err := engine.New(engine.Options{Workers: 1}).Analyze("minife.c", mutated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := a.PythonModel(), cold.PythonModel(); got != want {
+		t.Error("corrupted-store analysis diverged from cold analysis")
+	}
+}
+
+// encodeWithMagic reproduces the entry framing (sections + trailing
+// sha256) under an arbitrary magic, to handcraft entries from other
+// format versions with valid checksums.
+func encodeWithMagic(magic string, sections ...[]byte) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	for _, s := range sections {
+		var tmp [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(tmp[:], uint64(len(s)))
+		buf.Write(tmp[:n])
+		buf.Write(s)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	buf.Write(sum[:])
+	return buf.Bytes()
+}
+
+// TestVersionMismatchIsMiss pins the versioned-magic contract: the
+// on-disk magic embeds engine.CacheFormatVersion, and a perfectly
+// well-formed entry from another version — old or future, checksum and
+// framing intact — reads back as a clean miss, never an error.
+func TestVersionMismatchIsMiss(t *testing.T) {
+	d := openStore(t)
+	key := strings.Repeat("ef", 32)
+	if err := d.Store(key, &engine.Entry{Name: "k.c", Source: "s", Object: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	objPath := filepath.Join(d.Dir(), "objects", key[:2], key+".mira")
+	raw, err := os.ReadFile(objPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMagic := fmt.Sprintf("MIRACS%d\n", engine.CacheFormatVersion)
+	if !bytes.HasPrefix(raw, []byte(wantMagic)) {
+		t.Fatalf("entry magic %q does not embed engine.CacheFormatVersion (want prefix %q)",
+			raw[:len(wantMagic)], wantMagic)
+	}
+
+	funcKey := strings.Repeat("ab", 32)
+	if err := d.StoreFunc(funcKey, &engine.FuncEntry{Name: "f", Unit: []byte{2}}); err != nil {
+		t.Fatal(err)
+	}
+	funcPath := filepath.Join(d.Dir(), "funcs", funcKey[:2], funcKey+".mira")
+
+	for _, version := range []string{"MIRACS1\n", "MIRACS3\n"} {
+		obj := encodeWithMagic(version, []byte(key), []byte("k.c"), []byte("s"), []byte{1})
+		if err := os.WriteFile(objPath, obj, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := d.Load(key); ok {
+			t.Errorf("%q whole-source entry served across a version bump", strings.TrimSpace(version))
+		}
+		fn := encodeWithMagic(version, []byte(funcKey), []byte("f"), []byte{2})
+		if err := os.WriteFile(funcPath, fn, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := d.LoadFunc(funcKey); ok {
+			t.Errorf("%q per-function entry served across a version bump", strings.TrimSpace(version))
+		}
+	}
 }

@@ -49,8 +49,37 @@ type Error struct {
 
 func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
 
-// Compile translates an analyzed program into an object file.
-func Compile(prog *sema.Program, opts Options) (*objfile.File, error) {
+// Unit is one compiled, not-yet-linked function: its instruction body,
+// per-instruction position tags, unresolved call sites (callee names
+// rather than symbol indexes — symbol indexes are a property of the final
+// link order, not of the function), and symbol metadata. Units are the
+// per-function artifacts the incremental pipeline caches by
+// function-content hash; Link never mutates one, so a cached Unit can be
+// linked into any number of object files.
+type Unit struct {
+	Name   string
+	Instrs []ir.Instr
+	Tags   []token.Pos
+	// Calls maps a CALL instruction's index within Instrs to the callee's
+	// qualified name; Link resolves it against the final symbol table.
+	Calls map[int]string
+	// Sym is the symbol metadata; Start and Count are zero until Link
+	// places the unit.
+	Sym objfile.Symbol
+}
+
+// CompileFunc compiles a single function (defined or extern) into a Unit.
+// Each call is self-contained: global layout is recomputed from the
+// program, so compiling functions one by one produces bit-identical
+// bodies to a whole-program Compile.
+func CompileFunc(prog *sema.Program, opts Options, qname string) (*Unit, error) {
+	fi, ok := prog.Funcs[qname]
+	if !ok {
+		return nil, fmt.Errorf("cc: no function %q", qname)
+	}
+	if fi.Decl.IsExtern {
+		return externUnit(fi)
+	}
 	g := &globalCtx{
 		prog:       prog,
 		opts:       opts,
@@ -59,16 +88,8 @@ func Compile(prog *sema.Program, opts Options) (*objfile.File, error) {
 	if err := g.layoutGlobals(); err != nil {
 		return nil, err
 	}
-
-	type compiled struct {
-		name   string
-		instrs []ir.Instr
-		tags   []token.Pos
-		sym    objfile.Symbol
-	}
-	var fns []compiled
-
 	var compileErr error
+	var fc *funcCompiler
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -79,108 +100,157 @@ func Compile(prog *sema.Program, opts Options) (*objfile.File, error) {
 				panic(r)
 			}
 		}()
-		for _, q := range prog.FuncOrder {
-			fi := prog.Funcs[q]
-			if fi.Decl.IsExtern {
-				continue // linked from the builtin library below
-			}
-			g.curFnIdx = len(fns)
-			fc := newFuncCompiler(g, fi)
-			fc.compile()
-			fns = append(fns, compiled{
-				name:   q,
-				instrs: fc.instrs,
-				tags:   fc.tags,
-				sym: objfile.Symbol{
-					Name:     q,
-					RegCount: uint32(fc.nextReg),
-					Params:   fc.paramKinds(),
-					Ret:      retKind(fi.Decl.RetType),
-				},
-			})
-		}
+		fc = newFuncCompiler(g, fi)
+		fc.compile()
 	}()
 	if compileErr != nil {
 		return nil, compileErr
 	}
+	calls := make(map[int]string, len(g.callNames))
+	for k, callee := range g.callNames {
+		calls[k.instr] = callee
+	}
+	return &Unit{
+		Name:   qname,
+		Instrs: fc.instrs,
+		Tags:   fc.tags,
+		Calls:  calls,
+		Sym: objfile.Symbol{
+			Name:     qname,
+			RegCount: uint32(fc.nextReg),
+			Params:   fc.paramKinds(),
+			Ret:      retKind(fi.Decl.RetType),
+		},
+	}, nil
+}
 
-	// Link builtin library bodies for every extern declaration.
-	for _, q := range prog.FuncOrder {
-		fi := prog.Funcs[q]
-		if !fi.Decl.IsExtern {
-			continue
-		}
-		body, ok := libBody(q)
-		if !ok {
-			return nil, &Error{Pos: fi.Decl.Pos(), Msg: fmt.Sprintf("extern function %q has no library implementation", q)}
-		}
-		var kinds []objfile.ParamKind
-		for _, p := range fi.Decl.Params {
-			kinds = append(kinds, paramKind(p.Type))
-		}
-		regCount := int32(len(kinds))
-		for _, in := range body {
-			for _, r := range []int32{in.Rd, in.Rs1, in.Rs2} {
-				if r != ir.NoReg && r+1 > regCount {
-					regCount = r + 1
-				}
+// externUnit materializes the builtin library body for an extern
+// declaration.
+func externUnit(fi *sema.FuncInfo) (*Unit, error) {
+	q := fi.QName
+	body, ok := libBody(q)
+	if !ok {
+		return nil, &Error{Pos: fi.Decl.Pos(), Msg: fmt.Sprintf("extern function %q has no library implementation", q)}
+	}
+	var kinds []objfile.ParamKind
+	for _, p := range fi.Decl.Params {
+		kinds = append(kinds, paramKind(p.Type))
+	}
+	regCount := int32(len(kinds))
+	for _, in := range body {
+		for _, r := range []int32{in.Rd, in.Rs1, in.Rs2} {
+			if r != ir.NoReg && r+1 > regCount {
+				regCount = r + 1
 			}
 		}
-		tags := make([]token.Pos, len(body))
-		for i := range tags {
-			tags[i] = fi.Decl.Pos()
-		}
-		fns = append(fns, compiled{
-			name:   q,
-			instrs: body,
-			tags:   tags,
-			sym: objfile.Symbol{
-				Name:     q,
-				RegCount: uint32(regCount),
-				Params:   kinds,
-				Ret:      retKind(fi.Decl.RetType),
-				Extern:   true,
-			},
-		})
 	}
+	tags := make([]token.Pos, len(body))
+	for i := range tags {
+		tags[i] = fi.Decl.Pos()
+	}
+	return &Unit{
+		Name:   q,
+		Instrs: body,
+		Tags:   tags,
+		Sym: objfile.Symbol{
+			Name:     q,
+			RegCount: uint32(regCount),
+			Params:   kinds,
+			Ret:      retKind(fi.Decl.RetType),
+			Extern:   true,
+		},
+	}, nil
+}
 
-	// Layout: concatenate function bodies, resolve call targets, emit the
-	// line table.
+// LinkOrder returns function qualified names in object-file layout order:
+// defined functions in source order, then extern declarations in source
+// order — the order Compile has always emitted.
+func LinkOrder(prog *sema.Program) []string {
+	out := make([]string, 0, len(prog.FuncOrder))
+	for _, q := range prog.FuncOrder {
+		if !prog.Funcs[q].Decl.IsExtern {
+			out = append(out, q)
+		}
+	}
+	for _, q := range prog.FuncOrder {
+		if prog.Funcs[q].Decl.IsExtern {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// Link assembles compiled units (in the given order) into an object file:
+// concatenate bodies, resolve call targets against the symbol table, emit
+// the line table, and lay out the .data image. Units are read-only inputs
+// — instruction bodies are copied before call patching — so cached units
+// survive linking unchanged.
+func Link(prog *sema.Program, opts Options, units []*Unit) (*objfile.File, error) {
+	g := &globalCtx{
+		prog:       prog,
+		opts:       opts,
+		globalAddr: map[string]uint64{},
+	}
+	if err := g.layoutGlobals(); err != nil {
+		return nil, err
+	}
 	symIndex := map[string]int64{}
-	for i, fn := range fns {
-		symIndex[fn.name] = int64(i)
+	for i, u := range units {
+		symIndex[u.Name] = int64(i)
 	}
 	f := &objfile.File{SourceName: opts.SourceName, MemWords: g.memTop}
 	var lb dwarfline.Builder
-	for i := range fns {
-		fn := &fns[i]
-		fn.sym.Start = uint64(len(f.Text))
-		fn.sym.Count = uint64(len(fn.instrs))
-		for j, in := range fn.instrs {
+	for _, u := range units {
+		sym := u.Sym
+		sym.Start = uint64(len(f.Text))
+		sym.Count = uint64(len(u.Instrs))
+		instrs := append([]ir.Instr(nil), u.Instrs...)
+		for j, in := range instrs {
 			if in.Op == ir.CALL {
-				// The compiler stores callee names positionally via
-				// callFixups; resolve to symbol indexes.
-				name := g.callNames[callKey{fnIdx: i, instr: j}]
+				name := u.Calls[j]
 				idx, ok := symIndex[name]
 				if !ok {
 					return nil, fmt.Errorf("cc: call to unknown symbol %q", name)
 				}
 				in.Imm = idx
-				fn.instrs[j] = in
+				instrs[j] = in
 			}
-			addr := fn.sym.Start + uint64(j)
-			pos := fn.tags[j]
+			addr := sym.Start + uint64(j)
+			pos := u.Tags[j]
 			if !pos.Valid() {
 				pos = token.Pos{Line: 1, Col: 1}
 			}
 			lb.Add(addr, int32(pos.Line), int32(pos.Col))
 		}
-		f.Text = append(f.Text, fn.instrs...)
-		f.Syms = append(f.Syms, fn.sym)
+		f.Text = append(f.Text, instrs...)
+		f.Syms = append(f.Syms, sym)
 	}
 	f.Line = lb.Table()
 	f.Data = g.dataEntries()
 	return f, nil
+}
+
+// Units compiles every function of the program into units, in link order.
+func Units(prog *sema.Program, opts Options) ([]*Unit, error) {
+	order := LinkOrder(prog)
+	units := make([]*Unit, 0, len(order))
+	for _, q := range order {
+		u, err := CompileFunc(prog, opts, q)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+// Compile translates an analyzed program into an object file.
+func Compile(prog *sema.Program, opts Options) (*objfile.File, error) {
+	units, err := Units(prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	return Link(prog, opts, units)
 }
 
 // callKey identifies a CALL instruction before symbol indexes exist.

@@ -44,6 +44,10 @@ type Pipeline struct {
 	Model    *model.Model
 	Arch     *arch.Description
 	Warnings []string
+	// FuncKeys maps each function's qualified name to its function-content
+	// key (see FuncKeys): the identity of its per-function artifacts in
+	// every caching layer.
+	FuncKeys map[string]string
 }
 
 // Analyze runs the whole static pipeline on MiniC source text. The object
@@ -106,6 +110,7 @@ func analyze(ctx context.Context, name, source string, object []byte, opts Optio
 	if err != nil {
 		return nil, fmt.Errorf("core: sema: %w", err)
 	}
+	keys := FuncKeys(prog, opts)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -147,6 +152,7 @@ func analyze(ctx context.Context, name, source string, object []byte, opts Optio
 		Model:    m,
 		Arch:     a,
 		Warnings: warns,
+		FuncKeys: keys,
 	}, nil
 }
 

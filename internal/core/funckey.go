@@ -1,0 +1,104 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"mira/internal/ast"
+	"mira/internal/sema"
+)
+
+// CacheFormatVersion is the version of Mira's cache-key scheme, shared by
+// every caching layer: it is mixed into the engine's whole-source keys,
+// into every function-content key below, and into the cachestore's
+// on-disk magic. Bump it whenever the meaning of a key changes (hash
+// inputs, artifact encoding, model semantics) so that stale artifacts in
+// every layer — live memo, whole-source entries, per-function entries —
+// become clean misses at once, never mismatches.
+//
+// Version history:
+//
+//	1  whole-source content hashes (PR 1/2)
+//	2  function-granular Merkle keys; per-function store entries
+const CacheFormatVersion = 2
+
+// FuncKeys computes a content key for every function of an analyzed
+// program, under the given analysis options.
+//
+// The key of a function f is a Merkle-style hash over
+//
+//	version ‖ options ‖ globals ‖ AST(f) ‖ key(callee₁) ‖ key(callee₂) …
+//
+// with callees in sema's sorted order. Including the callee closure makes
+// the key the identity of f's *inclusive* analysis artifacts: editing a
+// callee changes exactly the keys of its transitive callers, so a cache
+// keyed this way invalidates precisely what the edit can affect. (The
+// call graph is acyclic — sema rejects recursion — so the recursion
+// terminates.)
+//
+// AST(f) is the position-sensitive encoding of ast.HashNode: model sites
+// attach to (line, col) pairs and loop parameters are mangled with their
+// declaration line, so layout is semantically significant and must be
+// part of the identity. The globals hash covers every global variable
+// declaration and every class's field layout (positions included):
+// global layout, folded constants, and field offsets feed every
+// function's compilation.
+func FuncKeys(prog *sema.Program, opts Options) map[string]string {
+	archName := "generic"
+	if opts.Arch != nil {
+		archName = opts.Arch.Name
+	}
+	base := sha256.New()
+	fmt.Fprintf(base, "mira-funckey v%d opt=%t lenient=%t arch=%s\x00",
+		CacheFormatVersion, opts.DisableOpt, opts.Lenient, archName)
+	writeGlobalsHash(base, prog)
+	prefix := base.Sum(nil)
+
+	keys := make(map[string]string, len(prog.FuncOrder))
+	var keyOf func(q string) string
+	keyOf = func(q string) string {
+		if k, ok := keys[q]; ok {
+			return k
+		}
+		fi := prog.Funcs[q]
+		h := sha256.New()
+		h.Write(prefix)
+		ast.HashNode(h, fi.Decl)
+		for _, c := range fi.Callees {
+			io.WriteString(h, keyOf(c))
+		}
+		k := hex.EncodeToString(h.Sum(nil))
+		keys[q] = k
+		return k
+	}
+	for _, q := range prog.FuncOrder {
+		keyOf(q)
+	}
+	return keys
+}
+
+// writeGlobalsHash hashes the whole-file context every function compiles
+// against: global variable declarations (in declaration order — order
+// determines the .data layout) and class field lists (field offsets feed
+// member access in every method and caller).
+func writeGlobalsHash(w io.Writer, prog *sema.Program) {
+	for _, name := range prog.GlobalOrder {
+		gi := prog.Globals[name]
+		io.WriteString(w, "G")
+		io.WriteString(w, name)
+		ast.HashNode(w, gi.Decl)
+	}
+	for _, d := range prog.File.Decls {
+		cd, ok := d.(*ast.ClassDecl)
+		if !ok {
+			continue
+		}
+		io.WriteString(w, "C")
+		io.WriteString(w, cd.Name)
+		for _, f := range cd.Fields {
+			ast.HashNode(w, f)
+		}
+	}
+}

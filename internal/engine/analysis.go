@@ -21,14 +21,23 @@ import (
 // so repeated queries here cost one map lookup. All methods are safe for
 // concurrent use.
 //
-// The memo itself lives behind a pointer so that two Analysis values for
-// the same content under different caller names (see Engine.Analyze's
-// cross-name cache hits) share one evaluation cache: a query answered
-// for a.c never re-walks the model for an identical b.c.
+// Memoized results are keyed by *function-content hash* (core.FuncKeys),
+// not by (source, function): the engine keeps one memo cell per function
+// key, shared by every analysis whose function resolves to that key. An
+// edit that leaves a function (and its callee closure) untouched
+// therefore keeps its entire evaluation memo and its symbolic
+// compilation — the function-granular extension of the pipeline cache.
 type Analysis struct {
 	*core.Pipeline
 
-	memo *memoStore
+	// eng is the owning engine, the home of the shared per-function memo
+	// cells; nil for standalone NewAnalysis wrappers.
+	eng *Engine
+
+	// sh is per-content state shared between name views of one analysis:
+	// the lazily built PBound report, this analysis's hit/miss counters,
+	// and fallback memo cells for queries that resolve to no function key.
+	sh *analysisShared
 
 	// met mirrors the counters into the owning engine's observability
 	// registry; nil for standalone NewAnalysis wrappers.
@@ -39,22 +48,17 @@ type Analysis struct {
 	// workers is the owning engine's parallelism bound, inherited by
 	// Sweep's fan-out; zero (standalone wrappers) means GOMAXPROCS.
 	workers int
+	// delta records the incremental build's reuse outcome; nil when the
+	// analysis was not produced by the incremental path (standalone
+	// wrappers, whole-source store rebuilds).
+	delta *core.Delta
 }
 
-// memoStore is the shared evaluation cache behind one analyzed content
-// hash: metric and opcode memo maps, the lazily built PBound report with
-// its own per-point memo, and the hit/miss counters.
-type memoStore struct {
-	mu      sync.RWMutex
-	metrics map[evalKey]model.Metrics
-	opcodes map[evalKey]map[ir.Op]int64
-	pbounds map[evalKey]pbound.Counts
-
-	// compiled caches the symbolic compilations (one per function and
-	// exclusivity), singleflighted: a sweep storm over one function
-	// compiles it once.
-	compiledMu sync.Mutex
-	compiled   map[compiledKey]*compiledSlot
+// analysisShared is the state shared by every name view of one analyzed
+// content hash.
+type analysisShared struct {
+	mu    sync.Mutex
+	local map[string]*funcEntry // fallback cells, keyed by function name
 
 	// pbOnce guards the lazy source-only PBound baseline report, built
 	// from the pipeline's sema program the first time a KindPBound query
@@ -67,19 +71,61 @@ type memoStore struct {
 	evalMisses atomic.Int64
 }
 
-func newMemoStore() *memoStore {
-	return &memoStore{
-		metrics:  map[evalKey]model.Metrics{},
-		opcodes:  map[evalKey]map[ir.Op]int64{},
-		pbounds:  map[evalKey]pbound.Counts{},
-		compiled: map[compiledKey]*compiledSlot{},
+// funcEntry is one function-content key's live cache cell: the compiled
+// unit + generated model artifact (when known), the (env, exclusivity)
+// evaluation memos, and the singleflighted symbolic compilations. Cells
+// live in the engine's function memo, shared across every source version
+// that contains the function.
+type funcEntry struct {
+	mu      sync.RWMutex
+	art     *core.FuncArtifact
+	metrics map[fevalKey]model.Metrics
+	opcodes map[fevalKey]map[ir.Op]int64
+	pbounds map[fevalKey]pbound.Counts
+
+	// compiled caches the symbolic compilations (one per exclusivity),
+	// singleflighted: a sweep storm over one function compiles it once.
+	compiledMu sync.Mutex
+	compiled   map[bool]*compiledSlot
+}
+
+// fevalKey identifies one memoized query point within a function cell.
+type fevalKey struct {
+	env       string // canonical fingerprint, see envFingerprint
+	exclusive bool
+}
+
+func newFuncEntry() *funcEntry {
+	return &funcEntry{
+		metrics:  map[fevalKey]model.Metrics{},
+		opcodes:  map[fevalKey]map[ir.Op]int64{},
+		pbounds:  map[fevalKey]pbound.Counts{},
+		compiled: map[bool]*compiledSlot{},
 	}
 }
 
-// compiledKey identifies one cached compilation.
-type compiledKey struct {
-	fn        string
-	exclusive bool
+// artifact returns the cell's per-function artifact, if adopted.
+func (fe *funcEntry) artifact() *core.FuncArtifact {
+	fe.mu.RLock()
+	defer fe.mu.RUnlock()
+	return fe.art
+}
+
+// adopt installs (or upgrades) the cell's artifact. A model-carrying
+// artifact never downgrades to a unit-only one.
+func (fe *funcEntry) adopt(art *core.FuncArtifact) {
+	fe.mu.Lock()
+	if fe.art == nil || (fe.art.Model == nil && art.Model != nil) {
+		fe.art = art
+	}
+	fe.mu.Unlock()
+}
+
+// memoLen reports the number of memoized evaluation entries in the cell.
+func (fe *funcEntry) memoLen() int {
+	fe.mu.RLock()
+	defer fe.mu.RUnlock()
+	return len(fe.metrics) + len(fe.opcodes) + len(fe.pbounds)
 }
 
 // compiledSlot is a singleflight cell for one compilation.
@@ -89,21 +135,44 @@ type compiledSlot struct {
 	err  error
 }
 
-// Compiled returns fn's symbolic compilation (see model.Compile),
-// cached per content hash: the partial evaluation of the call tree runs
-// once and every later sweep reuses it. Compilation panics (expr
+// memoFor resolves the memo cell for fn: the engine's shared cell under
+// fn's function-content key when this analysis belongs to an engine, or
+// a private per-analysis cell otherwise (standalone wrappers, unknown
+// function names).
+func (a *Analysis) memoFor(fn string) *funcEntry {
+	if a.eng != nil && a.Pipeline.FuncKeys != nil {
+		if k, ok := a.Pipeline.FuncKeys[fn]; ok {
+			return a.eng.funcCell(k)
+		}
+	}
+	a.sh.mu.Lock()
+	defer a.sh.mu.Unlock()
+	if a.sh.local == nil {
+		a.sh.local = map[string]*funcEntry{}
+	}
+	fe := a.sh.local[fn]
+	if fe == nil {
+		fe = newFuncEntry()
+		a.sh.local[fn] = fe
+	}
+	return fe
+}
+
+// Compiled returns fn's symbolic compilation (see model.Compile), cached
+// per function-content key: the partial evaluation of the call tree runs
+// once, and every later sweep — from this analysis or any other source
+// version sharing the function — reuses it. Compilation panics (expr
 // constructor contract violations reachable through hostile source) are
 // converted to errors like every other evaluation at this boundary.
 func (a *Analysis) Compiled(fn string, exclusive bool) (*model.CompiledModel, error) {
-	m := a.memo
-	key := compiledKey{fn: fn, exclusive: exclusive}
-	m.compiledMu.Lock()
-	slot, ok := m.compiled[key]
+	fe := a.memoFor(fn)
+	fe.compiledMu.Lock()
+	slot, ok := fe.compiled[exclusive]
 	if !ok {
 		slot = &compiledSlot{}
-		m.compiled[key] = slot
+		fe.compiled[exclusive] = slot
 	}
-	m.compiledMu.Unlock()
+	fe.compiledMu.Unlock()
 	slot.once.Do(func() {
 		start := time.Now()
 		slot.cm, slot.err = safely("compilation", func() (*model.CompiledModel, error) {
@@ -125,24 +194,36 @@ func (a *Analysis) Compiled(fn string, exclusive bool) (*model.CompiledModel, er
 // resending — and without re-hashing — its source.
 func (a *Analysis) Key() string { return a.key }
 
-// evalKey identifies one memoized query point.
-type evalKey struct {
-	fn        string
-	env       string // canonical fingerprint, see envFingerprint
-	exclusive bool
+// Delta reports which functions the incremental build reused versus
+// recompiled, in link order; nil when no incremental pipeline ran for
+// this caller's request (standalone wrappers, whole-source store
+// rebuilds, live-cache hits).
+func (a *Analysis) Delta() *core.Delta { return a.delta }
+
+// withoutDelta returns a view of the analysis with no reuse delta — what
+// a cache hit serves, since no pipeline ran for that caller. The view
+// shares the memo layer like every other view.
+func (a *Analysis) withoutDelta() *Analysis {
+	if a.delta == nil {
+		return a
+	}
+	v := *a
+	v.delta = nil
+	return &v
 }
 
 // NewAnalysis wraps an already-built pipeline in a fresh memo layer.
 // Engine-produced analyses are shared and cached; this is for callers
 // that ran core.Analyze themselves and want memoized queries.
 func NewAnalysis(p *core.Pipeline) *Analysis {
-	return &Analysis{Pipeline: p, memo: newMemoStore()}
+	return &Analysis{Pipeline: p, sh: &analysisShared{}}
 }
 
 // newAnalysis wraps a pipeline with the engine's metrics and cache key
 // attached.
 func (e *Engine) newAnalysis(p *core.Pipeline, key string) *Analysis {
 	a := NewAnalysis(p)
+	a.eng = e
 	a.met = e.met
 	a.key = key
 	a.workers = e.workers
@@ -160,24 +241,16 @@ func (a *Analysis) withName(name string) *Analysis {
 	}
 	p := *a.Pipeline
 	p.Name = name
-	return &Analysis{Pipeline: &p, memo: a.memo, met: a.met, key: a.key, workers: a.workers}
-}
-
-// memoLen reports the number of memoized evaluation entries.
-func (a *Analysis) memoLen() int {
-	m := a.memo
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return len(m.metrics) + len(m.opcodes) + len(m.pbounds)
+	return &Analysis{Pipeline: &p, eng: a.eng, sh: a.sh, met: a.met, key: a.key, workers: a.workers, delta: a.delta}
 }
 
 // observeEval records one memo outcome into the engine registry (no-op
 // for standalone analyses). seconds is only meaningful for misses.
 func (a *Analysis) observeEval(hit bool, seconds float64) {
 	if hit {
-		a.memo.evalHits.Add(1)
+		a.sh.evalHits.Add(1)
 	} else {
-		a.memo.evalMisses.Add(1)
+		a.sh.evalMisses.Add(1)
 	}
 	if a.met == nil {
 		return
@@ -220,11 +293,11 @@ func (a *Analysis) StaticMetricsExclusive(fn string, env expr.Env) (model.Metric
 }
 
 func (a *Analysis) cachedMetrics(fn string, env expr.Env, exclusive bool) (model.Metrics, error) {
-	m := a.memo
-	key := evalKey{fn: fn, env: envFingerprint(env), exclusive: exclusive}
-	m.mu.RLock()
-	met, ok := m.metrics[key]
-	m.mu.RUnlock()
+	fe := a.memoFor(fn)
+	key := fevalKey{env: envFingerprint(env), exclusive: exclusive}
+	fe.mu.RLock()
+	met, ok := fe.metrics[key]
+	fe.mu.RUnlock()
 	if ok {
 		a.observeEval(true, 0)
 		return met, nil
@@ -242,20 +315,20 @@ func (a *Analysis) cachedMetrics(fn string, env expr.Env, exclusive bool) (model
 		// unbound parameter) and carry no reuse value.
 		return met, err
 	}
-	m.mu.Lock()
-	m.metrics[key] = met
-	m.mu.Unlock()
+	fe.mu.Lock()
+	fe.metrics[key] = met
+	fe.mu.Unlock()
 	return met, nil
 }
 
 // EvaluateOpcodes returns fn's inclusive per-opcode counts under env,
 // memoized. The returned map is a fresh copy the caller may mutate.
 func (a *Analysis) EvaluateOpcodes(fn string, env expr.Env) (map[ir.Op]int64, error) {
-	m := a.memo
-	key := evalKey{fn: fn, env: envFingerprint(env)}
-	m.mu.RLock()
-	ops, ok := m.opcodes[key]
-	m.mu.RUnlock()
+	fe := a.memoFor(fn)
+	key := fevalKey{env: envFingerprint(env)}
+	fe.mu.RLock()
+	ops, ok := fe.opcodes[key]
+	fe.mu.RUnlock()
 	if ok {
 		a.observeEval(true, 0)
 		return copyOps(ops), nil
@@ -268,9 +341,9 @@ func (a *Analysis) EvaluateOpcodes(fn string, env expr.Env) (map[ir.Op]int64, er
 	if err != nil {
 		return nil, err
 	}
-	m.mu.Lock()
-	m.opcodes[key] = ops
-	m.mu.Unlock()
+	fe.mu.Lock()
+	fe.opcodes[key] = ops
+	fe.mu.Unlock()
 	return copyOps(ops), nil
 }
 
@@ -306,27 +379,29 @@ func (a *Analysis) FineCategoryCounts(fn string, env expr.Env) (map[string]int64
 // PBound baseline report from the pipeline's sema program. The walk is
 // panic-guarded like every other evaluation path at this boundary.
 func (a *Analysis) pboundReport() (*pbound.Report, error) {
-	m := a.memo
-	m.pbOnce.Do(func() {
-		m.pb, m.pbErr = safely("pbound analysis", func() (*pbound.Report, error) {
+	sh := a.sh
+	sh.pbOnce.Do(func() {
+		sh.pb, sh.pbErr = safely("pbound analysis", func() (*pbound.Report, error) {
 			return pbound.Analyze(a.Prog)
 		})
 	})
-	return m.pb, m.pbErr
+	return sh.pb, sh.pbErr
 }
 
 // PBoundCounts evaluates the source-only PBound bounds of fn under env,
-// memoized like every other query point.
+// memoized like every other query point. The memo cell is the function's
+// content key, so the counts — a pure function of fn's source subtree
+// and callee closure — survive edits elsewhere in the file.
 func (a *Analysis) PBoundCounts(fn string, env expr.Env) (pbound.Counts, error) {
 	rep, err := a.pboundReport()
 	if err != nil {
 		return pbound.Counts{}, err
 	}
-	m := a.memo
-	key := evalKey{fn: fn, env: envFingerprint(env)}
-	m.mu.RLock()
-	c, ok := m.pbounds[key]
-	m.mu.RUnlock()
+	fe := a.memoFor(fn)
+	key := fevalKey{env: envFingerprint(env)}
+	fe.mu.RLock()
+	c, ok := fe.pbounds[key]
+	fe.mu.RUnlock()
 	if ok {
 		a.observeEval(true, 0)
 		return c, nil
@@ -339,13 +414,15 @@ func (a *Analysis) PBoundCounts(fn string, env expr.Env) (pbound.Counts, error) 
 	if err != nil {
 		return pbound.Counts{}, err
 	}
-	m.mu.Lock()
-	m.pbounds[key] = c
-	m.mu.Unlock()
+	fe.mu.Lock()
+	fe.pbounds[key] = c
+	fe.mu.Unlock()
 	return c, nil
 }
 
-// EvalStats reports the memoized evaluation layer's hit/miss counters.
+// EvalStats reports this analysis's memoized-evaluation hit/miss
+// counters (shared across name views; hits served from another source
+// version's shared cell count as hits here).
 func (a *Analysis) EvalStats() (hits, misses int64) {
-	return a.memo.evalHits.Load(), a.memo.evalMisses.Load()
+	return a.sh.evalHits.Load(), a.sh.evalMisses.Load()
 }

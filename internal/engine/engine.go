@@ -6,12 +6,18 @@
 //   - a content-hash pipeline cache with singleflight-style dedup, so
 //     identical source text is parsed/compiled/decoded at most once no
 //     matter how many callers race for it,
-//   - a pluggable persistent CacheStore beneath the live cache: compiled
+//   - a function-granular memo beneath it: every compiled unit and
+//     generated model is kept under its function-content key
+//     (core.FuncKeys), so analyzing an *edited* source recompiles only
+//     the functions whose key changed and reuses everything else,
+//   - a pluggable persistent CacheStore beneath the live caches: compiled
 //     artifacts survive the process, and a warm restart decodes the
-//     stored object file instead of recompiling (see cachestore for the
+//     stored object file (or per-function fragments, for stores that
+//     implement FuncStore) instead of recompiling (see cachestore for the
 //     content-addressed on-disk implementation), and
-//   - a memoized evaluation layer (Analysis) keyed on (function, env)
-//     that makes repeated model queries O(map lookup).
+//   - a memoized evaluation layer (Analysis) keyed on (function-content
+//     key, env) that makes repeated model queries O(map lookup) — across
+//     source versions, since the memo cells live under function keys.
 //
 // Every layer reports into an obs.Registry — cache hits and misses,
 // per-stage latency, in-flight analyses, memo sizes — which mira-serve
@@ -39,6 +45,13 @@ import (
 	"mira/internal/obs"
 )
 
+// CacheFormatVersion is the cache-key format version shared by every
+// caching layer (see core.CacheFormatVersion): it is mixed into the
+// engine's whole-source keys and into every function-content key, and
+// the cachestore derives its on-disk magic from it. Entries written
+// under another version read as clean misses everywhere.
+const CacheFormatVersion = core.CacheFormatVersion
+
 // Options configures an Engine.
 type Options struct {
 	// Workers bounds the number of pipeline analyses running at once.
@@ -59,6 +72,13 @@ type Options struct {
 	// from the Store. A network-facing service must set this: untrusted
 	// clients can otherwise grow the cache without limit.
 	MaxResident int
+	// MaxResidentFuncs bounds the number of per-function memo cells (the
+	// compiled units, generated models, and evaluation memos kept under
+	// function-content keys); zero means unlimited. Like MaxResident,
+	// victims are arbitrary and eviction is safe: an evicted function's
+	// next appearance recompiles (or restores from a FuncStore), and any
+	// analysis still holding the cell keeps a fully usable object.
+	MaxResidentFuncs int
 	// Obs receives the engine's metrics (cache hit/miss counters,
 	// per-stage latency, in-flight and memo-size gauges). Nil means a
 	// private registry, reachable via Engine.Obs. A registry can host at
@@ -78,6 +98,12 @@ type Engine struct {
 
 	mu    sync.Mutex
 	calls map[string]*call // content hash -> in-flight or completed
+
+	// funcs is the function-granular memo: one cell per function-content
+	// key, holding the compiled unit + model artifact and the evaluation
+	// memos, shared by every source version containing that function.
+	funcMu sync.Mutex
+	funcs  map[string]*funcEntry
 
 	hits   atomic.Int64
 	misses atomic.Int64
@@ -110,6 +136,7 @@ func New(opts Options) *Engine {
 		reg:     reg,
 		met:     newMetricsSet(reg),
 		calls:   map[string]*call{},
+		funcs:   map[string]*funcEntry{},
 	}
 	registerEngineGauges(reg, e)
 	return e
@@ -123,9 +150,11 @@ func (e *Engine) Workers() int { return e.workers }
 func (e *Engine) Obs() *obs.Registry { return e.reg }
 
 // cacheKey fingerprints the analysis inputs that determine the pipeline:
-// the source text plus every core option that changes compilation. The
-// program name is deliberately excluded — identical text under two names
-// is the same program and shares one compile.
+// the cache format version, the source text, and every core option that
+// changes compilation. The program name is deliberately excluded —
+// identical text under two names is the same program and shares one
+// compile. The version term means a format bump turns every key written
+// under the old scheme into a clean miss.
 func (e *Engine) cacheKey(source string) string {
 	h := sha256.New()
 	h.Write([]byte(source))
@@ -133,9 +162,116 @@ func (e *Engine) cacheKey(source string) string {
 	if e.opts.Core.Arch != nil {
 		archName = e.opts.Core.Arch.Name
 	}
-	fmt.Fprintf(h, "\x00opt=%t lenient=%t arch=%s",
-		e.opts.Core.DisableOpt, e.opts.Core.Lenient, archName)
+	fmt.Fprintf(h, "\x00v=%d opt=%t lenient=%t arch=%s",
+		CacheFormatVersion, e.opts.Core.DisableOpt, e.opts.Core.Lenient, archName)
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// funcCell returns (creating if needed) the engine's memo cell for one
+// function-content key. A freshly created cell may immediately become an
+// eviction victim under MaxResidentFuncs; the returned pointer stays
+// valid and usable either way — residency only affects future reuse.
+func (e *Engine) funcCell(key string) *funcEntry {
+	e.funcMu.Lock()
+	defer e.funcMu.Unlock()
+	fe := e.funcs[key]
+	if fe == nil {
+		fe = newFuncEntry()
+		e.funcs[key] = fe
+		e.evictFuncsLocked()
+	}
+	return fe
+}
+
+// lookupFuncArtifact serves core.AnalyzeIncrementalContext's per-function
+// cache probe: the live memo first, then a FuncStore-capable persistent
+// store (decoding the stored unit; a corrupt fragment counts as a store
+// error and degrades to a recompile of that one function).
+func (e *Engine) lookupFuncArtifact(key string) (*core.FuncArtifact, bool) {
+	e.funcMu.Lock()
+	fe := e.funcs[key]
+	e.funcMu.Unlock()
+	if fe != nil {
+		if art := fe.artifact(); art != nil && art.Unit != nil {
+			return art, true
+		}
+	}
+	if fs, ok := e.store.(FuncStore); ok {
+		if ent, ok := fs.LoadFunc(key); ok && ent != nil {
+			u, err := core.DecodeUnit(ent.Unit)
+			if err == nil {
+				return &core.FuncArtifact{Key: key, Name: ent.Name, Unit: u}, true
+			}
+			e.met.storeErrors.Inc()
+		}
+	}
+	return nil, false
+}
+
+// adoptArtifacts installs an incremental build's complete artifact set
+// into the function memo (model-carrying artifacts never downgrade) and
+// persists the newly compiled units to a FuncStore-capable store.
+func (e *Engine) adoptArtifacts(res *core.IncrementalResult) {
+	compiled := make(map[string]bool, len(res.Delta.Compiled))
+	for _, q := range res.Delta.Compiled {
+		compiled[q] = true
+	}
+	e.funcMu.Lock()
+	for _, art := range res.Artifacts {
+		fe := e.funcs[art.Key]
+		if fe == nil {
+			fe = newFuncEntry()
+			e.funcs[art.Key] = fe
+		}
+		fe.adopt(art)
+	}
+	e.evictFuncsLocked()
+	e.funcMu.Unlock()
+	fs, ok := e.store.(FuncStore)
+	if !ok {
+		return
+	}
+	for _, art := range res.Artifacts {
+		if !compiled[art.Name] {
+			continue
+		}
+		if err := fs.StoreFunc(art.Key, &FuncEntry{Name: art.Name, Unit: core.EncodeUnit(art.Unit)}); err != nil {
+			e.met.storeErrors.Inc()
+		}
+	}
+}
+
+// evictFuncsLocked trims the function memo to Options.MaxResidentFuncs
+// (arbitrary victims, same contract as evictLocked). Callers must hold
+// e.funcMu.
+func (e *Engine) evictFuncsLocked() {
+	max := e.opts.MaxResidentFuncs
+	if max <= 0 || len(e.funcs) <= max {
+		return
+	}
+	for k := range e.funcs {
+		if len(e.funcs) <= max {
+			return
+		}
+		delete(e.funcs, k)
+		e.met.evictions.Inc()
+	}
+}
+
+// funcMemoStats reports the number of resident function cells and the
+// total memoized evaluation entries across them. Cells are snapshotted
+// under funcMu and walked outside it, so a scrape never blocks a build.
+func (e *Engine) funcMemoStats() (cells, entries int) {
+	e.funcMu.Lock()
+	list := make([]*funcEntry, 0, len(e.funcs))
+	for _, fe := range e.funcs {
+		list = append(list, fe)
+	}
+	e.funcMu.Unlock()
+	for _, fe := range list {
+		entries += fe.memoLen()
+	}
+	return len(list), entries
 }
 
 // Analyze runs the full pipeline on source, or returns the cached
@@ -174,7 +310,13 @@ func (e *Engine) AnalyzeCtx(ctx context.Context, name, source string) (*Analysis
 		}
 		e.hits.Add(1)
 		e.met.pipeHits.Inc()
-		return c.view(name)
+		a, err := c.view(name)
+		if err != nil {
+			return nil, err
+		}
+		// A cache hit ran no pipeline: the build's reuse delta belongs to
+		// the requester that built the entry, not to this caller.
+		return a.withoutDelta(), nil
 	}
 	c := &call{done: make(chan struct{}), name: name}
 	e.calls[key] = c
@@ -238,11 +380,14 @@ func isCancellation(err error) bool {
 }
 
 // build produces the Analysis for one live-cache miss: try the
-// persistent store's artifact (warm path: decode + model regeneration,
-// no compiler), fall back to the full pipeline, and persist the fresh
-// artifact for the next process. Both paths are panic-guarded — expr
-// constructor contract violations reachable through hostile source must
-// surface as errors at this boundary, not kill a resident server.
+// persistent store's whole-source artifact (warm path: decode + model
+// regeneration, no compiler), fall back to the function-granular
+// incremental pipeline — which consults the function memo and any
+// FuncStore so only changed functions recompile — and persist the fresh
+// artifacts (whole-source and per-function) for the next process. All
+// paths are panic-guarded — expr constructor contract violations
+// reachable through hostile source must surface as errors at this
+// boundary, not kill a resident server.
 func (e *Engine) build(ctx context.Context, name, source, key string) (*Analysis, error) {
 	if e.store != nil {
 		if ent, ok := e.store.Load(key); ok {
@@ -268,15 +413,18 @@ func (e *Engine) build(ctx context.Context, name, source, key string) (*Analysis
 		}
 	}
 	start := time.Now()
-	p, err := safely("analysis", func() (*core.Pipeline, error) {
-		return core.AnalyzeContext(ctx, name, source, e.opts.Core)
+	res, err := safely("analysis", func() (*core.IncrementalResult, error) {
+		return core.AnalyzeIncrementalContext(ctx, name, source, e.opts.Core, e.lookupFuncArtifact)
 	})
 	if err != nil {
 		return nil, err
 	}
 	e.met.analyze.Observe(time.Since(start).Seconds())
+	e.met.incrHits.Add(int64(len(res.Delta.Reused)))
+	e.met.incrMisses.Add(int64(len(res.Delta.Compiled)))
+	e.adoptArtifacts(res)
 	if e.store != nil {
-		if object, encErr := p.EncodeObject(); encErr == nil {
+		if object, encErr := res.Pipeline.EncodeObject(); encErr == nil {
 			if err := e.store.Store(key, &Entry{Name: name, Source: source, Object: object}); err != nil {
 				e.met.storeErrors.Inc()
 			}
@@ -284,7 +432,9 @@ func (e *Engine) build(ctx context.Context, name, source, key string) (*Analysis
 			e.met.storeErrors.Inc()
 		}
 	}
-	return e.newAnalysis(p, key), nil
+	a := e.newAnalysis(res.Pipeline, key)
+	a.delta = &res.Delta
+	return a, nil
 }
 
 // safely converts a panic from fn into an error. The expr package's

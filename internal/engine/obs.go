@@ -12,6 +12,7 @@ import (
 //
 //	mira_pipeline_cache_hits/misses_total   live (in-process) cache
 //	mira_store_hits/misses/errors_total     persistent CacheStore
+//	mira_incremental_hits/misses_total      function-granular reuse
 //	mira_eval_memo_hits/misses_total        (function, env) memo
 //	mira_analyze_seconds                    cold compile latency (summary)
 //	mira_rebuild_seconds                    warm store-rebuild latency
@@ -21,6 +22,7 @@ import (
 //	mira_sweep_points_total                 compiled sweep points evaluated
 //	mira_analyses_inflight                  gauge
 //	mira_resident_analyses                  gauge (scrape-computed)
+//	mira_function_memo_entries              gauge (scrape-computed)
 //	mira_eval_memo_entries                  gauge (scrape-computed)
 type metricsSet struct {
 	pipeHits    *obs.Counter
@@ -28,6 +30,8 @@ type metricsSet struct {
 	storeHits   *obs.Counter
 	storeMisses *obs.Counter
 	storeErrors *obs.Counter
+	incrHits    *obs.Counter
+	incrMisses  *obs.Counter
 	evalHits    *obs.Counter
 	evalMisses  *obs.Counter
 	evictions   *obs.Counter
@@ -49,6 +53,8 @@ func newMetricsSet(r *obs.Registry) *metricsSet {
 		storeHits:   r.Counter("mira_store_hits", "analyses rebuilt from the persistent cache store"),
 		storeMisses: r.Counter("mira_store_misses", "persistent-store lookups that missed"),
 		storeErrors: r.Counter("mira_store_errors", "persistent-store entries that failed to load, verify, or save"),
+		incrHits:    r.Counter("mira_incremental_hits", "functions reused from the function memo during incremental analysis"),
+		incrMisses:  r.Counter("mira_incremental_misses", "functions recompiled during incremental analysis"),
 		evalHits:    r.Counter("mira_eval_memo_hits", "model evaluations served from the (function, env) memo"),
 		evalMisses:  r.Counter("mira_eval_memo_misses", "model evaluations that walked the model"),
 		evictions:   r.Counter("mira_cache_evictions", "live-cache entries evicted under the MaxResident bound"),
@@ -66,19 +72,22 @@ func newMetricsSet(r *obs.Registry) *metricsSet {
 // engine's live cache. Registered from New, after the engine exists.
 func registerEngineGauges(r *obs.Registry, e *Engine) {
 	r.GaugeFunc("mira_resident_analyses", "completed analyses resident in the live cache", func() float64 {
-		n, _ := e.residentStats()
-		return float64(n)
+		return float64(e.residentStats())
 	})
-	r.GaugeFunc("mira_eval_memo_entries", "total memoized evaluation entries across resident analyses", func() float64 {
-		_, entries := e.residentStats()
+	r.GaugeFunc("mira_function_memo_entries", "per-function memo cells resident in the engine", func() float64 {
+		cells, _ := e.funcMemoStats()
+		return float64(cells)
+	})
+	r.GaugeFunc("mira_eval_memo_entries", "total memoized evaluation entries across the function memo", func() float64 {
+		_, entries := e.funcMemoStats()
 		return float64(entries)
 	})
 }
 
-// residentStats counts completed successful analyses and their memo
-// entries. Only calls whose done channel is closed are touched, so the
-// walk never races with a writer or blocks on an in-flight compile.
-func (e *Engine) residentStats() (resident, memoEntries int) {
+// residentStats counts completed successful analyses. Only calls whose
+// done channel is closed are touched, so the walk never races with a
+// writer or blocks on an in-flight compile.
+func (e *Engine) residentStats() (resident int) {
 	e.mu.Lock()
 	calls := make([]*call, 0, len(e.calls))
 	for _, c := range e.calls {
@@ -90,10 +99,9 @@ func (e *Engine) residentStats() (resident, memoEntries int) {
 		case <-c.done:
 			if c.a != nil {
 				resident++
-				memoEntries += c.a.memoLen()
 			}
 		default:
 		}
 	}
-	return resident, memoEntries
+	return resident
 }

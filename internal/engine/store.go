@@ -26,19 +26,42 @@ type CacheStore interface {
 	Store(key string, e *Entry) error
 }
 
+// FuncEntry is one persisted per-function artifact: a compiled unit (an
+// object-file fragment with unresolved, name-based call sites) in its
+// portable encoding, stored under the function-content key computed by
+// core.FuncKeys. The function's qualified name rides along for
+// diagnostics; the key alone is the identity.
+type FuncEntry struct {
+	Name string
+	Unit []byte
+}
+
+// FuncStore is the optional function-granular extension of CacheStore:
+// per-function object fragments keyed by function-content hash, so an
+// edit to one function re-persists one small entry instead of the whole
+// artifact, and unchanged functions restore across processes and across
+// *different* source files sharing code. The corruption contract matches
+// CacheStore: a damaged entry is a miss (that one function recompiles),
+// never an error, and never affects sibling entries.
+type FuncStore interface {
+	LoadFunc(key string) (*FuncEntry, bool)
+	StoreFunc(key string, e *FuncEntry) error
+}
+
 // MemoryStore is the in-process CacheStore: a mutex-guarded map, the
 // persistence shape the engine's live cache had before the interface was
 // extracted. It buys nothing over the engine's own singleflight map for
 // a single engine, but gives tests and multi-engine setups a shared
-// store with zero I/O.
+// store with zero I/O. It also implements FuncStore.
 type MemoryStore struct {
-	mu sync.Mutex
-	m  map[string]*Entry
+	mu    sync.Mutex
+	m     map[string]*Entry
+	funcs map[string]*FuncEntry
 }
 
 // NewMemoryStore returns an empty in-memory store.
 func NewMemoryStore() *MemoryStore {
-	return &MemoryStore{m: map[string]*Entry{}}
+	return &MemoryStore{m: map[string]*Entry{}, funcs: map[string]*FuncEntry{}}
 }
 
 // Load returns the entry stored under key.
@@ -57,9 +80,32 @@ func (s *MemoryStore) Store(key string, e *Entry) error {
 	return nil
 }
 
-// Len reports the number of stored entries.
+// LoadFunc returns the per-function entry stored under key.
+func (s *MemoryStore) LoadFunc(key string) (*FuncEntry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.funcs[key]
+	return e, ok
+}
+
+// StoreFunc saves e under key.
+func (s *MemoryStore) StoreFunc(key string, e *FuncEntry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.funcs[key] = e
+	return nil
+}
+
+// Len reports the number of stored whole-source entries.
 func (s *MemoryStore) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.m)
+}
+
+// FuncLen reports the number of stored per-function entries.
+func (s *MemoryStore) FuncLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.funcs)
 }

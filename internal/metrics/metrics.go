@@ -47,20 +47,43 @@ type Generator struct {
 	Warnings []string
 }
 
+// NewGenerator builds a generator over an analyzed program and its
+// decoded binary. The line-table bridge is built once here; per-function
+// model generation then goes through FuncModel.
+func NewGenerator(prog *sema.Program, obj *objfile.File, cfg Config) *Generator {
+	return &Generator{prog: prog, br: bridge.Build(obj), cfg: cfg}
+}
+
+// FuncModel generates the model for one function by qualified name and
+// returns the warnings that generation produced (also accumulated on
+// g.Warnings). The per-function warning slice is what the incremental
+// pipeline caches alongside the function's model, so a reused function
+// replays exactly the warnings a cold analysis would emit.
+func (g *Generator) FuncModel(q string) (*model.Func, []string, error) {
+	fi, ok := g.prog.Funcs[q]
+	if !ok {
+		return nil, nil, fmt.Errorf("metrics: no function %q", q)
+	}
+	if fi.Decl.IsExtern {
+		return &model.Func{Name: q, Params: paramNames(fi.Decl), Extern: true}, nil, nil
+	}
+	mark := len(g.Warnings)
+	fm, err := g.genFunc(fi)
+	warns := append([]string(nil), g.Warnings[mark:]...)
+	if err != nil {
+		return nil, warns, fmt.Errorf("metrics: %s: %w", q, err)
+	}
+	return fm, warns, nil
+}
+
 // Generate builds the model for every defined function.
 func Generate(prog *sema.Program, obj *objfile.File, cfg Config) (*model.Model, []string, error) {
-	g := &Generator{prog: prog, br: bridge.Build(obj), cfg: cfg}
+	g := NewGenerator(prog, obj, cfg)
 	m := &model.Model{SourceName: obj.SourceName, Funcs: map[string]*model.Func{}}
 	for _, q := range prog.FuncOrder {
-		fi := prog.Funcs[q]
-		if fi.Decl.IsExtern {
-			m.Funcs[q] = &model.Func{Name: q, Params: paramNames(fi.Decl), Extern: true}
-			m.Order = append(m.Order, q)
-			continue
-		}
-		fm, err := g.genFunc(fi)
+		fm, _, err := g.FuncModel(q)
 		if err != nil {
-			return nil, g.Warnings, fmt.Errorf("metrics: %s: %w", q, err)
+			return nil, g.Warnings, err
 		}
 		m.Funcs[q] = fm
 		m.Order = append(m.Order, q)
