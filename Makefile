@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: all check fmt-check vet build test race bench bench-baseline bench-compare serve examples clean
+.PHONY: all check fmt-check vet lint staticcheck govulncheck fuzz-smoke build test race bench bench-baseline bench-compare serve examples clean
 
 all: check
 
-check: fmt-check vet build race examples
+check: fmt-check vet lint build race examples
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -13,6 +13,30 @@ fmt-check:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs mira-vet, the repo's own analyzer suite (internal/lint): six
+# checks, each encoding an invariant a past PR paid for. Gating in CI;
+# suppress a finding in-source with `//lint:ignore mira/<name> reason`.
+lint:
+	$(GO) run ./cmd/mira-vet ./...
+
+# staticcheck and govulncheck are pinned by version and fetched on
+# demand via `go run pkg@version`, so they need network access: they run
+# as separate CI jobs, not in `check` (the local loop stays offline).
+STATICCHECK_VERSION ?= 2025.1
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+
+GOVULNCHECK_VERSION ?= v1.1.4
+govulncheck:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
+
+# fuzz-smoke runs the three-way evaluator divergence fuzzer (tree walker
+# vs compiled model vs VM over synthesized programs) for a bounded slice;
+# CI runs it on every push, so the generators stay continuously fuzzed.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz FuzzThreeWayEvaluators -fuzztime $(FUZZTIME) ./internal/synth
 
 build:
 	$(GO) build ./...

@@ -140,6 +140,7 @@ func serveUntilDone(ctx context.Context, srv *http.Server, ln net.Listener, drai
 	case <-ctx.Done():
 	}
 	log.Printf("mira-serve: shutdown signal; draining in-flight requests (up to %s)", drain)
+	//lint:ignore mira/ctxflow the parent ctx is already done here; the drain needs a fresh timeout
 	sctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {

@@ -1,0 +1,208 @@
+// Command mira-vet runs Mira's custom static-analysis suite
+// (internal/lint): six analyzers, each encoding an invariant derived
+// from a real historical bug in this repository. It runs two ways:
+//
+// Standalone (the `make lint` / CI path):
+//
+//	mira-vet ./...                 # vet the whole module, exit 1 on findings
+//	mira-vet -list                 # describe the analyzers
+//	mira-vet -detorder=false ./... # disable one analyzer
+//	mira-vet -C /path/to/mod ./...
+//
+// As a vet tool, speaking the unitchecker .cfg protocol the go command
+// uses to drive custom vet binaries:
+//
+//	go vet -vettool=$(which mira-vet) ./...
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mira/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	// Vet-tool protocol: the go command probes with -V=full for a cache
+	// fingerprint, then invokes the tool once per package with a single
+	// .cfg argument.
+	if len(args) == 1 {
+		if strings.HasPrefix(args[0], "-V") {
+			fmt.Fprintf(stdout, "mira-vet version 1\n")
+			return 0
+		}
+		if args[0] == "-flags" {
+			// The go command asks which analyzer flags it may forward;
+			// mira-vet keeps the unit path flagless (suppressions are
+			// in-source directives), so the answer is none.
+			fmt.Fprintln(stdout, "[]")
+			return 0
+		}
+		if strings.HasSuffix(args[0], ".cfg") {
+			return runUnit(args[0], stderr)
+		}
+	}
+
+	fs := flag.NewFlagSet("mira-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("C", ".", "module directory to vet in")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	enabled := map[string]*bool{}
+	for _, a := range lint.All() {
+		enabled[a.Name] = fs.Bool(a.Name, true, "enable the mira/"+a.Name+" analyzer")
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "mira/%s\n    %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	var active []*lint.Analyzer
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "mira-vet: %v\n", err)
+		return 2
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		diags, err := lint.RunPackage(pkg, active)
+		if err != nil {
+			fmt.Fprintf(stderr, "mira-vet: %v\n", err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(stderr, "mira-vet: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the subset of the go command's unitchecker .cfg payload
+// mira-vet needs to type-check one package unit.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes one package unit described by a go vet .cfg file.
+func runUnit(cfgPath string, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "mira-vet: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "mira-vet: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// The go command requires the facts output to exist even though
+	// mira-vet's analyzers are package-local and export none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("mira-vet\n"), 0o666); err != nil {
+			fmt.Fprintf(stderr, "mira-vet: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, gf := range cfg.GoFiles {
+		if !filepath.IsAbs(gf) {
+			gf = filepath.Join(cfg.Dir, gf)
+		}
+		f, err := parser.ParseFile(fset, gf, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintf(stderr, "mira-vet: %v\n", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		f, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "mira-vet: %v\n", err)
+		return 2
+	}
+	pkg := &lint.Package{Path: cfg.ImportPath, Fset: fset, Files: files, Types: tpkg, TypesInfo: info}
+	diags, err := lint.RunPackage(pkg, lint.All())
+	if err != nil {
+		fmt.Fprintf(stderr, "mira-vet: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		// file:line:col: message — the diagnostic shape go vet relays.
+		fmt.Fprintf(stderr, "%s: [mira/%s] %s\n", d.Pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// dirtyFile carries a detorder violation (range over map printing in
+// iteration order), the analyzer that applies in any package.
+const dirtyFile = `package p
+
+import "fmt"
+
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+`
+
+const cleanFile = `package p
+
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+`
+
+// writeModule lays out a throwaway module for the CLI to vet.
+func writeModule(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module tmpmod\n\ngo 1.24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// vet invokes the CLI in-process.
+func vet(args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestExitCodeOnFindings(t *testing.T) {
+	dir := writeModule(t, dirtyFile)
+	code, stdout, stderr := vet("-C", dir, "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "[mira/detorder]") {
+		t.Errorf("stdout missing the detorder diagnostic:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "1 finding(s)") {
+		t.Errorf("stderr missing the finding count:\n%s", stderr)
+	}
+}
+
+func TestExitCodeClean(t *testing.T) {
+	dir := writeModule(t, cleanFile)
+	code, stdout, stderr := vet("-C", dir, "./...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean run printed diagnostics:\n%s", stdout)
+	}
+}
+
+func TestExitCodeLoadFailure(t *testing.T) {
+	dir := writeModule(t, cleanFile)
+	code, _, stderr := vet("-C", dir, "./no/such/package")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2\nstderr: %s", code, stderr)
+	}
+}
+
+func TestDisableFlag(t *testing.T) {
+	dir := writeModule(t, dirtyFile)
+	code, stdout, _ := vet("-C", dir, "-detorder=false", "./...")
+	if code != 0 {
+		t.Fatalf("exit = %d with detorder disabled, want 0\nstdout: %s", code, stdout)
+	}
+}
+
+func TestListDescribesSuite(t *testing.T) {
+	code, stdout, _ := vet("-list")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"multovf", "detorder", "ctxflow", "panicfree", "noglobals", "obsnames"} {
+		if !strings.Contains(stdout, "mira/"+name) {
+			t.Errorf("-list output missing mira/%s:\n%s", name, stdout)
+		}
+	}
+}
+
+func TestVersionProbe(t *testing.T) {
+	code, stdout, _ := vet("-V=full")
+	if code != 0 || !strings.Contains(stdout, "mira-vet version") {
+		t.Fatalf("-V=full: exit %d, output %q", code, stdout)
+	}
+}
+
+// TestVetToolProtocol drives the real `go vet -vettool` path end to
+// end: the go command probes -V=full, then feeds mira-vet a .cfg per
+// package and relays its stderr diagnostics.
+func TestVetToolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to go vet")
+	}
+	bin := filepath.Join(t.TempDir(), "mira-vet")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building mira-vet: %v\n%s", err, out)
+	}
+
+	dir := writeModule(t, dirtyFile)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet passed on a module with a violation:\n%s", out)
+	}
+	if !strings.Contains(string(out), "[mira/detorder]") {
+		t.Errorf("go vet output missing the relayed diagnostic:\n%s", out)
+	}
+
+	clean := writeModule(t, cleanFile)
+	cmd = exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = clean
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet failed on a clean module: %v\n%s", err, out)
+	}
+}

@@ -264,6 +264,7 @@ func (e *Engine) evictFuncsLocked() {
 func (e *Engine) funcMemoStats() (cells, entries int) {
 	e.funcMu.Lock()
 	list := make([]*funcEntry, 0, len(e.funcs))
+	//lint:ignore mira/detorder snapshot order is irrelevant: entries are summed, never emitted
 	for _, fe := range e.funcs {
 		list = append(list, fe)
 	}
@@ -282,6 +283,9 @@ func (e *Engine) funcMemoStats() (cells, entries int) {
 // model regenerated, skipping the compiler entirely. Failures are cached
 // too — the pipeline is deterministic, so retrying identical input
 // cannot succeed.
+//
+// Deprecated: use AnalyzeCtx so callers can cancel; this ctx-free shim
+// exists for tests and callers that genuinely have no lifecycle.
 func (e *Engine) Analyze(name, source string) (*Analysis, error) {
 	return e.AnalyzeCtx(context.Background(), name, source)
 }
@@ -547,6 +551,9 @@ func (e *Engine) Stats() (hits, misses int64) {
 // scheduled (in-flight items run to completion); the returned error is
 // the lowest-index failure among the items that ran, so a given failing
 // input reports the same error regardless of schedule.
+//
+// Deprecated: use ForEachCtx so callers can cancel; this ctx-free shim
+// exists for tests and callers that genuinely have no lifecycle.
 func ForEach(workers, n int, fn func(i int) error) error {
 	return ForEachCtx(context.Background(), workers, n, fn)
 }

@@ -90,6 +90,7 @@ func registerEngineGauges(r *obs.Registry, e *Engine) {
 func (e *Engine) residentStats() (resident int) {
 	e.mu.Lock()
 	calls := make([]*call, 0, len(e.calls))
+	//lint:ignore mira/detorder snapshot order is irrelevant: the walk only counts residents
 	for _, c := range e.calls {
 		calls = append(calls, c)
 	}

@@ -3,6 +3,7 @@ package expr
 import (
 	"sort"
 	"strings"
+	"sync"
 
 	"mira/internal/rational"
 )
@@ -275,10 +276,22 @@ func toPoly(e Expr) (poly, bool) {
 }
 
 // bernoulliPlus returns the Bernoulli numbers B+_0..B+_n (B1 = +1/2
-// convention), memoized.
+// convention), memoized. The memo is process-wide because the numbers
+// are pure mathematics, but model compilation runs on the engine's
+// worker pool, so growth must be serialized: without the mutex two
+// goroutines compiling polynomial sums raced on the append (found by
+// mira-vet's noglobals analyzer). Elements are never rewritten after
+// append, so returned prefix slices stay valid outside the lock.
+//
+//lint:ignore mira/noglobals guards bernoulliMemo; pure-math memo shared by design
+var bernoulliMu sync.Mutex
+
+//lint:ignore mira/noglobals append-only memo of mathematical constants, serialized by bernoulliMu
 var bernoulliMemo []rational.Rat
 
 func bernoulliPlus(n int) []rational.Rat {
+	bernoulliMu.Lock()
+	defer bernoulliMu.Unlock()
 	for len(bernoulliMemo) <= n {
 		m := len(bernoulliMemo)
 		if m == 0 {

@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Detorder flags `range` loops over maps whose bodies feed
+// order-sensitive sinks — appending to a slice declared outside the
+// loop, or writing output — without a dominating sort afterwards. Go
+// randomizes map iteration order, so such loops produce different
+// user-visible output run to run. This is the PR 4/5 bug class:
+// model.CategoryTable, experiments.TableII, and dynamic.Report all
+// shipped nondeterministic row orders this way. The sanctioned idiom —
+// collect keys, sort, iterate — passes, because the sort call after the
+// loop dominates the output.
+var Detorder = &Analyzer{
+	Name: "detorder",
+	Doc: "range over a map feeding an order-sensitive sink (append to outer slice, " +
+		"print/write) without a later sort in the same function; map order is " +
+		"randomized per run (the PR 4/5 nondeterministic-output bugs)",
+	Run: runDetorder,
+}
+
+// emitNames are function/method names that move bytes toward the user.
+var emitNames = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+// sortNames are the sort.*/slices.* calls accepted as a dominating sort.
+var sortNames = map[string]bool{
+	"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	"Strings": true, "Ints": true, "Float64s": true,
+	"Slice": true, "SliceStable": true, "Stable": true,
+}
+
+func runDetorder(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok || !rangesOverMap(pass.TypesInfo, rs) {
+					return true
+				}
+				sink := orderSensitiveSink(pass.TypesInfo, rs)
+				if sink == "" {
+					return true
+				}
+				if sortedAfter(fd.Body, rs) {
+					return true
+				}
+				pass.Reportf(rs.For,
+					"range over map %s %s without a dominating sort; map iteration order is randomized — collect keys, sort, then iterate",
+					exprText(rs.X), sink)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// rangesOverMap reports whether the range statement iterates a map.
+func rangesOverMap(info *types.Info, rs *ast.RangeStmt) bool {
+	t, ok := info.Types[rs.X]
+	if !ok {
+		return false
+	}
+	_, isMap := t.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// orderSensitiveSink scans the loop body for an order-sensitive sink and
+// describes the first one found ("" if none). Two sinks are recognized:
+// append whose destination is declared outside the loop (slice rows
+// accumulate in iteration order), and emit calls (printing/writing
+// inside the loop serializes iteration order directly).
+func orderSensitiveSink(info *types.Info, rs *ast.RangeStmt) string {
+	var sink string
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if fun.Name == "append" && isBuiltin(info, fun) && len(call.Args) > 0 {
+				if dest := rootIdent(call.Args[0]); dest != nil && declaredBefore(info, dest, rs) {
+					sink = "appends to " + dest.Name
+				}
+			}
+		case *ast.SelectorExpr:
+			if emitNames[fun.Sel.Name] {
+				sink = "writes output via " + fun.Sel.Name
+			}
+		}
+		return true
+	})
+	return sink
+}
+
+// sortedAfter reports whether a sort call appears lexically after the
+// loop inside the enclosing function body — the collect-sort-iterate
+// idiom, or a final sort over accumulated rows.
+func sortedAfter(body *ast.BlockStmt, rs *ast.RangeStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if pkg, ok := ast.Unparen(sel.X).(*ast.Ident); ok &&
+				(pkg.Name == "sort" || pkg.Name == "slices") && sortNames[sel.Sel.Name] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isBuiltin reports whether the identifier resolves to a Go builtin.
+func isBuiltin(info *types.Info, id *ast.Ident) bool {
+	_, ok := info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// rootIdent returns the base identifier of an lvalue-ish expression
+// (x, x.f, x[i] all root at x).
+func rootIdent(e ast.Expr) *ast.Ident {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x
+	case *ast.SelectorExpr:
+		return rootIdent(x.X)
+	case *ast.IndexExpr:
+		return rootIdent(x.X)
+	case *ast.StarExpr:
+		return rootIdent(x.X)
+	}
+	return nil
+}
+
+// declaredBefore reports whether id's object is declared before the
+// range statement begins (i.e. outlives the loop body).
+func declaredBefore(info *types.Info, id *ast.Ident, rs *ast.RangeStmt) bool {
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	return obj != nil && obj.Pos() < rs.Pos()
+}

@@ -1,0 +1,231 @@
+// Package lint is mira-vet's analysis framework and analyzer suite: six
+// custom static analyses, each encoding an invariant this repository
+// learned the hard way (see README "Static analysis" and the per-analyzer
+// docs). The framework mirrors the golang.org/x/tools/go/analysis API
+// shape — Analyzer, Pass, Reportf — but is built entirely on the standard
+// library (go/ast, go/types, and export data produced by `go list
+// -export`), because the tree takes no external module dependencies. An
+// analyzer written against Pass ports to x/tools/go/analysis mechanically
+// should the dependency ever land.
+//
+// Findings are suppressible at the site with a documented reason:
+//
+//	//lint:ignore mira/<name> <reason>
+//
+// placed on the flagged line or the line directly above it. A directive
+// without a reason is itself a finding — suppressions must say why.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named static analysis. Run inspects a single
+// type-checked package through the Pass and reports findings; analyzers
+// are package-local (no cross-package facts).
+type Analyzer struct {
+	// Name is the short analyzer name; diagnostics and suppression
+	// directives refer to it as "mira/<name>".
+	Name string
+	// Doc is the one-paragraph description `mira-vet -list` prints:
+	// the invariant enforced and the historical bug that motivated it.
+	Doc string
+	// Run performs the analysis.
+	Run func(*Pass) error
+}
+
+// A Pass connects one analyzer to one package of parsed, type-checked
+// syntax. The field set intentionally matches x/tools/go/analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, positioned and attributed to its analyzer.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [mira/%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Multovf,
+		Detorder,
+		Ctxflow,
+		Panicfree,
+		Noglobals,
+		Obsnames,
+	}
+}
+
+// ignoreRE matches a suppression directive. The reason group is what
+// makes a suppression self-documenting; an empty reason is reported.
+var ignoreRE = regexp.MustCompile(`^//lint:ignore\s+mira/([a-z]+)\s*(.*)$`)
+
+// suppression is one parsed //lint:ignore directive.
+type suppression struct {
+	analyzer string
+	file     string
+	line     int
+	reason   string
+}
+
+// suppressions collects every directive in the package's files.
+func suppressions(fset *token.FileSet, files []*ast.File) []suppression {
+	var out []suppression
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				out = append(out, suppression{
+					analyzer: m[1],
+					file:     pos.Filename,
+					line:     pos.Line,
+					reason:   strings.TrimSpace(m[2]),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// RunPackage runs the given analyzers over one loaded package, applies
+// suppression directives, and returns the surviving findings sorted by
+// position. Directives missing a reason surface as findings themselves.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("mira/%s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+
+	sups := suppressions(pkg.Fset, pkg.Files)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !suppressed(sups, d) {
+			kept = append(kept, d)
+		}
+	}
+	for _, s := range sups {
+		if s.reason == "" {
+			kept = append(kept, Diagnostic{
+				Analyzer: s.analyzer,
+				Pos:      token.Position{Filename: s.file, Line: s.line, Column: 1},
+				Message:  "lint:ignore directive needs a reason (//lint:ignore mira/" + s.analyzer + " <why>)",
+			})
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept, nil
+}
+
+// suppressed reports whether a reasoned directive on the finding's line,
+// or on the line directly above it, names the finding's analyzer.
+func suppressed(sups []suppression, d Diagnostic) bool {
+	for _, s := range sups {
+		if s.analyzer != d.Analyzer || s.reason == "" || s.file != d.Pos.Filename {
+			continue
+		}
+		if s.line == d.Pos.Line || s.line == d.Pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Shared AST/type helpers used by several analyzers.
+
+// enclosingFunc returns the innermost function declaration containing
+// pos, if any.
+func enclosingFunc(file *ast.File, pos token.Pos) *ast.FuncDecl {
+	var found *ast.FuncDecl
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos <= fd.End() {
+			found = fd
+		}
+	}
+	return found
+}
+
+// isPkgFunc reports whether the call expression resolves to the function
+// pkgPath.name (a package-level function, not a method).
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return false
+	}
+	obj, ok := info.Uses[id].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// isInt64 reports whether t's underlying type is int64.
+func isInt64(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Int64
+}
+
+// docContains reports whether the declaration's doc comment contains the
+// given marker (e.g. "Deprecated:").
+func docContains(doc *ast.CommentGroup, marker string) bool {
+	return doc != nil && strings.Contains(doc.Text(), marker)
+}

@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	Path      string // import path ("mira/internal/model")
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -e -export -json -deps <patterns>` in dir and
+// decodes the package stream. -export materializes export data for every
+// dependency in the build cache, which is what lets the loader type-check
+// each target package in isolation: imports resolve through compiled
+// export data (the unitchecker architecture) instead of re-type-checking
+// the world from source.
+func goList(dir string, patterns []string) ([]listedPkg, error) {
+	args := append([]string{
+		"list", "-e", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Error",
+		"-deps", "--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup builds the importer lookup over `go list -export` output.
+func exportLookup(pkgs []listedPkg) func(path string) (io.ReadCloser, error) {
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+}
+
+// newInfo allocates the types.Info maps every analyzer relies on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// Load lists the patterns in the module rooted at dir and returns every
+// matched (non-dependency) package parsed and type-checked. Test files
+// are not loaded: GoFiles excludes them, so the analyzers vet the shipped
+// tree, not its tests.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	lookup := exportLookup(pkgs)
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var out []*Package
+	for _, lp := range pkgs {
+		if lp.DepOnly || lp.Standard {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("%s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkg, err := check(fset, imp, lp.ImportPath, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadDir parses every .go file in dir as a single package and
+// type-checks it under the given import path, resolving its imports
+// through export data listed from moduleRoot. This is the fixture
+// loader: linttest points it at testdata directories (invisible to `go
+// list ./...`) while choosing the import path the analyzer's scoping
+// rules see, e.g. a fixture type-checked as "mira/internal/model".
+func LoadDir(moduleRoot, dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	importSet := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, im := range f.Imports {
+			importSet[strings.Trim(im.Path.Value, `"`)] = true
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+
+	var lookup func(string) (io.ReadCloser, error)
+	if len(importSet) > 0 {
+		var paths []string
+		for p := range importSet {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		pkgs, err := goList(moduleRoot, paths)
+		if err != nil {
+			return nil, err
+		}
+		lookup = exportLookup(pkgs)
+	} else {
+		lookup = func(path string) (io.ReadCloser, error) {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", importPath, err)
+	}
+	return &Package{Path: importPath, Fset: fset, Files: files, Types: tpkg, TypesInfo: info}, nil
+}
+
+// check parses and type-checks one listed package.
+func check(fset *token.FileSet, imp types.Importer, importPath, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, gf := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, gf), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", importPath, err)
+	}
+	return &Package{Path: importPath, Fset: fset, Files: files, Types: tpkg, TypesInfo: info}, nil
+}

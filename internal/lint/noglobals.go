@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Noglobals rejects mutable package-level state under internal/. PR 5
+// spent a whole satellite excising exactly this: the experiments package
+// kept its engine and sweep context in package globals, which made
+// concurrent use racy and tests order-dependent; the rewrite threads
+// (ctx, *engine.Engine) through every call instead. State wants to live
+// in a struct that is constructed, injected, and owned.
+//
+// "Mutable" is judged by evidence, not by type shape alone, so read-only
+// lookup tables and sentinels stay legal. A package-level var is flagged
+// when the package itself proves it mutable:
+//
+//   - it is assigned, op-assigned, or ++/--'d outside its declaration,
+//   - an element or field of it is stored to (table[k] = v, g.field = v),
+//   - its address is taken (&v escapes to writers the analysis can't see),
+//   - or its type contains sync/sync-atomic state (Mutex, Once, atomic.*),
+//     which exists only to be mutated.
+//
+// //go:embed values are exempt. Genuinely sanctioned state (e.g. a
+// mutex-guarded memo) suppresses with //lint:ignore mira/noglobals and a
+// reason arguing why the sharing is safe.
+var Noglobals = &Analyzer{
+	Name: "noglobals",
+	Doc: "mutable package-level state under internal/ — written, address-taken, or " +
+		"sync/atomic-typed globals (the package-global engine state PR 5 had to " +
+		"excise); construct and inject state instead",
+	Run: runNoglobals,
+}
+
+func runNoglobals(pass *Pass) error {
+	if !strings.HasPrefix(pass.Pkg.Path(), "mira/internal/") {
+		return nil
+	}
+	globals := map[types.Object]*ast.Ident{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || embedDirective(gd.Doc) || embedDirective(vs.Doc) {
+					continue
+				}
+				for _, name := range vs.Names {
+					if name.Name == "_" {
+						continue
+					}
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						globals[obj] = name
+					}
+				}
+			}
+		}
+	}
+	if len(globals) == 0 {
+		return nil
+	}
+
+	mutated := map[types.Object]string{}
+	note := func(e ast.Expr, how string) {
+		id := rootIdent(e)
+		if id == nil {
+			return
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return
+		}
+		if _, isGlobal := globals[obj]; isGlobal {
+			if _, seen := mutated[obj]; !seen {
+				mutated[obj] = how
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range s.Lhs {
+					note(lhs, "assigned")
+				}
+			case *ast.IncDecStmt:
+				note(s.X, "mutated with "+s.Tok.String())
+			case *ast.UnaryExpr:
+				if s.Op == token.AND {
+					note(s.X, "address-taken")
+				}
+			}
+			return true
+		})
+	}
+
+	for obj, name := range globals {
+		how, isMutated := mutated[obj]
+		if !isMutated {
+			if stateful, what := containsSyncState(obj.Type(), map[types.Type]bool{}); stateful {
+				how, isMutated = "holds "+what, true
+			}
+		}
+		if isMutated {
+			pass.Reportf(name.Pos(),
+				"package-level var %s is mutable global state (%s); construct it and inject it (PR 5 excised exactly this)",
+				name.Name, how)
+		}
+	}
+	return nil
+}
+
+// containsSyncState reports whether t transitively contains sync or
+// sync/atomic state — types that exist only to be mutated in place.
+func containsSyncState(t types.Type, seen map[types.Type]bool) (bool, string) {
+	if seen[t] {
+		return false, ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil {
+			if p := pkg.Path(); p == "sync" || p == "sync/atomic" {
+				return true, p + "." + named.Obj().Name()
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if ok, what := containsSyncState(u.Field(i).Type(), seen); ok {
+				return true, what
+			}
+		}
+	case *types.Array:
+		return containsSyncState(u.Elem(), seen)
+	case *types.Chan:
+		return true, "a channel"
+	}
+	return false, ""
+}
+
+// embedDirective reports whether the doc comment carries a //go:embed
+// directive (embed values are write-once at link time).
+func embedDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, "//go:embed") {
+			return true
+		}
+	}
+	return false
+}

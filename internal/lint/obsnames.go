@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Obsnames statically enforces the OpenMetrics naming convention on
+// every metric registered against internal/obs, complementing the
+// runtime exposition linter (obs.Parse) the CI gate already runs: the
+// runtime lint only sees series that a given run actually registers,
+// while this check covers every registration site in the tree. Names
+// must match mira_[a-z0-9_]+; the exposition writer appends the
+// reserved sample suffixes itself (_total for counters, _count/_sum for
+// summaries), so a family name carrying one would double it; and
+// latency summaries must end _seconds (base-unit rule).
+var Obsnames = &Analyzer{
+	Name: "obsnames",
+	Doc: "metric names registered against internal/obs must be literal, match " +
+		"mira_[a-z0-9_]+, not carry reserved exposition suffixes (_total/_count/" +
+		"_sum/_bucket — the writer appends those), and summaries must end _seconds",
+	Run: runObsnames,
+}
+
+// obsRegisterMethods are the Registry registration entry points.
+var obsRegisterMethods = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"GaugeFunc": true,
+	"Summary":   true,
+}
+
+var obsNameRE = regexp.MustCompile(`^mira_[a-z0-9]+(_[a-z0-9]+)*$`)
+
+// reservedSuffixes are appended by the exposition writer or reserved by
+// OpenMetrics; a family name must not carry them.
+var reservedSuffixes = []string{"_total", "_count", "_sum", "_bucket"}
+
+func runObsnames(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !obsRegisterMethods[sel.Sel.Name] {
+				return true
+			}
+			if !isObsRegistryMethod(pass.TypesInfo, sel) {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+			if !ok {
+				pass.Reportf(call.Args[0].Pos(),
+					"metric name passed to Registry.%s must be a string literal so it can be vetted statically", sel.Sel.Name)
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			checkMetricName(pass, lit, sel.Sel.Name, name)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMetricName applies the naming convention to one registration.
+func checkMetricName(pass *Pass, lit *ast.BasicLit, method, name string) {
+	if !obsNameRE.MatchString(name) {
+		pass.Reportf(lit.Pos(),
+			"metric name %q does not match the mira_[a-z0-9_]+ convention", name)
+		return
+	}
+	for _, suf := range reservedSuffixes {
+		if strings.HasSuffix(name, suf) {
+			pass.Reportf(lit.Pos(),
+				"metric name %q carries reserved exposition suffix %q; the OpenMetrics writer appends sample suffixes itself (register the bare family name)",
+				name, suf)
+			return
+		}
+	}
+	if method == "Summary" && !strings.HasSuffix(name, "_seconds") {
+		pass.Reportf(lit.Pos(),
+			"summary %q must end in _seconds (latency summaries observe base-unit seconds)", name)
+	}
+}
+
+// isObsRegistryMethod reports whether the selector resolves to a method
+// on internal/obs.Registry.
+func isObsRegistryMethod(info *types.Info, sel *ast.SelectorExpr) bool {
+	s, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "mira/internal/obs"
+}

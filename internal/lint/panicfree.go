@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Panicfree keeps panics from escaping the engine and daemon boundary.
+// PR 2 hardened exactly this: hostile /eval input (zero-divisor
+// FloorDiv) panicked deep in evaluation and killed the resident daemon;
+// the fix converts panics to errors at the engine boundary, and
+// mira-serve's instrument middleware is the last-resort recover. New
+// panic calls (or panicking Must* helpers) inside the engine, report,
+// or serve packages reintroduce that bug class: errors must flow as
+// errors. The sanctioned recover boundaries suppress with
+// //lint:ignore mira/panicfree and a reason.
+var Panicfree = &Analyzer{
+	Name: "panicfree",
+	Doc: "panic() or panicking Must* calls inside internal/engine, " +
+		"internal/report, or cmd/mira-serve; panics escaping the engine boundary " +
+		"killed the daemon before PR 2 — return errors instead",
+	Run: runPanicfree,
+}
+
+// panicfreeScope is the boundary package set: everything reachable from
+// exported engine/daemon entry points.
+var panicfreeScope = map[string]bool{
+	"mira/internal/engine": true,
+	"mira/internal/report": true,
+	"mira/cmd/mira-serve":  true,
+}
+
+func runPanicfree(pass *Pass) error {
+	if !panicfreeScope[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fun := ast.Unparen(call.Fun).(type) {
+				case *ast.Ident:
+					if fun.Name == "panic" {
+						if _, isBuiltin := pass.TypesInfo.Uses[fun].(*types.Builtin); isBuiltin {
+							pass.Reportf(call.Pos(),
+								"panic inside an engine/daemon package; convert to an error at the boundary (panics killed the daemon before PR 2)")
+						}
+					}
+				case *ast.SelectorExpr:
+					if strings.HasPrefix(fun.Sel.Name, "Must") {
+						pass.Reportf(call.Pos(),
+							"%s panics on failure inside an engine/daemon package; use the error-returning variant", fun.Sel.Name)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

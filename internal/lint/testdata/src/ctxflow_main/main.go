@@ -1,0 +1,19 @@
+// Command fixture type-checks as mira/cmd/mira-serve: func main owns
+// the process root context and is exempt; every other function in the
+// daemon is request-path.
+package main
+
+import "context"
+
+func main() {
+	run(context.Background())
+}
+
+// handle is a request-path helper: not exempt.
+func handle() {
+	run(context.Background()) // want "context.Background() inside a request path"
+}
+
+func run(ctx context.Context) {
+	<-ctx.Done()
+}

@@ -1,0 +1,61 @@
+// Package report is a detorder fixture: the PR 4/5 nondeterministic
+// table-order bugs, plus the sanctioned collect-sort-iterate idiom.
+package report
+
+import (
+	"fmt"
+	"sort"
+)
+
+// tableBad reproduces the PR 4/5 bug: rows accumulate in map iteration
+// order and ship straight to the user, differing run to run.
+func tableBad(counts map[string]int) []string {
+	var rows []string
+	for k, v := range counts { // want "appends to rows"
+		rows = append(rows, fmt.Sprintf("%s=%d", k, v))
+	}
+	return rows
+}
+
+// printBad serializes iteration order directly.
+func printBad(counts map[string]int) {
+	for k, v := range counts { // want "writes output via Printf"
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// tableGood is the sanctioned idiom: collect keys, sort, iterate. The
+// key-collection loop is itself a range-over-map append, legal because
+// the sort after it dominates the output.
+func tableGood(counts map[string]int) []string {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	rows := make([]string, 0, len(keys))
+	for _, k := range keys {
+		rows = append(rows, fmt.Sprintf("%s=%d", k, counts[k]))
+	}
+	return rows
+}
+
+// sortAfter accumulates in map order but sorts the rows before
+// returning them: also legal.
+func sortAfter(counts map[string]int) []string {
+	var rows []string
+	for k, v := range counts {
+		rows = append(rows, fmt.Sprintf("%s=%d", k, v))
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+// reduce consumes the map commutatively — no order-sensitive sink.
+func reduce(counts map[string]int) int {
+	total := 0
+	for _, v := range counts {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,54 @@
+// Package model is a multovf fixture type-checked as
+// mira/internal/model: the PR 4 silent multiplicity overflow, written
+// exactly the way it originally shipped.
+package model
+
+// Metrics mirrors the real count container.
+type Metrics struct {
+	ByCategory [4]int64
+	Flops      int64
+	Instrs     int64
+}
+
+// site mirrors a per-site count record.
+type site struct {
+	Counts [4]int64
+	Flops  int64
+	Instrs int64
+	mult   int64
+}
+
+// addChecked is a sanctioned helper: the raw arithmetic inside it is the
+// one place it belongs.
+func addChecked(a, b int64) (int64, bool) {
+	s := a + b
+	if (s >= a) == (b >= 0) {
+		return s, true
+	}
+	return 0, false
+}
+
+// accumulateBad reproduces the PR 4 bug: raw accumulation of
+// multiplicity-scaled counts wraps negative at dgemm sweep sizes.
+func accumulateBad(total *Metrics, s site) {
+	total.Flops = total.Flops + s.Flops*s.mult // want "raw \"+\"" "raw \"*\""
+	total.Instrs += s.Instrs                   // want "raw \"+=\""
+	for c := range s.Counts {
+		total.ByCategory[c] += s.Counts[c] * s.mult // want "raw \"+=\"" "raw \"*\""
+	}
+}
+
+// scaleMult is legal: mult is not a count field.
+func scaleMult(s *site) int64 {
+	return s.mult * 2
+}
+
+// accumulateGood routes accumulation through the checked helper.
+func accumulateGood(total *Metrics, s site) bool {
+	f, ok := addChecked(total.Flops, s.Flops)
+	if !ok {
+		return false
+	}
+	total.Flops = f
+	return true
+}

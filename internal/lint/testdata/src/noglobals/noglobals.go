@@ -1,0 +1,52 @@
+// Package registry is a noglobals fixture: the PR 5 package-global
+// service state next to the read-only tables and sentinels that must
+// stay legal.
+package registry
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrMissing is a sentinel: never written, legal.
+var ErrMissing = errors.New("registry: missing")
+
+// categoryNames is a read-only lookup table: never written, legal.
+var categoryNames = map[int]string{0: "mem", 1: "fp", 2: "int", 3: "ctl"}
+
+// defaultEngine is the PR 5 bug shape: package-global mutable service
+// state, written by a setter, making concurrent use racy and tests
+// order-dependent.
+var defaultEngine *config // want "defaultEngine is mutable global state (assigned)"
+
+// registerMu holds sync state, which exists only to be mutated.
+var registerMu sync.Mutex // want "registerMu is mutable global state (holds sync.Mutex)"
+
+// hits is bumped in place.
+var hits int // want "hits is mutable global state (mutated with ++)"
+
+// seen is written through an index expression.
+var seen = map[string]bool{} // want "seen is mutable global state (assigned)"
+
+// tuning escapes by address to writers the analysis cannot see.
+var tuning config // want "tuning is mutable global state (address-taken)"
+
+type config struct {
+	workers int
+}
+
+func setDefault(c *config) { defaultEngine = c }
+
+func record(k string) {
+	hits++
+	seen[k] = true
+}
+
+func tuningPtr() *config { return &tuning }
+
+func lookup(cat int) (string, error) {
+	if s, ok := categoryNames[cat]; ok {
+		return s, nil
+	}
+	return "", ErrMissing
+}

@@ -1,0 +1,39 @@
+// Package daemonobs is an obsnames fixture: it registers metrics
+// against the real internal/obs Registry, so the analyzer's
+// type-directed method resolution is exercised, not name matching.
+package daemonobs
+
+import "mira/internal/obs"
+
+func register(reg *obs.Registry, dynamic string) {
+	// Legal family names.
+	reg.Counter("mira_eval_requests", "evaluations served")
+	reg.Gauge("mira_cache_entries", "resident cache entries")
+	reg.Summary("mira_analyze_seconds", "analysis latency")
+
+	// The writer appends _total to counters itself; registering it
+	// doubles the suffix in the exposition.
+	reg.Counter("mira_eval_requests_total", "evaluations served") // want "reserved exposition suffix \"_total\""
+
+	// Summaries expose _count/_sum samples.
+	reg.Summary("mira_analyze_seconds_sum", "analysis latency") // want "reserved exposition suffix \"_sum\""
+
+	// Convention is mira_ snake_case.
+	reg.Gauge("miraResidents", "resident entries") // want "does not match the mira_[a-z0-9_]+ convention"
+
+	// Latency summaries observe base-unit seconds.
+	reg.Summary("mira_http_latency", "request latency") // want "must end in _seconds"
+
+	// Dynamic names cannot be vetted statically.
+	reg.Counter(dynamic, "mystery series") // want "must be a string literal"
+}
+
+// notObs proves resolution is type-directed: a same-named method on an
+// unrelated type is not a registration site.
+type notObs struct{}
+
+func (notObs) Counter(name, help string) {}
+
+func decoy(n notObs) {
+	n.Counter("definitely not a metric name", "")
+}

@@ -1,0 +1,45 @@
+// Package engine is a panicfree fixture type-checked as
+// mira/internal/engine: the PR 2 daemon-killing panic, the Must*
+// variant of the same bug, and the sanctioned recover boundary.
+package engine
+
+import (
+	"errors"
+	"regexp"
+)
+
+// evalStep is the PR 2 bug shape: hostile input (a zero divisor)
+// panics deep in evaluation and kills the resident daemon.
+func evalStep(div int) int {
+	if div == 0 {
+		panic("division by zero") // want "panic inside an engine/daemon package"
+	}
+	return 100 / div
+}
+
+// pattern is the same bug with a nicer name: Must* helpers panic on
+// failure.
+func pattern(src string) *regexp.Regexp {
+	return regexp.MustCompile(src) // want "MustCompile panics on failure"
+}
+
+// evalStepSafe returns the error instead: the sanctioned shape.
+func evalStepSafe(div int) (int, error) {
+	if div == 0 {
+		return 0, errors.New("division by zero")
+	}
+	return 100 / div, nil
+}
+
+// instrument is the sanctioned last-resort recover boundary; its
+// re-panic is deliberate and suppressed with a documented reason.
+func instrument(f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			//lint:ignore mira/panicfree sanctioned recover boundary re-panics non-runtime values
+			panic(r)
+		}
+	}()
+	f()
+	return nil
+}

@@ -1,0 +1,13 @@
+// Package suppress exercises the suppression directive protocol: a
+// reasoned //lint:ignore on the flagged line or the line directly above
+// it silences the finding. This fixture expects zero findings — if the
+// directive stops working, the noglobals finding on memo surfaces and
+// the test fails.
+package suppress
+
+// memo is sanctioned shared state: the reasoned ignore suppresses it.
+//
+//lint:ignore mira/noglobals append-only memo, growth serialized by callers
+var memo []string
+
+func push(s string) { memo = append(memo, s) }

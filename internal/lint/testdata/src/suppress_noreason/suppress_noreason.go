@@ -1,0 +1,10 @@
+// Package suppress holds a directive without a reason: it suppresses
+// nothing and is itself a finding. The expectations for this fixture
+// live in lint_test.go (a // want comment cannot share the directive's
+// line — the directive grammar would read it as the reason).
+package suppress
+
+//lint:ignore mira/noglobals
+var counter int
+
+func bump() { counter++ }

@@ -2,6 +2,7 @@ package polyhedra
 
 import (
 	"fmt"
+	"sort"
 
 	"mira/internal/expr"
 	"mira/internal/rational"
@@ -76,12 +77,18 @@ func addAffine(a *affineForm, e expr.Expr, scale rational.Rat) error {
 // params; the expression engine treats vars and params identically during
 // evaluation, and summation binding is by name.
 func (a affineForm) toExpr() expr.Expr {
+	// NewAdd canonicalizes term order, but build the terms in sorted
+	// symbol order anyway so this never silently depends on it.
+	vars := make([]string, 0, len(a.coeffs))
+	for v := range a.coeffs {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
 	terms := []expr.Expr{expr.ConstRat(a.c)}
-	for v, c := range a.coeffs {
-		if c.Sign() == 0 {
-			continue
+	for _, v := range vars {
+		if c := a.coeffs[v]; c.Sign() != 0 {
+			terms = append(terms, expr.NewMul(expr.ConstRat(c), expr.P(v)))
 		}
-		terms = append(terms, expr.NewMul(expr.ConstRat(c), expr.P(v)))
 	}
 	return expr.NewAdd(terms...)
 }
