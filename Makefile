@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check fmt-check vet lint staticcheck govulncheck fuzz-smoke build test race bench bench-baseline bench-compare serve examples clean
+.PHONY: all check fmt-check vet lint staticcheck govulncheck fuzz-smoke build test race bench bench-baseline bench-compare cluster-smoke serve examples clean
 
 all: check
 
@@ -57,8 +57,8 @@ bench:
 # sample cheap while giving -compare a median to stand on. CI compares
 # a fresh run against the committed previous baseline (gating, see
 # bench-compare) and uploads the file as an artifact.
-BENCH_BASELINE_OUT ?= BENCH_6.json
-BENCH_SET = BenchmarkSweep_CompiledVsTreeWalk|BenchmarkSweep_CompileOnce|BenchmarkEngineEval_ColdVsWarm|BenchmarkReport_SuitePath|BenchmarkIncrementalEdit
+BENCH_BASELINE_OUT ?= BENCH_7.json
+BENCH_SET = BenchmarkSweep_CompiledVsTreeWalk|BenchmarkSweep_CompileOnce|BenchmarkEngineEval_ColdVsWarm|BenchmarkReport_SuitePath|BenchmarkIncrementalEdit|BenchmarkCluster_
 bench-baseline:
 	$(GO) test -json -run xxx -benchtime 5x \
 		-bench '$(BENCH_SET)' \
@@ -70,13 +70,22 @@ bench-baseline:
 # the committed previous one, host-normalized (the two may come from
 # different machines), failing on >15% relative slowdowns in benchmarks
 # above the 100µs noise floor.
-BENCH_COMPARE_OLD ?= BENCH_5.json
+BENCH_COMPARE_OLD ?= BENCH_6.json
 bench-compare:
 	$(GO) test -json -run xxx -benchtime 5x \
 		-bench '$(BENCH_SET)' \
 		. > BENCH_ci_fresh.json
 	$(GO) run ./cmd/mira-bench -compare -normalize -threshold 15 \
 		$(BENCH_COMPARE_OLD) BENCH_ci_fresh.json
+
+# cluster-smoke is the end-to-end cluster gate: three loopback replicas
+# sharing a peer cache tier serve a mixed interactive/bulk load, the
+# peer-hit counter must be non-zero (the shared tier is real), the
+# interactive class must see zero 5xx, and killing one replica mid-run
+# must not fail in-flight interactive requests. See
+# cmd/mira-serve/cluster_test.go (TestClusterSmoke).
+cluster-smoke:
+	$(GO) test -run TestClusterSmoke -count 1 -v ./cmd/mira-serve
 
 serve:
 	$(GO) run ./cmd/mira-serve -cache-dir .mira-cache

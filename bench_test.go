@@ -419,7 +419,7 @@ func sweepGridSizes(n int) []int64 {
 // The acceptance bar is 5x.
 func BenchmarkSweep_CompiledVsTreeWalk(b *testing.B) {
 	serial := engine.New(engine.Options{Workers: 1})
-	a, err := serial.Analyze("stream.c", benchprogs.Stream)
+	a, err := serial.AnalyzeCtx(context.Background(), "stream.c", benchprogs.Stream)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -492,7 +492,7 @@ func BenchmarkSweep_CompiledVsTreeWalk(b *testing.B) {
 	})
 	b.Run("compiled-sweep-10k-pool", func(b *testing.B) {
 		pool := engine.New(engine.Options{})
-		pa, err := pool.Analyze("stream.c", benchprogs.Stream)
+		pa, err := pool.AnalyzeCtx(context.Background(), "stream.c", benchprogs.Stream)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -541,14 +541,14 @@ func BenchmarkIncrementalEdit(b *testing.B) {
 	coldOnce := func(i int) time.Duration {
 		e := engine.New(engine.Options{Workers: 1})
 		t0 := time.Now()
-		if _, err := e.Analyze("minife.c", mutate(i)); err != nil {
+		if _, err := e.AnalyzeCtx(context.Background(), "minife.c", mutate(i)); err != nil {
 			b.Fatal(err)
 		}
 		return time.Since(t0)
 	}
 	editOnce := func(e *engine.Engine, i int) time.Duration {
 		t0 := time.Now()
-		a, err := e.Analyze("minife.c", mutate(i))
+		a, err := e.AnalyzeCtx(context.Background(), "minife.c", mutate(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -564,7 +564,7 @@ func BenchmarkIncrementalEdit(b *testing.B) {
 	// the speedup-x metric (the sub-benchmarks below record the ns/op);
 	// min is the standard one-shot noise reducer.
 	warm := engine.New(engine.Options{Workers: 1})
-	if _, err := warm.Analyze("minife.c", benchprogs.MiniFE); err != nil {
+	if _, err := warm.AnalyzeCtx(context.Background(), "minife.c", benchprogs.MiniFE); err != nil {
 		b.Fatal(err)
 	}
 	coldDur, editDur := time.Duration(1<<62), time.Duration(1<<62)
@@ -588,7 +588,7 @@ func BenchmarkIncrementalEdit(b *testing.B) {
 	})
 	b.Run("edit", func(b *testing.B) {
 		e := engine.New(engine.Options{Workers: 1})
-		if _, err := e.Analyze("minife.c", benchprogs.MiniFE); err != nil {
+		if _, err := e.AnalyzeCtx(context.Background(), "minife.c", benchprogs.MiniFE); err != nil {
 			b.Fatal(err)
 		}
 		b.ResetTimer()
@@ -606,7 +606,7 @@ func BenchmarkPublicEngineAPI(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	res, err := e.Analyze("stream.c", benchprogs.Stream)
+	res, err := e.AnalyzeCtx(context.Background(), "stream.c", benchprogs.Stream)
 	if err != nil {
 		b.Fatal(err)
 	}

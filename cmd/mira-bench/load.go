@@ -1,0 +1,180 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"mira/internal/loadgen"
+)
+
+// loadWorkload is one GET /workloads entry as the load generator needs
+// it: the registry name, its queryable functions, and the content key.
+type loadWorkload struct {
+	Name  string   `json:"name"`
+	Funcs []string `json:"funcs"`
+	Key   string   `json:"key"`
+}
+
+// discoverWorkloads asks the first target for its embedded workload
+// registry, so the generated traffic addresses keys the replicas can
+// resolve without any source upload.
+func discoverWorkloads(base string) ([]loadWorkload, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(strings.TrimSuffix(base, "/") + "/workloads")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /workloads: status %s", resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	var payload struct {
+		Workloads []loadWorkload `json:"workloads"`
+	}
+	if err := json.Unmarshal(body, &payload); err != nil {
+		return nil, fmt.Errorf("GET /workloads: %w", err)
+	}
+	if len(payload.Workloads) == 0 {
+		return nil, fmt.Errorf("GET /workloads: empty registry")
+	}
+	return payload.Workloads, nil
+}
+
+// loadOps builds the weighted operation mix: interactive /query cells
+// against every discovered workload key (key diversity spreads the
+// traffic across the ring's owners), plus bulk /sweep grids. mix is
+// "interactive:bulk" in relative weights ("90:10").
+func loadOps(workloads []loadWorkload, mix string) ([]loadgen.Op, error) {
+	interWeight, bulkWeight, err := parseMix(mix)
+	if err != nil {
+		return nil, err
+	}
+	var inter, bulk []loadgen.Op
+	for _, wl := range workloads {
+		if wl.Key == "" || len(wl.Funcs) == 0 {
+			continue
+		}
+		fn := wl.Funcs[0]
+		query := fmt.Sprintf(
+			`{"key":%q,"queries":[{"fn":%q,"env":{"n":100000},"kind":"static"},{"fn":%q,"kind":"categories"}]}`,
+			wl.Key, fn, fn)
+		inter = append(inter, loadgen.Op{
+			Name:   "query:" + wl.Name,
+			Class:  "interactive",
+			Method: http.MethodPost,
+			Path:   "/query",
+			Body:   []byte(query),
+		})
+		sweep := fmt.Sprintf(
+			`{"key":%q,"fn":%q,"axes":[{"name":"n","values":[1000,10000,100000,1000000]}]}`,
+			wl.Key, fn)
+		bulk = append(bulk, loadgen.Op{
+			Name:   "sweep:" + wl.Name,
+			Class:  "bulk",
+			Method: http.MethodPost,
+			Path:   "/sweep",
+			Body:   []byte(sweep),
+		})
+	}
+	if len(inter) == 0 {
+		return nil, fmt.Errorf("no queryable workloads discovered")
+	}
+	// Distribute each class's weight over its ops, keeping at least 1.
+	var ops []loadgen.Op
+	if interWeight > 0 {
+		w := max(interWeight/len(inter), 1)
+		for _, op := range inter {
+			op.Weight = w
+			ops = append(ops, op)
+		}
+	}
+	if bulkWeight > 0 {
+		w := max(bulkWeight/len(bulk), 1)
+		for _, op := range bulk {
+			op.Weight = w
+			ops = append(ops, op)
+		}
+	}
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("mix %q selects no traffic", mix)
+	}
+	return ops, nil
+}
+
+// parseMix splits "interactive:bulk" weights.
+func parseMix(mix string) (inter, bulk int, err error) {
+	parts := strings.Split(mix, ":")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad -mix %q (want interactive:bulk, e.g. 90:10)", mix)
+	}
+	inter, err = strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad -mix %q: %v", mix, err)
+	}
+	bulk, err = strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad -mix %q: %v", mix, err)
+	}
+	if inter < 0 || bulk < 0 || inter+bulk == 0 {
+		return 0, 0, fmt.Errorf("bad -mix %q: weights must be non-negative and not both zero", mix)
+	}
+	return inter, bulk, nil
+}
+
+// runLoad drives the -load mode: discover workloads, generate the
+// weighted mix against every target, and print the per-class outcome
+// and latency table.
+func runLoad(ctx context.Context, w io.Writer, targets []string, rps float64, concurrency int, duration time.Duration, mix string) error {
+	workloads, err := discoverWorkloads(targets[0])
+	if err != nil {
+		return err
+	}
+	ops, err := loadOps(workloads, mix)
+	if err != nil {
+		return err
+	}
+	loop := "closed"
+	if rps > 0 {
+		loop = fmt.Sprintf("open @ %g req/s", rps)
+	}
+	fmt.Fprintf(w, "load: %d targets, %d ops in mix (%s), %d workers, %s loop, %s\n\n",
+		len(targets), len(ops), mix, concurrency, loop, duration)
+	res, err := loadgen.Run(ctx, loadgen.Spec{
+		Targets:     targets,
+		Ops:         ops,
+		Concurrency: concurrency,
+		RPS:         rps,
+		Duration:    duration,
+	})
+	if err != nil {
+		return err
+	}
+	printLoadResult(w, res)
+	return nil
+}
+
+// printLoadResult renders the per-class breakdown plus totals.
+func printLoadResult(w io.Writer, res *loadgen.Result) {
+	ms := func(d time.Duration) string {
+		return fmt.Sprintf("%.2f", float64(d)/float64(time.Millisecond))
+	}
+	fmt.Fprintf(w, "%-12s %9s %9s %6s %6s %6s %6s %7s %9s %9s %9s\n",
+		"class", "sent", "ok", "429", "shed", "4xx", "5xx", "neterr", "p50(ms)", "p95(ms)", "p99(ms)")
+	for _, c := range res.Classes {
+		fmt.Fprintf(w, "%-12s %9d %9d %6d %6d %6d %6d %7d %9s %9s %9s\n",
+			c.Class, c.Sent, c.OK, c.RateLimited, c.Shed, c.Err4xx, c.Err5xx, c.NetErr,
+			ms(c.Hist.Quantile(0.50)), ms(c.Hist.Quantile(0.95)), ms(c.Hist.Quantile(0.99)))
+	}
+	fmt.Fprintf(w, "\nelapsed %.2fs, %d requests completed, %.0f req/s achieved\n",
+		res.Elapsed.Seconds(), res.TotalSent(), res.Throughput())
+}

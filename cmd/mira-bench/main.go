@@ -10,6 +10,16 @@
 //	           [-scaled] [-paper-sizes] [-j n]
 //	mira-bench -serve-stats http://host:7319
 //	mira-bench -compare [-threshold pct] [-normalize] OLD.json NEW.json
+//	mira-bench -load -targets URL[,URL...] [-rps r] [-c n] [-duration d]
+//	           [-mix interactive:bulk]
+//
+// -load drives a weighted mix of interactive (/query) and bulk
+// (/sweep) traffic against one or more running mira-serve replicas —
+// closed loop by default (fixed workers measure capacity), open loop
+// with -rps (fixed arrival rate measures behavior at an offered load)
+// — and prints per-class outcome counts with p50/p95/p99 latencies.
+// Workload keys are discovered from GET /workloads, so no source is
+// uploaded.
 //
 // -compare reads two `go test -bench -json` baselines (BENCH_*.json),
 // pairs the benchmarks they share, and exits nonzero when one regresses
@@ -77,6 +87,12 @@ func main() {
 	compare := flag.Bool("compare", false, "compare two `go test -bench -json` baselines (args: OLD.json NEW.json)")
 	threshold := flag.Float64("threshold", 15, "regression threshold for -compare, in percent")
 	normalize := flag.Bool("normalize", false, "normalize -compare ratios by the shared-set median (cross-machine baselines)")
+	load := flag.Bool("load", false, "generate load against running mira-serve replicas (-targets)")
+	targets := flag.String("targets", "", "comma-separated replica base URLs for -load")
+	rps := flag.Float64("rps", 0, "-load target arrival rate in req/s (0 = closed loop)")
+	concurrency := flag.Int("c", 16, "-load worker count")
+	duration := flag.Duration("duration", 10*time.Second, "-load run duration")
+	mix := flag.String("mix", "90:10", "-load interactive:bulk weight mix")
 	flag.Parse()
 
 	if *compare {
@@ -98,6 +114,26 @@ func main() {
 	if *serveStats != "" {
 		if err := printServeStats(os.Stdout, *serveStats); err != nil {
 			fmt.Fprintf(os.Stderr, "mira-bench: serve-stats: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *load {
+		var bases []string
+		for _, t := range strings.Split(*targets, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				bases = append(bases, strings.TrimSuffix(t, "/"))
+			}
+		}
+		if len(bases) == 0 {
+			fmt.Fprintln(os.Stderr, "usage: mira-bench -load -targets URL[,URL...] [-rps r] [-c n] [-duration d] [-mix i:b]")
+			os.Exit(2)
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if err := runLoad(ctx, os.Stdout, bases, *rps, *concurrency, *duration, *mix); err != nil {
+			fmt.Fprintf(os.Stderr, "mira-bench: load: %v\n", err)
 			os.Exit(1)
 		}
 		return

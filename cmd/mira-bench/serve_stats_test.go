@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -15,7 +16,7 @@ import (
 func TestPrintServeStats(t *testing.T) {
 	reg := obs.NewRegistry()
 	eng := engine.New(engine.Options{Obs: reg})
-	if _, err := eng.Analyze("k.c", "double f() { return 1.0; }"); err != nil {
+	if _, err := eng.AnalyzeCtx(context.Background(), "k.c", "double f() { return 1.0; }"); err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"mira/internal/cluster"
+)
+
+// frontDoor is the cluster replica's admission chain, applied outside
+// the API mux: per-client rate limiting (429), then per-class
+// concurrency admission (503 + Retry-After). Control traffic — health,
+// metrics, the peer protocol — always passes: a saturated replica must
+// still answer its health checks and its siblings. Requests already
+// forwarded by a sibling skip the rate limiter (the sibling's client
+// already spent a token there) but still count against admission,
+// which protects this replica's memory.
+func (s *server) frontDoor(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		class := cluster.ClassOf(r.URL.Path)
+		if class == cluster.ClassControl {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if r.Header.Get(cluster.ForwardedHeader) == "" && !s.node.Limiter.Allow(clientKey(r)) {
+			s.reqErrors.Inc()
+			s.node.Limiter.Limit(w)
+			return
+		}
+		release, ok := s.node.Admission.Admit(class)
+		if !ok {
+			s.reqErrors.Inc()
+			s.node.Admission.Shed(w)
+			return
+		}
+		defer release()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// clientKey identifies a client for rate limiting: the remote IP,
+// ignoring the ephemeral port so one client's connections share a
+// bucket.
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// routeKey resolves the content key a request addresses: an explicit
+// key wins; inline source hashes to the key it would analyze under.
+// Empty means the request names nothing routable.
+func (s *server) routeKey(key, source string) string {
+	if key != "" {
+		return key
+	}
+	if strings.TrimSpace(source) != "" {
+		return s.eng.Key(source)
+	}
+	return ""
+}
+
+// forward proxies an interactive request to key's ring owner when this
+// replica is clustered and the owner is a healthy remote peer. A true
+// return means the response was written (whatever the owner answered);
+// false means the caller serves the request locally — forwarding is an
+// optimization for cache locality, never a dependency.
+func (s *server) forward(w http.ResponseWriter, r *http.Request, key string, body []byte) bool {
+	if s.node == nil || key == "" {
+		return false
+	}
+	owner, ok := s.node.Forwarder.ShouldForward(r, key)
+	if !ok {
+		return false
+	}
+	return s.node.Forwarder.Forward(w, r, owner, body)
+}
+
+// handleLivez is pure liveness: the process is up and serving.
+func (s *server) handleLivez(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+// handleReadyz is readiness: whether this replica should receive new
+// routed traffic. Draining (shutdown started) and interactive
+// saturation (admission shedding latency-sensitive work) both answer
+// 503, so a front-end or sibling stops sending while in-flight
+// requests finish.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	detail := map[string]any{
+		"status":   "ok",
+		"draining": s.draining.Load(),
+	}
+	saturated := false
+	if s.node != nil {
+		saturated = s.node.Admission.Saturated()
+		detail["interactive_inflight"] = s.node.Admission.InteractiveInflight()
+		detail["bulk_inflight"] = s.node.Admission.BulkInflight()
+		detail["saturated"] = saturated
+	}
+	if s.draining.Load() || saturated {
+		detail["status"] = "unavailable"
+		if s.draining.Load() {
+			detail["status"] = "draining"
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(detail)
+		return
+	}
+	s.writeJSON(w, detail)
+}

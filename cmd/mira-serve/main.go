@@ -21,17 +21,31 @@
 //	GET  /workloads embedded workload registry with content keys (query
 //	                by key without uploading source) + named suites
 //	GET  /metrics   OpenMetrics text exposition (cache, latency, HTTP series)
-//	GET  /healthz   liveness + uptime
+//	GET  /healthz   liveness + uptime (alias of /livez)
+//	GET  /livez     liveness: the process is up
+//	GET  /readyz    readiness: 503 while draining or interactive-saturated
 //
 // Every handler threads the request context into the engine, so a
 // client dropping its connection aborts the evaluation it abandoned.
 // SIGINT/SIGTERM drain in-flight requests (bounded by -drain) before
 // the process exits.
 //
+// Cluster mode (-peers + -self) turns the daemon into one replica of a
+// sharded deployment: a consistent-hash ring over content keys decides
+// which replica owns each analyzed program, interactive requests are
+// forwarded to their key's owner for cache locality, cache artifacts
+// read through to the owner and replicate back write-behind, and the
+// front door applies per-client rate limiting (-rate/-burst) plus QoS
+// admission control (-interactive-slots/-bulk-slots) that sheds excess
+// bulk work with Retry-After instead of queueing it into an OOM. The
+// peer protocol is served under /cluster/.
+//
 // Usage:
 //
 //	mira-serve [-addr :7319] [-cache-dir DIR] [-j n] [-arch name]
 //	           [-lenient] [-no-opt] [-drain 30s] [-paper-suites]
+//	           [-peers URL,URL,... -self URL] [-vnodes n]
+//	           [-rate r -burst b] [-interactive-slots n] [-bulk-slots n]
 package main
 
 import (
@@ -44,58 +58,125 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"mira/internal/arch"
 	"mira/internal/cachestore"
+	"mira/internal/cluster"
 	"mira/internal/core"
 	"mira/internal/engine"
 	"mira/internal/experiments"
 	"mira/internal/obs"
 )
 
+// serveConfig carries every flag into run.
+type serveConfig struct {
+	addr        string
+	cacheDir    string
+	jobs        int
+	maxResident int
+	archName    string
+	lenient     bool
+	noOpt       bool
+	drain       time.Duration
+	paperSuites bool
+
+	// Cluster mode.
+	peers            string
+	self             string
+	vnodes           int
+	rate             float64
+	burst            float64
+	interactiveSlots int
+	bulkSlots        int
+}
+
 func main() {
-	addr := flag.String("addr", ":7319", "listen address")
-	cacheDir := flag.String("cache-dir", "", "content-addressed artifact cache directory (empty = in-memory only)")
-	jobs := flag.Int("j", 0, "analysis workers (0 = GOMAXPROCS)")
-	maxResident := flag.Int("max-resident", 4096, "live-cache entries kept resident (0 = unlimited; untrusted traffic needs a bound)")
-	archName := flag.String("arch", "", "architecture description: arya, frankenstein, or generic")
-	lenient := flag.Bool("lenient", false, "downgrade unanalyzable branches to warnings")
-	noOpt := flag.Bool("no-opt", false, "compile without optimizations")
-	drain := flag.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight requests to finish")
-	paperSuites := flag.Bool("paper-suites", false,
+	var cfg serveConfig
+	flag.StringVar(&cfg.addr, "addr", ":7319", "listen address")
+	flag.StringVar(&cfg.cacheDir, "cache-dir", "", "content-addressed artifact cache directory (empty = in-memory only)")
+	flag.IntVar(&cfg.jobs, "j", 0, "analysis workers (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.maxResident, "max-resident", 4096, "live-cache entries kept resident (0 = unlimited; untrusted traffic needs a bound)")
+	flag.StringVar(&cfg.archName, "arch", "", "architecture description: arya, frankenstein, or generic")
+	flag.BoolVar(&cfg.lenient, "lenient", false, "downgrade unanalyzable branches to warnings")
+	flag.BoolVar(&cfg.noOpt, "no-opt", false, "compile without optimizations")
+	flag.DurationVar(&cfg.drain, "drain", 30*time.Second, "how long shutdown waits for in-flight requests to finish")
+	flag.BoolVar(&cfg.paperSuites, "paper-suites", false,
 		"serve the named report suites at the paper's full dynamic sizes (minutes of VM time per request) instead of the scaled ones")
+	flag.StringVar(&cfg.peers, "peers", "", "comma-separated replica base URLs (cluster mode; must include -self)")
+	flag.StringVar(&cfg.self, "self", "", "this replica's advertised base URL (required with -peers)")
+	flag.IntVar(&cfg.vnodes, "vnodes", 0, "virtual nodes per replica on the hash ring (0 = default)")
+	flag.Float64Var(&cfg.rate, "rate", 0, "per-client sustained request rate in req/s (0 = unlimited)")
+	flag.Float64Var(&cfg.burst, "burst", 0, "per-client burst depth (0 = 2x rate)")
+	flag.IntVar(&cfg.interactiveSlots, "interactive-slots", 0, "concurrent interactive requests admitted (0 = default)")
+	flag.IntVar(&cfg.bulkSlots, "bulk-slots", 0, "concurrent bulk (sweep/report) requests admitted; excess is shed with Retry-After (0 = default)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, *cacheDir, *jobs, *maxResident, *archName, *lenient, *noOpt, *drain, *paperSuites); err != nil {
+	if err := run(ctx, cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "mira-serve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, addr, cacheDir string, jobs, maxResident int, archName string, lenient, noOpt bool, drain time.Duration, paperSuites bool) error {
-	a, err := arch.Lookup(archName)
+func run(ctx context.Context, cfg serveConfig) error {
+	a, err := arch.Lookup(cfg.archName)
 	if err != nil {
 		return err
 	}
-	var store engine.CacheStore
-	if cacheDir != "" {
-		disk, err := cachestore.Open(cacheDir)
+	// The replica's own store: on-disk when configured, else in-memory.
+	// Standalone daemons historically ran with no store at all when
+	// -cache-dir was absent (the live cache suffices); cluster mode
+	// always needs one, since it is what sibling fetches serve from.
+	var local cluster.LocalStore
+	if cfg.cacheDir != "" {
+		disk, err := cachestore.Open(cfg.cacheDir)
 		if err != nil {
 			return err
 		}
-		store = disk
+		local = disk
 		log.Printf("mira-serve: artifact cache at %s", disk.Dir())
 	}
 	reg := obs.NewRegistry()
+
+	var node *cluster.Node
+	var store engine.CacheStore
+	if cfg.peers != "" {
+		if cfg.self == "" {
+			return fmt.Errorf("-peers requires -self (this replica's base URL as it appears in the peer list)")
+		}
+		if local == nil {
+			local = engine.NewMemoryStore()
+		}
+		node, err = cluster.NewNode(cluster.NodeOptions{
+			Self:         strings.TrimRight(cfg.self, "/"),
+			Peers:        cluster.NormalizePeers(cfg.peers),
+			VirtualNodes: cfg.vnodes,
+			Local:        local,
+			Obs:          reg,
+			Admission: cluster.AdmissionOptions{
+				InteractiveSlots: cfg.interactiveSlots,
+				BulkSlots:        cfg.bulkSlots,
+			},
+			RateLimit: cluster.RateLimiterOptions{Rate: cfg.rate, Burst: cfg.burst},
+		})
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+		store = node.Store
+		log.Printf("mira-serve: cluster mode, self=%s peers=%v", node.Self, node.Ring.Peers())
+	} else if local != nil {
+		store = local
+	}
 	eng := engine.New(engine.Options{
-		Workers:     jobs,
-		Core:        core.Options{Arch: a, Lenient: lenient, DisableOpt: noOpt},
+		Workers:     cfg.jobs,
+		Core:        core.Options{Arch: a, Lenient: cfg.lenient, DisableOpt: cfg.noOpt},
 		Store:       store,
-		MaxResident: maxResident,
+		MaxResident: cfg.maxResident,
 		Obs:         reg,
 	})
 	// Named report suites: the scaled configuration by default, so a
@@ -105,32 +186,34 @@ func run(ctx context.Context, addr, cacheDir string, jobs, maxResident int, arch
 	// dynamic columns take minutes of VM time — without loosening the
 	// slow-client timeouts on any other endpoint).
 	suiteCfg := experiments.ScaledConfig()
-	if paperSuites {
+	if cfg.paperSuites {
 		suiteCfg = experiments.PaperConfig()
 	}
+	s := newServer(eng, reg, experiments.SuiteMap(suiteCfg), node)
 	// Full timeout set: a resident daemon must shrug off slow-body
 	// clients, not accumulate their goroutines.
 	srv := &http.Server{
-		Handler:           newServer(eng, reg, experiments.SuiteMap(suiteCfg)),
+		Handler:           s,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
 		IdleTimeout:       120 * time.Second,
 	}
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
 	log.Printf("mira-serve: listening on %s (%d workers)", ln.Addr(), eng.Workers())
-	return serveUntilDone(ctx, srv, ln, drain)
+	return serveUntilDone(ctx, srv, ln, cfg.drain, func() { s.draining.Store(true) })
 }
 
 // serveUntilDone serves on ln until the server fails or ctx ends
-// (SIGINT/SIGTERM in production). On a signal it stops accepting new
-// connections and drains in-flight requests — analyses finish and their
-// responses are written, instead of dying mid-write — for at most drain,
-// then hard-closes whatever remains.
-func serveUntilDone(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration) error {
+// (SIGINT/SIGTERM in production). On a signal it calls markDraining —
+// /readyz starts answering 503 so routed traffic goes elsewhere — then
+// stops accepting new connections and drains in-flight requests:
+// analyses finish and their responses are written, instead of dying
+// mid-write, for at most drain, then hard-closes whatever remains.
+func serveUntilDone(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration, markDraining func()) error {
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
 	select {
@@ -138,6 +221,9 @@ func serveUntilDone(ctx context.Context, srv *http.Server, ln net.Listener, drai
 		// Serve never returns nil; reaching here means the listener died.
 		return err
 	case <-ctx.Done():
+	}
+	if markDraining != nil {
+		markDraining()
 	}
 	log.Printf("mira-serve: shutdown signal; draining in-flight requests (up to %s)", drain)
 	//lint:ignore mira/ctxflow the parent ctx is already done here; the drain needs a fresh timeout

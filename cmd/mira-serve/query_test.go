@@ -222,7 +222,7 @@ func TestStatusForCancellation(t *testing.T) {
 func newTestServerWithRegistry(t *testing.T, reg *obs.Registry) (http.Handler, *obs.Registry) {
 	t.Helper()
 	eng := engine.New(engine.Options{Obs: reg})
-	return newServer(eng, reg, testSuites()), reg
+	return newServer(eng, reg, testSuites(), nil), reg
 }
 
 func scrapeMetrics(t *testing.T, h http.Handler) string {
@@ -251,7 +251,7 @@ func TestServeDrainsInFlightRequests(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	serveDone := make(chan error, 1)
-	go func() { serveDone <- serveUntilDone(ctx, srv, ln, 10*time.Second) }()
+	go func() { serveDone <- serveUntilDone(ctx, srv, ln, 10*time.Second, nil) }()
 
 	respCh := make(chan string, 1)
 	errCh := make(chan error, 1)

@@ -10,8 +10,10 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"mira/internal/cluster"
 	"mira/internal/engine"
 	"mira/internal/expr"
 	"mira/internal/model"
@@ -45,6 +47,15 @@ type server struct {
 	// embedded registry's content keys are fixed for a given engine.
 	workloads []workloadInfo
 	start     time.Time
+	// node is the replica's cluster runtime; nil for a standalone
+	// daemon, in which case the front door and forwarding are inert.
+	node *cluster.Node
+	// draining flips when shutdown starts; /readyz answers 503 from
+	// then on so a cluster front-end routes around the replica while
+	// in-flight requests finish.
+	draining atomic.Bool
+	// handler is the assembled middleware chain ServeHTTP delegates to.
+	handler http.Handler
 
 	reqAnalyze   *obs.Counter
 	reqEval      *obs.Counter
@@ -59,14 +70,18 @@ type server struct {
 // newServer wires the handler set. The registry must be the one the
 // engine reports into, so /metrics exposes engine, report, and HTTP
 // series together. suites are the named reports POST /report serves by
-// name (nil means inline specs only).
-func newServer(eng *engine.Engine, reg *obs.Registry, suites map[string]report.Suite) http.Handler {
+// name (nil means inline specs only). node, when non-nil, turns the
+// daemon into a cluster replica: the peer protocol mounts under
+// /cluster/, the front door (rate limiting + QoS admission) wraps the
+// API, and interactive requests forward to their key's ring owner.
+func newServer(eng *engine.Engine, reg *obs.Registry, suites map[string]report.Suite, node *cluster.Node) *server {
 	s := &server{
 		eng:          eng,
 		reg:          reg,
 		runner:       report.NewRunner(eng).WithObs(reg),
 		suites:       suites,
 		start:        time.Now(),
+		node:         node,
 		reqAnalyze:   reg.Counter("mira_http_analyze_requests", "POST /analyze requests"),
 		reqEval:      reg.Counter("mira_http_eval_requests", "POST /eval requests"),
 		reqQuery:     reg.Counter("mira_http_query_requests", "POST /query requests"),
@@ -88,8 +103,21 @@ func newServer(eng *engine.Engine, reg *obs.Registry, suites map[string]report.S
 	mux.HandleFunc("GET /workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return s.instrument(mux)
+	mux.HandleFunc("GET /livez", s.handleLivez)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if node != nil {
+		mux.Handle("/cluster/", node.Handler())
+	}
+	var h http.Handler = mux
+	if node != nil {
+		h = s.frontDoor(h)
+	}
+	s.handler = s.instrument(h)
+	return s
 }
+
+// ServeHTTP makes *server the daemon's root handler.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 // instrument wraps the mux with latency observation and a last-resort
 // recover: the engine converts hostile-input panics into errors, and
@@ -123,15 +151,29 @@ func (s *server) writeJSON(w http.ResponseWriter, v any) {
 }
 
 func (s *server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return false
+	}
+	return s.parseJSON(w, body, into)
+}
+
+// readBody reads a bounded request body. Forwarding handlers read the
+// raw bytes first so an owner-routed request can be re-sent verbatim.
+func (s *server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBytes+1))
 	if err != nil {
 		s.apiError(w, http.StatusBadRequest, "read body: %v", err)
-		return false
+		return nil, false
 	}
 	if len(body) > maxRequestBytes {
 		s.apiError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", maxRequestBytes)
-		return false
+		return nil, false
 	}
+	return body, true
+}
+
+func (s *server) parseJSON(w http.ResponseWriter, body []byte, into any) bool {
 	if err := json.Unmarshal(body, into); err != nil {
 		s.apiError(w, http.StatusBadRequest, "bad JSON: %v", err)
 		return false
@@ -212,8 +254,12 @@ func clientGone(r *http.Request) bool { return r.Context().Err() != nil }
 
 func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.reqAnalyze.Inc()
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
 	var req analyzeRequest
-	if !s.decode(w, r, &req) {
+	if !s.parseJSON(w, body, &req) {
 		return
 	}
 	if strings.TrimSpace(req.Source) == "" {
@@ -222,6 +268,9 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Name == "" {
 		req.Name = "input.c"
+	}
+	if s.forward(w, r, s.routeKey("", req.Source), body) {
+		return
 	}
 	a, err := s.eng.AnalyzeCtx(r.Context(), req.Name, req.Source)
 	if err != nil {
@@ -338,12 +387,19 @@ func (s *server) resolveAnalysis(w http.ResponseWriter, r *http.Request, key, na
 
 func (s *server) handleEval(w http.ResponseWriter, r *http.Request) {
 	s.reqEval.Inc()
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
 	var req evalRequest
-	if !s.decode(w, r, &req) {
+	if !s.parseJSON(w, body, &req) {
 		return
 	}
 	if req.Fn == "" {
 		s.apiError(w, http.StatusBadRequest, "missing fn")
+		return
+	}
+	if s.forward(w, r, s.routeKey(req.Key, req.Source), body) {
 		return
 	}
 	a, ok := s.resolveAnalysis(w, r, req.Key, req.Name, req.Source)
@@ -434,8 +490,12 @@ type queryResponse struct {
 // dropped connection aborts the remaining cells.
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.reqQuery.Inc()
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
 	var req queryRequest
-	if !s.decode(w, r, &req) {
+	if !s.parseJSON(w, body, &req) {
 		return
 	}
 	if len(req.Queries) == 0 {
@@ -444,6 +504,9 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(req.Queries) > maxQueriesPerRequest {
 		s.apiError(w, http.StatusRequestEntityTooLarge, "%d queries exceeds the per-request limit of %d", len(req.Queries), maxQueriesPerRequest)
+		return
+	}
+	if s.forward(w, r, s.routeKey(req.Key, req.Source), body) {
 		return
 	}
 	a, ok := s.resolveAnalysis(w, r, req.Key, req.Name, req.Source)

@@ -42,7 +42,7 @@ func newTestServer(t *testing.T, cacheDir string) http.Handler {
 	}
 	reg := obs.NewRegistry()
 	eng := engine.New(engine.Options{Core: core.Options{}, Store: store, Obs: reg})
-	return newServer(eng, reg, testSuites())
+	return newServer(eng, reg, testSuites(), nil)
 }
 
 // testSuites are the named paper suites at sizes small enough for unit

@@ -198,14 +198,14 @@ func analyzeAndEval(e *engine.Engine, env expr.Env) (any, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			a, err := e.Analyze("kernel.c", kernelSrc)
+			a, err := e.AnalyzeCtx(context.Background(), "kernel.c", kernelSrc)
 			if err == nil {
 				_, _ = a.StaticMetrics("kernel", env)
 			}
 		}()
 	}
 	wg.Wait()
-	a, err := e.Analyze("kernel.c", kernelSrc)
+	a, err := e.AnalyzeCtx(context.Background(), "kernel.c", kernelSrc)
 	if err != nil {
 		return nil, err
 	}
@@ -316,7 +316,7 @@ func TestFuncEntryCorruptionIsolated(t *testing.T) {
 		t.Fatal(err)
 	}
 	e1 := engine.New(engine.Options{Store: d1, Workers: 1})
-	if _, err := e1.Analyze("minife.c", benchprogs.MiniFE); err != nil {
+	if _, err := e1.AnalyzeCtx(context.Background(), "minife.c", benchprogs.MiniFE); err != nil {
 		t.Fatal(err)
 	}
 	if d1.FuncLen() == 0 {
@@ -352,7 +352,7 @@ func TestFuncEntryCorruptionIsolated(t *testing.T) {
 		t.Fatal(err)
 	}
 	e2 := engine.New(engine.Options{Store: d2, Workers: 1})
-	a, err := e2.Analyze("minife.c", mutated)
+	a, err := e2.AnalyzeCtx(context.Background(), "minife.c", mutated)
 	if err != nil {
 		t.Fatalf("analyze over corrupted store: %v", err)
 	}
@@ -371,7 +371,7 @@ func TestFuncEntryCorruptionIsolated(t *testing.T) {
 		}
 	}
 
-	cold, err := engine.New(engine.Options{Workers: 1}).Analyze("minife.c", mutated)
+	cold, err := engine.New(engine.Options{Workers: 1}).AnalyzeCtx(context.Background(), "minife.c", mutated)
 	if err != nil {
 		t.Fatal(err)
 	}

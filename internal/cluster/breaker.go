@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit-breaker automaton.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker is a per-peer circuit breaker: after Threshold consecutive
+// failures it opens and every Allow is refused for Cooldown, so a dead
+// peer costs one timeout per cooldown window instead of one per
+// request. After the cooldown one probe request is let through
+// (half-open); its outcome closes or re-opens the circuit.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    breakerState
+	failures int
+	openedAt time.Time
+}
+
+// newBreaker builds a breaker; threshold <= 0 means 5 consecutive
+// failures, cooldown <= 0 means 5 seconds, now == nil means time.Now.
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *Breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// Allow reports whether a request may be sent to the peer. In the open
+// state it refuses until the cooldown elapses, then admits exactly one
+// probe (half-open); further callers keep getting refused until the
+// probe reports Success or Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: a probe is already in flight
+		return false
+	}
+}
+
+// Success records a successful round trip, closing the circuit.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.failures = 0
+}
+
+// Failure records a failed round trip. In half-open it re-opens
+// immediately; in closed it opens once the consecutive-failure
+// threshold is reached.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	if b.state == breakerHalfOpen || b.failures >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = b.now()
+	}
+}
+
+// State reports the current state name (for /cluster/ring
+// introspection).
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String()
+}
+
+// health is the shared per-peer breaker registry: the PeerStore's
+// read-through path, the replication writers, and the Forwarder all
+// consult the same breaker for a peer, so a peer that times out on one
+// path stops receiving traffic on all of them.
+type health struct {
+	mu       sync.Mutex
+	m        map[string]*Breaker
+	thresh   int
+	cooldown time.Duration
+	now      func() time.Time
+}
+
+func newHealth(threshold int, cooldown time.Duration, now func() time.Time) *health {
+	return &health{m: map[string]*Breaker{}, thresh: threshold, cooldown: cooldown, now: now}
+}
+
+// breaker returns (creating if needed) the breaker for peer.
+func (h *health) breaker(peer string) *Breaker {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	b := h.m[peer]
+	if b == nil {
+		b = newBreaker(h.thresh, h.cooldown, h.now)
+		h.m[peer] = b
+	}
+	return b
+}
+
+// openCount reports how many peer circuits are currently not closed
+// (open or half-open) — the mira_cluster_breakers_open gauge.
+func (h *health) openCount() int {
+	h.mu.Lock()
+	breakers := make([]*Breaker, 0, len(h.m))
+	//lint:ignore mira/detorder snapshot order is irrelevant: breakers are counted, never emitted
+	for _, b := range h.m {
+		breakers = append(breakers, b)
+	}
+	h.mu.Unlock()
+	n := 0
+	for _, b := range breakers {
+		if b.State() != "closed" {
+			n++
+		}
+	}
+	return n
+}
+
+// states snapshots every peer's breaker state, for introspection.
+func (h *health) states() map[string]string {
+	h.mu.Lock()
+	peers := make([]string, 0, len(h.m))
+	//lint:ignore mira/detorder snapshot order is irrelevant: the result is a map
+	for p := range h.m {
+		peers = append(peers, p)
+	}
+	h.mu.Unlock()
+	out := make(map[string]string, len(peers))
+	for _, p := range peers {
+		out[p] = h.breaker(p).State()
+	}
+	return out
+}

@@ -1,0 +1,309 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mira/internal/obs"
+)
+
+// testKeys generates n distinct valid content keys (lowercase hex).
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%064x", i+1)
+	}
+	return keys
+}
+
+func TestRingDistribution(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	keys := testKeys(9000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	for _, p := range peers {
+		share := float64(counts[p]) / float64(len(keys))
+		if share < 0.10 || share > 0.60 {
+			t.Errorf("peer %s owns %.1f%% of the key space; want a rough third", p, 100*share)
+		}
+	}
+}
+
+// TestRingMembershipStability: removing one peer moves only that peer's
+// keys; every key owned by a survivor keeps its owner. This is the
+// property that keeps the shared cache tier warm across a replica
+// death.
+func TestRingMembershipStability(t *testing.T) {
+	full, err := NewRing([]string{"http://a:1", "http://b:1", "http://c:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := NewRing([]string{"http://a:1", "http://c:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	keys := testKeys(5000)
+	for _, k := range keys {
+		before := full.Owner(k)
+		after := reduced.Owner(k)
+		if before == "http://b:1" {
+			continue // the departed peer's arcs must move somewhere
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys owned by surviving peers changed owner on membership change", moved)
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"http://a:1", "http://a:1"}, 0); err == nil {
+		t.Error("duplicate peer accepted")
+	}
+	if _, err := NewRing([]string{""}, 0); err == nil {
+		t.Error("empty peer address accepted")
+	}
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	b := newBreaker(3, time.Second, clock)
+
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused request %d", i)
+		}
+		b.Failure()
+	}
+	if b.State() != "open" {
+		t.Fatalf("state after threshold failures = %s, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+
+	now = now.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("cooled-down breaker refused the probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second request while the probe is in flight")
+	}
+	b.Failure()
+	if b.State() != "open" {
+		t.Fatalf("state after failed probe = %s, want open", b.State())
+	}
+
+	now = now.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe refused")
+	}
+	b.Success()
+	if b.State() != "closed" {
+		t.Fatalf("state after successful probe = %s, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused traffic")
+	}
+}
+
+func TestWireEntryRoundTrip(t *testing.T) {
+	key := testKeys(1)[0]
+	e := &testEntry
+	raw := EncodeEntry(key, e)
+	got, err := DecodeEntry(key, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != e.Name || got.Source != e.Source || string(got.Object) != string(e.Object) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+
+	// Any single defect is an error, never a partial decode.
+	if _, err := DecodeEntry("f00d", raw); err == nil {
+		t.Error("payload accepted under the wrong key")
+	}
+	if _, err := DecodeEntry(key, raw[:len(raw)-1]); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	flipped := append([]byte(nil), raw...)
+	flipped[len(peerMagic)+3] ^= 0x40
+	if _, err := DecodeEntry(key, flipped); err == nil {
+		t.Error("corrupt payload accepted")
+	}
+	if _, err := DecodeEntry(key, []byte("not a frame at all")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestWireFuncEntryRoundTrip(t *testing.T) {
+	key := testKeys(2)[1]
+	raw := EncodeFuncEntry(key, &testFuncEntry)
+	got, err := DecodeFuncEntry(key, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != testFuncEntry.Name || string(got.Unit) != string(testFuncEntry.Unit) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	// A whole-source frame is not a function frame.
+	if _, err := DecodeFuncEntry(key, EncodeEntry(key, &testEntry)); err == nil {
+		t.Error("whole-source frame decoded as a function frame")
+	}
+}
+
+func TestValidKey(t *testing.T) {
+	for key, want := range map[string]bool{
+		"deadbeef": true,
+		"0123":     true,
+		"abc":      false, // too short
+		"DEADBEEF": false, // uppercase
+		"../etc":   false,
+		"":         false,
+	} {
+		if got := validKey(key); got != want {
+			t.Errorf("validKey(%q) = %v, want %v", key, got, want)
+		}
+	}
+}
+
+func TestAdmissionShedsBulk(t *testing.T) {
+	met := newMetricsSet(obs.NewRegistry())
+	a := newAdmission(AdmissionOptions{InteractiveSlots: 2, BulkSlots: 1}, met)
+
+	rel1, ok := a.Admit(ClassBulk)
+	if !ok {
+		t.Fatal("first bulk request shed with a free slot")
+	}
+	if _, ok := a.Admit(ClassBulk); ok {
+		t.Fatal("second bulk request admitted past the slot bound")
+	}
+	rel1()
+	rel2, ok := a.Admit(ClassBulk)
+	if !ok {
+		t.Fatal("bulk request shed after the slot was released")
+	}
+	rel2()
+
+	// Control traffic never queues behind either class.
+	if _, ok := a.Admit(ClassControl); !ok {
+		t.Fatal("control traffic refused")
+	}
+}
+
+func TestAdmissionSaturation(t *testing.T) {
+	met := newMetricsSet(obs.NewRegistry())
+	a := newAdmission(AdmissionOptions{InteractiveSlots: 1, BulkSlots: 1}, met)
+	if a.Saturated() {
+		t.Fatal("idle admission reports saturated")
+	}
+	rel, ok := a.Admit(ClassInteractive)
+	if !ok {
+		t.Fatal("interactive request shed with a free slot")
+	}
+	if !a.Saturated() {
+		t.Fatal("full interactive class not reported saturated")
+	}
+	rel()
+	if a.Saturated() {
+		t.Fatal("released admission still saturated")
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	for path, want := range map[string]Class{
+		"/query":               ClassInteractive,
+		"/eval":                ClassInteractive,
+		"/analyze":             ClassInteractive,
+		"/sweep":               ClassBulk,
+		"/report":              ClassBulk,
+		"/metrics":             ClassControl,
+		"/healthz":             ClassControl,
+		"/cluster/ring":        ClassControl,
+		"/cluster/object/abcd": ClassControl,
+	} {
+		if got := ClassOf(path); got != want {
+			t.Errorf("ClassOf(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+func TestRateLimiter(t *testing.T) {
+	now := time.Unix(2000, 0)
+	met := newMetricsSet(obs.NewRegistry())
+	l := newRateLimiter(RateLimiterOptions{Rate: 1, Burst: 2}, met, func() time.Time { return now })
+
+	if !l.Allow("a") || !l.Allow("a") {
+		t.Fatal("burst refused")
+	}
+	if l.Allow("a") {
+		t.Fatal("request allowed past the burst")
+	}
+	// A different client has its own bucket.
+	if !l.Allow("b") {
+		t.Fatal("second client refused on first request")
+	}
+	// Refill at 1 req/s.
+	now = now.Add(time.Second)
+	if !l.Allow("a") {
+		t.Fatal("refilled bucket refused")
+	}
+	if l.Allow("a") {
+		t.Fatal("request allowed past the refill")
+	}
+}
+
+func TestRateLimiterDisabled(t *testing.T) {
+	met := newMetricsSet(obs.NewRegistry())
+	l := newRateLimiter(RateLimiterOptions{}, met, nil)
+	for i := 0; i < 100; i++ {
+		if !l.Allow("a") {
+			t.Fatal("disabled limiter refused a request")
+		}
+	}
+	if l.Clients() != 0 {
+		t.Errorf("disabled limiter tracked %d clients", l.Clients())
+	}
+}
+
+func TestRateLimiterEviction(t *testing.T) {
+	now := time.Unix(3000, 0)
+	met := newMetricsSet(obs.NewRegistry())
+	l := newRateLimiter(RateLimiterOptions{Rate: 100, MaxClients: 8}, met, func() time.Time { return now })
+	for i := 0; i < 8; i++ {
+		l.Allow(fmt.Sprintf("client-%d", i))
+	}
+	// New clients past the bound evict stale buckets instead of growing.
+	now = now.Add(10 * time.Second)
+	l.Allow("newcomer")
+	if n := l.Clients(); n > 8 {
+		t.Errorf("limiter tracks %d clients past the bound of 8", n)
+	}
+}
+
+func TestNormalizePeers(t *testing.T) {
+	got := NormalizePeers(" 10.0.0.1:7319, http://10.0.0.2:7319/ ,,https://replica-3 ")
+	want := []string{"http://10.0.0.1:7319", "http://10.0.0.2:7319", "https://replica-3"}
+	if len(got) != len(want) {
+		t.Fatalf("NormalizePeers = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("peer %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

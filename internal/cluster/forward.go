@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"time"
+)
+
+// ForwardedHeader marks a request that already crossed one replica:
+// the receiver serves it locally no matter who owns the key, so a
+// stale ring or a hash disagreement can never bounce a request in a
+// proxy loop.
+const ForwardedHeader = "X-Mira-Forwarded"
+
+// Forwarder proxies interactive requests to the content key's owner,
+// so the owner's caches (live memo, compiled models, evaluation memo)
+// stay hot for its arc of the key space. Forwarding is an optimization
+// with a local fallback, never a dependency: an unreachable owner
+// (transport error, open breaker) means the request is served locally
+// and the owner's breaker absorbs the signal.
+type Forwarder struct {
+	self   string
+	ring   *Ring
+	client *http.Client
+	health *health
+	met    *metricsSet
+}
+
+func newForwarder(self string, ring *Ring, h *health, met *metricsSet, timeout time.Duration) *Forwarder {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	return &Forwarder{
+		self:   self,
+		ring:   ring,
+		client: &http.Client{Timeout: timeout},
+		health: h,
+		met:    met,
+	}
+}
+
+// Owner resolves key's ring owner and reports whether it is a remote
+// peer this replica could forward to.
+func (f *Forwarder) Owner(key string) (owner string, remote bool) {
+	owner = f.ring.Owner(key)
+	return owner, owner != f.self
+}
+
+// ShouldForward reports whether r, resolving to key, should be proxied
+// to a remote owner: the request must not already be a forward, the
+// owner must be a peer, and that peer's circuit must admit traffic.
+func (f *Forwarder) ShouldForward(r *http.Request, key string) (owner string, ok bool) {
+	if r.Header.Get(ForwardedHeader) != "" {
+		return "", false
+	}
+	owner, remote := f.Owner(key)
+	if !remote {
+		return "", false
+	}
+	if !f.health.breaker(owner).Allow() {
+		return "", false
+	}
+	return owner, true
+}
+
+// Forward proxies r (whose body was already read into body) to owner
+// and copies the response back. A true return means the response was
+// written; false means the round trip failed before any byte reached
+// the client — the caller serves the request locally, and the
+// failure has been recorded against the owner's breaker.
+func (f *Forwarder) Forward(w http.ResponseWriter, r *http.Request, owner string, body []byte) bool {
+	b := f.health.breaker(owner)
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, owner+r.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		f.met.forwardErrs.Inc()
+		return false
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	req.Header.Set(ForwardedHeader, f.self)
+	resp, err := f.client.Do(req)
+	if err != nil {
+		b.Failure()
+		f.met.forwardErrs.Inc()
+		f.met.forwardFalls.Inc()
+		return false
+	}
+	defer resp.Body.Close()
+	b.Success()
+	f.met.forwards.Inc()
+	for _, h := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return true
+}

@@ -51,7 +51,7 @@ func TestSingleflightWaitCancellation(t *testing.T) {
 
 	ownerDone := make(chan error, 1)
 	go func() {
-		_, err := e.Analyze("owner.c", scaleSrc)
+		_, err := e.AnalyzeCtx(context.Background(), "owner.c", scaleSrc)
 		ownerDone <- err
 	}()
 	await(t, "owner entering build", store.entered)
@@ -74,7 +74,7 @@ func TestSingleflightWaitCancellation(t *testing.T) {
 	if err := await(t, "owner completing", ownerDone); err != nil {
 		t.Fatal(err)
 	}
-	a, err := e.Analyze("retry.c", scaleSrc)
+	a, err := e.AnalyzeCtx(context.Background(), "retry.c", scaleSrc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestWorkerQueueCancellation(t *testing.T) {
 
 	ownerDone := make(chan error, 1)
 	go func() {
-		_, err := e.Analyze("owner.c", scaleSrc)
+		_, err := e.AnalyzeCtx(context.Background(), "owner.c", scaleSrc)
 		ownerDone <- err
 	}()
 	await(t, "owner occupying the only worker", store.entered)
@@ -116,7 +116,7 @@ func TestWorkerQueueCancellation(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The withdrawn slot must not have poisoned the cache.
-	a, err := e.Analyze("queued.c", axpySrc)
+	a, err := e.AnalyzeCtx(context.Background(), "queued.c", axpySrc)
 	if err != nil {
 		t.Fatalf("cancellation was cached: %v", err)
 	}

@@ -275,7 +275,7 @@ func (e *Engine) funcMemoStats() (cells, entries int) {
 	return len(list), entries
 }
 
-// Analyze runs the full pipeline on source, or returns the cached
+// AnalyzeCtx runs the full pipeline on source, or returns the cached
 // Analysis if the same content (under the same options) was already
 // analyzed. Concurrent requests for the same content are deduplicated:
 // exactly one does the work. On a live-cache miss, a configured
@@ -284,13 +284,7 @@ func (e *Engine) funcMemoStats() (cells, entries int) {
 // too — the pipeline is deterministic, so retrying identical input
 // cannot succeed.
 //
-// Deprecated: use AnalyzeCtx so callers can cancel; this ctx-free shim
-// exists for tests and callers that genuinely have no lifecycle.
-func (e *Engine) Analyze(name, source string) (*Analysis, error) {
-	return e.AnalyzeCtx(context.Background(), name, source)
-}
-
-// AnalyzeCtx is Analyze honoring cancellation at every wait point: a
+// Cancellation is honored at every wait point: a
 // caller abandoning a duplicate-key wait returns ctx.Err() immediately
 // and leaks nothing (the owning compile continues and lands in the cache
 // for future requesters); a caller cancelled while queued for a worker
@@ -519,11 +513,20 @@ type Result struct {
 // ctx.Err().
 func (e *Engine) AnalyzeAll(ctx context.Context, jobs []Job) []Result {
 	results := make([]Result, len(jobs))
-	ForEach(e.workers, len(jobs), func(i int) error {
+	done := make([]bool, len(jobs))
+	ForEachCtx(ctx, e.workers, len(jobs), func(i int) error {
+		done[i] = true
 		a, err := e.AnalyzeCtx(ctx, jobs[i].Name, jobs[i].Source)
 		results[i] = Result{Job: jobs[i], Analysis: a, Err: err}
 		return nil
 	})
+	// Cancellation stops the sweep from scheduling; jobs it never
+	// reached still report the cancellation per item.
+	for i := range results {
+		if !done[i] {
+			results[i] = Result{Job: jobs[i], Err: ctx.Err()}
+		}
+	}
 	return results
 }
 
@@ -546,21 +549,13 @@ func (e *Engine) Stats() (hits, misses int64) {
 	return e.hits.Load(), e.misses.Load()
 }
 
-// ForEach runs fn(0..n-1) on at most workers goroutines and waits for
+// ForEachCtx runs fn(0..n-1) on at most workers goroutines and waits for
 // started work to finish. The first failure stops new indices from being
 // scheduled (in-flight items run to completion); the returned error is
 // the lowest-index failure among the items that ran, so a given failing
-// input reports the same error regardless of schedule.
-//
-// Deprecated: use ForEachCtx so callers can cancel; this ctx-free shim
-// exists for tests and callers that genuinely have no lifecycle.
-func ForEach(workers, n int, fn func(i int) error) error {
-	return ForEachCtx(context.Background(), workers, n, fn)
-}
-
-// ForEachCtx is ForEach honoring cancellation: once ctx is done, no new
-// index is scheduled (in-flight items run to completion) and the sweep
-// reports ctx.Err() like any other lowest-index failure.
+// input reports the same error regardless of schedule. Once ctx is done,
+// no new index is scheduled and the sweep reports ctx.Err() like any
+// other lowest-index failure.
 func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n == 0 {
 		return nil

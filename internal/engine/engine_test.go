@@ -35,11 +35,11 @@ double axpy(double *x, double *y, int n, double a) {
 
 func TestAnalyzeContentDedup(t *testing.T) {
 	e := engine.New(engine.Options{})
-	a1, err := e.Analyze("one.c", scaleSrc)
+	a1, err := e.AnalyzeCtx(context.Background(), "one.c", scaleSrc)
 	if err != nil {
 		t.Fatal(err)
 	}
-	a2, err := e.Analyze("two.c", scaleSrc)
+	a2, err := e.AnalyzeCtx(context.Background(), "two.c", scaleSrc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func TestAnalyzeContentDedup(t *testing.T) {
 	if hits, misses := a2.EvalStats(); hits != 1 || misses != 1 {
 		t.Errorf("eval stats across views = %d/%d, want 1 hit / 1 miss", hits, misses)
 	}
-	if _, err := e.Analyze("three.c", axpySrc); err != nil {
+	if _, err := e.AnalyzeCtx(context.Background(), "three.c", axpySrc); err != nil {
 		t.Fatal(err)
 	}
 	if hits, misses := e.Stats(); hits != 1 || misses != 2 {
@@ -76,18 +76,18 @@ func TestAnalyzeContentDedup(t *testing.T) {
 
 func TestAnalyzeCachesFailures(t *testing.T) {
 	e := engine.New(engine.Options{})
-	_, err1 := e.Analyze("bad.c", "int f( {")
+	_, err1 := e.AnalyzeCtx(context.Background(), "bad.c", "int f( {")
 	if err1 == nil {
 		t.Fatal("expected parse error")
 	}
-	_, err2 := e.Analyze("bad.c", "int f( {")
+	_, err2 := e.AnalyzeCtx(context.Background(), "bad.c", "int f( {")
 	if err2 == nil || err2.Error() != err1.Error() {
 		t.Errorf("cached failure differs: %v vs %v", err1, err2)
 	}
 	// A different name hitting the same failing content gets the cached
 	// error annotated with its provenance, since the diagnostic's
 	// positions cite the first requester's file.
-	_, err3 := e.Analyze("other.c", "int f( {")
+	_, err3 := e.AnalyzeCtx(context.Background(), "other.c", "int f( {")
 	if err3 == nil || !errors.Is(err3, err1) {
 		t.Errorf("cached failure under new name does not wrap original: %v", err3)
 	}
@@ -259,7 +259,7 @@ func TestConcurrentBatchAndEvalMatchesSerial(t *testing.T) {
 
 func TestEnvFingerprintOrderIndependent(t *testing.T) {
 	e := engine.New(engine.Options{})
-	a, err := e.Analyze("axpy.c", axpySrc)
+	a, err := e.AnalyzeCtx(context.Background(), "axpy.c", axpySrc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +290,7 @@ func TestForEach(t *testing.T) {
 		var ran atomic.Int64
 		seen := make([]bool, n)
 		var mu sync.Mutex
-		err := engine.ForEach(workers, n, func(i int) error {
+		err := engine.ForEachCtx(context.Background(), workers, n, func(i int) error {
 			ran.Add(1)
 			mu.Lock()
 			seen[i] = true
@@ -314,7 +314,7 @@ func TestForEach(t *testing.T) {
 	// and stops scheduling new ones.
 	for _, workers := range []int{1, 3, 16} {
 		var ran atomic.Int64
-		err := engine.ForEach(workers, 50, func(i int) error {
+		err := engine.ForEachCtx(context.Background(), workers, 50, func(i int) error {
 			ran.Add(1)
 			if i == 7 || i == 31 {
 				return fmt.Errorf("boom %d", i)
@@ -328,7 +328,7 @@ func TestForEach(t *testing.T) {
 			t.Errorf("serial: ran %d items, want early exit after index 7", ran.Load())
 		}
 	}
-	if err := engine.ForEach(4, 0, func(int) error { return fmt.Errorf("no") }); err != nil {
+	if err := engine.ForEachCtx(context.Background(), 4, 0, func(int) error { return fmt.Errorf("no") }); err != nil {
 		t.Errorf("n=0: %v", err)
 	}
 }

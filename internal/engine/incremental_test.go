@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"testing"
@@ -18,7 +19,7 @@ import (
 func TestDeltaSemantics(t *testing.T) {
 	e := engine.New(engine.Options{Workers: 1})
 
-	a1, err := e.Analyze("minife.c", benchprogs.MiniFE)
+	a1, err := e.AnalyzeCtx(context.Background(), "minife.c", benchprogs.MiniFE)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestDeltaSemantics(t *testing.T) {
 
 	// Identical content again: served from the live cache, no pipeline
 	// ran, so no delta — a -watch caller prints "unchanged".
-	a2, err := e.Analyze("minife.c", benchprogs.MiniFE)
+	a2, err := e.AnalyzeCtx(context.Background(), "minife.c", benchprogs.MiniFE)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestDeltaSemantics(t *testing.T) {
 
 	// A column shift inside minife: only that function recompiles.
 	mutated := strings.Replace(benchprogs.MiniFE, "return cg_solve", " return cg_solve", 1)
-	a3, err := e.Analyze("minife.c", mutated)
+	a3, err := e.AnalyzeCtx(context.Background(), "minife.c", mutated)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestMemoryStoreFuncRoundTrip(t *testing.T) {
 	}
 
 	e1 := engine.New(engine.Options{Store: store, Workers: 1})
-	if _, err := e1.Analyze("minife.c", benchprogs.MiniFE); err != nil {
+	if _, err := e1.AnalyzeCtx(context.Background(), "minife.c", benchprogs.MiniFE); err != nil {
 		t.Fatal(err)
 	}
 	if store.FuncLen() < 2 {
@@ -112,7 +113,7 @@ func TestMemoryStoreFuncRoundTrip(t *testing.T) {
 	// every function-content key stays identical — each function must
 	// come from the per-function store.
 	e2 := engine.New(engine.Options{Store: store, Workers: 1})
-	a, err := e2.Analyze("minife.c", benchprogs.MiniFE+"\n")
+	a, err := e2.AnalyzeCtx(context.Background(), "minife.c", benchprogs.MiniFE+"\n")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -214,7 +214,9 @@ type QueryJobResult struct {
 // completes immediately with ctx.Err().
 func (e *Engine) RunAll(ctx context.Context, jobs []QueryJob) []QueryJobResult {
 	out := make([]QueryJobResult, len(jobs))
-	ForEach(e.workers, len(jobs), func(i int) error {
+	done := make([]bool, len(jobs))
+	ForEachCtx(ctx, e.workers, len(jobs), func(i int) error {
+		done[i] = true
 		j := jobs[i]
 		out[i].Job = j
 		out[i].Query = j.Query
@@ -226,6 +228,13 @@ func (e *Engine) RunAll(ctx context.Context, jobs []QueryJob) []QueryJobResult {
 		out[i].QueryResult = a.RunOne(ctx, j.Query)
 		return nil
 	})
+	// Cancellation stops the sweep from scheduling; jobs it never
+	// reached still report the cancellation per item.
+	for i := range out {
+		if !done[i] {
+			out[i] = QueryJobResult{Job: jobs[i], QueryResult: QueryResult{Query: jobs[i].Query, Err: ctx.Err()}}
+		}
+	}
 	return out
 }
 

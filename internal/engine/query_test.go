@@ -44,7 +44,7 @@ func TestQueryKindNames(t *testing.T) {
 // corresponding direct method returns, evaluated as one batch.
 func TestRunMatchesDirectMethods(t *testing.T) {
 	e := engine.New(engine.Options{})
-	a, err := e.Analyze("scale.c", scaleSrc)
+	a, err := e.AnalyzeCtx(context.Background(), "scale.c", scaleSrc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +108,7 @@ func TestRunMatchesDirectMethods(t *testing.T) {
 // TestRunPerQueryErrors: bad cells fail alone; the batch completes.
 func TestRunPerQueryErrors(t *testing.T) {
 	e := engine.New(engine.Options{})
-	a, err := e.Analyze("scale.c", scaleSrc)
+	a, err := e.AnalyzeCtx(context.Background(), "scale.c", scaleSrc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +134,7 @@ func TestRunPerQueryErrors(t *testing.T) {
 // whose roofline the function lands on.
 func TestRooflineArchOverride(t *testing.T) {
 	e := engine.New(engine.Options{})
-	a, err := e.Analyze("scale.c", scaleSrc)
+	a, err := e.AnalyzeCtx(context.Background(), "scale.c", scaleSrc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ func TestRooflineArchOverride(t *testing.T) {
 // context.Canceled errors for every unevaluated cell, immediately.
 func TestRunCancelledContext(t *testing.T) {
 	e := engine.New(engine.Options{})
-	a, err := e.Analyze("scale.c", scaleSrc)
+	a, err := e.AnalyzeCtx(context.Background(), "scale.c", scaleSrc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func TestRunCancelledContext(t *testing.T) {
 func TestRunAllQueryMatrix(t *testing.T) {
 	e := engine.New(engine.Options{Workers: 4})
 	env := expr.EnvFromInts(map[string]int64{"n": 16})
-	a, err := e.Analyze("seed.c", scaleSrc)
+	a, err := e.AnalyzeCtx(context.Background(), "seed.c", scaleSrc)
 	if err != nil {
 		t.Fatal(err)
 	}

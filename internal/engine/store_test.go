@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -33,7 +34,7 @@ func TestCacheStoreWarmRestart(t *testing.T) {
 	env := expr.EnvFromInts(map[string]int64{"n": 500})
 
 	cold := engine.New(engine.Options{Store: store})
-	a1, err := cold.Analyze("scale.c", scaleSrc)
+	a1, err := cold.AnalyzeCtx(context.Background(), "scale.c", scaleSrc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestCacheStoreWarmRestart(t *testing.T) {
 	}
 
 	warm := engine.New(engine.Options{Store: store})
-	a2, err := warm.Analyze("scale.c", scaleSrc)
+	a2, err := warm.AnalyzeCtx(context.Background(), "scale.c", scaleSrc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestCacheStoreCorruptEntryDegrades(t *testing.T) {
 			t.Fatal(err)
 		}
 		e := engine.New(engine.Options{Store: store})
-		a, err := e.Analyze("scale.c", scaleSrc)
+		a, err := e.AnalyzeCtx(context.Background(), "scale.c", scaleSrc)
 		if err != nil {
 			t.Fatalf("case %d: corrupt store entry broke analysis: %v", i, err)
 		}
@@ -135,7 +136,7 @@ func TestCacheStoreConcurrentRoundTrip(t *testing.T) {
 			defer wg.Done()
 			e := engines[g%2]
 			for i := 0; i < 4; i++ {
-				a, err := e.Analyze("scale.c", scaleSrc)
+				a, err := e.AnalyzeCtx(context.Background(), "scale.c", scaleSrc)
 				if err != nil {
 					errs <- err
 					return
@@ -165,14 +166,14 @@ func TestLookupByKey(t *testing.T) {
 	if _, ok := e.Lookup(key); ok {
 		t.Error("Lookup hit before any analysis")
 	}
-	if _, err := e.Analyze("scale.c", scaleSrc); err != nil {
+	if _, err := e.AnalyzeCtx(context.Background(), "scale.c", scaleSrc); err != nil {
 		t.Fatal(err)
 	}
 	a, ok := e.Lookup(key)
 	if !ok || a == nil {
 		t.Fatal("Lookup missed a completed analysis")
 	}
-	if _, err := e.Analyze("bad.c", "int f( {"); err == nil {
+	if _, err := e.AnalyzeCtx(context.Background(), "bad.c", "int f( {"); err == nil {
 		t.Fatal("parse error accepted")
 	}
 	if _, ok := e.Lookup(e.Key("int f( {")); ok {
@@ -192,12 +193,12 @@ func TestMaxResidentEviction(t *testing.T) {
 	src := func(i int) string {
 		return fmt.Sprintf("double f(double *x, int n) { double s; int i; s = %d.0; for (i = 0; i < n; i++) { s = s + x[i]; } return s; }", i)
 	}
-	first, err := e.Analyze("p0.c", src(0))
+	first, err := e.AnalyzeCtx(context.Background(), "p0.c", src(0))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 1; i < 10; i++ {
-		if _, err := e.Analyze(fmt.Sprintf("p%d.c", i), src(i)); err != nil {
+		if _, err := e.AnalyzeCtx(context.Background(), fmt.Sprintf("p%d.c", i), src(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -218,7 +219,7 @@ func TestMaxResidentEviction(t *testing.T) {
 		t.Fatalf("store has %d entries, want 10", store.Len())
 	}
 	before := s["mira_analyze_seconds_count"]
-	if _, err := e.Analyze("p0.c", src(0)); err != nil {
+	if _, err := e.AnalyzeCtx(context.Background(), "p0.c", src(0)); err != nil {
 		t.Fatal(err)
 	}
 	s = scrape(t, e)

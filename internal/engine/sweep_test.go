@@ -15,7 +15,7 @@ import (
 
 func analyzeT(t *testing.T, e *engine.Engine, name, src string) *engine.Analysis {
 	t.Helper()
-	a, err := e.Analyze(name, src)
+	a, err := e.AnalyzeCtx(context.Background(), name, src)
 	if err != nil {
 		t.Fatalf("analyze %s: %v", name, err)
 	}

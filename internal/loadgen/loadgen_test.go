@@ -1,0 +1,177 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestHistQuantiles(t *testing.T) {
+	h := NewHist()
+	if h.Quantile(0.99) != 0 {
+		t.Error("empty histogram quantile not zero")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 100*time.Millisecond {
+		t.Errorf("max = %s", h.Max())
+	}
+	// Geometric buckets overestimate by at most the growth factor and
+	// clamp to the recorded max.
+	p50 := h.Quantile(0.50)
+	if p50 < 50*time.Millisecond || p50 > 80*time.Millisecond {
+		t.Errorf("p50 = %s, want within [50ms, 80ms]", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 99*time.Millisecond || p99 > 100*time.Millisecond {
+		t.Errorf("p99 = %s, want within [99ms, 100ms]", p99)
+	}
+	if q := h.Quantile(1.0); q != 100*time.Millisecond {
+		t.Errorf("p100 = %s, want the max", q)
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	a, b := NewHist(), NewHist()
+	a.Observe(time.Millisecond)
+	b.Observe(time.Second)
+	a.Merge(b)
+	if a.Count() != 2 || a.Max() != time.Second {
+		t.Errorf("merged count=%d max=%s", a.Count(), a.Max())
+	}
+}
+
+// TestRunClassifiesOutcomes drives a closed loop against a server that
+// answers each path with a fixed status and checks the per-class
+// bookkeeping: 2xx, 429, shed (503+Retry-After), bare 5xx, 4xx.
+func TestRunClassifiesOutcomes(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/ok":
+			w.WriteHeader(http.StatusOK)
+		case "/limited":
+			w.WriteHeader(http.StatusTooManyRequests)
+		case "/shed":
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+		case "/boom":
+			w.WriteHeader(http.StatusInternalServerError)
+		default:
+			w.WriteHeader(http.StatusNotFound)
+		}
+	}))
+	defer srv.Close()
+
+	res, err := Run(context.Background(), Spec{
+		Targets: []string{srv.URL},
+		Ops: []Op{
+			{Name: "ok", Class: "interactive", Method: http.MethodGet, Path: "/ok"},
+			{Name: "limited", Class: "limited", Method: http.MethodGet, Path: "/limited"},
+			{Name: "shed", Class: "bulk", Method: http.MethodGet, Path: "/shed"},
+			{Name: "boom", Class: "broken", Method: http.MethodGet, Path: "/boom"},
+			{Name: "missing", Class: "missing", Method: http.MethodGet, Path: "/nope"},
+		},
+		Concurrency: 4,
+		Duration:    300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		class string
+		field func(*ClassStats) int64
+	}{
+		{"interactive", func(c *ClassStats) int64 { return c.OK }},
+		{"limited", func(c *ClassStats) int64 { return c.RateLimited }},
+		{"bulk", func(c *ClassStats) int64 { return c.Shed }},
+		{"broken", func(c *ClassStats) int64 { return c.Err5xx }},
+		{"missing", func(c *ClassStats) int64 { return c.Err4xx }},
+	}
+	for _, chk := range checks {
+		c := res.Class(chk.class)
+		if c == nil {
+			t.Fatalf("class %s missing from results", chk.class)
+		}
+		if chk.field(c) == 0 || chk.field(c) != c.Sent {
+			t.Errorf("class %s: expected every outcome in one bucket, got %+v", chk.class, c)
+		}
+	}
+	// A shed is never a 5xx; a rate limit is never a 4xx.
+	if c := res.Class("bulk"); c.Err5xx != 0 {
+		t.Errorf("sheds double-counted as 5xx: %+v", c)
+	}
+	if c := res.Class("limited"); c.Err4xx != 0 {
+		t.Errorf("rate limits double-counted as 4xx: %+v", c)
+	}
+	if res.TotalSent() == 0 || res.Throughput() <= 0 {
+		t.Errorf("totals: sent=%d throughput=%f", res.TotalSent(), res.Throughput())
+	}
+}
+
+// TestRunOpenLoopPacing: an open loop at a modest rate sends roughly
+// rate x duration requests, not as-fast-as-possible.
+func TestRunOpenLoopPacing(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+
+	res, err := Run(context.Background(), Spec{
+		Targets:     []string{srv.URL},
+		Ops:         []Op{{Name: "ok", Class: "interactive", Method: http.MethodGet, Path: "/"}},
+		Concurrency: 4,
+		RPS:         50,
+		Duration:    500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~25 expected; allow generous slack for scheduler jitter, but an
+	// unpaced loop would send thousands.
+	if res.TotalSent() > 100 {
+		t.Errorf("open loop at 50 req/s sent %d requests in 500ms; pacing is not applied", res.TotalSent())
+	}
+	if res.TotalSent() < 5 {
+		t.Errorf("open loop sent only %d requests; pacer stalled", res.TotalSent())
+	}
+}
+
+// TestRunWeights: op weights shape the mix.
+func TestRunWeights(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+
+	res, err := Run(context.Background(), Spec{
+		Targets: []string{srv.URL},
+		Ops: []Op{
+			{Name: "heavy", Class: "heavy", Weight: 9, Method: http.MethodGet, Path: "/"},
+			{Name: "light", Class: "light", Weight: 1, Method: http.MethodGet, Path: "/"},
+		},
+		Concurrency: 2,
+		Duration:    250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, light := res.Class("heavy"), res.Class("light")
+	if heavy == nil || light == nil || light.Sent == 0 {
+		t.Fatalf("classes missing: %+v", res.Classes)
+	}
+	ratio := float64(heavy.Sent) / float64(light.Sent)
+	if ratio < 5 || ratio > 13 {
+		t.Errorf("heavy:light = %.1f, want about 9", ratio)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Spec{Ops: []Op{{}}}); err == nil {
+		t.Error("no targets accepted")
+	}
+	if _, err := Run(context.Background(), Spec{Targets: []string{"http://x"}}); err == nil {
+		t.Error("no ops accepted")
+	}
+}
