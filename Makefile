@@ -57,8 +57,8 @@ bench:
 # sample cheap while giving -compare a median to stand on. CI compares
 # a fresh run against the committed previous baseline (gating, see
 # bench-compare) and uploads the file as an artifact.
-BENCH_BASELINE_OUT ?= BENCH_7.json
-BENCH_SET = BenchmarkSweep_CompiledVsTreeWalk|BenchmarkSweep_CompileOnce|BenchmarkEngineEval_ColdVsWarm|BenchmarkReport_SuitePath|BenchmarkIncrementalEdit|BenchmarkCluster_
+BENCH_BASELINE_OUT ?= BENCH_8.json
+BENCH_SET = BenchmarkSweep_CompiledVsTreeWalk|BenchmarkSweep_CompileOnce|BenchmarkEngineEval_ColdVsWarm|BenchmarkReport_SuitePath|BenchmarkIncrementalEdit|BenchmarkCrossArchSweep|BenchmarkCluster_
 bench-baseline:
 	$(GO) test -json -run xxx -benchtime 5x \
 		-bench '$(BENCH_SET)' \
@@ -70,7 +70,7 @@ bench-baseline:
 # the committed previous one, host-normalized (the two may come from
 # different machines), failing on >15% relative slowdowns in benchmarks
 # above the 100µs noise floor.
-BENCH_COMPARE_OLD ?= BENCH_6.json
+BENCH_COMPARE_OLD ?= BENCH_7.json
 bench-compare:
 	$(GO) test -json -run xxx -benchtime 5x \
 		-bench '$(BENCH_SET)' \

@@ -672,6 +672,52 @@ func BenchmarkReport_SuitePath(b *testing.B) {
 	b.ReportMetric(float64(rep.Rows()*b.N)/b.Elapsed().Seconds(), "rows/s")
 }
 
+// BenchmarkCrossArchSweep measures the cross-architecture ranking path:
+// one DGEMM point rooflined across every registered machine description
+// and ranked by attainable GFLOP/s (the CompareSection behind the
+// multiarch suite and `-arch-dir` deployments). After the first pass
+// every (fn, env, arch-content-key) cell is memoized, so the steady
+// state tracks the arch-keyed memo layer plus ranking and encoding.
+func BenchmarkCrossArchSweep(b *testing.B) {
+	e, err := mira.NewEngine(0, mira.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	suite := mira.Suite{
+		Name: "bench_multiarch",
+		Sections: []mira.Section{
+			mira.CompareSection{
+				Workload: mira.WorkloadRef{Name: "dgemm"},
+				Fn:       "dgemm_bench",
+				Env:      map[string]int64{"n": 64, "nrep": 2},
+			},
+		},
+	}
+	// One checked pass: a row per registry entry, none failed.
+	rep, err := e.Report(context.Background(), suite)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nArchs := arch.NewRegistry().Len()
+	if rep.Rows() != nArchs {
+		b.Fatalf("rows = %d, want %d", rep.Rows(), nArchs)
+	}
+	if errs := rep.Errs(); len(errs) > 0 {
+		b.Fatal(errs[0])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := e.Report(context.Background(), suite)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rep.EncodeJSON(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(nArchs*b.N)/b.Elapsed().Seconds(), "archs/s")
+}
+
 func firstLines(s string, n int) string {
 	out := ""
 	count := 0

@@ -65,6 +65,8 @@ import (
 	"syscall"
 	"time"
 
+	"mira/internal/arch"
+	"mira/internal/core"
 	"mira/internal/engine"
 	"mira/internal/experiments"
 	"mira/internal/obs"
@@ -83,6 +85,7 @@ func main() {
 	scaled := flag.Bool("scaled", false, "run dynamic columns at the scaled (seconds-fast) sizes")
 	paperSizes := flag.Bool("paper-sizes", false, "also evaluate the static model at the paper's full sizes")
 	jobs := flag.Int("j", 0, "analysis-engine workers (0 = GOMAXPROCS, 1 = serial)")
+	archName := flag.String("arch", "", "architecture description the suites run on: a registered name or a JSON description file (default generic)")
 	serveStats := flag.String("serve-stats", "", "scrape and summarize a running mira-serve daemon (base URL)")
 	compare := flag.Bool("compare", false, "compare two `go test -bench -json` baselines (args: OLD.json NEW.json)")
 	threshold := flag.Float64("threshold", 15, "regression threshold for -compare, in percent")
@@ -158,7 +161,12 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	eng := engine.New(engine.Options{Workers: *jobs})
+	d, err := arch.Resolve(*archName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mira-bench: %v\n", err)
+		os.Exit(2)
+	}
+	eng := engine.New(engine.Options{Workers: *jobs, Core: core.Options{Arch: d}})
 	runner := report.NewRunner(eng)
 
 	banners := enc == report.FormatTable

@@ -52,7 +52,7 @@ import (
 func main() {
 	fn := flag.String("fn", "main", "entry function")
 	args := flag.String("args", "", "comma-separated arguments (ints, or f:<value> for doubles)")
-	archName := flag.String("arch", "frankenstein", "architecture description")
+	archName := flag.String("arch", "frankenstein", "architecture description: a registered name or a JSON description file")
 	maxSteps := flag.Uint64("max-steps", 0, "instruction budget (0 = default)")
 	workers := flag.Int("j", 0, "analysis workers for batch mode (0 = GOMAXPROCS)")
 	watch := flag.Bool("watch", false, "re-analyze on change, printing only changed functions")
@@ -67,7 +67,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	d, err := arch.Lookup(*archName)
+	d, err := arch.Resolve(*archName)
 	if err != nil {
 		fatal(err)
 	}

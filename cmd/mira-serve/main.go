@@ -20,6 +20,8 @@
 //	                ASCII table, or Markdown
 //	GET  /workloads embedded workload registry with content keys (query
 //	                by key without uploading source) + named suites
+//	GET  /archs     architecture registry: builtins plus -arch-dir loads,
+//	                each with its content key
 //	GET  /metrics   OpenMetrics text exposition (cache, latency, HTTP series)
 //	GET  /healthz   liveness + uptime (alias of /livez)
 //	GET  /livez     liveness: the process is up
@@ -42,8 +44,8 @@
 //
 // Usage:
 //
-//	mira-serve [-addr :7319] [-cache-dir DIR] [-j n] [-arch name]
-//	           [-lenient] [-no-opt] [-drain 30s] [-paper-suites]
+//	mira-serve [-addr :7319] [-cache-dir DIR] [-j n] [-arch name|file]
+//	           [-arch-dir DIR] [-lenient] [-no-opt] [-drain 30s] [-paper-suites]
 //	           [-peers URL,URL,... -self URL] [-vnodes n]
 //	           [-rate r -burst b] [-interactive-slots n] [-bulk-slots n]
 package main
@@ -78,6 +80,7 @@ type serveConfig struct {
 	jobs        int
 	maxResident int
 	archName    string
+	archDir     string
 	lenient     bool
 	noOpt       bool
 	drain       time.Duration
@@ -99,7 +102,8 @@ func main() {
 	flag.StringVar(&cfg.cacheDir, "cache-dir", "", "content-addressed artifact cache directory (empty = in-memory only)")
 	flag.IntVar(&cfg.jobs, "j", 0, "analysis workers (0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.maxResident, "max-resident", 4096, "live-cache entries kept resident (0 = unlimited; untrusted traffic needs a bound)")
-	flag.StringVar(&cfg.archName, "arch", "", "architecture description: arya, frankenstein, or generic")
+	flag.StringVar(&cfg.archName, "arch", "", "architecture description: a registered name (see GET /archs) or a JSON description file")
+	flag.StringVar(&cfg.archDir, "arch-dir", "", "directory of *.json architecture descriptions registered alongside the builtins")
 	flag.BoolVar(&cfg.lenient, "lenient", false, "downgrade unanalyzable branches to warnings")
 	flag.BoolVar(&cfg.noOpt, "no-opt", false, "compile without optimizations")
 	flag.DurationVar(&cfg.drain, "drain", 30*time.Second, "how long shutdown waits for in-flight requests to finish")
@@ -123,7 +127,20 @@ func main() {
 }
 
 func run(ctx context.Context, cfg serveConfig) error {
-	a, err := arch.Lookup(cfg.archName)
+	// The architecture registry: every builtin description plus any
+	// -arch-dir loads, fixed before the engine exists (the registry is
+	// immutable once serving so GET /archs, /query, and /report agree).
+	// A bad description file fails startup instead of surfacing as
+	// per-request lookup errors later.
+	registry := arch.NewRegistry()
+	if cfg.archDir != "" {
+		n, err := registry.LoadDir(cfg.archDir)
+		if err != nil {
+			return err
+		}
+		log.Printf("mira-serve: loaded %d architecture description(s) from %s", n, cfg.archDir)
+	}
+	a, err := registry.Resolve(cfg.archName)
 	if err != nil {
 		return err
 	}
@@ -178,6 +195,7 @@ func run(ctx context.Context, cfg serveConfig) error {
 		Store:       store,
 		MaxResident: cfg.maxResident,
 		Obs:         reg,
+		Registry:    registry,
 	})
 	// Named report suites: the scaled configuration by default, so a
 	// POST /report completes within the write timeout; -paper-suites

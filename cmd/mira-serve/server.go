@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mira/internal/arch"
 	"mira/internal/cluster"
 	"mira/internal/engine"
 	"mira/internal/expr"
@@ -63,6 +64,7 @@ type server struct {
 	reqSweep     *obs.Counter
 	reqReport    *obs.Counter
 	reqWorkloads *obs.Counter
+	reqArchs     *obs.Counter
 	reqErrors    *obs.Counter
 	httpLat      *obs.Summary
 }
@@ -88,6 +90,7 @@ func newServer(eng *engine.Engine, reg *obs.Registry, suites map[string]report.S
 		reqSweep:     reg.Counter("mira_http_sweep_requests", "POST /sweep requests"),
 		reqReport:    reg.Counter("mira_http_report_requests", "POST /report requests"),
 		reqWorkloads: reg.Counter("mira_http_workload_requests", "GET /workloads requests"),
+		reqArchs:     reg.Counter("mira_http_arch_requests", "GET /archs requests"),
 		reqErrors:    reg.Counter("mira_http_request_errors", "requests answered with a 4xx/5xx status"),
 		httpLat:      reg.Summary("mira_http_seconds", "HTTP request latency"),
 	}
@@ -101,6 +104,7 @@ func newServer(eng *engine.Engine, reg *obs.Registry, suites map[string]report.S
 	mux.HandleFunc("POST /sweep", s.handleSweep)
 	mux.HandleFunc("POST /report", s.handleReport)
 	mux.HandleFunc("GET /workloads", s.handleWorkloads)
+	mux.HandleFunc("GET /archs", s.handleArchs)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /livez", s.handleLivez)
@@ -719,6 +723,31 @@ func (s *server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 		resp.Suites = append(resp.Suites, name)
 	}
 	sort.Strings(resp.Suites)
+	s.writeJSON(w, resp)
+}
+
+// archInfo is one GET /archs entry: a registered architecture name,
+// the content key its cache and memo entries are addressed under, and
+// the full description, so a client can see exactly which machine
+// parameters a named query will run against.
+type archInfo struct {
+	Name string            `json:"name"`
+	Key  string            `json:"key"`
+	Desc *arch.Description `json:"desc"`
+}
+
+type archsResponse struct {
+	Archs []archInfo `json:"archs"`
+}
+
+// handleArchs lists the engine's architecture registry — the builtins
+// plus any -arch-dir loads — with content keys, for client discovery.
+func (s *server) handleArchs(w http.ResponseWriter, r *http.Request) {
+	s.reqArchs.Inc()
+	resp := archsResponse{Archs: []archInfo{}}
+	for _, e := range s.eng.Registry().Entries() {
+		resp.Archs = append(resp.Archs, archInfo{Name: e.Name, Key: e.Key, Desc: e.Desc})
+	}
 	s.writeJSON(w, resp)
 }
 

@@ -35,7 +35,7 @@ func main() {
 	fn := flag.String("fn", "main", "function to evaluate or inspect")
 	args := flag.String("args", "", "comma-separated integer parameter bindings, e.g. n=1000,m=4")
 	emit := flag.String("emit", "model", "artifact: model | python | dot-src | dot-bin | asm")
-	archName := flag.String("arch", "generic", "architecture description: arya | frankenstein | generic")
+	archName := flag.String("arch", "generic", "architecture description: a registered name (arya, skylake, ...) or a JSON description file")
 	lenient := flag.Bool("lenient", false, "treat unanalyzable branches as always taken")
 	noOpt := flag.Bool("no-opt", false, "compile without optimizations")
 	flag.Parse()

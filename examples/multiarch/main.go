@@ -1,0 +1,107 @@
+// Multiarch example: the architecture registry as data. Ranks one
+// kernel across every embedded machine description with a
+// CompareSection — which machine's roofline caps the kernel highest,
+// and which side of the ridge it lands on per machine — then re-runs
+// the ranking against a custom description defined as a JSON document,
+// the same format a -arch-dir file or a mira-serve deployment would
+// use. No Go code is needed to add a machine: a description is data,
+// and its content key (not its name) addresses every cached result.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"mira"
+)
+
+const kernelSrc = `double kernel(double *x, int n) {
+	double s;
+	int i;
+	s = 0.0;
+	for (i = 0; i < n; i++) {
+		s = s + x[i] * 2.0;
+	}
+	return s;
+}
+`
+
+// customBox is a made-up machine: modest peak, huge bandwidth, so the
+// streaming kernel above lands compute-bound on it while every embedded
+// machine pins it against the memory wall.
+const customBox = `{
+	"name": "custombox",
+	"cores": 4,
+	"clock_ghz": 2.0,
+	"cache_line_bytes": 64,
+	"vector_width_doubles": 2,
+	"peak_flops_per_cycle_per_core": 2,
+	"mem_bandwidth_gbs": 800,
+	"has_fp_counters": true
+}`
+
+func main() {
+	eng, err := mira.NewEngine(0, mira.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Rank the kernel across the full embedded registry: an empty Archs
+	// list means every registered description.
+	suite := mira.Suite{
+		Name:  "machine_shootout",
+		Title: "one kernel, every machine in the registry",
+		Sections: []mira.Section{
+			mira.CompareSection{
+				Name:     "kernel_rank",
+				Caption:  "kernel ranked by attainable GFLOP/s at n = 1M",
+				Workload: mira.WorkloadRef{File: "kernel.c", Source: kernelSrc},
+				Fn:       "kernel",
+				Env:      map[string]int64{"n": 1_000_000},
+			},
+		},
+	}
+	rep, err := eng.Report(context.Background(), suite)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rep.Encode(os.Stdout, mira.FormatTable); err != nil {
+		log.Fatal(err)
+	}
+
+	// A custom machine is a JSON file, not Go code: write the
+	// description the way an operator would drop it into mira-serve's
+	// -arch-dir, then analyze against it by path.
+	dir, err := os.MkdirTemp("", "multiarch")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	descPath := filepath.Join(dir, "custombox.json")
+	if err := os.WriteFile(descPath, []byte(customBox), 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := mira.Analyze("kernel.c", kernelSrc, mira.Options{Arch: descPath})
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := res.Run(context.Background(), []mira.Query{{
+		Fn:   "kernel",
+		Env:  mira.IntArgs(map[string]int64{"n": 1_000_000}),
+		Kind: mira.KindRoofline,
+	}})
+	r := out[0]
+	if r.Err != nil {
+		log.Fatal(r.Err)
+	}
+	bound := "memory-bound"
+	if !r.Roofline.MemoryBound {
+		bound = "compute-bound"
+	}
+	fmt.Printf("\ncustombox (from %s): %s, attainable %.2f GFLOP/s (ridge AI %.3f)\n",
+		filepath.Base(descPath), bound, r.Roofline.AttainableGFlops, r.Roofline.RidgeAI)
+}

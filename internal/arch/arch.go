@@ -4,15 +4,24 @@
 // the paper divides the x86 instruction set into 64 categories — that the
 // model generator uses to bucket per-function instruction counts.
 //
-// Descriptions round-trip through JSON so users can supply their own; two
-// built-ins mirror the paper's evaluation machines: "arya" (Haswell-like,
+// Descriptions round-trip through JSON so users can supply their own.
+// The embedded Registry carries CPU- and accelerator-class profiles; two
+// of them mirror the paper's evaluation machines: "arya" (Haswell-like,
 // which notably lacks FP_INS hardware counters — Sec. IV-D1 uses this to
 // argue static analysis is sometimes the only option) and "frankenstein"
 // (Nehalem-like, with FP counters).
+//
+// Like sources, descriptions are content-addressed: ContentKey hashes
+// the canonical JSON encoding, and every caching layer that stores an
+// architecture-dependent result mixes that key in, so two descriptions
+// differing in a single parameter can never share a cached result.
 package arch
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"mira/internal/ir"
@@ -39,13 +48,30 @@ type Description struct {
 	OpcodeCategories map[string]string `json:"opcode_categories"`
 }
 
+// ErrNonPositive is the validation error for machine parameters that
+// must be strictly positive: the roofline math divides by bandwidth,
+// peak issue width, and vector width, so a zero or negative value would
+// turn a description typo into NaN/Inf predictions downstream.
+var ErrNonPositive = errors.New("machine parameter must be positive")
+
 // Validate checks internal consistency.
 func (d *Description) Validate() error {
 	if d.Name == "" {
 		return fmt.Errorf("arch: description needs a name")
 	}
-	if d.Cores <= 0 || d.ClockGHz <= 0 {
-		return fmt.Errorf("arch %s: cores and clock must be positive", d.Name)
+	for _, p := range []struct {
+		field string
+		ok    bool
+	}{
+		{"cores", d.Cores > 0},
+		{"clock_ghz", d.ClockGHz > 0},
+		{"vector_width_doubles", d.VectorWidthDoubles > 0},
+		{"peak_flops_per_cycle_per_core", d.PeakFlopsPerCyclePerCore > 0},
+		{"mem_bandwidth_gbs", d.MemBandwidthGBs > 0},
+	} {
+		if !p.ok {
+			return fmt.Errorf("arch %s: %s: %w", d.Name, p.field, ErrNonPositive)
+		}
 	}
 	known := map[string]bool{}
 	for _, c := range d.Categories {
@@ -125,9 +151,36 @@ func TableIICategory(op ir.Op) ir.Category {
 	}
 }
 
-// MarshalJSON round-trips through the plain struct.
+// ToJSON round-trips through the plain struct.
 func (d *Description) ToJSON() ([]byte, error) {
 	return json.MarshalIndent(d, "", "  ")
+}
+
+// ContentKey returns the description's content address: the SHA-256 of
+// its canonical JSON encoding (compact, struct fields in declaration
+// order, map keys sorted — encoding/json guarantees both), hex-encoded.
+// Two descriptions differing in any parameter have different keys;
+// caching layers mix this key into architecture-dependent cache and
+// memo keys exactly as source text is content-addressed.
+func (d *Description) ContentKey() string {
+	data, err := json.Marshal(d)
+	if err != nil {
+		// Description is plain data (strings, numbers, bools, a string
+		// map); Marshal cannot fail on it.
+		panic(fmt.Sprintf("arch: marshal description: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// KeyOf is ContentKey tolerating nil: analysis layers treat a nil
+// description as Generic (see core.Options), and their cache keys must
+// agree with that default.
+func KeyOf(d *Description) string {
+	if d == nil {
+		d = Generic()
+	}
+	return d.ContentKey()
 }
 
 // FromJSON parses and validates a description.
@@ -142,17 +195,12 @@ func FromJSON(data []byte) (*Description, error) {
 	return &d, nil
 }
 
-// Lookup returns a built-in description by name.
+// Lookup returns a built-in description by name (or alias), backed by a
+// fresh registry of the embedded profiles — so the returned value is
+// the caller's to mutate, and the unknown-name error derives its
+// builtin list from the registry instead of a hand-maintained string.
 func Lookup(name string) (*Description, error) {
-	switch name {
-	case "arya", "haswell":
-		return Arya(), nil
-	case "frankenstein", "nehalem":
-		return Frankenstein(), nil
-	case "generic", "":
-		return Generic(), nil
-	}
-	return nil, fmt.Errorf("arch: unknown architecture %q (builtins: arya, frankenstein, generic)", name)
+	return NewRegistry().Lookup(name)
 }
 
 // x86Categories is the fine-grained 64-category partition of the x86

@@ -1,13 +1,14 @@
 package arch
 
 import (
+	"errors"
 	"testing"
 
 	"mira/internal/ir"
 )
 
 func TestBuiltinsValidate(t *testing.T) {
-	for _, d := range []*Description{Arya(), Frankenstein(), Generic()} {
+	for _, d := range builtins() {
 		if err := d.Validate(); err != nil {
 			t.Errorf("%s: %v", d.Name, err)
 		}
@@ -83,6 +84,41 @@ func TestValidationErrors(t *testing.T) {
 	}
 	if _, err := FromJSON([]byte("{")); err == nil {
 		t.Error("bad JSON accepted")
+	}
+}
+
+// TestValidateRejectsNonPositive pins the positivity rules: the
+// roofline divides by bandwidth, peak issue width, and vector width, so
+// a zero or negative parameter must fail validation with ErrNonPositive
+// instead of producing NaN/Inf predictions.
+func TestValidateRejectsNonPositive(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Description)
+	}{
+		{"zero cores", func(d *Description) { d.Cores = 0 }},
+		{"negative cores", func(d *Description) { d.Cores = -4 }},
+		{"zero clock", func(d *Description) { d.ClockGHz = 0 }},
+		{"negative clock", func(d *Description) { d.ClockGHz = -2.4 }},
+		{"zero vector width", func(d *Description) { d.VectorWidthDoubles = 0 }},
+		{"negative vector width", func(d *Description) { d.VectorWidthDoubles = -2 }},
+		{"zero peak flops", func(d *Description) { d.PeakFlopsPerCyclePerCore = 0 }},
+		{"negative peak flops", func(d *Description) { d.PeakFlopsPerCyclePerCore = -8 }},
+		{"zero bandwidth", func(d *Description) { d.MemBandwidthGBs = 0 }},
+		{"negative bandwidth", func(d *Description) { d.MemBandwidthGBs = -51.2 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := Generic()
+			tc.mutate(d)
+			err := d.Validate()
+			if err == nil {
+				t.Fatalf("%s accepted", tc.name)
+			}
+			if !errors.Is(err, ErrNonPositive) {
+				t.Errorf("error %v is not ErrNonPositive", err)
+			}
+		})
 	}
 }
 

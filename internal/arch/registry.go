@@ -1,0 +1,243 @@
+package arch
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Entry is one registered description with its content key.
+type Entry struct {
+	Name string
+	Key  string
+	Desc *Description
+}
+
+// Registry resolves architecture names to descriptions. It is seeded
+// with the embedded machine profiles (plus their historical aliases)
+// and can grow with file-loaded descriptions via Register/LoadDir.
+// A registry is immutable after its construction phase: build it, load
+// any description directories, then inject it (engine.Options.Registry)
+// and treat it as read-only — concurrent lookups are then safe without
+// locks, matching the repo's no-mutable-globals invariant.
+type Registry struct {
+	order   []string // registration order, builtins first
+	entries map[string]Entry
+	aliases map[string]string
+}
+
+// builtins constructs the embedded profiles, in listing order. Every
+// call builds fresh values, so registry entries are never shared with a
+// caller that might mutate the result of Arya()/Frankenstein()/Generic().
+func builtins() []*Description {
+	return []*Description{
+		Arya(),
+		Frankenstein(),
+		Generic(),
+		Skylake(),
+		Icelake(),
+		Zen2(),
+		Graviton2(),
+		Graviton3(),
+		KNL(),
+		Volta(),
+	}
+}
+
+// NewRegistry builds a registry seeded with the embedded profiles and
+// the historical microarchitecture aliases ("haswell" for arya,
+// "nehalem" for frankenstein; the empty name resolves to generic).
+func NewRegistry() *Registry {
+	r := &Registry{
+		entries: map[string]Entry{},
+		aliases: map[string]string{
+			"haswell": "arya",
+			"nehalem": "frankenstein",
+			"":        "generic",
+		},
+	}
+	for _, d := range builtins() {
+		if err := r.Register(d); err != nil {
+			// The embedded profiles validate by construction (and are
+			// pinned by tests); a failure here is a programming error.
+			panic(fmt.Sprintf("arch: builtin %s: %v", d.Name, err))
+		}
+	}
+	return r
+}
+
+// Register validates d, computes its content key, and adds it under its
+// name. Names are unique: registering over an existing entry (builtin
+// or loaded) is an error, so a custom description can never silently
+// shadow an embedded profile.
+func (r *Registry) Register(d *Description) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	if _, ok := r.entries[d.Name]; ok {
+		return fmt.Errorf("arch: %q is already registered", d.Name)
+	}
+	if _, ok := r.aliases[d.Name]; ok {
+		return fmt.Errorf("arch: %q is a registered alias", d.Name)
+	}
+	r.entries[d.Name] = Entry{Name: d.Name, Key: d.ContentKey(), Desc: d}
+	r.order = append(r.order, d.Name)
+	return nil
+}
+
+// LoadDir registers every *.json description in dir (sorted filename
+// order, so registration is deterministic) and returns how many it
+// loaded. Any unparsable, invalid, or name-colliding file fails the
+// whole load: a serving process should refuse to start on a bad
+// description rather than silently drop it.
+func (r *Registry) LoadDir(dir string) (int, error) {
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("arch: %w", err)
+	}
+	n := 0
+	for _, f := range files {
+		if f.IsDir() || !strings.HasSuffix(f.Name(), ".json") {
+			continue
+		}
+		path := filepath.Join(dir, f.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return n, fmt.Errorf("arch: %w", err)
+		}
+		d, err := FromJSON(data)
+		if err != nil {
+			return n, fmt.Errorf("%s: %w", path, err)
+		}
+		if err := r.Register(d); err != nil {
+			return n, fmt.Errorf("%s: %w", path, err)
+		}
+		n++
+	}
+	return n, nil
+}
+
+// LookupEntry resolves a name (or alias) to its entry — description
+// plus content key, the pair every caching layer needs together.
+func (r *Registry) LookupEntry(name string) (Entry, error) {
+	if canonical, ok := r.aliases[name]; ok {
+		name = canonical
+	}
+	if e, ok := r.entries[name]; ok {
+		return e, nil
+	}
+	return Entry{}, fmt.Errorf("arch: unknown architecture %q (builtins: %s)",
+		name, strings.Join(r.Names(), ", "))
+}
+
+// Lookup resolves a name (or alias) to its description.
+func (r *Registry) Lookup(name string) (*Description, error) {
+	e, err := r.LookupEntry(name)
+	if err != nil {
+		return nil, err
+	}
+	return e.Desc, nil
+}
+
+// Resolve accepts either a registered name or a path to a JSON
+// description file — the form CLI -arch flags take. A path is detected
+// by a .json suffix or a path separator; the loaded description is
+// validated but not registered.
+func (r *Registry) Resolve(nameOrPath string) (*Description, error) {
+	if strings.HasSuffix(nameOrPath, ".json") || strings.ContainsRune(nameOrPath, os.PathSeparator) {
+		data, err := os.ReadFile(nameOrPath)
+		if err != nil {
+			return nil, fmt.Errorf("arch: %w", err)
+		}
+		return FromJSON(data)
+	}
+	return r.Lookup(nameOrPath)
+}
+
+// Names returns the registered names, sorted.
+func (r *Registry) Names() []string {
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	sort.Strings(out)
+	return out
+}
+
+// Entries returns every registered entry, sorted by name.
+func (r *Registry) Entries() []Entry {
+	out := make([]Entry, 0, len(r.entries))
+	for _, name := range r.Names() {
+		out = append(out, r.entries[name])
+	}
+	return out
+}
+
+// Len reports how many descriptions are registered.
+func (r *Registry) Len() int { return len(r.entries) }
+
+// Resolve is Registry.Resolve over a fresh builtin registry — the
+// one-shot helper CLIs use for a -arch flag taking a name or a JSON
+// file path.
+func Resolve(nameOrPath string) (*Description, error) {
+	return NewRegistry().Resolve(nameOrPath)
+}
+
+// The embedded profiles beyond the paper's two machines and the neutral
+// default. Core counts, clocks, per-core FP issue widths, and bandwidth
+// are the published figures for a representative SKU of each
+// microarchitecture class, rounded to the paper's precision; all share
+// the description file's 64-category x86 taxonomy (the reproduction's
+// ISA), which is what the model generator buckets against regardless of
+// the physical ISA the numbers came from.
+
+// Skylake describes a Skylake-SP-class node: two 24-core Xeon Platinum
+// 8160 at 2.1 GHz with AVX-512 (8 doubles, 32 FLOPs/cycle/core) and six
+// DDR4-2666 channels per socket. Like Haswell, no FP_INS counter.
+func Skylake() *Description {
+	return builtin("skylake", 48, 2.1, 8, 32, 256, false)
+}
+
+// Icelake describes an Ice Lake-SP-class node: two 32-core Xeon
+// Platinum 8358 at 2.6 GHz, AVX-512, eight DDR4-3200 channels per
+// socket.
+func Icelake() *Description {
+	return builtin("icelake", 64, 2.6, 8, 32, 409.6, false)
+}
+
+// Zen2 describes a Zen-class node: a 64-core EPYC 7702 (Rome) at
+// 2.25 GHz base with AVX2 (4 doubles, 16 FLOPs/cycle/core) and eight
+// DDR4-3200 channels. AMD exposes retired-FLOP counters.
+func Zen2() *Description {
+	return builtin("zen2", 64, 2.25, 4, 16, 204.8, true)
+}
+
+// Graviton2 describes an AWS Graviton2 (Neoverse N1) node: 64 cores at
+// 2.5 GHz, two 128-bit NEON FMA pipes (2 doubles, 8 FLOPs/cycle/core),
+// eight DDR4-3200 channels.
+func Graviton2() *Description {
+	return builtin("graviton2", 64, 2.5, 2, 8, 204.8, false)
+}
+
+// Graviton3 describes an AWS Graviton3 (Neoverse V1) node: 64 cores at
+// 2.6 GHz, 256-bit SVE (4 doubles, 16 FLOPs/cycle/core), DDR5-4800.
+func Graviton3() *Description {
+	return builtin("graviton3", 64, 2.6, 4, 16, 307.2, false)
+}
+
+// KNL describes a Knights Landing node: a 68-core Xeon Phi 7250 at
+// 1.4 GHz, dual AVX-512 units, with MCDRAM as the roofline bandwidth.
+func KNL() *Description {
+	return builtin("knl", 68, 1.4, 8, 32, 490, false)
+}
+
+// Volta describes a GPU-roofline-class accelerator: a V100's 80 SMs
+// ("cores") at 1.53 GHz, 32 FP64 lanes per SM issuing an FMA each cycle
+// (64 FLOPs/cycle/SM), HBM2 bandwidth, and a 128-byte memory
+// transaction size. The roofline machinery only needs peak and
+// bandwidth, so a GPU fits the same description schema.
+func Volta() *Description {
+	d := builtin("volta", 80, 1.53, 32, 64, 900, false)
+	d.CacheLineBytes = 128
+	return d
+}

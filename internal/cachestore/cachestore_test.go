@@ -424,7 +424,9 @@ func TestVersionMismatchIsMiss(t *testing.T) {
 	}
 	funcPath := filepath.Join(d.Dir(), "funcs", funcKey[:2], funcKey+".mira")
 
-	for _, version := range []string{"MIRACS1\n", "MIRACS3\n"} {
+	oldMagic := fmt.Sprintf("MIRACS%d\n", engine.CacheFormatVersion-1)
+	futureMagic := fmt.Sprintf("MIRACS%d\n", engine.CacheFormatVersion+1)
+	for _, version := range []string{oldMagic, futureMagic} {
 		obj := encodeWithMagic(version, []byte(key), []byte("k.c"), []byte("s"), []byte{1})
 		if err := os.WriteFile(objPath, obj, 0o644); err != nil {
 			t.Fatal(err)

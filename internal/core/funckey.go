@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"mira/internal/arch"
 	"mira/internal/ast"
 	"mira/internal/sema"
 )
@@ -22,7 +23,8 @@ import (
 //
 //	1  whole-source content hashes (PR 1/2)
 //	2  function-granular Merkle keys; per-function store entries
-const CacheFormatVersion = 2
+//	3  arch content keys replace arch names in key material
+const CacheFormatVersion = 3
 
 // FuncKeys computes a content key for every function of an analyzed
 // program, under the given analysis options.
@@ -44,15 +46,13 @@ const CacheFormatVersion = 2
 // part of the identity. The globals hash covers every global variable
 // declaration and every class's field layout (positions included):
 // global layout, folded constants, and field offsets feed every
-// function's compilation.
+// function's compilation. The architecture contributes its content key,
+// not its name: two descriptions differing in any parameter produce
+// disjoint function keys, so cached artifacts can never cross archs.
 func FuncKeys(prog *sema.Program, opts Options) map[string]string {
-	archName := "generic"
-	if opts.Arch != nil {
-		archName = opts.Arch.Name
-	}
 	base := sha256.New()
 	fmt.Fprintf(base, "mira-funckey v%d opt=%t lenient=%t arch=%s\x00",
-		CacheFormatVersion, opts.DisableOpt, opts.Lenient, archName)
+		CacheFormatVersion, opts.DisableOpt, opts.Lenient, arch.KeyOf(opts.Arch))
 	writeGlobalsHash(base, prog)
 	prefix := base.Sum(nil)
 

@@ -7,11 +7,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mira/internal/arch"
 	"mira/internal/core"
 	"mira/internal/expr"
 	"mira/internal/ir"
 	"mira/internal/model"
 	"mira/internal/pbound"
+	"mira/internal/roofline"
 )
 
 // Analysis wraps an analyzed pipeline with a memoized evaluation layer.
@@ -45,6 +47,10 @@ type Analysis struct {
 	// key is the engine content hash this analysis is cached under;
 	// empty for standalone wrappers.
 	key string
+	// archKey is the content key of the pipeline's own architecture
+	// description, precomputed so arch-dependent memo probes need no
+	// per-query hashing.
+	archKey string
 	// workers is the owning engine's parallelism bound, inherited by
 	// Sweep's fan-out; zero (standalone wrappers) means GOMAXPROCS.
 	workers int
@@ -67,6 +73,11 @@ type analysisShared struct {
 	pb     *pbound.Report
 	pbErr  error
 
+	// regOnce guards the lazily built architecture registry standalone
+	// analyses (no owning engine) resolve named arch overrides against.
+	regOnce sync.Once
+	reg     *arch.Registry
+
 	evalHits   atomic.Int64
 	evalMisses atomic.Int64
 }
@@ -83,6 +94,14 @@ type funcEntry struct {
 	opcodes map[fevalKey]map[ir.Op]int64
 	pbounds map[fevalKey]pbound.Counts
 
+	// rooflines and finecats memoize the arch-dependent query kinds.
+	// Their key carries the architecture description's *content key*, so
+	// two descriptions differing in any single parameter (say bandwidth)
+	// occupy distinct entries — the memo can never serve one arch's
+	// roofline for another.
+	rooflines map[archPointKey]roofline.Analysis
+	finecats  map[archPointKey]map[string]int64
+
 	// compiled caches the symbolic compilations (one per exclusivity),
 	// singleflighted: a sweep storm over one function compiles it once.
 	compiledMu sync.Mutex
@@ -95,12 +114,22 @@ type fevalKey struct {
 	exclusive bool
 }
 
+// archPointKey identifies one arch-dependent memoized query point: the
+// canonical env fingerprint plus the architecture description's content
+// key (arch.Description.ContentKey).
+type archPointKey struct {
+	env  string
+	arch string // description content key, never a name
+}
+
 func newFuncEntry() *funcEntry {
 	return &funcEntry{
-		metrics:  map[fevalKey]model.Metrics{},
-		opcodes:  map[fevalKey]map[ir.Op]int64{},
-		pbounds:  map[fevalKey]pbound.Counts{},
-		compiled: map[bool]*compiledSlot{},
+		metrics:   map[fevalKey]model.Metrics{},
+		opcodes:   map[fevalKey]map[ir.Op]int64{},
+		pbounds:   map[fevalKey]pbound.Counts{},
+		rooflines: map[archPointKey]roofline.Analysis{},
+		finecats:  map[archPointKey]map[string]int64{},
+		compiled:  map[bool]*compiledSlot{},
 	}
 }
 
@@ -125,7 +154,8 @@ func (fe *funcEntry) adopt(art *core.FuncArtifact) {
 func (fe *funcEntry) memoLen() int {
 	fe.mu.RLock()
 	defer fe.mu.RUnlock()
-	return len(fe.metrics) + len(fe.opcodes) + len(fe.pbounds)
+	return len(fe.metrics) + len(fe.opcodes) + len(fe.pbounds) +
+		len(fe.rooflines) + len(fe.finecats)
 }
 
 // compiledSlot is a singleflight cell for one compilation.
@@ -216,7 +246,7 @@ func (a *Analysis) withoutDelta() *Analysis {
 // Engine-produced analyses are shared and cached; this is for callers
 // that ran core.Analyze themselves and want memoized queries.
 func NewAnalysis(p *core.Pipeline) *Analysis {
-	return &Analysis{Pipeline: p, sh: &analysisShared{}}
+	return &Analysis{Pipeline: p, sh: &analysisShared{}, archKey: arch.KeyOf(p.Arch)}
 }
 
 // newAnalysis wraps a pipeline with the engine's metrics and cache key
@@ -226,8 +256,20 @@ func (e *Engine) newAnalysis(p *core.Pipeline, key string) *Analysis {
 	a.eng = e
 	a.met = e.met
 	a.key = key
+	a.archKey = e.archKey
 	a.workers = e.workers
 	return a
+}
+
+// registry resolves named architecture overrides: the owning engine's
+// injected registry, or (for standalone wrappers) a lazily built
+// registry of the embedded profiles shared by every name view.
+func (a *Analysis) registry() *arch.Registry {
+	if a.eng != nil {
+		return a.eng.registry
+	}
+	a.sh.regOnce.Do(func() { a.sh.reg = arch.NewRegistry() })
+	return a.sh.reg
 }
 
 // withName returns a view of the analysis whose Pipeline carries name —
@@ -241,7 +283,7 @@ func (a *Analysis) withName(name string) *Analysis {
 	}
 	p := *a.Pipeline
 	p.Name = name
-	return &Analysis{Pipeline: &p, eng: a.eng, sh: a.sh, met: a.met, key: a.key, workers: a.workers, delta: a.delta}
+	return &Analysis{Pipeline: &p, eng: a.eng, sh: a.sh, met: a.met, key: a.key, archKey: a.archKey, workers: a.workers, delta: a.delta}
 }
 
 // observeEval records one memo outcome into the engine registry (no-op
@@ -366,13 +408,70 @@ func (a *Analysis) TableIICounts(fn string, env expr.Env) (map[string]int64, err
 }
 
 // FineCategoryCounts buckets fn's counts into the architecture
-// description's fine-grained categories, served from the opcode memo.
+// description's fine-grained categories, memoized under the analysis's
+// own architecture.
 func (a *Analysis) FineCategoryCounts(fn string, env expr.Env) (map[string]int64, error) {
+	return a.cachedFineCats(fn, env, a.Arch, a.archKey)
+}
+
+// cachedFineCats buckets fn's counts into d's fine categories, memoized
+// under (env, d's content key). archKey must be d.ContentKey() — callers
+// pass it precomputed so a memo probe never re-hashes the description.
+// The returned map is a fresh copy the caller may mutate.
+func (a *Analysis) cachedFineCats(fn string, env expr.Env, d *arch.Description, archKey string) (map[string]int64, error) {
+	fe := a.memoFor(fn)
+	key := archPointKey{env: envFingerprint(env), arch: archKey}
+	fe.mu.RLock()
+	cats, ok := fe.finecats[key]
+	fe.mu.RUnlock()
+	if ok {
+		a.observeEval(true, 0)
+		return copyCats(cats), nil
+	}
 	ops, err := a.EvaluateOpcodes(fn, env)
 	if err != nil {
 		return nil, err
 	}
-	return core.BucketFine(a.Arch, ops), nil
+	cats = core.BucketFine(d, ops)
+	fe.mu.Lock()
+	fe.finecats[key] = cats
+	fe.mu.Unlock()
+	return copyCats(cats), nil
+}
+
+func copyCats(cats map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(cats))
+	for c, n := range cats {
+		out[c] = n
+	}
+	return out
+}
+
+// cachedRoofline computes fn's roofline assessment against d, memoized
+// under (env, d's content key) like cachedFineCats. The memo stores the
+// analysis by value; callers get a private copy.
+func (a *Analysis) cachedRoofline(fn string, env expr.Env, d *arch.Description, archKey string) (*roofline.Analysis, error) {
+	fe := a.memoFor(fn)
+	key := archPointKey{env: envFingerprint(env), arch: archKey}
+	fe.mu.RLock()
+	roof, ok := fe.rooflines[key]
+	fe.mu.RUnlock()
+	if ok {
+		a.observeEval(true, 0)
+		return &roof, nil
+	}
+	met, err := a.cachedMetrics(fn, env, false)
+	if err != nil {
+		return nil, err
+	}
+	r, err := roofline.Analyze(fn, met, d)
+	if err != nil {
+		return nil, err
+	}
+	fe.mu.Lock()
+	fe.rooflines[key] = *r
+	fe.mu.Unlock()
+	return r, nil
 }
 
 // pboundReport lazily builds (once per content hash) the source-only

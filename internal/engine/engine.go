@@ -41,6 +41,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mira/internal/arch"
 	"mira/internal/core"
 	"mira/internal/obs"
 )
@@ -59,6 +60,12 @@ type Options struct {
 	Workers int
 	// Core is passed through to every core.Analyze call.
 	Core core.Options
+	// Registry resolves architecture names in queries, sweeps, and
+	// reports. Nil means a fresh arch.NewRegistry() of the embedded
+	// profiles; serving layers that load custom descriptions (-arch-dir)
+	// inject the loaded registry here. The registry must not be mutated
+	// after the engine is built.
+	Registry *arch.Registry
 	// Store, when non-nil, persists compiled artifacts across engines
 	// (and, with a disk-backed store, across process restarts): a live-
 	// cache miss consults the store and rebuilds from the stored object
@@ -96,6 +103,12 @@ type Engine struct {
 	reg     *obs.Registry
 	met     *metricsSet
 
+	// registry resolves architecture names; archKey is the content key
+	// of the engine's own architecture (Options.Core.Arch), precomputed
+	// once — it is mixed into every whole-source cache key.
+	registry *arch.Registry
+	archKey  string
+
 	mu    sync.Mutex
 	calls map[string]*call // content hash -> in-flight or completed
 
@@ -128,15 +141,21 @@ func New(opts Options) *Engine {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	registry := opts.Registry
+	if registry == nil {
+		registry = arch.NewRegistry()
+	}
 	e := &Engine{
-		opts:    opts,
-		workers: w,
-		sem:     make(chan struct{}, w),
-		store:   opts.Store,
-		reg:     reg,
-		met:     newMetricsSet(reg),
-		calls:   map[string]*call{},
-		funcs:   map[string]*funcEntry{},
+		opts:     opts,
+		workers:  w,
+		sem:      make(chan struct{}, w),
+		store:    opts.Store,
+		reg:      reg,
+		met:      newMetricsSet(reg),
+		registry: registry,
+		archKey:  arch.KeyOf(opts.Core.Arch),
+		calls:    map[string]*call{},
+		funcs:    map[string]*funcEntry{},
 	}
 	registerEngineGauges(reg, e)
 	return e
@@ -149,21 +168,24 @@ func (e *Engine) Workers() int { return e.workers }
 // via Options.Obs, or the engine's private registry).
 func (e *Engine) Obs() *obs.Registry { return e.reg }
 
+// Registry returns the architecture registry queries resolve names
+// against (the one passed via Options.Registry, or the builtin one).
+func (e *Engine) Registry() *arch.Registry { return e.registry }
+
 // cacheKey fingerprints the analysis inputs that determine the pipeline:
 // the cache format version, the source text, and every core option that
-// changes compilation. The program name is deliberately excluded —
-// identical text under two names is the same program and shares one
-// compile. The version term means a format bump turns every key written
-// under the old scheme into a clean miss.
+// changes compilation. The architecture enters as its *content key*, not
+// its name, so two descriptions differing in a single parameter can
+// never share an entry — locally, on disk, or through a peer tier. The
+// program name is deliberately excluded — identical text under two names
+// is the same program and shares one compile. The version term means a
+// format bump turns every key written under the old scheme into a clean
+// miss.
 func (e *Engine) cacheKey(source string) string {
 	h := sha256.New()
 	h.Write([]byte(source))
-	archName := "generic"
-	if e.opts.Core.Arch != nil {
-		archName = e.opts.Core.Arch.Name
-	}
 	fmt.Fprintf(h, "\x00v=%d opt=%t lenient=%t arch=%s",
-		CacheFormatVersion, e.opts.Core.DisableOpt, e.opts.Core.Lenient, archName)
+		CacheFormatVersion, e.opts.Core.DisableOpt, e.opts.Core.Lenient, e.archKey)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

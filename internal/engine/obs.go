@@ -24,6 +24,7 @@ import (
 //	mira_resident_analyses                  gauge (scrape-computed)
 //	mira_function_memo_entries              gauge (scrape-computed)
 //	mira_eval_memo_entries                  gauge (scrape-computed)
+//	mira_arch_registry_entries              gauge (scrape-computed)
 type metricsSet struct {
 	pipeHits    *obs.Counter
 	pipeMisses  *obs.Counter
@@ -81,6 +82,9 @@ func registerEngineGauges(r *obs.Registry, e *Engine) {
 	r.GaugeFunc("mira_eval_memo_entries", "total memoized evaluation entries across the function memo", func() float64 {
 		_, entries := e.funcMemoStats()
 		return float64(entries)
+	})
+	r.GaugeFunc("mira_arch_registry_entries", "architecture descriptions resolvable through the engine's registry", func() float64 {
+		return float64(e.registry.Len())
 	})
 }
 

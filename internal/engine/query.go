@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"mira/internal/arch"
-	"mira/internal/core"
 	"mira/internal/expr"
 	"mira/internal/model"
 	"mira/internal/pbound"
@@ -73,10 +72,11 @@ type Query struct {
 	Fn   string
 	Env  expr.Env
 	Kind QueryKind
-	// Arch optionally names a built-in architecture description
-	// ("arya", "frankenstein", "generic") overriding the analysis's own
-	// for KindFineCategories and KindRoofline; empty means the
-	// analysis's. This is the wire-friendly form /query exposes.
+	// Arch optionally names a registered architecture description (an
+	// embedded profile or one loaded into the registry) overriding the
+	// analysis's own for KindFineCategories and KindRoofline; empty
+	// means the analysis's. This is the wire-friendly form /query
+	// exposes.
 	Arch string
 	// ArchDesc overrides with an in-process description value (file-
 	// loaded or modified ones Lookup cannot name). Takes precedence
@@ -132,29 +132,24 @@ func (a *Analysis) RunOne(ctx context.Context, q Query) QueryResult {
 		}
 		r.Categories = cats
 	case KindFineCategories:
-		d, err := a.queryArch(q)
+		d, key, err := a.queryArch(q)
 		if err != nil {
 			r.Err = err
 			return r
 		}
-		ops, err := a.EvaluateOpcodes(q.Fn, q.Env)
+		cats, err := a.cachedFineCats(q.Fn, q.Env, d, key)
 		if err != nil {
 			r.Err = err
 			return r
 		}
-		r.Categories = core.BucketFine(d, ops)
+		r.Categories = cats
 	case KindRoofline:
-		d, err := a.queryArch(q)
+		d, key, err := a.queryArch(q)
 		if err != nil {
 			r.Err = err
 			return r
 		}
-		met, err := a.cachedMetrics(q.Fn, q.Env, false)
-		if err != nil {
-			r.Err = err
-			return r
-		}
-		roof, err := roofline.Analyze(q.Fn, met, d)
+		roof, err := a.cachedRoofline(q.Fn, q.Env, d, key)
 		if err != nil {
 			r.Err = err
 			return r
@@ -173,17 +168,22 @@ func (a *Analysis) RunOne(ctx context.Context, q Query) QueryResult {
 	return r
 }
 
-// queryArch resolves the query's architecture description: the
-// in-process override first, then the named built-in, then the
-// analysis's own.
-func (a *Analysis) queryArch(q Query) (*arch.Description, error) {
+// queryArch resolves the query's architecture description and its
+// content key: the in-process override first, then the registry-resolved
+// name, then the analysis's own. Registry and analysis keys are
+// precomputed; only ad-hoc ArchDesc overrides hash here.
+func (a *Analysis) queryArch(q Query) (*arch.Description, string, error) {
 	if q.ArchDesc != nil {
-		return q.ArchDesc, nil
+		return q.ArchDesc, q.ArchDesc.ContentKey(), nil
 	}
 	if q.Arch == "" {
-		return a.Arch, nil
+		return a.Arch, a.archKey, nil
 	}
-	return arch.Lookup(q.Arch)
+	e, err := a.registry().LookupEntry(q.Arch)
+	if err != nil {
+		return nil, "", err
+	}
+	return e.Desc, e.Key, nil
 }
 
 // QueryJob is one cell of an engine-level query matrix: a program

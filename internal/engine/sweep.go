@@ -55,7 +55,7 @@ type SweepSpec struct {
 	Points []map[string]int64
 	// Base binds parameters shared by every point (a point overrides).
 	Base map[string]int64
-	// Archs names built-in architecture descriptions to sweep across
+	// Archs names registered architecture descriptions to sweep across
 	// for KindRoofline / KindFineCategories; empty means the analysis's
 	// own. At most one may be given for arch-independent kinds.
 	Archs []string
@@ -180,7 +180,8 @@ type sweepArch struct {
 	desc *arch.Description
 }
 
-// sweepArchs resolves the architecture cells of a sweep.
+// sweepArchs resolves the architecture cells of a sweep against the
+// analysis's registry.
 func (a *Analysis) sweepArchs(spec SweepSpec) ([]sweepArch, error) {
 	usesArch := spec.Kind == KindRoofline || spec.Kind == KindFineCategories
 	if !usesArch && (len(spec.Archs) > 1 || (len(spec.Archs) == 1 && spec.ArchDesc != nil)) {
@@ -194,7 +195,7 @@ func (a *Analysis) sweepArchs(spec SweepSpec) ([]sweepArch, error) {
 	}
 	out := make([]sweepArch, len(spec.Archs))
 	for i, name := range spec.Archs {
-		d, err := arch.Lookup(name)
+		d, err := a.registry().Lookup(name)
 		if err != nil {
 			return nil, err
 		}

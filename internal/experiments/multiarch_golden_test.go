@@ -1,0 +1,48 @@
+package experiments
+
+// Golden test for the cross-architecture ranking suite. Unlike the
+// paper tables there is no legacy renderer to act as an oracle, so the
+// text rendering under ScaledConfig is pinned verbatim: the section
+// must rank every embedded machine description deterministically, and
+// any change to the registry's parameters, the roofline arithmetic, or
+// the table encoding shows up as a byte diff here.
+
+import (
+	"strings"
+	"testing"
+
+	"mira/internal/report"
+)
+
+const multiarchGolden = `dgemm_bench ranked by attainable GFLOP/s
+rank arch         bound  attainable_gflops peak_gflops byte_ai ridge_ai
+1    volta        memory 76.11             7834        0.08457 8.704
+2    knl          memory 41.44             3046        0.08457 6.217
+3    icelake      memory 34.64             5325        0.08457 13
+4    graviton3    memory 25.98             2662        0.08457 8.667
+5    skylake      memory 21.65             3226        0.08457 12.6
+6    graviton2    memory 17.32             1280        0.08457 6.25
+7    zen2         memory 17.32             2304        0.08457 11.25
+8    arya         memory 11.5              1325        0.08457 9.741
+9    frankenstein memory 4.33              76.8        0.08457 1.5
+10   generic      memory 3.383             64          0.08457 1.6
+`
+
+// TestGoldenMultiarch pins the multiarch suite's text rendering under
+// the scaled configuration, byte for byte.
+func TestGoldenMultiarch(t *testing.T) {
+	c := ScaledConfig()
+	suite, ok := SuiteMap(c)["multiarch"]
+	if !ok {
+		t.Fatal("multiarch suite missing")
+	}
+	rep, err := report.NewRunner(testEng).Run(bg(), suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := rep.EncodeText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	diffGolden(t, "multiarch", sb.String(), multiarchGolden)
+}

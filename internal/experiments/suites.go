@@ -162,6 +162,24 @@ func Suites(c SuiteConfig) []report.Suite {
 			}},
 		},
 		{
+			Name:  "multiarch",
+			Title: "Cross-architecture ranking: DGEMM across the machine registry",
+			// Every embedded machine description (plus any -arch-dir
+			// loads) ranked by the roofline's attainable GFLOP/s for one
+			// DGEMM point — the "which machine should run this kernel"
+			// table the registry exists for.
+			Sections: []report.Section{report.CompareSection{
+				Name:     "multiarch",
+				Caption:  "dgemm_bench ranked by attainable GFLOP/s",
+				Workload: report.WorkloadRef{Name: "dgemm"},
+				Fn:       "dgemm_bench",
+				Env: map[string]int64{
+					"n":    c.DgemmSizes[len(c.DgemmSizes)-1],
+					"nrep": c.DgemmReps,
+				},
+			}},
+		},
+		{
 			Name:  "ablation",
 			Title: "Ablation: PBound (source-only) vs Mira (source+binary)",
 			Sections: []report.Section{report.SectionFunc(func(ctx context.Context, r *report.Runner) ([]report.Table, error) {

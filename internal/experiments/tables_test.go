@@ -224,7 +224,7 @@ func TestAblationPBoundVsMira(t *testing.T) {
 func TestSuitesRun(t *testing.T) {
 	c := ScaledConfig()
 	names := SuiteNames(c)
-	wantNames := []string{"table_i", "table_ii", "table_iii", "table_iv", "table_v", "fig7", "prediction", "ablation"}
+	wantNames := []string{"table_i", "table_ii", "table_iii", "table_iv", "table_v", "fig7", "prediction", "multiarch", "ablation"}
 	if len(names) != len(wantNames) {
 		t.Fatalf("suites = %v", names)
 	}

@@ -1,0 +1,131 @@
+package report
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"mira/internal/engine"
+)
+
+// CompareSection is the cross-architecture ranking section: one
+// workload function at one evaluation point, run against N machine
+// descriptions, rendered as a table ranked by predicted attainable
+// GFLOP/s. Each row answers the paper's Sec. IV-D2 question for one
+// machine — which side of the ridge the kernel lands on and what the
+// roofline caps it at — and the ranking answers "which of these
+// machines should run this kernel".
+type CompareSection struct {
+	Name    string
+	Caption string
+	// Workload and Fn name the kernel, as in GridSection.
+	Workload WorkloadRef
+	Fn       string
+	// Env is the one evaluation point (every model parameter bound).
+	Env map[string]int64
+	// Archs names the registered descriptions to rank; empty means every
+	// entry in the engine's registry.
+	Archs []string
+}
+
+// compareRow pairs one machine's outcome with its sort material.
+type compareRow struct {
+	arch string
+	peak float64
+	pt   *engine.SweepPoint
+}
+
+// Tables implements Section. Successful rows are ranked by attainable
+// GFLOP/s, highest first, with the architecture name breaking ties so
+// machines with identical rooflines render deterministically; rows
+// whose evaluation failed sort last, by name, with the error attached.
+func (s CompareSection) Tables(ctx context.Context, r *Runner) ([]Table, error) {
+	a, err := s.Workload.resolve(ctx, r.eng)
+	if err != nil {
+		return nil, err
+	}
+	registry := r.eng.Registry()
+	archs := s.Archs
+	if len(archs) == 0 {
+		archs = registry.Names()
+	}
+	res, err := a.Sweep(ctx, engine.SweepSpec{
+		Fn:    s.Fn,
+		Kind:  engine.KindRoofline,
+		Base:  s.Env,
+		Archs: archs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Points) != len(archs) {
+		return nil, fmt.Errorf("report: compare section produced %d points for %d archs", len(res.Points), len(archs))
+	}
+
+	rows := make([]compareRow, len(archs))
+	for i := range res.Points {
+		p := &res.Points[i]
+		row := compareRow{arch: p.Arch, pt: p}
+		if d, err := registry.Lookup(p.Arch); err == nil {
+			row.peak = d.PeakGFlops()
+		}
+		rows[i] = row
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		ri, rj := rows[i], rows[j]
+		iOK, jOK := ri.pt.Err == nil, rj.pt.Err == nil
+		if iOK != jOK {
+			return iOK // failures sink to the bottom
+		}
+		if !iOK {
+			return ri.arch < rj.arch
+		}
+		if ri.pt.Roofline.AttainableGFlops != rj.pt.Roofline.AttainableGFlops {
+			return ri.pt.Roofline.AttainableGFlops > rj.pt.Roofline.AttainableGFlops
+		}
+		return ri.arch < rj.arch
+	})
+
+	name := s.Name
+	if name == "" {
+		name = s.Fn + "_compare"
+	}
+	t := Table{
+		Name:    name,
+		Caption: s.Caption,
+		Columns: []Column{
+			{Name: "rank", Kind: ColInt},
+			{Name: "arch", Kind: ColString},
+			{Name: "bound", Kind: ColString},
+			{Name: "attainable_gflops", Kind: ColFloat, Prec: 4},
+			{Name: "peak_gflops", Kind: ColFloat, Prec: 4},
+			{Name: "byte_ai", Kind: ColFloat, Prec: 4},
+			{Name: "ridge_ai", Kind: ColFloat, Prec: 4},
+		},
+	}
+	t.Rows = make([]Row, len(rows))
+	for i, row := range rows {
+		if row.pt.Err != nil {
+			t.Rows[i] = Row{
+				Cells: []Value{Null(), Str(row.arch), Null(), Null(), Null(), Null(), Null()},
+				Error: row.pt.Err.Error(),
+			}
+			continue
+		}
+		roof := row.pt.Roofline
+		bound := "compute"
+		if roof.MemoryBound {
+			bound = "memory"
+		}
+		t.Rows[i] = Row{Cells: []Value{
+			Int(int64(i + 1)),
+			Str(row.arch),
+			Str(bound),
+			Float(roof.AttainableGFlops),
+			Float(row.peak),
+			Float(roof.ByteAI),
+			Float(roof.RidgeAI),
+		}}
+	}
+	return []Table{t}, nil
+}

@@ -1,0 +1,145 @@
+package report
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"mira/internal/engine"
+)
+
+// TestCompareSectionRanking: the cross-arch section ranks every registry
+// entry by attainable GFLOP/s, highest first, deterministically.
+func TestCompareSectionRanking(t *testing.T) {
+	r := testRunner(t)
+	rep, err := r.Run(context.Background(), Suite{Name: "compare", Sections: []Section{CompareSection{
+		Name:     "kernel_rank",
+		Workload: WorkloadRef{File: "kernel.c", Source: kernelSrc},
+		Fn:       "kernel",
+		Env:      map[string]int64{"n": 4096},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := rep.Tables[0]
+	wantCols := []string{"rank", "arch", "bound", "attainable_gflops", "peak_gflops", "byte_ai", "ridge_ai"}
+	if len(tab.Columns) != len(wantCols) {
+		t.Fatalf("columns = %+v", tab.Columns)
+	}
+	for i, c := range tab.Columns {
+		if c.Name != wantCols[i] {
+			t.Errorf("column %d = %q, want %q", i, c.Name, wantCols[i])
+		}
+	}
+	reg := r.Engine().Registry()
+	if len(tab.Rows) != reg.Len() {
+		t.Fatalf("rows = %d, want every registry entry (%d)", len(tab.Rows), reg.Len())
+	}
+	seen := map[string]bool{}
+	prev := -1.0
+	for i, row := range tab.Rows {
+		if row.Error != "" {
+			t.Fatalf("row %d: %s", i, row.Error)
+		}
+		if got := row.Cells[0].i; got != int64(i+1) {
+			t.Errorf("row %d rank = %d", i, got)
+		}
+		seen[row.Cells[1].s] = true
+		att := row.Cells[3].f
+		if prev >= 0 && att > prev {
+			t.Errorf("row %d attainable %v > previous %v: not ranked descending", i, att, prev)
+		}
+		prev = att
+	}
+	for _, name := range reg.Names() {
+		if !seen[name] {
+			t.Errorf("registry entry %s missing from the ranking", name)
+		}
+	}
+
+	// Determinism: a second run renders byte-identically.
+	rep2, err := r.Run(context.Background(), Suite{Name: "compare", Sections: []Section{CompareSection{
+		Name:     "kernel_rank",
+		Workload: WorkloadRef{File: "kernel.c", Source: kernelSrc},
+		Fn:       "kernel",
+		Env:      map[string]int64{"n": 4096},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b1, b2 strings.Builder
+	if err := rep.EncodeText(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep2.EncodeText(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Error("two identical compare runs rendered differently")
+	}
+}
+
+// TestCompareSectionExplicitArchs: a named subset ranks only those
+// machines, and an evaluation error (unbound parameter) sorts last with
+// the error attached instead of failing the section.
+func TestCompareSectionExplicitArchs(t *testing.T) {
+	r := testRunner(t)
+	rep, err := r.Run(context.Background(), Suite{Name: "compare", Sections: []Section{CompareSection{
+		Workload: WorkloadRef{File: "kernel.c", Source: kernelSrc},
+		Fn:       "kernel",
+		Env:      map[string]int64{"n": 64},
+		Archs:    []string{"volta", "frankenstein"},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := rep.Tables[0]
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	}
+	// Volta's roofline dwarfs Nehalem's on any kernel.
+	if tab.Rows[0].Cells[1].s != "volta" || tab.Rows[1].Cells[1].s != "frankenstein" {
+		t.Errorf("ranking = %s, %s", tab.Rows[0].Cells[1].s, tab.Rows[1].Cells[1].s)
+	}
+
+	if _, err := r.Run(context.Background(), Suite{Name: "bad", Sections: []Section{CompareSection{
+		Workload: WorkloadRef{File: "kernel.c", Source: kernelSrc},
+		Fn:       "kernel",
+		Env:      map[string]int64{"n": 64},
+		Archs:    []string{"vax"},
+	}}}); err == nil {
+		t.Error("unknown arch accepted")
+	}
+}
+
+// TestCompareSpecWire: the Compare flag on a wire GridSpec compiles to a
+// CompareSection, and the grid-shaped forms a comparison cannot express
+// are rejected up front.
+func TestCompareSpecWire(t *testing.T) {
+	good := SuiteSpec{Sections: []GridSpec{{
+		Workload: "dgemm", Fn: "dgemm_bench", Compare: true,
+		Base: map[string]int64{"n": 64, "nrep": 1},
+	}}}
+	s, err := good.Suite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec, ok := s.Sections[0].(CompareSection)
+	if !ok {
+		t.Fatalf("compiled to %T, want CompareSection", s.Sections[0])
+	}
+	if sec.Env["n"] != 64 || sec.Env["nrep"] != 1 {
+		t.Errorf("env = %v", sec.Env)
+	}
+
+	for name, bad := range map[string]GridSpec{
+		"axes":       {Workload: "dgemm", Fn: "f", Compare: true, Base: map[string]int64{"n": 1}, Axes: []engine.SweepAxis{{Name: "n", Values: []int64{1, 2}}}},
+		"multipoint": {Workload: "dgemm", Fn: "f", Compare: true, Points: []map[string]int64{{"n": 1}, {"n": 2}}},
+		"kind":       {Workload: "dgemm", Fn: "f", Compare: true, Base: map[string]int64{"n": 1}, Kind: "static"},
+		"no point":   {Workload: "dgemm", Fn: "f", Compare: true},
+	} {
+		if _, err := (SuiteSpec{Sections: []GridSpec{bad}}).Suite(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -346,6 +346,12 @@ type GridSpec struct {
 	Points []map[string]int64 `json:"points,omitempty"`
 	Base   map[string]int64   `json:"base,omitempty"`
 	Archs  []string           `json:"archs,omitempty"`
+	// Compare turns the section into a CompareSection: the function is
+	// evaluated at the single point given by base (plus at most one
+	// explicit point) and ranked across archs — every registry entry
+	// when archs is empty. Kind must be absent or "roofline"; axes are
+	// rejected.
+	Compare bool `json:"compare,omitempty"`
 }
 
 // Suite compiles the wire spec into a runnable Suite, validating
@@ -368,6 +374,14 @@ func (s SuiteSpec) Suite() (Suite, error) {
 		if g.Fn == "" {
 			return Suite{}, fmt.Errorf("report: section %d: missing fn", i)
 		}
+		if g.Compare {
+			sec, err := g.compareSection()
+			if err != nil {
+				return Suite{}, fmt.Errorf("report: section %d: %w", i, err)
+			}
+			out.Sections = append(out.Sections, sec)
+			continue
+		}
 		kindName := g.Kind
 		if kindName == "" {
 			kindName = engine.KindStatic.String()
@@ -389,4 +403,40 @@ func (s SuiteSpec) Suite() (Suite, error) {
 		})
 	}
 	return out, nil
+}
+
+// compareSection compiles a Compare-flagged wire section. A comparison
+// is one point across machines, so the grid forms that vary parameters
+// are rejected; the point is base, optionally refined by one explicit
+// point (miniFE-style grids bind several parameters together).
+func (g GridSpec) compareSection() (CompareSection, error) {
+	if g.Kind != "" && g.Kind != engine.KindRoofline.String() {
+		return CompareSection{}, fmt.Errorf("compare sections rank rooflines; kind %q is not allowed", g.Kind)
+	}
+	if len(g.Axes) > 0 {
+		return CompareSection{}, fmt.Errorf("compare sections take a single point, not axes")
+	}
+	if len(g.Points) > 1 {
+		return CompareSection{}, fmt.Errorf("compare sections take a single point, got %d", len(g.Points))
+	}
+	env := make(map[string]int64, len(g.Base)+1)
+	for k, v := range g.Base {
+		env[k] = v
+	}
+	if len(g.Points) == 1 {
+		for k, v := range g.Points[0] {
+			env[k] = v
+		}
+	}
+	if len(env) == 0 {
+		return CompareSection{}, fmt.Errorf("compare sections need an evaluation point (base or one explicit point)")
+	}
+	return CompareSection{
+		Name:     g.Name,
+		Caption:  g.Caption,
+		Workload: WorkloadRef{Name: g.Workload, Key: g.Key, File: g.File, Source: g.Source},
+		Fn:       g.Fn,
+		Env:      env,
+		Archs:    g.Archs,
+	}, nil
 }

@@ -53,8 +53,9 @@ type Options struct {
 	// Lenient downgrades unanalyzable branches to always-taken warnings
 	// instead of errors.
 	Lenient bool
-	// Arch names the architecture description: "arya", "frankenstein", or
-	// "generic" (default).
+	// Arch selects the architecture description: a registered name
+	// ("arya", "skylake", ...; empty means "generic") or the path of a
+	// JSON description file.
 	Arch string
 }
 
@@ -81,7 +82,7 @@ func Analyze(name, source string, opts Options) (*Result, error) {
 // AnalyzeContext is Analyze honoring cancellation: the pipeline aborts
 // at the next stage boundary once ctx is done, returning ctx.Err().
 func AnalyzeContext(ctx context.Context, name, source string, opts Options) (*Result, error) {
-	a, err := arch.Lookup(opts.Arch)
+	a, err := arch.Resolve(opts.Arch)
 	if err != nil {
 		return nil, err
 	}
@@ -181,7 +182,7 @@ type Engine struct {
 // NewEngine builds an analysis service. workers bounds concurrent
 // pipeline analyses (0 = GOMAXPROCS); opts applies to every job.
 func NewEngine(workers int, opts Options) (*Engine, error) {
-	a, err := arch.Lookup(opts.Arch)
+	a, err := arch.Resolve(opts.Arch)
 	if err != nil {
 		return nil, err
 	}

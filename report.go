@@ -33,6 +33,11 @@ type Section = report.Section
 // sweep.
 type GridSection = report.GridSection
 
+// CompareSection ranks one workload function at one evaluation point
+// across N architecture descriptions by predicted attainable GFLOP/s —
+// empty Archs means every entry in the engine's registry.
+type CompareSection = report.CompareSection
+
 // FuncSection is a custom-rows section under a declared column schema.
 type FuncSection = report.FuncSection
 
