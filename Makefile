@@ -14,16 +14,20 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-# lint runs mira-vet, the repo's own analyzer suite (internal/lint): six
-# checks, each encoding an invariant a past PR paid for. Gating in CI;
-# suppress a finding in-source with `//lint:ignore mira/<name> reason`.
+# lint runs mira-vet, the repo's own analyzer suite (internal/lint):
+# eleven checks — six syntactic, five dataflow/interprocedural — each
+# encoding an invariant a past PR paid for. The ./... target includes
+# internal/lint and cmd/mira-vet themselves (the linter lints itself).
+# Gating in CI; suppress a finding in-source with
+# `//lint:ignore mira/<name> reason`. Use `-json` for the metrics CI
+# scrapes (mira_vet_findings_total, per-analyzer wall time).
 lint:
 	$(GO) run ./cmd/mira-vet ./...
 
 # staticcheck and govulncheck are pinned by version and fetched on
 # demand via `go run pkg@version`, so they need network access: they run
 # as separate CI jobs, not in `check` (the local loop stays offline).
-STATICCHECK_VERSION ?= 2025.1
+STATICCHECK_VERSION ?= 2025.1.1
 staticcheck:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 

@@ -248,7 +248,7 @@ func serveUntilDone(ctx context.Context, srv *http.Server, ln net.Listener, drai
 	sctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {
-		srv.Close()
+		_ = srv.Close() // drain failed; force-close, the Shutdown error wins
 		return fmt.Errorf("drain incomplete: %w", err)
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -661,21 +661,23 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	fmt.Fprintf(w, `{"key":%q,"fn":%q,"kind":%q,"total":%d,"points":[`,
+	// Writes to w are best-effort throughout the stream: a failed write
+	// means the client went away, and clientGone catches that next loop.
+	_, _ = fmt.Fprintf(w, `{"key":%q,"fn":%q,"kind":%q,"total":%d,"points":[`,
 		a.Key(), req.Fn, kind, len(res.Points))
 	for i := range res.Points {
 		if clientGone(r) {
 			return // mid-stream abort: the client is not reading anyway
 		}
 		if i > 0 {
-			io.WriteString(w, ",")
+			_, _ = io.WriteString(w, ",")
 		}
 		_ = enc.Encode(sweepCell(&res.Points[i]))
 		if flusher != nil && (i+1)%sweepFlushEvery == 0 {
 			flusher.Flush()
 		}
 	}
-	io.WriteString(w, "]}\n")
+	_, _ = io.WriteString(w, "]}\n")
 }
 
 // sweepCell converts an engine sweep point to its wire form.

@@ -1,11 +1,12 @@
 // Command mira-vet runs Mira's custom static-analysis suite
-// (internal/lint): six analyzers, each encoding an invariant derived
+// (internal/lint): eleven analyzers, each encoding an invariant derived
 // from a real historical bug in this repository. It runs two ways:
 //
 // Standalone (the `make lint` / CI path):
 //
 //	mira-vet ./...                 # vet the whole module, exit 1 on findings
 //	mira-vet -list                 # describe the analyzers
+//	mira-vet -json ./...           # findings + metrics as JSON on stdout
 //	mira-vet -detorder=false ./... # disable one analyzer
 //	mira-vet -C /path/to/mod ./...
 //
@@ -13,6 +14,11 @@
 // uses to drive custom vet binaries:
 //
 //	go vet -vettool=$(which mira-vet) ./...
+//
+// In both modes cross-package facts flow to importers: standalone runs
+// share an in-memory store over the dependency-ordered package list;
+// unit runs serialize the store into the .vetx file the go command
+// passes between units.
 //
 // Exit codes: 0 clean, 1 findings, 2 usage or load failure.
 package main
@@ -29,13 +35,26 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"mira/internal/lint"
 )
 
+// version is the vet-tool fingerprint the go command caches vetx files
+// under. Bumped to 2 when the fact protocol replaced the dummy vetx
+// payload, so stale version-1 files are never decoded as fact stores.
+const version = "mira-vet version 2"
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// outf writes best-effort CLI output: a failed write to the (possibly
+// piped, possibly closed) output stream has no better handling than the
+// message being lost.
+func outf(w io.Writer, format string, args ...any) {
+	_, _ = fmt.Fprintf(w, format, args...)
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -44,14 +63,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// .cfg argument.
 	if len(args) == 1 {
 		if strings.HasPrefix(args[0], "-V") {
-			fmt.Fprintf(stdout, "mira-vet version 1\n")
+			outf(stdout, "%s\n", version)
 			return 0
 		}
 		if args[0] == "-flags" {
 			// The go command asks which analyzer flags it may forward;
 			// mira-vet keeps the unit path flagless (suppressions are
 			// in-source directives), so the answer is none.
-			fmt.Fprintln(stdout, "[]")
+			outf(stdout, "[]\n")
 			return 0
 		}
 		if strings.HasSuffix(args[0], ".cfg") {
@@ -63,6 +82,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	dir := fs.String("C", ".", "module directory to vet in")
 	list := fs.Bool("list", false, "list analyzers and exit")
+	asJSON := fs.Bool("json", false, "emit findings and metrics as JSON on stdout")
 	enabled := map[string]*bool{}
 	for _, a := range lint.All() {
 		enabled[a.Name] = fs.Bool(a.Name, true, "enable the mira/"+a.Name+" analyzer")
@@ -74,7 +94,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	analyzers := lint.All()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Fprintf(stdout, "mira/%s\n    %s\n", a.Name, a.Doc)
+			outf(stdout, "mira/%s\n    %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
@@ -91,30 +111,89 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	pkgs, err := lint.Load(*dir, patterns...)
 	if err != nil {
-		fmt.Fprintf(stderr, "mira-vet: %v\n", err)
+		outf(stderr, "mira-vet: %v\n", err)
 		return 2
 	}
-	findings := 0
+	runner := lint.NewRunner(active)
+	var all []lint.Diagnostic
 	for _, pkg := range pkgs {
-		diags, err := lint.RunPackage(pkg, active)
+		diags, err := runner.RunPackage(pkg)
 		if err != nil {
-			fmt.Fprintf(stderr, "mira-vet: %v\n", err)
+			outf(stderr, "mira-vet: %v\n", err)
 			return 2
 		}
-		for _, d := range diags {
-			fmt.Fprintln(stdout, d.String())
-			findings++
+		all = append(all, diags...)
+	}
+
+	if *asJSON {
+		if err := writeJSONReport(stdout, runner, all); err != nil {
+			outf(stderr, "mira-vet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range all {
+			outf(stdout, "%s\n", d.String())
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(stderr, "mira-vet: %d finding(s)\n", findings)
+	if len(all) > 0 {
+		outf(stderr, "mira-vet: %d finding(s)\n", len(all))
 		return 1
 	}
 	return 0
 }
 
+// jsonReport is the -json output shape: the findings plus the metric
+// series CI scrapes (mira_vet_findings_total and per-analyzer cost).
+type jsonReport struct {
+	Findings []jsonFinding          `json:"findings"`
+	Metrics  jsonMetrics            `json:"metrics"`
+	Analyzer map[string]jsonPerAnlz `json:"analyzers"`
+}
+
+type jsonFinding struct {
+	Pos      string `json:"pos"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+type jsonMetrics struct {
+	FindingsTotal int `json:"mira_vet_findings_total"`
+}
+
+type jsonPerAnlz struct {
+	Findings    int     `json:"findings"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+func writeJSONReport(w io.Writer, runner *lint.Runner, diags []lint.Diagnostic) error {
+	rep := jsonReport{
+		Findings: []jsonFinding{},
+		Metrics:  jsonMetrics{FindingsTotal: runner.TotalFindings()},
+		Analyzer: map[string]jsonPerAnlz{},
+	}
+	for _, d := range diags {
+		rep.Findings = append(rep.Findings, jsonFinding{
+			Pos:      d.Pos.String(),
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	names := make([]string, 0, len(runner.Stats))
+	for name := range runner.Stats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := runner.Stats[name]
+		rep.Analyzer[name] = jsonPerAnlz{Findings: st.Findings, WallSeconds: st.Seconds}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
 // vetConfig is the subset of the go command's unitchecker .cfg payload
-// mira-vet needs to type-check one package unit.
+// mira-vet needs to type-check one package unit and exchange facts.
 type vetConfig struct {
 	ID                        string
 	Dir                       string
@@ -122,33 +201,26 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
 }
 
 // runUnit analyzes one package unit described by a go vet .cfg file.
+// Facts arrive through the PackageVetx files of the unit's imports and
+// leave through VetxOutput; a VetxOnly unit (a dependency of the vetted
+// targets) runs only the fact-producing analyzers and reports nothing.
 func runUnit(cfgPath string, stderr io.Writer) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
-		fmt.Fprintf(stderr, "mira-vet: %v\n", err)
+		outf(stderr, "mira-vet: %v\n", err)
 		return 2
 	}
 	var cfg vetConfig
 	if err := json.Unmarshal(data, &cfg); err != nil {
-		fmt.Fprintf(stderr, "mira-vet: parsing %s: %v\n", cfgPath, err)
+		outf(stderr, "mira-vet: parsing %s: %v\n", cfgPath, err)
 		return 2
-	}
-	// The go command requires the facts output to exist even though
-	// mira-vet's analyzers are package-local and export none.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("mira-vet\n"), 0o666); err != nil {
-			fmt.Fprintf(stderr, "mira-vet: %v\n", err)
-			return 2
-		}
-	}
-	if cfg.VetxOnly {
-		return 0
 	}
 
 	fset := token.NewFileSet()
@@ -159,7 +231,7 @@ func runUnit(cfgPath string, stderr io.Writer) int {
 		}
 		f, err := parser.ParseFile(fset, gf, nil, parser.ParseComments)
 		if err != nil {
-			fmt.Fprintf(stderr, "mira-vet: %v\n", err)
+			outf(stderr, "mira-vet: %v\n", err)
 			return 2
 		}
 		files = append(files, f)
@@ -188,18 +260,45 @@ func runUnit(cfgPath string, stderr io.Writer) int {
 		if cfg.SucceedOnTypecheckFailure {
 			return 0
 		}
-		fmt.Fprintf(stderr, "mira-vet: %v\n", err)
+		outf(stderr, "mira-vet: %v\n", err)
 		return 2
 	}
-	pkg := &lint.Package{Path: cfg.ImportPath, Fset: fset, Files: files, Types: tpkg, TypesInfo: info}
-	diags, err := lint.RunPackage(pkg, lint.All())
+
+	runner := lint.NewRunner(lint.All())
+	for _, vetx := range cfg.PackageVetx {
+		payload, err := os.ReadFile(vetx)
+		if err != nil {
+			continue // missing import facts: analyze with what we have
+		}
+		// Undecodable payloads (another tool's vetx, a pre-fact
+		// mira-vet) mean "no facts", not failure.
+		_ = runner.Facts.Decode(payload)
+	}
+
+	pkg := &lint.Package{
+		Path: cfg.ImportPath, Fset: fset, Files: files,
+		Types: tpkg, TypesInfo: info,
+		FactsOnly: cfg.VetxOnly,
+	}
+	diags, err := runner.RunPackage(pkg)
 	if err != nil {
-		fmt.Fprintf(stderr, "mira-vet: %v\n", err)
+		outf(stderr, "mira-vet: %v\n", err)
 		return 2
+	}
+	if cfg.VetxOutput != "" {
+		payload, err := runner.Facts.Encode()
+		if err != nil {
+			outf(stderr, "mira-vet: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(cfg.VetxOutput, payload, 0o666); err != nil {
+			outf(stderr, "mira-vet: %v\n", err)
+			return 2
+		}
 	}
 	for _, d := range diags {
 		// file:line:col: message — the diagnostic shape go vet relays.
-		fmt.Fprintf(stderr, "%s: [mira/%s] %s\n", d.Pos, d.Analyzer, d.Message)
+		outf(stderr, "%s: [mira/%s] %s\n", d.Pos, d.Analyzer, d.Message)
 	}
 	if len(diags) > 0 {
 		return 2

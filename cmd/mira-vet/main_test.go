@@ -2,11 +2,15 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"mira/internal/lint"
+	"mira/internal/lint/linttest"
 )
 
 // dirtyFile carries a detorder violation (range over map printing in
@@ -99,10 +103,132 @@ func TestListDescribesSuite(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	for _, name := range []string{"multovf", "detorder", "ctxflow", "panicfree", "noglobals", "obsnames"} {
+	for _, name := range []string{"multovf", "detorder", "ctxflow", "panicfree", "noglobals", "obsnames",
+		"cachekey", "lockdisc", "timeinj", "goroleak", "errdrop"} {
 		if !strings.Contains(stdout, "mira/"+name) {
 			t.Errorf("-list output missing mira/%s:\n%s", name, stdout)
 		}
+	}
+}
+
+// TestJSONReport pins the -json contract CI scrapes: the findings
+// list, the mira_vet_findings_total metric, and per-analyzer findings
+// and wall time.
+func TestJSONReport(t *testing.T) {
+	dir := writeModule(t, dirtyFile)
+	code, stdout, _ := vet("-C", dir, "-json", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s", code, stdout)
+	}
+	var rep struct {
+		Findings []struct {
+			Pos      string `json:"pos"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		} `json:"findings"`
+		Metrics struct {
+			Total int `json:"mira_vet_findings_total"`
+		} `json:"metrics"`
+		Analyzers map[string]struct {
+			Findings    int     `json:"findings"`
+			WallSeconds float64 `json:"wall_seconds"`
+		} `json:"analyzers"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("-json output is not JSON: %v\n%s", err, stdout)
+	}
+	if rep.Metrics.Total != 1 {
+		t.Errorf("mira_vet_findings_total = %d, want 1", rep.Metrics.Total)
+	}
+	if len(rep.Findings) != 1 || rep.Findings[0].Analyzer != "detorder" {
+		t.Errorf("findings = %+v, want one detorder finding", rep.Findings)
+	}
+	if len(rep.Analyzers) != len(lint.All()) {
+		t.Errorf("analyzers section has %d entries, want %d (every analyzer reports cost)",
+			len(rep.Analyzers), len(lint.All()))
+	}
+	st, ok := rep.Analyzers["detorder"]
+	if !ok || st.Findings != 1 {
+		t.Errorf("analyzers[detorder] = %+v, want Findings=1", st)
+	}
+	for name, s := range rep.Analyzers {
+		if s.WallSeconds < 0 {
+			t.Errorf("analyzers[%s].wall_seconds = %v, negative", name, s.WallSeconds)
+		}
+	}
+}
+
+// TestSelfLint is the satellite contract that the linter lints itself:
+// internal/lint and cmd/mira-vet run under the full suite (as part of
+// `make lint`'s ./...) and must stay at zero findings.
+func TestSelfLint(t *testing.T) {
+	root := linttest.ModuleRoot(t)
+	code, stdout, stderr := vet("-C", root, "./internal/lint/...", "./cmd/mira-vet")
+	if code != 0 {
+		t.Fatalf("self-lint exit = %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+}
+
+// TestVetToolFactFlow drives cross-package facts through the real
+// `go vet -vettool` vetx protocol: a module named mira with a
+// dependency package whose lifecycle-bound function is spawned from an
+// engine-scoped package. The LifecycleBound fact must travel through
+// the dependency unit's VetxOutput into the engine unit's PackageVetx,
+// so only the unbound spawn is reported.
+func TestVetToolFactFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to go vet")
+	}
+	bin := filepath.Join(t.TempDir(), "mira-vet")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building mira-vet: %v\n%s", err, out)
+	}
+
+	dir := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module mira\n\ngo 1.24\n")
+	write("internal/bg/bg.go", `package bg
+
+func DrainLoop() {
+	done := make(chan struct{})
+	<-done
+}
+
+func Fire() {
+	println("fired")
+}
+`)
+	write("internal/engine/engine.go", `package engine
+
+import "mira/internal/bg"
+
+func Spawn() {
+	go bg.DrainLoop()
+	go bg.Fire()
+}
+`)
+
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet passed; the unbound spawn should be a finding:\n%s", out)
+	}
+	if !strings.Contains(string(out), "goroutine runs Fire") {
+		t.Errorf("missing the goroleak finding for the unbound spawn:\n%s", out)
+	}
+	if strings.Contains(string(out), "DrainLoop") {
+		t.Errorf("DrainLoop was reported: its LifecycleBound fact did not cross the vetx boundary:\n%s", out)
 	}
 }
 

@@ -157,11 +157,11 @@ func (d *Disk) write(sub, key string, raw []byte) error {
 	_, werr := tmp.Write(raw)
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name()) // best-effort cleanup; the write error wins
 		return fmt.Errorf("cachestore: write %s: %w", key, firstErr(werr, cerr))
 	}
 	if err := os.Rename(tmp.Name(), target); err != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name()) // best-effort cleanup; the rename error wins
 		return fmt.Errorf("cachestore: %w", err)
 	}
 	return nil

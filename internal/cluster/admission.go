@@ -151,7 +151,8 @@ func (a *Admission) Shed(w http.ResponseWriter) {
 	w.Header().Set("Retry-After", strconv.Itoa(int(a.opts.RetryAfter.Seconds())))
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusServiceUnavailable)
-	w.Write([]byte(`{"error":"overloaded, retry later"}` + "\n"))
+	// Best-effort: the 503 status is the contract; the body is a hint.
+	_, _ = w.Write([]byte(`{"error":"overloaded, retry later"}` + "\n"))
 }
 
 // Saturated reports whether the interactive class is at capacity —

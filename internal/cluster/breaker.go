@@ -37,9 +37,9 @@ type Breaker struct {
 	now       func() time.Time
 
 	mu       sync.Mutex
-	state    breakerState
-	failures int
-	openedAt time.Time
+	state    breakerState //lint:guarded-by mu
+	failures int          //lint:guarded-by mu
+	openedAt time.Time    //lint:guarded-by mu
 }
 
 // newBreaker builds a breaker; threshold <= 0 means 5 consecutive
@@ -113,7 +113,7 @@ func (b *Breaker) State() string {
 // path stops receiving traffic on all of them.
 type health struct {
 	mu       sync.Mutex
-	m        map[string]*Breaker
+	m        map[string]*Breaker //lint:guarded-by mu
 	thresh   int
 	cooldown time.Duration
 	now      func() time.Time

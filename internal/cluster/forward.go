@@ -96,6 +96,11 @@ func (f *Forwarder) Forward(w http.ResponseWriter, r *http.Request, owner string
 		}
 	}
 	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		// The status line is already on the wire, so the client sees a
+		// truncated body; count it — a silent mid-response failure here
+		// looked exactly like a healthy forward in the metrics.
+		f.met.forwardErrs.Inc()
+	}
 	return true
 }

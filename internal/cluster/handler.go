@@ -43,7 +43,8 @@ func (n *Node) Handler() http.Handler {
 
 func (n *Node) handleRing(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(ringInfo{
+	// Best-effort: an Encode failure means the peer hung up mid-read.
+	_ = json.NewEncoder(w).Encode(ringInfo{
 		Self:     n.Self,
 		Peers:    n.Ring.Peers(),
 		VNodes:   n.Ring.VirtualNodes(),
@@ -64,7 +65,9 @@ func (n *Node) handleGetObject(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Write(EncodeEntry(key, e))
+	// Best-effort: a short write means the fetching peer went away; it
+	// will fail checksum verification and treat the read as a miss.
+	_, _ = w.Write(EncodeEntry(key, e))
 }
 
 func (n *Node) handlePutObject(w http.ResponseWriter, r *http.Request) {
@@ -97,7 +100,8 @@ func (n *Node) handleGetFunc(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Write(EncodeFuncEntry(key, e))
+	// Best-effort, as in handleGetObject: the peer verifies checksums.
+	_, _ = w.Write(EncodeFuncEntry(key, e))
 }
 
 func (n *Node) handlePutFunc(w http.ResponseWriter, r *http.Request) {

@@ -82,7 +82,11 @@ func NewNode(opts NodeOptions) (*Node, error) {
 	}
 	met := newMetricsSet(reg)
 	po := opts.PeerStore.withDefaults()
-	h := newHealth(po.BreakerThreshold, po.BreakerCooldown, nil)
+	// One clock for the whole node: the peer store's latency
+	// observations, the breakers, and the rate limiter all read
+	// po.Clock, so a test injecting a fake clock controls every
+	// time-dependent decision the replica makes.
+	h := newHealth(po.BreakerThreshold, po.BreakerCooldown, po.Clock)
 	n := &Node{
 		Self:      opts.Self,
 		Ring:      ring,
@@ -92,7 +96,7 @@ func NewNode(opts NodeOptions) (*Node, error) {
 		Forwarder: newForwarder(opts.Self, ring, h, met, opts.ForwardTimeout),
 		Admission: newAdmission(opts.Admission, met),
 	}
-	n.Limiter = newRateLimiter(opts.RateLimit, met, nil)
+	n.Limiter = newRateLimiter(opts.RateLimit, met, po.Clock)
 	reg.GaugeFunc("mira_cluster_breakers_open", "peer circuits currently open or probing", func() float64 {
 		return float64(h.openCount())
 	})

@@ -45,11 +45,19 @@ type PeerStoreOptions struct {
 	// circuit breakers (defaults 5 consecutive failures, 5s cooldown).
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+	// Clock supplies the store's notion of time — peer latency
+	// observations and (through NewNode) the breaker and rate-limiter
+	// clocks. nil means time.Now; tests inject a fake to make every
+	// time-dependent path deterministic.
+	Clock func() time.Time
 }
 
 func (o PeerStoreOptions) withDefaults() PeerStoreOptions {
 	if o.Timeout <= 0 {
 		o.Timeout = 2 * time.Second
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
 	}
 	if o.Retries < 0 {
 		o.Retries = 0
@@ -87,7 +95,7 @@ type PeerStore struct {
 	queue   chan replJob
 	pending sync.WaitGroup
 	closeMu sync.Mutex
-	closed  bool
+	closed  bool //lint:guarded-by closeMu
 	done    chan struct{}
 	workers sync.WaitGroup
 }
@@ -257,7 +265,7 @@ func (s *PeerStore) roundTrip(owner, kind, key string) ([]byte, int, error) {
 	//lint:ignore mira/ctxflow the engine's CacheStore interface is ctx-free; the client timeout bounds the trip
 	ctx, cancel := context.WithTimeout(context.Background(), s.opts.Timeout)
 	defer cancel()
-	start := time.Now()
+	start := s.opts.Clock()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peerURL(owner, kind, key), nil)
 	if err != nil {
 		return nil, 0, err
@@ -267,9 +275,11 @@ func (s *PeerStore) roundTrip(owner, kind, key string) ([]byte, int, error) {
 		return nil, 0, err
 	}
 	defer resp.Body.Close()
-	s.met.peerLatency.Observe(time.Since(start).Seconds())
+	s.met.peerLatency.Observe(s.opts.Clock().Sub(start).Seconds())
 	if resp.StatusCode != http.StatusOK {
-		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		// Drain so the connection can be reused; the response is
+		// already an error, a failed drain adds nothing.
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 		return nil, resp.StatusCode, nil
 	}
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerPayload+1))
@@ -368,7 +378,9 @@ func (s *PeerStore) put(job replJob) error {
 		return err
 	}
 	defer resp.Body.Close()
-	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	// Best-effort drain for connection reuse; the status code below is
+	// the shipment's outcome.
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 	if resp.StatusCode >= 300 {
 		return fmt.Errorf("cluster: replicate %s to %s: HTTP %d", job.key, job.owner, resp.StatusCode)
 	}

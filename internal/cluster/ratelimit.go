@@ -46,7 +46,7 @@ type RateLimiter struct {
 	now  func() time.Time
 
 	mu      sync.Mutex
-	buckets map[string]*bucket
+	buckets map[string]*bucket //lint:guarded-by mu
 }
 
 // bucket is one client's token state.
@@ -159,5 +159,6 @@ func (l *RateLimiter) Limit(w http.ResponseWriter) {
 	w.Header().Set("Retry-After", strconv.Itoa(retry))
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusTooManyRequests)
-	w.Write([]byte(`{"error":"rate limit exceeded"}` + "\n"))
+	// Best-effort: the 429 status is the contract; the body is a hint.
+	_, _ = w.Write([]byte(`{"error":"rate limit exceeded"}` + "\n"))
 }

@@ -105,7 +105,7 @@ type funcEntry struct {
 	// compiled caches the symbolic compilations (one per exclusivity),
 	// singleflighted: a sweep storm over one function compiles it once.
 	compiledMu sync.Mutex
-	compiled   map[bool]*compiledSlot
+	compiled   map[bool]*compiledSlot //lint:guarded-by compiledMu
 }
 
 // fevalKey identifies one memoized query point within a function cell.

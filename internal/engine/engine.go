@@ -109,14 +109,16 @@ type Engine struct {
 	registry *arch.Registry
 	archKey  string
 
-	mu    sync.Mutex
-	calls map[string]*call // content hash -> in-flight or completed
+	mu sync.Mutex
+	// content hash -> in-flight or completed
+	//lint:guarded-by mu
+	calls map[string]*call
 
 	// funcs is the function-granular memo: one cell per function-content
 	// key, holding the compiled unit + model artifact and the evaluation
 	// memos, shared by every source version containing that function.
 	funcMu sync.Mutex
-	funcs  map[string]*funcEntry
+	funcs  map[string]*funcEntry //lint:guarded-by funcMu
 
 	hits   atomic.Int64
 	misses atomic.Int64
@@ -536,7 +538,9 @@ type Result struct {
 func (e *Engine) AnalyzeAll(ctx context.Context, jobs []Job) []Result {
 	results := make([]Result, len(jobs))
 	done := make([]bool, len(jobs))
-	ForEachCtx(ctx, e.workers, len(jobs), func(i int) error {
+	// The worker fn never fails (per-item errors land in results[i]);
+	// cancellation is detected via done[] below, not the return value.
+	_ = ForEachCtx(ctx, e.workers, len(jobs), func(i int) error {
 		done[i] = true
 		a, err := e.AnalyzeCtx(ctx, jobs[i].Name, jobs[i].Source)
 		results[i] = Result{Job: jobs[i], Analysis: a, Err: err}

@@ -215,7 +215,9 @@ type QueryJobResult struct {
 func (e *Engine) RunAll(ctx context.Context, jobs []QueryJob) []QueryJobResult {
 	out := make([]QueryJobResult, len(jobs))
 	done := make([]bool, len(jobs))
-	ForEachCtx(ctx, e.workers, len(jobs), func(i int) error {
+	// The worker fn never fails (per-item errors land in out[i]);
+	// cancellation is detected via done[] below, not the return value.
+	_ = ForEachCtx(ctx, e.workers, len(jobs), func(i int) error {
 		done[i] = true
 		j := jobs[i]
 		out[i].Job = j

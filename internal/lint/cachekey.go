@@ -1,0 +1,415 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Cachekey guards the two key-material invariants every caching layer
+// hangs on (PR 9's no-poisoning guarantee):
+//
+//  1. Version mixing: a cache-key builder — a function that constructs
+//     a streaming hash (crypto/sha256.New) and renders it with
+//     encoding/hex.EncodeToString — must incorporate the cache format
+//     version: reference core.CacheFormatVersion, a constant derived
+//     from it, or call a function already known to mix it in. A key
+//     built without the version survives format bumps and resurrects
+//     stale artifacts as silent mismatches.
+//
+//  2. Content keys, never names: architecture descriptions are
+//     content-addressed (Description.ContentKey). Reading the Name
+//     field of a content-addressed type inside a key builder, or
+//     writing a Name into any hash.Hash, rebuilds the exact bug the
+//     content keys fixed — two archs sharing a name poisoning each
+//     other's cache entries.
+//
+// Derivation is interprocedural: the analyzer exports a VersionConst
+// fact on constants transitively derived from core.CacheFormatVersion
+// and an IncorporatesVersion fact on functions that mix a versioned
+// constant into a hash, so engine.CacheFormatVersion (= core's) and
+// helpers called from builders carry their evidence across packages.
+// One-shot digests (sha256.Sum256) are not key builders: ContentKey
+// itself hashes a canonical encoding and *is* the content address the
+// version does not apply to.
+var Cachekey = &Analyzer{
+	Name: "cachekey",
+	Doc: "cache-key builders (sha256.New + hex.EncodeToString) that do not mix " +
+		"in CacheFormatVersion, and arch Name fields flowing into key material " +
+		"instead of content keys (the PR 9 cross-arch poisoning class)",
+	Run:       runCachekey,
+	FactTypes: []Fact{(*VersionConst)(nil), (*IncorporatesVersion)(nil)},
+}
+
+// VersionConst marks a constant transitively derived from
+// core.CacheFormatVersion.
+type VersionConst struct {
+	// Root is true on core.CacheFormatVersion itself.
+	Root bool
+}
+
+// AFact marks VersionConst as a fact type.
+func (*VersionConst) AFact() {}
+
+// IncorporatesVersion marks a function that mixes a versioned constant
+// into the key material it builds.
+type IncorporatesVersion struct {
+	// Via names the versioned constant or callee providing the evidence.
+	Via string
+}
+
+// AFact marks IncorporatesVersion as a fact type.
+func (*IncorporatesVersion) AFact() {}
+
+// cachekeyScope is the package set whose hashes are key material.
+var cachekeyScope = map[string]bool{
+	"mira/internal/core":       true,
+	"mira/internal/engine":     true,
+	"mira/internal/cachestore": true,
+	"mira/internal/cluster":    true,
+}
+
+// cachekeyRootPkg declares where the root version constant lives.
+const (
+	cachekeyRootPkg   = "mira/internal/core"
+	cachekeyRootConst = "CacheFormatVersion"
+)
+
+func runCachekey(pass *Pass) error {
+	versioned := exportVersionConsts(pass)
+	verFuncs := exportVersionFuncs(pass, versioned)
+
+	if !cachekeyScope[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if isKeyBuilder(pass.TypesInfo, fd.Body) {
+				if !hasVersionEvidence(pass, fd.Body, versioned, verFuncs) {
+					pass.Reportf(fd.Name.Pos(),
+						"%s builds a cache key (sha256.New + hex.EncodeToString) without mixing in CacheFormatVersion; stale artifacts will survive format bumps",
+						fd.Name.Name)
+				}
+				reportNameReads(pass, fd.Body)
+			}
+			reportNameHashSinks(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// exportVersionConsts finds package-level constants derived from the
+// root version constant (directly, via a fact from a dependency, or via
+// an in-package chain) and exports VersionConst facts. Returns the
+// package-local set.
+func exportVersionConsts(pass *Pass) map[types.Object]bool {
+	versioned := map[types.Object]bool{}
+	isVersioned := func(obj types.Object) bool {
+		if obj == nil {
+			return false
+		}
+		if versioned[obj] {
+			return true
+		}
+		if c, ok := obj.(*types.Const); ok && c.Name() == cachekeyRootConst &&
+			c.Pkg() != nil && c.Pkg().Path() == cachekeyRootPkg {
+			return true
+		}
+		var fact VersionConst
+		return pass.ImportObjectFact(obj, &fact)
+	}
+
+	// Iterate to a fixpoint so in-package chains (A = root; B = A)
+	// resolve regardless of declaration order.
+	for changed := true; changed; {
+		changed = false
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					derived := false
+					for _, v := range vs.Values {
+						ast.Inspect(v, func(n ast.Node) bool {
+							if id, ok := n.(*ast.Ident); ok && isVersioned(pass.TypesInfo.Uses[id]) {
+								derived = true
+							}
+							return !derived
+						})
+					}
+					if !derived {
+						continue
+					}
+					for _, name := range vs.Names {
+						obj := pass.TypesInfo.Defs[name]
+						if _, isConst := obj.(*types.Const); isConst && !versioned[obj] {
+							versioned[obj] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// The root itself, when this package defines it.
+	if pass.Pkg.Path() == cachekeyRootPkg {
+		if obj := pass.Pkg.Scope().Lookup(cachekeyRootConst); obj != nil {
+			if _, isConst := obj.(*types.Const); isConst {
+				pass.ExportObjectFact(obj, &VersionConst{Root: true})
+				versioned[obj] = true
+			}
+		}
+	}
+	for obj := range versioned {
+		pass.ExportObjectFact(obj, &VersionConst{})
+	}
+	return versioned
+}
+
+// exportVersionFuncs exports IncorporatesVersion on every function
+// whose body references a versioned constant or calls a function
+// already carrying the fact, iterating for in-package call chains.
+func exportVersionFuncs(pass *Pass, versioned map[types.Object]bool) map[types.Object]bool {
+	verFuncs := map[types.Object]bool{}
+	for changed := true; changed; {
+		changed = false
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[fd.Name]
+				if obj == nil || verFuncs[obj] {
+					continue
+				}
+				if hasVersionEvidence(pass, fd.Body, versioned, verFuncs) {
+					verFuncs[obj] = true
+					changed = true
+				}
+			}
+		}
+	}
+	for obj := range verFuncs {
+		pass.ExportObjectFact(obj, &IncorporatesVersion{Via: cachekeyRootConst})
+	}
+	return verFuncs
+}
+
+// hasVersionEvidence reports whether the body (function literals
+// included — core.FuncKeys does its mixing inside a closure) mentions a
+// versioned constant or calls a version-incorporating function.
+func hasVersionEvidence(pass *Pass, body *ast.BlockStmt, versioned, verFuncs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if versioned[obj] || verFuncs[obj] {
+			found = true
+			return false
+		}
+		if c, ok := obj.(*types.Const); ok && c.Name() == cachekeyRootConst &&
+			c.Pkg() != nil && c.Pkg().Path() == cachekeyRootPkg {
+			found = true
+			return false
+		}
+		var vc VersionConst
+		var iv IncorporatesVersion
+		if pass.ImportObjectFact(obj, &vc) || pass.ImportObjectFact(obj, &iv) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isKeyBuilder reports whether the body both constructs a streaming
+// sha256 hash and hex-encodes a digest — the signature of cache-key
+// construction in this tree.
+func isKeyBuilder(info *types.Info, body *ast.BlockStmt) bool {
+	hasNew, hasHex := false, false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isPkgFunc(info, call, "crypto/sha256", "New") {
+			hasNew = true
+		}
+		if isPkgFunc(info, call, "encoding/hex", "EncodeToString") {
+			hasHex = true
+		}
+		return !(hasNew && hasHex)
+	})
+	return hasNew && hasHex
+}
+
+// reportNameReads flags every read of a content-addressed type's Name
+// field inside a key-builder body: key material must come from
+// ContentKey, never from the mutable, collision-prone name.
+func reportNameReads(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && isArchNameRead(pass.TypesInfo, sel) {
+			pass.Reportf(sel.Pos(),
+				"%s.Name used inside a cache-key builder; key material must use the content key (ContentKey/KeyOf), never the name (cross-arch cache poisoning)",
+				exprText(sel.X))
+		}
+		return true
+	})
+}
+
+// isArchNameRead reports whether sel reads the Name field of a
+// content-addressed type — a named type that also has a ContentKey
+// method. The structural test keeps the rule honest in fixtures and
+// robust to package moves.
+func isArchNameRead(info *types.Info, sel *ast.SelectorExpr) bool {
+	if sel.Sel.Name != "Name" {
+		return false
+	}
+	if _, isField := info.Uses[sel.Sel].(*types.Var); !isField {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named := recvNamed(tv.Type)
+	if named == nil {
+		return false
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == "ContentKey" {
+			return true
+		}
+	}
+	return false
+}
+
+// reportNameHashSinks flags arch names flowing into any hash.Hash in
+// scope, builder or not: h.Write(name), io.WriteString(h, name), and
+// fmt.Fprintf(h, ..., name), with a flow-insensitive taint step through
+// single-level local assignments (name := d.Name; h.Write([]byte(name))).
+func reportNameHashSinks(pass *Pass, body *ast.BlockStmt) {
+	tainted := map[types.Object]bool{}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || !isPlainAssign(as) || len(as.Rhs) == 0 {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				rhs := as.Rhs[0]
+				if len(as.Rhs) == len(as.Lhs) {
+					rhs = as.Rhs[i]
+				}
+				if !mentionsArchName(pass.TypesInfo, rhs, tainted) {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj != nil && !tainted[obj] {
+					tainted[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var sunk []ast.Expr
+		switch {
+		case isHashWriteCall(pass.TypesInfo, call):
+			sunk = call.Args
+		case isPkgFunc(pass.TypesInfo, call, "io", "WriteString") ||
+			isPkgFunc(pass.TypesInfo, call, "fmt", "Fprintf") ||
+			isPkgFunc(pass.TypesInfo, call, "fmt", "Fprint") ||
+			isPkgFunc(pass.TypesInfo, call, "fmt", "Fprintln"):
+			if len(call.Args) > 1 && isHashTyped(pass.TypesInfo, call.Args[0]) {
+				sunk = call.Args[1:]
+			}
+		}
+		for _, arg := range sunk {
+			if mentionsArchName(pass.TypesInfo, arg, tainted) {
+				pass.Reportf(arg.Pos(),
+					"arch name flows into hash key material; hash the content key (ContentKey/KeyOf) instead (cross-arch cache poisoning)")
+			}
+		}
+		return true
+	})
+}
+
+// mentionsArchName reports whether e contains an arch Name read or a
+// tainted identifier.
+func mentionsArchName(info *types.Info, e ast.Expr, tainted map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			if isArchNameRead(info, x) {
+				found = true
+			}
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil && tainted[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isHashWriteCall reports whether call is a Write/WriteString method
+// call on a hash.Hash-typed receiver.
+func isHashWriteCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Write" && sel.Sel.Name != "WriteString") {
+		return false
+	}
+	return isHashTyped(info, sel.X)
+}
+
+// isHashTyped reports whether e's static type is one of the hash
+// interfaces.
+func isHashTyped(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch types.TypeString(tv.Type, nil) {
+	case "hash.Hash", "hash.Hash32", "hash.Hash64":
+		return true
+	}
+	return false
+}

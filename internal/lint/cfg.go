@@ -1,0 +1,388 @@
+package lint
+
+// cfg.go builds the per-function control-flow graphs the dataflow
+// analyzers (lockdisc, errdrop, cachekey) run over. It is an SSA-free
+// CFG in the spirit of x/tools/go/cfg, built purely on go/ast: each
+// function body becomes basic blocks of *atomic* nodes — simple
+// statements plus the scalar parts of compound statements (an if's init
+// and cond, a for's init/cond/post, a switch's tag) — connected by
+// control-flow edges. Bodies of nested compound statements live in
+// their own blocks, so a transfer function sees every node exactly once
+// and never has to recurse into sub-statements.
+//
+// Deliberate limits (documented in README "Static analysis"):
+//
+//   - panic(), os.Exit, log.Fatal*, and runtime.Goexit terminate their
+//     block with no successor: such paths never reach Exit, so exit
+//     invariants (locks released, errors checked) are not enforced on
+//     paths that abandon the function.
+//   - goto is supported for forward and backward jumps to labels in the
+//     same function; computed or pathological label flow is not.
+//   - Function literals are NOT inlined: a FuncLit appears as part of
+//     the atomic node containing it, and analyzers that care analyze
+//     its body as a separate function.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block: a maximal straight-line sequence of atomic
+// nodes with a single entry and a set of successor edges.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// CFG is one function body's control-flow graph. Entry starts the body;
+// Exit is the artificial block every return path (and the fall-off-end
+// path) flows into. Blocks holds every block, Entry and Exit included.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// BuildCFG constructs the CFG for one function body. info may be nil;
+// it is only consulted to recognize terminating calls (os.Exit and
+// friends) by their package of origin.
+func BuildCFG(body *ast.BlockStmt, info infoLike) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}, info: info, labels: map[string]*Block{}}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmtList(body.List)
+	b.edge(b.cur, b.cfg.Exit)
+	b.patchGotos()
+	return b.cfg
+}
+
+// infoLike is the slice of *types.Info the builder needs; taking an
+// interface keeps BuildCFG testable without a full type-check.
+type infoLike interface {
+	isTerminalCall(call *ast.CallExpr) bool
+}
+
+// branchTarget is one enclosing breakable/continuable construct.
+type branchTarget struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil for switch/select
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type cfgBuilder struct {
+	cfg     *CFG
+	info    infoLike
+	cur     *Block
+	targets []branchTarget
+	labels  map[string]*Block
+	gotos   []pendingGoto
+
+	// pendingLabel names the label attached to the next loop/switch
+	// statement, so labeled break/continue resolve to it.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// startBlock makes blk current, linking it from the previous current
+// block when that block is still open (used for straight-line splits).
+func (b *cfgBuilder) jumpTo(blk *Block) {
+	b.edge(b.cur, blk)
+	b.cur = blk
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.LabeledStmt:
+		// A label both receives gotos and names the following
+		// loop/switch for labeled break/continue.
+		target := b.newBlock()
+		b.jumpTo(target)
+		b.labels[s.Label.Name] = target
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.cur = b.newBlock() // anything after is unreachable
+	case *ast.BranchStmt:
+		b.branch(s)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, nil, s.Body)
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Assign, s.Body)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && b.terminal(call) {
+			b.cur = b.newBlock() // panic/os.Exit: path abandons the function
+		}
+	default:
+		// Assign, Decl, IncDec, Send, Go, Defer, Empty: atomic.
+		b.add(s)
+	}
+}
+
+// terminal reports whether call never returns: panic, or a terminating
+// stdlib call recognized through the type info.
+func (b *cfgBuilder) terminal(call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		return true
+	}
+	return b.info != nil && b.info.isTerminalCall(call)
+}
+
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	b.add(s)
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			t := b.targets[i]
+			if label == "" || t.label == label {
+				b.edge(b.cur, t.breakTo)
+				break
+			}
+		}
+	case token.CONTINUE:
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			t := b.targets[i]
+			if t.continueTo != nil && (label == "" || t.label == label) {
+				b.edge(b.cur, t.continueTo)
+				break
+			}
+		}
+	case token.GOTO:
+		b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: label})
+	case token.FALLTHROUGH:
+		// Resolved by switchStmt: the clause body's open block falls
+		// through to the next clause, which switchStmt wires up.
+		return
+	}
+	b.cur = b.newBlock() // the branch ended this path
+}
+
+func (b *cfgBuilder) patchGotos() {
+	for _, g := range b.gotos {
+		if target, ok := b.labels[g.label]; ok {
+			b.edge(g.from, target)
+		}
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	head := b.cur
+	after := b.newBlock()
+
+	b.cur = b.newBlock()
+	b.edge(head, b.cur)
+	b.stmt(s.Body)
+	b.edge(b.cur, after)
+
+	if s.Else != nil {
+		b.cur = b.newBlock()
+		b.edge(head, b.cur)
+		b.stmt(s.Else)
+		b.edge(b.cur, after)
+	} else {
+		b.edge(head, after)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock()
+	b.jumpTo(head)
+	if s.Cond != nil {
+		b.add(s.Cond)
+	}
+	after := b.newBlock()
+	post := b.newBlock()
+	if s.Cond != nil {
+		b.edge(head, after)
+	}
+
+	body := b.newBlock()
+	b.edge(head, body)
+	b.cur = body
+	b.targets = append(b.targets, branchTarget{label: label, breakTo: after, continueTo: post})
+	b.stmt(s.Body)
+	b.targets = b.targets[:len(b.targets)-1]
+	b.jumpTo(post)
+	if s.Post != nil {
+		b.add(s.Post)
+	}
+	b.edge(post, head)
+	b.cur = after
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	head := b.newBlock()
+	b.jumpTo(head)
+	// The RangeStmt itself is the head's atomic node: transfer functions
+	// treat it as "read X, assign Key/Value" and never descend into Body.
+	b.add(s)
+	after := b.newBlock()
+	b.edge(head, after) // the range may be empty
+
+	body := b.newBlock()
+	b.edge(head, body)
+	b.cur = body
+	b.targets = append(b.targets, branchTarget{label: label, breakTo: after, continueTo: head})
+	b.stmt(s.Body)
+	b.targets = b.targets[:len(b.targets)-1]
+	b.edge(b.cur, head)
+	b.cur = after
+}
+
+// switchStmt handles both expression and type switches: init and
+// tag/assign are atomic in the head, each case clause gets its own
+// block, and fallthrough chains clause bodies.
+func (b *cfgBuilder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	if init != nil {
+		b.add(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	if assign != nil {
+		b.add(assign)
+	}
+	head := b.cur
+	after := b.newBlock()
+	b.targets = append(b.targets, branchTarget{label: label, breakTo: after})
+
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	hasDefault := false
+	blocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(head, blocks[i])
+		if clauses[i].List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	for i, cc := range clauses {
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		b.stmtList(cc.Body)
+		if fallsThrough(cc.Body) && i+1 < len(clauses) {
+			b.edge(b.cur, blocks[i+1])
+			b.cur = b.newBlock()
+		}
+		b.edge(b.cur, after)
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = after
+}
+
+func fallsThrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	head := b.cur
+	after := b.newBlock()
+	b.targets = append(b.targets, branchTarget{label: label, breakTo: after})
+	hasDefault := false
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			hasDefault = true
+		}
+		blk := b.newBlock()
+		b.edge(head, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.add(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, after)
+	}
+	// A select without default blocks until some case fires; either way
+	// control only continues through a clause, so head has no direct
+	// edge to after. A select with no cases blocks forever.
+	_ = hasDefault
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = after
+}

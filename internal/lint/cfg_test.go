@@ -1,0 +1,358 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// buildTestCFG parses and type-checks one file and returns the CFG of
+// its function f.
+func buildTestCFG(t *testing.T, src string) *CFG {
+	t.Helper()
+	cfg, _ := buildTestCFGInfo(t, src)
+	return cfg
+}
+
+func buildTestCFGInfo(t *testing.T, src string) (*CFG, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			return BuildCFG(fd.Body, TermInfo(info)), info
+		}
+	}
+	t.Fatal("no func f in source")
+	return nil, nil
+}
+
+// blockContaining finds the block holding a node the predicate accepts.
+func blockContaining(t *testing.T, cfg *CFG, match func(ast.Node) bool) *Block {
+	t.Helper()
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			found := false
+			ast.Inspect(n, func(m ast.Node) bool {
+				if m != nil && match(m) {
+					found = true
+					return false
+				}
+				return true
+			})
+			if found {
+				return b
+			}
+		}
+	}
+	t.Fatal("no block contains a matching node")
+	return nil
+}
+
+// isDefineOf matches `name := ...` short declarations.
+func isDefineOf(name string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) == 0 {
+			return false
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		return ok && id.Name == name
+	}
+}
+
+// reaches reports whether to is reachable from from along Succs edges.
+func reaches(from, to *Block) bool {
+	seen := map[*Block]bool{}
+	stack := []*Block{from}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		stack = append(stack, b.Succs...)
+	}
+	return false
+}
+
+func TestCFGBranchAndJoin(t *testing.T) {
+	cfg := buildTestCFG(t, `package p
+func f(b bool) int {
+	x := 0
+	if b {
+		x = 1
+	} else {
+		x = 2
+	}
+	return x
+}`)
+	if !reaches(cfg.Entry, cfg.Exit) {
+		t.Fatal("exit unreachable from entry")
+	}
+	head := blockContaining(t, cfg, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		return ok && id.Name == "b"
+	})
+	if len(head.Succs) != 2 {
+		t.Fatalf("if head has %d successors, want 2 (then, else)", len(head.Succs))
+	}
+	ret := blockContaining(t, cfg, func(n ast.Node) bool {
+		_, ok := n.(*ast.ReturnStmt)
+		return ok
+	})
+	if len(ret.Succs) != 1 || ret.Succs[0] != cfg.Exit {
+		t.Fatalf("return block edges = %v, want exactly the exit block", ret.Succs)
+	}
+	// Both arms join on the return block.
+	for _, arm := range head.Succs {
+		if !reaches(arm, ret) {
+			t.Error("a branch arm does not reach the join block")
+		}
+	}
+}
+
+func TestCFGTerminalCallEndsBlock(t *testing.T) {
+	cfg := buildTestCFG(t, `package p
+import "os"
+func f(b bool) {
+	if b {
+		os.Exit(2)
+	}
+	println("alive")
+}`)
+	dead := blockContaining(t, cfg, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		return ok && sel.Sel.Name == "Exit"
+	})
+	if len(dead.Succs) != 0 {
+		t.Fatalf("os.Exit block has %d successors, want 0 (never returns)", len(dead.Succs))
+	}
+}
+
+func TestCFGLoopBackEdge(t *testing.T) {
+	cfg := buildTestCFG(t, `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`)
+	head := blockContaining(t, cfg, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		return ok && be.Op == token.LSS
+	})
+	if len(head.Succs) != 2 {
+		t.Fatalf("loop head has %d successors, want 2 (body, after)", len(head.Succs))
+	}
+	// The body must cycle back to the head (through the post statement).
+	backEdge := false
+	for _, s := range head.Succs {
+		if s != cfg.Exit && reaches(s, head) {
+			backEdge = true
+		}
+	}
+	if !backEdge {
+		t.Error("no back edge from the loop body to the head")
+	}
+	if !reaches(cfg.Entry, cfg.Exit) {
+		t.Error("exit unreachable: the loop exit edge is missing")
+	}
+}
+
+// varSet is the toy dataflow state for the solver tests: the set of
+// short-declared variable names.
+type varSet map[string]bool
+
+func varSetFuncs(join func(acc, in varSet) varSet) FlowFuncs[varSet] {
+	return FlowFuncs[varSet]{
+		Clone: func(s varSet) varSet {
+			out := varSet{}
+			for k := range s {
+				out[k] = true
+			}
+			return out
+		},
+		Join: join,
+		Equal: func(a, b varSet) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(n ast.Node, s varSet) {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok != token.DEFINE {
+				return
+			}
+			for _, l := range as.Lhs {
+				if id, ok := l.(*ast.Ident); ok && id.Name != "_" {
+					s[id.Name] = true
+				}
+			}
+		},
+	}
+}
+
+const branchySrc = `package p
+func f(b bool) {
+	x := 1
+	if b {
+		y := 2
+		_ = y
+	}
+	z := 3
+	_ = x
+	_ = z
+}`
+
+// TestForwardJoinSemantics runs the same may/must analysis with union
+// and intersection joins: after the optional branch, a may-analysis
+// sees the branch-local y, a must-analysis does not.
+func TestForwardJoinSemantics(t *testing.T) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", branchySrc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	cfg := BuildCFG(fd.Body, TermInfo(nil))
+	zBlock := blockContaining(t, cfg, isDefineOf("z"))
+
+	union := func(acc, in varSet) varSet {
+		for k := range in {
+			acc[k] = true
+		}
+		return acc
+	}
+	in := Forward(cfg, varSet{}, varSetFuncs(union))
+	if !in[zBlock]["x"] || !in[zBlock]["y"] {
+		t.Errorf("union join IN at z = %v, want x and y present", in[zBlock])
+	}
+
+	intersect := func(acc, in varSet) varSet {
+		for k := range acc {
+			if !in[k] {
+				delete(acc, k)
+			}
+		}
+		return acc
+	}
+	in = Forward(cfg, varSet{}, varSetFuncs(intersect))
+	if !in[zBlock]["x"] {
+		t.Errorf("intersection join IN at z = %v, want x (defined on every path)", in[zBlock])
+	}
+	if in[zBlock]["y"] {
+		t.Errorf("intersection join IN at z = %v, y must not survive the optional branch", in[zBlock])
+	}
+}
+
+// TestBackwardLiveness checks the backward solver with a classic
+// liveness transfer: at the branch point both return operands are live;
+// past the last use nothing is.
+func TestBackwardLiveness(t *testing.T) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", `package p
+func f(b bool) int {
+	x := 1
+	y := 2
+	if b {
+		return x
+	}
+	return y
+}`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	cfg := BuildCFG(fd.Body, TermInfo(nil))
+
+	live := FlowFuncs[varSet]{
+		Clone: func(s varSet) varSet {
+			out := varSet{}
+			for k := range s {
+				out[k] = true
+			}
+			return out
+		},
+		Join: func(acc, in varSet) varSet {
+			for k := range in {
+				acc[k] = true
+			}
+			return acc
+		},
+		Equal: func(a, b varSet) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(n ast.Node, s varSet) {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				for _, l := range x.Lhs {
+					if id, ok := l.(*ast.Ident); ok {
+						delete(s, id.Name)
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, r := range x.Results {
+					if id, ok := r.(*ast.Ident); ok {
+						s[id.Name] = true
+					}
+				}
+			}
+		},
+	}
+	out := Backward(cfg, varSet{}, live)
+
+	entry := blockContaining(t, cfg, isDefineOf("x"))
+	if !out[entry]["x"] || !out[entry]["y"] {
+		t.Errorf("OUT at the branch point = %v, want both return operands live", out[entry])
+	}
+	retX := blockContaining(t, cfg, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return false
+		}
+		id, ok := ret.Results[0].(*ast.Ident)
+		return ok && id.Name == "x"
+	})
+	if len(out[retX]) != 0 {
+		t.Errorf("OUT after return x = %v, want nothing live at exit", out[retX])
+	}
+}

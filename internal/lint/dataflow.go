@@ -1,0 +1,213 @@
+package lint
+
+// dataflow.go holds the generic worklist solvers the flow-sensitive
+// analyzers share. States are caller-defined values; the solver only
+// needs join/equal/clone/transfer. Both directions run to a fixpoint
+// over the CFG from cfg.go, so loops converge as long as the state
+// lattice has finite height (all our analyzers use finite key sets).
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FlowFuncs bundles the lattice operations for one dataflow problem.
+//
+//   - Clone must return an independent copy (transfer mutates in place).
+//   - Join merges a predecessor's out-state into acc and returns it;
+//     it must be commutative and idempotent.
+//   - Equal decides convergence.
+//   - Transfer applies one atomic CFG node to the state in place.
+type FlowFuncs[S any] struct {
+	Clone    func(S) S
+	Join     func(acc, in S) S
+	Equal    func(a, b S) bool
+	Transfer func(n ast.Node, s S)
+}
+
+// Forward solves a forward dataflow problem and returns each block's
+// IN state (the join over predecessors' OUT states; boundary at Entry).
+// Analyzers replay Transfer over a block's nodes to recover the state
+// at any interior point.
+func Forward[S any](cfg *CFG, boundary S, f FlowFuncs[S]) map[*Block]S {
+	preds := predecessors(cfg)
+	in := make(map[*Block]S, len(cfg.Blocks))
+	out := make(map[*Block]S, len(cfg.Blocks))
+
+	work := newWorklist(cfg.Blocks)
+	for !work.empty() {
+		blk := work.pop()
+		var state S
+		if blk == cfg.Entry {
+			state = f.Clone(boundary)
+		} else {
+			first := true
+			for _, p := range preds[blk] {
+				po, ok := out[p]
+				if !ok {
+					continue // predecessor not yet computed: skip this round
+				}
+				if first {
+					state = f.Clone(po)
+					first = false
+				} else {
+					state = f.Join(state, po)
+				}
+			}
+			if first {
+				continue // unreachable or all preds pending
+			}
+		}
+		in[blk] = f.Clone(state)
+		for _, n := range blk.Nodes {
+			f.Transfer(n, state)
+		}
+		if prev, ok := out[blk]; ok && f.Equal(prev, state) {
+			continue
+		}
+		out[blk] = state
+		for _, s := range blk.Succs {
+			work.push(s)
+		}
+	}
+	return in
+}
+
+// Backward solves a backward dataflow problem and returns each block's
+// OUT state (the join over successors' IN states; boundary at Exit and
+// at every dead-end block, i.e. one with no successors). Transfer is
+// applied to a block's nodes in reverse order.
+func Backward[S any](cfg *CFG, boundary S, f FlowFuncs[S]) map[*Block]S {
+	out := make(map[*Block]S, len(cfg.Blocks))
+	in := make(map[*Block]S, len(cfg.Blocks))
+
+	work := newWorklist(cfg.Blocks)
+	preds := predecessors(cfg)
+	for !work.empty() {
+		blk := work.pop()
+		var state S
+		if len(blk.Succs) == 0 {
+			// Exit, or a terminal block (panic/os.Exit path).
+			state = f.Clone(boundary)
+		} else {
+			first := true
+			for _, s := range blk.Succs {
+				si, ok := in[s]
+				if !ok {
+					continue
+				}
+				if first {
+					state = f.Clone(si)
+					first = false
+				} else {
+					state = f.Join(state, si)
+				}
+			}
+			if first {
+				continue
+			}
+		}
+		out[blk] = f.Clone(state)
+		for i := len(blk.Nodes) - 1; i >= 0; i-- {
+			f.Transfer(blk.Nodes[i], state)
+		}
+		if prev, ok := in[blk]; ok && f.Equal(prev, state) {
+			continue
+		}
+		in[blk] = state
+		for _, p := range preds[blk] {
+			work.push(p)
+		}
+	}
+	return out
+}
+
+func predecessors(cfg *CFG) map[*Block][]*Block {
+	preds := make(map[*Block][]*Block, len(cfg.Blocks))
+	for _, blk := range cfg.Blocks {
+		for _, s := range blk.Succs {
+			preds[s] = append(preds[s], blk)
+		}
+	}
+	return preds
+}
+
+// worklist is a FIFO with membership dedup: pushing a queued block is a
+// no-op, so the solver visits each dirty block once per generation.
+type worklist struct {
+	queue  []*Block
+	queued map[*Block]bool
+}
+
+func newWorklist(blocks []*Block) *worklist {
+	w := &worklist{queued: make(map[*Block]bool, len(blocks))}
+	for _, b := range blocks {
+		w.push(b)
+	}
+	return w
+}
+
+func (w *worklist) empty() bool { return len(w.queue) == 0 }
+
+func (w *worklist) push(b *Block) {
+	if !w.queued[b] {
+		w.queued[b] = true
+		w.queue = append(w.queue, b)
+	}
+}
+
+func (w *worklist) pop() *Block {
+	b := w.queue[0]
+	w.queue = w.queue[1:]
+	w.queued[b] = false
+	return b
+}
+
+// termInfo adapts *types.Info to the cfg builder's terminal-call probe.
+type termInfo struct {
+	info *types.Info
+}
+
+// TermInfo wraps a type-checker result for BuildCFG. A nil info yields
+// a probe that only recognizes the builtin panic.
+func TermInfo(info *types.Info) infoLike {
+	if info == nil {
+		return termInfo{}
+	}
+	return termInfo{info: info}
+}
+
+// isTerminalCall reports whether the call is a known never-returns
+// function: os.Exit, runtime.Goexit, log.Fatal/Fatalf/Fatalln,
+// (*log.Logger).Fatal*, or (*testing.common).Fatal*/FailNow/Skip*.
+func (t termInfo) isTerminalCall(call *ast.CallExpr) bool {
+	if t.info == nil {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := t.info.Uses[sel.Sel]
+	if obj == nil {
+		return false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	name := fn.Name()
+	switch fn.Pkg().Path() {
+	case "os":
+		return name == "Exit"
+	case "runtime":
+		return name == "Goexit"
+	case "log":
+		return name == "Fatal" || name == "Fatalf" || name == "Fatalln" ||
+			name == "Panic" || name == "Panicf" || name == "Panicln"
+	case "testing":
+		return name == "Fatal" || name == "Fatalf" || name == "FailNow" ||
+			name == "Skip" || name == "Skipf" || name == "SkipNow"
+	}
+	return false
+}

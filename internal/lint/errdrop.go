@@ -1,0 +1,340 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Errdrop flags discarded error returns in the request-handling and
+// persistence packages. The motivating sites are the serve/cluster HTTP
+// handlers (an Encode or Write failure mid-response is the only signal
+// the peer hung up) and the cachestore write-behind paths (a dropped
+// save error silently forfeits the persistent tier). Two checks:
+//
+//  1. A call whose results include an error, used as a bare expression
+//     statement, drops the error invisibly. Write `_ = f()` (or
+//     `_, _ = f()`) to discard deliberately — the blank assignment is
+//     this repo's sanctioned "best-effort, peer already gone" idiom —
+//     or better, count the failure into a metric as forwardProxy does.
+//
+//  2. An error assigned to a variable but dead on every path to the
+//     function's exit (overwritten or abandoned before any read) is a
+//     dead store: the call's failure is checked never. Found by
+//     backward liveness over the function's CFG.
+//
+// Exempt: fmt.Print/Printf/Println (stderr/stdout diagnostics), writes
+// through writers documented never to fail (hash.Hash, strings.Builder,
+// bytes.Buffer), and `go`/`defer` statements (the result is genuinely
+// unavailable; deferred Close is conventional).
+var Errdrop = &Analyzer{
+	Name: "errdrop",
+	Doc: "discarded error returns in serve/cluster handlers and store " +
+		"write-behind paths — bare call statements dropping an error, and " +
+		"error variables dead on every path; discard explicitly with _ = " +
+		"or record the failure",
+	Run: runErrdrop,
+}
+
+// errdropScope is the package set whose dropped errors hide real
+// failures: request handling, persistence, and the lint tooling itself
+// (self-lint keeps the analyzers honest).
+var errdropScope = map[string]bool{
+	"mira/internal/cluster":    true,
+	"mira/internal/cachestore": true,
+	"mira/internal/engine":     true,
+	"mira/internal/lint":       true,
+	"mira/cmd/mira-serve":      true,
+	"mira/cmd/mira-vet":        true,
+}
+
+func runErrdrop(pass *Pass) error {
+	if !errdropScope[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			errdropExprStmts(pass, fd.Body)
+			errdropDeadStores(pass, fd.Type, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					errdropDeadStores(pass, fl.Type, fl.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// errdropExprStmts reports bare expression-statement calls that drop an
+// error result (check 1). It walks the whole body including function
+// literals; go/defer statements are skipped by construction because
+// their calls are not ExprStmt nodes.
+func errdropExprStmts(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !callReturnsError(pass.TypesInfo, call) || errdropExempt(pass.TypesInfo, call) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"result of %s includes an error that is dropped; handle it, count it into a metric, or discard explicitly with _ =",
+			callName(call))
+		return true
+	})
+}
+
+// callReturnsError reports whether any of the call's results is the
+// built-in error type.
+func callReturnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(tv.Type)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// errdropExempt reports whether the dropped error is sanctioned: fmt
+// printing to stdout/stderr, or writes through never-failing writers.
+func errdropExempt(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Print", "Printf", "Println":
+			return true
+		case "Fprint", "Fprintf", "Fprintln":
+			return len(call.Args) > 0 &&
+				(neverFailingWriter(info, call.Args[0]) || isTerminalWriter(info, call.Args[0]))
+		}
+	}
+	// Methods on never-failing writers: hash.Hash.Write,
+	// strings.Builder.WriteString, bytes.Buffer.Write, ...
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if neverFailingWriter(info, sel.X) {
+			return true
+		}
+	}
+	// io.WriteString into a never-failing writer.
+	if fn.Pkg() != nil && fn.Pkg().Path() == "io" && fn.Name() == "WriteString" {
+		return len(call.Args) > 0 && neverFailingWriter(info, call.Args[0])
+	}
+	return false
+}
+
+// isTerminalWriter reports whether e is os.Stderr or os.Stdout:
+// diagnostics to the controlling terminal are best-effort by
+// convention, same as fmt.Print.
+func isTerminalWriter(info *types.Info, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == "os" && (obj.Name() == "Stderr" || obj.Name() == "Stdout")
+}
+
+// neverFailingWriter reports whether e's type is documented never to
+// return a write error: hash.Hash, *strings.Builder, *bytes.Buffer.
+func neverFailingWriter(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch types.TypeString(tv.Type, nil) {
+	case "hash.Hash", "hash.Hash32", "hash.Hash64",
+		"*strings.Builder", "strings.Builder",
+		"*bytes.Buffer", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+// callName renders the called function for the diagnostic.
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return exprText(fun.X) + "." + fun.Sel.Name
+	}
+	return "the call"
+}
+
+// errdropDeadStores runs backward liveness over one function body and
+// reports error variables assigned from a call but dead at the
+// assignment (check 2). Function literals nested inside body are NOT
+// descended into for assignments — the caller analyzes each literal as
+// its own function — but identifiers a literal captures do count as
+// uses, keeping closures conservative.
+func errdropDeadStores(pass *Pass, ftype *ast.FuncType, body *ast.BlockStmt) {
+	cfg := BuildCFG(body, TermInfo(pass.TypesInfo))
+
+	// Named results are read by a bare return, so they are live at exit.
+	boundary := liveSet{}
+	if ftype.Results != nil {
+		for _, f := range ftype.Results.List {
+			for _, name := range f.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					boundary[obj] = true
+				}
+			}
+		}
+	}
+
+	flow := FlowFuncs[liveSet]{
+		Clone: func(s liveSet) liveSet {
+			c := make(liveSet, len(s))
+			for k := range s {
+				c[k] = true
+			}
+			return c
+		},
+		Join: func(acc, in liveSet) liveSet {
+			for k := range in {
+				acc[k] = true
+			}
+			return acc
+		},
+		Equal: func(a, b liveSet) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(n ast.Node, s liveSet) { liveTransfer(pass.TypesInfo, n, s, nil) },
+	}
+	out := Backward(cfg, boundary, flow)
+
+	// Replay each block backward from its OUT state, reporting dead
+	// error stores at the precise node. Only variables declared inside
+	// this function qualify: an assignment to a captured outer variable
+	// (safely's recover closure writing the enclosing named result)
+	// escapes the literal and is not dead.
+	lo, hi := ftype.Pos(), body.End()
+	for _, blk := range cfg.Blocks {
+		state, ok := out[blk]
+		if !ok {
+			continue
+		}
+		s := flow.Clone(state)
+		for i := len(blk.Nodes) - 1; i >= 0; i-- {
+			liveTransfer(pass.TypesInfo, blk.Nodes[i], s, func(obj types.Object, pos ast.Node) {
+				if obj.Pos() < lo || obj.Pos() > hi {
+					return
+				}
+				pass.Reportf(pos.Pos(),
+					"error assigned to %s is never checked on any path (dead store); handle it or discard explicitly with _ =",
+					obj.Name())
+			})
+		}
+	}
+}
+
+// liveSet is the set of variables live at a program point.
+type liveSet map[types.Object]bool
+
+// liveTransfer applies one atomic CFG node to the live set, backward.
+// When report is non-nil, an error-typed variable assigned from a call
+// while dead triggers it.
+func liveTransfer(info *types.Info, n ast.Node, s liveSet, report func(types.Object, ast.Node)) {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok || !isPlainAssign(as) {
+		// Everything mentioned is a use; nothing is killed.
+		genUses(info, n, s, nil)
+		return
+	}
+
+	rhsHasCall := false
+	for _, r := range as.Rhs {
+		if _, ok := ast.Unparen(r).(*ast.CallExpr); ok {
+			rhsHasCall = true
+		}
+	}
+	killed := map[*ast.Ident]bool{}
+	for _, lhs := range as.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			// Assignment through a selector/index uses its base.
+			genUses(info, lhs, s, nil)
+			continue
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			continue
+		}
+		if report != nil && rhsHasCall && isErrorType(obj.Type()) && !s[obj] {
+			report(obj, as)
+		}
+		killed[id] = true
+		delete(s, obj)
+	}
+	for _, r := range as.Rhs {
+		genUses(info, r, s, killed)
+	}
+}
+
+// isPlainAssign reports whether as is = or := (op-assigns like += both
+// read and write their target, so they are treated as pure uses).
+func isPlainAssign(as *ast.AssignStmt) bool {
+	return as.Tok == token.ASSIGN || as.Tok == token.DEFINE
+}
+
+// genUses adds every variable mentioned under n to the live set,
+// including mentions inside nested function literals (closure captures
+// keep outer variables live). Identifiers in skip are the assignment's
+// own targets and are not uses.
+func genUses(info *types.Info, n ast.Node, s liveSet, skip map[*ast.Ident]bool) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		id, ok := x.(*ast.Ident)
+		if !ok || skip[id] {
+			return true
+		}
+		if obj, ok := info.Uses[id].(*types.Var); ok {
+			s[obj] = true
+		}
+		return true
+	})
+}

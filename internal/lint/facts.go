@@ -1,0 +1,171 @@
+package lint
+
+// facts.go is the cross-package side of the dataflow engine: an
+// analyzer running on package P can attach a Fact to one of P's
+// exported objects, and an analyzer running on a package that imports P
+// can read it back. In standalone mode (make lint, linttest) facts flow
+// through an in-memory store shared across the dependency-ordered
+// package walk; under `go vet -vettool` they ride the unitchecker
+// protocol — gob-encoded into the .vetx file mira-vet writes for each
+// unit and read back from the PackageVetx files of the unit's imports.
+// The design mirrors x/tools/go/analysis object facts, minus package
+// facts (nothing here needs them).
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// A Fact is an analyzer-defined datum attached to a types.Object and
+// visible to downstream packages. Implementations must be gob-encodable
+// and should be declared with pointer receivers so the concrete type
+// round-trips through the store.
+type Fact interface {
+	// AFact is a marker method: it makes fact types self-describing and
+	// keeps arbitrary values out of the store.
+	AFact()
+}
+
+// factKey identifies one fact: the defining package, a stable name for
+// the object within it, and the fact's concrete type.
+type factKey struct {
+	pkg string
+	obj string
+	typ reflect.Type
+}
+
+// Facts is the fact store for one analysis run. It is not safe for
+// concurrent use; the runners call it from a single goroutine.
+type Facts struct {
+	m map[factKey]Fact
+}
+
+// NewFacts returns an empty fact store.
+func NewFacts() *Facts {
+	return &Facts{m: map[factKey]Fact{}}
+}
+
+// objFactKey names obj stably across export/import: methods are keyed
+// "Recv.Name" so (*PeerStore).replicateLoop and a package function
+// replicateLoop cannot collide. Returns "" for objects that cannot
+// carry facts (nil, blank, or package-less).
+func objFactKey(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil || obj.Name() == "_" {
+		return ""
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if n, ok := t.(*types.Named); ok {
+				return n.Obj().Name() + "." + fn.Name()
+			}
+			return "?." + fn.Name()
+		}
+	}
+	return obj.Name()
+}
+
+// set stores fact for obj, replacing any prior fact of the same type.
+func (fs *Facts) set(obj types.Object, fact Fact) {
+	key := objFactKey(obj)
+	if key == "" {
+		return
+	}
+	fs.m[factKey{pkg: obj.Pkg().Path(), obj: key, typ: reflect.TypeOf(fact)}] = fact
+}
+
+// get copies the stored fact for obj into the value fact points to and
+// reports whether one was found. fact must be a non-nil pointer of the
+// same concrete type the producer exported.
+func (fs *Facts) get(obj types.Object, fact Fact) bool {
+	key := objFactKey(obj)
+	if key == "" {
+		return false
+	}
+	stored, ok := fs.m[factKey{pkg: obj.Pkg().Path(), obj: key, typ: reflect.TypeOf(fact)}]
+	if !ok {
+		return false
+	}
+	dv := reflect.ValueOf(fact)
+	sv := reflect.ValueOf(stored)
+	if dv.Kind() != reflect.Pointer || dv.IsNil() || sv.Kind() != reflect.Pointer {
+		return false
+	}
+	dv.Elem().Set(sv.Elem())
+	return true
+}
+
+// wireFact is the gob wire form of one stored fact. Fact is an
+// interface field, so every concrete fact type must be registered with
+// gob before Encode/Decode — RegisterFactTypes does that from the
+// analyzers' FactTypes declarations.
+type wireFact struct {
+	Pkg  string
+	Obj  string
+	Fact Fact
+}
+
+// RegisterFactTypes registers every fact type the given analyzers
+// declare with gob, so fact stores round-trip through vetx files.
+// Idempotent: registering the same type twice is a no-op.
+func RegisterFactTypes(analyzers []*Analyzer) {
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			gob.Register(f)
+		}
+	}
+}
+
+// Encode serializes the whole store. The record order is made
+// deterministic so vetx files are byte-stable for identical inputs.
+func (fs *Facts) Encode() ([]byte, error) {
+	records := make([]wireFact, 0, len(fs.m))
+	for k, f := range fs.m {
+		records = append(records, wireFact{Pkg: k.pkg, Obj: k.obj, Fact: f})
+	}
+	sort.Slice(records, func(i, j int) bool {
+		a, b := records[i], records[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		if a.Obj != b.Obj {
+			return a.Obj < b.Obj
+		}
+		return reflect.TypeOf(a.Fact).String() < reflect.TypeOf(b.Fact).String()
+	})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(records); err != nil {
+		return nil, fmt.Errorf("encoding facts: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode merges an encoded store (one import's vetx payload) into fs.
+// Payloads written by tools that predate the fact protocol (or by other
+// vet tools) fail gob decoding; the caller treats that as "no facts".
+func (fs *Facts) Decode(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var records []wireFact
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&records); err != nil {
+		return fmt.Errorf("decoding facts: %w", err)
+	}
+	for _, r := range records {
+		if r.Fact == nil {
+			continue
+		}
+		fs.m[factKey{pkg: r.Pkg, obj: r.Obj, typ: reflect.TypeOf(r.Fact)}] = r.Fact
+	}
+	return nil
+}
+
+// Len reports the number of stored facts (used by tests and metrics).
+func (fs *Facts) Len() int { return len(fs.m) }

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"encoding/gob"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// tfact is a throwaway fact type for the round-trip tests.
+type tfact struct{ N int }
+
+func (*tfact) AFact() {}
+
+func TestFactsRoundTrip(t *testing.T) {
+	gob.Register(&tfact{})
+	pkg := types.NewPackage("example.com/p", "p")
+	obj := types.NewVar(token.NoPos, pkg, "V", types.Typ[types.Int])
+
+	fs := NewFacts()
+	fs.set(obj, &tfact{N: 7})
+	if fs.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", fs.Len())
+	}
+	raw, err := fs.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fs2 := NewFacts()
+	if err := fs2.Decode(raw); err != nil {
+		t.Fatal(err)
+	}
+	var got tfact
+	if !fs2.get(obj, &got) || got.N != 7 {
+		t.Fatalf("decoded fact = %+v (found=%v), want N=7", got, fs2.get(obj, &got))
+	}
+
+	// Encoding must be deterministic: vetx files are cache-keyed bytes.
+	raw2, err := fs.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != string(raw2) {
+		t.Error("Encode is not byte-stable for identical stores")
+	}
+}
+
+// TestFactsDecodeGarbage: an undecodable payload (another tool's vetx,
+// a pre-fact mira-vet) must report an error and leave the store empty —
+// callers treat it as "no facts", never as corruption.
+func TestFactsDecodeGarbage(t *testing.T) {
+	fs := NewFacts()
+	if err := fs.Decode([]byte("not a fact store")); err == nil {
+		t.Error("Decode accepted garbage")
+	}
+	if fs.Len() != 0 {
+		t.Errorf("garbage decode left %d entries in the store", fs.Len())
+	}
+}
+
+// TestObjFactKey pins the stable naming scheme: methods are keyed
+// "Recv.Name" so a method and a package function cannot collide, and
+// objects that cannot carry facts yield "".
+func TestObjFactKey(t *testing.T) {
+	pkg := types.NewPackage("example.com/p", "p")
+	named := types.NewNamed(types.NewTypeName(token.NoPos, pkg, "T", nil), types.NewStruct(nil, nil), nil)
+	recv := types.NewVar(token.NoPos, pkg, "t", types.NewPointer(named))
+	sig := types.NewSignatureType(recv, nil, nil, nil, nil, false)
+	method := types.NewFunc(token.NoPos, pkg, "Run", sig)
+	if got := objFactKey(method); got != "T.Run" {
+		t.Errorf("method key = %q, want %q", got, "T.Run")
+	}
+
+	fn := types.NewFunc(token.NoPos, pkg, "Run", types.NewSignatureType(nil, nil, nil, nil, nil, false))
+	if got := objFactKey(fn); got != "Run" {
+		t.Errorf("function key = %q, want %q", got, "Run")
+	}
+
+	if got := objFactKey(nil); got != "" {
+		t.Errorf("nil object key = %q, want empty", got)
+	}
+	blank := types.NewVar(token.NoPos, pkg, "_", types.Typ[types.Int])
+	if got := objFactKey(blank); got != "" {
+		t.Errorf("blank object key = %q, want empty", got)
+	}
+}
+
+// TestFactsTypeSeparation: two fact types on the same object live side
+// by side; get retrieves by concrete type.
+type tfact2 struct{ S string }
+
+func (*tfact2) AFact() {}
+
+func TestFactsTypeSeparation(t *testing.T) {
+	pkg := types.NewPackage("example.com/p", "p")
+	obj := types.NewVar(token.NoPos, pkg, "V", types.Typ[types.Int])
+	fs := NewFacts()
+	fs.set(obj, &tfact{N: 1})
+	fs.set(obj, &tfact2{S: "two"})
+	if fs.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (one per fact type)", fs.Len())
+	}
+	var a tfact
+	var b tfact2
+	if !fs.get(obj, &a) || a.N != 1 {
+		t.Errorf("tfact = %+v, want N=1", a)
+	}
+	if !fs.get(obj, &b) || b.S != "two" {
+		t.Errorf("tfact2 = %+v, want S=two", b)
+	}
+}

@@ -24,11 +24,13 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 )
 
 // An Analyzer is one named static analysis. Run inspects a single
-// type-checked package through the Pass and reports findings; analyzers
-// are package-local (no cross-package facts).
+// type-checked package through the Pass and reports findings. Analyzers
+// that declare FactTypes are interprocedural: they export facts on the
+// package's objects and import facts from its dependencies.
 type Analyzer struct {
 	// Name is the short analyzer name; diagnostics and suppression
 	// directives refer to it as "mira/<name>".
@@ -38,6 +40,12 @@ type Analyzer struct {
 	Doc string
 	// Run performs the analysis.
 	Run func(*Pass) error
+	// FactTypes lists a zero value of each Fact type this analyzer
+	// exports or imports. Declaring a type here registers it for gob
+	// serialization and marks the analyzer as needing to run on
+	// dependency packages (facts-only, diagnostics discarded) so its
+	// facts exist before the packages that import them are analyzed.
+	FactTypes []Fact
 }
 
 // A Pass connects one analyzer to one package of parsed, type-checked
@@ -50,6 +58,22 @@ type Pass struct {
 	TypesInfo *types.Info
 
 	report func(Diagnostic)
+	facts  *Facts
+}
+
+// ExportObjectFact attaches fact to obj for downstream packages. The
+// fact type must appear in the analyzer's FactTypes.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.facts != nil {
+		p.facts.set(obj, fact)
+	}
+}
+
+// ImportObjectFact copies the fact of fact's type previously exported
+// on obj (by this analyzer, on this or any dependency package) into
+// *fact and reports whether one existed.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	return p.facts != nil && p.facts.get(obj, fact)
 }
 
 // Reportf records a finding at pos.
@@ -72,7 +96,9 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: [mira/%s] %s", d.Pos, d.Analyzer, d.Message)
 }
 
-// All returns the full analyzer suite in stable order.
+// All returns the full analyzer suite in stable order: the six
+// syntactic analyzers from the original mira-vet, then the five
+// dataflow analyzers added with the cfg/dataflow/facts engine.
 func All() []*Analyzer {
 	return []*Analyzer{
 		Multovf,
@@ -81,6 +107,11 @@ func All() []*Analyzer {
 		Panicfree,
 		Noglobals,
 		Obsnames,
+		Cachekey,
+		Lockdisc,
+		Timeinj,
+		Goroleak,
+		Errdrop,
 	}
 }
 
@@ -119,23 +150,86 @@ func suppressions(fset *token.FileSet, files []*ast.File) []suppression {
 	return out
 }
 
-// RunPackage runs the given analyzers over one loaded package, applies
-// suppression directives, and returns the surviving findings sorted by
-// position. Directives missing a reason surface as findings themselves.
-func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var diags []Diagnostic
+// AnalyzerStat is one analyzer's aggregate cost and yield across a run;
+// mira-vet -json surfaces these as mira_vet_findings_total and
+// per-analyzer wall-time.
+type AnalyzerStat struct {
+	Findings int
+	Seconds  float64
+}
+
+// A Runner executes an analyzer suite over a sequence of packages,
+// threading one fact store through all of them. Feed it packages in
+// dependency order (as `go list -deps` and Load emit them) so facts
+// exported by a dependency exist before its importers run.
+type Runner struct {
+	Analyzers []*Analyzer
+	Facts     *Facts
+	Stats     map[string]*AnalyzerStat
+
+	// Now supplies timestamps for the per-analyzer wall-time stats;
+	// NewRunner defaults it to time.Now.
+	Now func() time.Time
+}
+
+// NewRunner builds a Runner with a fresh fact store and registers the
+// analyzers' fact types for vetx serialization.
+func NewRunner(analyzers []*Analyzer) *Runner {
+	RegisterFactTypes(analyzers)
+	r := &Runner{
+		Analyzers: analyzers,
+		Facts:     NewFacts(),
+		Stats:     map[string]*AnalyzerStat{},
+		Now:       time.Now,
+	}
 	for _, a := range analyzers {
+		r.Stats[a.Name] = &AnalyzerStat{}
+	}
+	return r
+}
+
+// TotalFindings sums findings across analyzers (mira_vet_findings_total).
+func (r *Runner) TotalFindings() int {
+	total := 0
+	//lint:ignore mira/detorder the sum is order-independent
+	for _, s := range r.Stats {
+		total += s.Findings
+	}
+	return total
+}
+
+// RunPackage runs the suite over one loaded package, applies suppression
+// directives, and returns the surviving findings sorted by position.
+// Directives missing a reason surface as findings themselves. For a
+// FactsOnly package only fact-producing analyzers run and diagnostics
+// are discarded — the package is a dependency being mined for facts,
+// not a vetting target.
+func (r *Runner) RunPackage(pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range r.Analyzers {
+		if pkg.FactsOnly && len(a.FactTypes) == 0 {
+			continue
+		}
 		pass := &Pass{
 			Analyzer:  a,
 			Fset:      pkg.Fset,
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.TypesInfo,
+			facts:     r.Facts,
 			report:    func(d Diagnostic) { diags = append(diags, d) },
 		}
-		if err := a.Run(pass); err != nil {
+		start := r.Now()
+		err := a.Run(pass)
+		if st := r.Stats[a.Name]; st != nil {
+			st.Seconds += r.Now().Sub(start).Seconds()
+		}
+		if err != nil {
 			return nil, fmt.Errorf("mira/%s on %s: %w", a.Name, pkg.Path, err)
 		}
+	}
+	if pkg.FactsOnly {
+		return nil, nil
 	}
 
 	sups := suppressions(pkg.Fset, pkg.Files)
@@ -167,7 +261,19 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
+	for _, d := range kept {
+		if st := r.Stats[d.Analyzer]; st != nil {
+			st.Findings++
+		}
+	}
 	return kept, nil
+}
+
+// RunPackage runs analyzers over one package with a throwaway fact
+// store. Cross-package facts do not propagate; use a Runner over a
+// dependency-ordered package list when they must.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return NewRunner(analyzers).RunPackage(pkg)
 }
 
 // suppressed reports whether a reasoned directive on the finding's line,

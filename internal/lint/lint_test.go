@@ -42,6 +42,58 @@ func TestObsnames(t *testing.T) {
 	linttest.Run(t, "obsnames", "mira/internal/daemonobs", lint.Obsnames)
 }
 
+func TestTimeinj(t *testing.T) {
+	linttest.Run(t, "timeinj", "mira/internal/cluster", lint.Timeinj)
+}
+
+func TestLockdisc(t *testing.T) {
+	linttest.Run(t, "lockdisc", "mira/internal/engine", lint.Lockdisc)
+}
+
+func TestErrdrop(t *testing.T) {
+	linttest.Run(t, "errdrop", "mira/internal/cachestore", lint.Errdrop)
+}
+
+// TestGoroleak runs the two-package goroleak fixture: the dependency
+// package is analyzed first so its LifecycleBound facts are in the
+// shared fact store when the engine-impersonating package's go
+// statements are judged.
+func TestGoroleak(t *testing.T) {
+	linttest.RunMulti(t, []linttest.Pkg{
+		{Dir: "goroleak_dep", ImportPath: "mira/internal/bgutil"},
+		{Dir: "goroleak", ImportPath: "mira/internal/engine"},
+	}, lint.Goroleak)
+}
+
+// TestCachekey runs the two-package cachekey fixture: the core
+// impersonator exports the VersionConst facts (root and derived) that
+// the engine impersonator's key builders are judged against.
+func TestCachekey(t *testing.T) {
+	linttest.RunMulti(t, []linttest.Pkg{
+		{Dir: "cachekey_core", ImportPath: "mira/internal/core"},
+		{Dir: "cachekey_engine", ImportPath: "mira/internal/engine"},
+	}, lint.Cachekey)
+}
+
+// TestTimeinjOutOfScope re-type-checks the timeinj fixture outside
+// internal/cluster: the wall-clock reads must produce zero findings —
+// time injection is the cluster's contract, not a global ban.
+func TestTimeinjOutOfScope(t *testing.T) {
+	root := linttest.ModuleRoot(t)
+	dir := filepath.Join(root, "internal", "lint", "testdata", "src", "timeinj")
+	pkg, err := lint.LoadDir(root, dir, "mira/internal/elsewhere")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunPackage(pkg, []*lint.Analyzer{lint.Timeinj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("timeinj fired outside its package scope:\n%v", diags)
+	}
+}
+
 func TestSuppressionWithReason(t *testing.T) {
 	// The fixture has a finding-shaped global under a reasoned ignore;
 	// zero expectations means zero surviving findings.
@@ -97,7 +149,8 @@ func TestScopedAnalyzersRespectImportPath(t *testing.T) {
 // TestAllIsComplete pins the suite roster: forgetting to register a new
 // analyzer in All() would silently drop it from mira-vet.
 func TestAllIsComplete(t *testing.T) {
-	want := []string{"multovf", "detorder", "ctxflow", "panicfree", "noglobals", "obsnames"}
+	want := []string{"multovf", "detorder", "ctxflow", "panicfree", "noglobals", "obsnames",
+		"cachekey", "lockdisc", "timeinj", "goroleak", "errdrop"}
 	all := lint.All()
 	if len(all) != len(want) {
 		t.Fatalf("All() has %d analyzers, want %d", len(all), len(want))

@@ -63,18 +63,53 @@ func ModuleRoot(t *testing.T) string {
 // the fixture's // want expectations.
 func Run(t *testing.T, fixture, importPath string, analyzers ...*lint.Analyzer) {
 	t.Helper()
+	RunMulti(t, []Pkg{{Dir: fixture, ImportPath: importPath}}, analyzers...)
+}
+
+// Pkg names one fixture package for RunMulti: its directory under
+// internal/lint/testdata/src and the import path it impersonates.
+type Pkg struct {
+	Dir        string
+	ImportPath string
+}
+
+// RunMulti loads several fixture packages — listed dependencies first —
+// and runs the analyzers over each through one shared runner, so object
+// facts exported while analyzing an early package are importable while
+// analyzing a later one, exactly as unitchecker threads .vetx files
+// between compilation units. Findings from every package are diffed
+// against the union of // want expectations across every fixture
+// directory. Fixture import paths shadow real packages: a fixture
+// impersonating mira/internal/core is what later fixtures' imports of
+// that path resolve to.
+func RunMulti(t *testing.T, pkgs []Pkg, analyzers ...*lint.Analyzer) {
+	t.Helper()
 	root := ModuleRoot(t)
-	dir := filepath.Join(root, "internal", "lint", "testdata", "src", fixture)
-	pkg, err := lint.LoadDir(root, dir, importPath)
-	if err != nil {
-		t.Fatalf("loading fixture %s: %v", fixture, err)
+	fixtures := make([]lint.FixturePkg, len(pkgs))
+	for i, p := range pkgs {
+		fixtures[i] = lint.FixturePkg{
+			Dir:        filepath.Join(root, "internal", "lint", "testdata", "src", p.Dir),
+			ImportPath: p.ImportPath,
+		}
 	}
-	diags, err := lint.RunPackage(pkg, analyzers)
+	loaded, err := lint.LoadDirs(root, fixtures)
 	if err != nil {
-		t.Fatalf("running analyzers on %s: %v", fixture, err)
+		t.Fatalf("loading fixtures %v: %v", pkgs, err)
+	}
+	runner := lint.NewRunner(analyzers)
+	var diags []lint.Diagnostic
+	for i, pkg := range loaded {
+		ds, err := runner.RunPackage(pkg)
+		if err != nil {
+			t.Fatalf("running analyzers on %s: %v", pkgs[i].Dir, err)
+		}
+		diags = append(diags, ds...)
 	}
 
-	wants := collectWants(t, dir)
+	var wants []*expectation
+	for _, f := range fixtures {
+		wants = append(wants, collectWants(t, f.Dir)...)
+	}
 	for _, d := range diags {
 		if !match(wants, d) {
 			t.Errorf("unexpected finding %s", d)

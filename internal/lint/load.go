@@ -24,6 +24,11 @@ type Package struct {
 	Files     []*ast.File
 	Types     *types.Package
 	TypesInfo *types.Info
+
+	// FactsOnly marks an in-module dependency loaded so fact-producing
+	// analyzers can mine it; it is not itself a vetting target and its
+	// diagnostics are discarded.
+	FactsOnly bool
 }
 
 // listedPkg is the subset of `go list -json` output the loader needs.
@@ -34,6 +39,7 @@ type listedPkg struct {
 	GoFiles    []string
 	Standard   bool
 	DepOnly    bool
+	Module     *struct{ Path string }
 	Error      *struct{ Err string }
 }
 
@@ -46,7 +52,7 @@ type listedPkg struct {
 func goList(dir string, patterns []string) ([]listedPkg, error) {
 	args := append([]string{
 		"list", "-e", "-export",
-		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Error",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Module,Error",
 		"-deps", "--",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
@@ -100,14 +106,28 @@ func newInfo() *types.Info {
 	}
 }
 
-// Load lists the patterns in the module rooted at dir and returns every
-// matched (non-dependency) package parsed and type-checked. Test files
-// are not loaded: GoFiles excludes them, so the analyzers vet the shipped
-// tree, not its tests.
+// Load lists the patterns in the module rooted at dir and returns the
+// matched packages parsed and type-checked, in dependency order. Test
+// files are not loaded: GoFiles excludes them, so the analyzers vet the
+// shipped tree, not its tests.
+//
+// In-module dependencies of the targets that the patterns did not match
+// are returned too, marked FactsOnly: interprocedural analyzers need
+// their facts (is this dependency's function lifecycle-bound? does it
+// incorporate the version const?) even when the user only asked to vet
+// one package. Standard-library and out-of-module dependencies resolve
+// through export data alone and are never loaded from source.
 func Load(dir string, patterns ...string) ([]*Package, error) {
 	pkgs, err := goList(dir, patterns)
 	if err != nil {
 		return nil, err
+	}
+	module := ""
+	for _, lp := range pkgs {
+		if !lp.DepOnly && lp.Module != nil {
+			module = lp.Module.Path
+			break
+		}
 	}
 	lookup := exportLookup(pkgs)
 	fset := token.NewFileSet()
@@ -115,8 +135,15 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 
 	var out []*Package
 	for _, lp := range pkgs {
-		if lp.DepOnly || lp.Standard {
+		if lp.Standard {
 			continue
+		}
+		factsOnly := false
+		if lp.DepOnly {
+			if module == "" || lp.Module == nil || lp.Module.Path != module {
+				continue
+			}
+			factsOnly = true
 		}
 		if lp.Error != nil {
 			return nil, fmt.Errorf("%s: %s", lp.ImportPath, lp.Error.Err)
@@ -125,6 +152,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		pkg.FactsOnly = factsOnly
 		out = append(out, pkg)
 	}
 	return out, nil
@@ -137,28 +165,62 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 // list ./...`) while choosing the import path the analyzer's scoping
 // rules see, e.g. a fixture type-checked as "mira/internal/model".
 func LoadDir(moduleRoot, dir, importPath string) (*Package, error) {
-	entries, err := os.ReadDir(dir)
+	pkgs, err := LoadDirs(moduleRoot, []FixturePkg{{Dir: dir, ImportPath: importPath}})
 	if err != nil {
 		return nil, err
 	}
+	return pkgs[0], nil
+}
+
+// FixturePkg names one fixture directory and the import path it is
+// type-checked under.
+type FixturePkg struct {
+	Dir        string
+	ImportPath string
+}
+
+// LoadDirs loads several fixture directories as one dependency-ordered
+// package group: list a fixture before the fixtures that import it.
+// Imports among the fixtures resolve to the in-memory packages —
+// letting a fixture impersonate a real package ("mira/internal/core")
+// and be imported by a sibling fixture, which is how cross-package fact
+// propagation is tested — while all other imports resolve through
+// export data listed from moduleRoot. Fixture-provided paths shadow
+// real packages of the same path.
+func LoadDirs(moduleRoot string, fixtures []FixturePkg) ([]*Package, error) {
 	fset := token.NewFileSet()
-	var files []*ast.File
+	provided := map[string]bool{}
+	for _, fx := range fixtures {
+		provided[fx.ImportPath] = true
+	}
+
+	parsedFiles := make([][]*ast.File, len(fixtures))
 	importSet := map[string]bool{}
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
-			continue
-		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+	for i, fx := range fixtures {
+		entries, err := os.ReadDir(fx.Dir)
 		if err != nil {
 			return nil, err
 		}
-		files = append(files, f)
-		for _, im := range f.Imports {
-			importSet[strings.Trim(im.Path.Value, `"`)] = true
+		var files []*ast.File
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(fx.Dir, e.Name()), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+			for _, im := range f.Imports {
+				if p := strings.Trim(im.Path.Value, `"`); !provided[p] {
+					importSet[p] = true
+				}
+			}
 		}
-	}
-	if len(files) == 0 {
-		return nil, fmt.Errorf("no .go files in %s", dir)
+		if len(files) == 0 {
+			return nil, fmt.Errorf("no .go files in %s", fx.Dir)
+		}
+		parsedFiles[i] = files
 	}
 
 	var lookup func(string) (io.ReadCloser, error)
@@ -178,14 +240,37 @@ func LoadDir(moduleRoot, dir, importPath string) (*Package, error) {
 			return nil, fmt.Errorf("no export data for %q", path)
 		}
 	}
-	imp := importer.ForCompiler(fset, "gc", lookup)
-	info := newInfo()
-	conf := types.Config{Importer: imp}
-	tpkg, err := conf.Check(importPath, fset, files, info)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", importPath, err)
+	imp := &fixtureImporter{
+		base: importer.ForCompiler(fset, "gc", lookup),
+		pkgs: map[string]*types.Package{},
 	}
-	return &Package{Path: importPath, Fset: fset, Files: files, Types: tpkg, TypesInfo: info}, nil
+
+	out := make([]*Package, len(fixtures))
+	for i, fx := range fixtures {
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(fx.ImportPath, fset, parsedFiles[i], info)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", fx.ImportPath, err)
+		}
+		imp.pkgs[fx.ImportPath] = tpkg
+		out[i] = &Package{Path: fx.ImportPath, Fset: fset, Files: parsedFiles[i], Types: tpkg, TypesInfo: info}
+	}
+	return out, nil
+}
+
+// fixtureImporter resolves imports to already-checked fixture packages
+// first, then to compiled export data.
+type fixtureImporter struct {
+	base types.Importer
+	pkgs map[string]*types.Package
+}
+
+func (i *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := i.pkgs[path]; ok {
+		return p, nil
+	}
+	return i.base.Import(path)
 }
 
 // check parses and type-checks one listed package.

@@ -1,0 +1,336 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Lockdisc enforces the tree's lock discipline with a forward lockset
+// analysis over each function's CFG:
+//
+//  1. Release on all exits: a sync.Mutex/RWMutex acquired on a path
+//     must be released (or defer-released) on every path to the
+//     function's exit. The classic escape is the early error return
+//     between Lock and Unlock — the PR 7 suite could only check
+//     syntactic pairing; this check is path-sensitive, so branch
+//     unlocks (AnalyzeCtx's style) verify and a missed error path is
+//     flagged at the acquisition site.
+//
+//  2. Guarded access: a struct field annotated `//lint:guarded-by mu`
+//     may only be read or written while mu (the sibling mutex named in
+//     the annotation, on the same base expression) is held — write- or
+//     read-locked — at that program point.
+//
+// Conventions honored: functions whose name ends in "Locked" assume
+// their caller holds the lock and are exempt from the guarded-access
+// check (their doc comments say "callers must hold ..."), as are
+// constructors (New*/new*), whose receiver is not yet shared. Function
+// literals are analyzed as separate functions; a literal that accesses
+// guarded state under a lock taken by its *enclosing* function is
+// beyond the analysis (locks do not flow into closures) and needs a
+// reasoned suppression. TryLock is ignored (its result makes holding
+// conditional).
+var Lockdisc = &Analyzer{
+	Name: "lockdisc",
+	Doc: "mutex acquired on a path but not released on all exits, and accesses " +
+		"to //lint:guarded-by fields without the guard held — path-sensitive " +
+		"lockset analysis of every function",
+	Run: runLockdisc,
+}
+
+// guardedByRE matches a field annotation: //lint:guarded-by <mutexField>
+var guardedByRE = regexp.MustCompile(`^//lint:guarded-by\s+([A-Za-z_]\w*)\s*$`)
+
+func runLockdisc(pass *Pass) error {
+	if !strings.HasPrefix(pass.Pkg.Path(), "mira/") {
+		return nil
+	}
+	guards := collectGuards(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			exempt := guardExempt(fd.Name.Name)
+			analyzeLocks(pass, fd.Body, guards, exempt)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					analyzeLocks(pass, fl.Body, guards, exempt)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// guardExempt reports whether the named function is exempt from the
+// guarded-access check: "...Locked" helpers assume the lock is held,
+// and constructors own their receiver exclusively.
+func guardExempt(name string) bool {
+	return strings.HasSuffix(name, "Locked") ||
+		strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new")
+}
+
+// collectGuards maps annotated struct-field objects to the name of the
+// mutex field guarding them. Annotations are package-local: unexported
+// fields cannot be accessed across packages anyway.
+func collectGuards(pass *Pass) map[types.Object]string {
+	guards := map[types.Object]string{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				guard := guardAnnotation(field.Doc)
+				if guard == "" {
+					guard = guardAnnotation(field.Comment)
+				}
+				if guard == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guards[obj] = guard
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func guardAnnotation(cg *ast.CommentGroup) string {
+	if cg == nil {
+		return ""
+	}
+	for _, c := range cg.List {
+		if m := guardedByRE.FindStringSubmatch(c.Text); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// lockState is one (possibly) held lock at a program point.
+type lockState struct {
+	pos      token.Pos
+	must     bool // held on every path reaching this point
+	deferred bool // a deferred unlock is registered on every such path
+}
+
+// lockMap is the lockset: lock key ("s.mu", or "s.mu/r" for a read
+// lock) to its state. Presence means may-held.
+type lockMap map[string]lockState
+
+var lockFlow = FlowFuncs[lockMap]{
+	Clone: func(s lockMap) lockMap {
+		c := make(lockMap, len(s))
+		for k, v := range s {
+			c[k] = v
+		}
+		return c
+	},
+	Join: func(acc, in lockMap) lockMap {
+		for k, b := range in {
+			if a, ok := acc[k]; ok {
+				a.must = a.must && b.must
+				a.deferred = a.deferred && b.deferred
+				acc[k] = a
+			} else {
+				b.must = false
+				acc[k] = b
+			}
+		}
+		for k, a := range acc {
+			if _, ok := in[k]; !ok {
+				a.must = false
+				acc[k] = a
+			}
+		}
+		return acc
+	},
+	Equal: func(a, b lockMap) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for k, av := range a {
+			bv, ok := b[k]
+			if !ok || av.must != bv.must || av.deferred != bv.deferred {
+				return false
+			}
+		}
+		return true
+	},
+	// Transfer is bound per-function in analyzeLocks (it needs the Pass).
+}
+
+// analyzeLocks runs the lockset analysis over one function body,
+// reporting leaks at exit and unguarded accesses along the way.
+func analyzeLocks(pass *Pass, body *ast.BlockStmt, guards map[types.Object]string, exempt bool) {
+	cfg := BuildCFG(body, TermInfo(pass.TypesInfo))
+	flow := lockFlow
+	flow.Transfer = func(n ast.Node, s lockMap) { lockTransfer(pass, n, s) }
+	in := Forward(cfg, lockMap{}, flow)
+
+	// Leak check: any lock still (maybe) held at Exit without a
+	// deferred release escaped some path. Report once per acquire site.
+	reported := map[token.Pos]bool{}
+	if exitState, ok := in[cfg.Exit]; ok {
+		keys := make([]string, 0, len(exitState))
+		for k := range exitState {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			st := exitState[k]
+			if st.deferred || reported[st.pos] {
+				continue
+			}
+			reported[st.pos] = true
+			how := "is not released on some path to return"
+			if st.must {
+				how = "is never released before return"
+			}
+			pass.Reportf(st.pos, "%s acquired here %s; unlock on every exit path or defer the unlock",
+				lockName(k), how)
+		}
+	}
+
+	// Guarded-access check: replay each block's transfer, checking the
+	// state right before each node's accesses.
+	if exempt || len(guards) == 0 {
+		return
+	}
+	for _, blk := range cfg.Blocks {
+		state, ok := in[blk]
+		if !ok {
+			continue
+		}
+		s := flow.Clone(state)
+		for _, n := range blk.Nodes {
+			checkGuardedAccess(pass, n, s, guards)
+			lockTransfer(pass, n, s)
+		}
+	}
+}
+
+// lockName renders a lockset key for diagnostics.
+func lockName(key string) string {
+	if b, ok := strings.CutSuffix(key, "/r"); ok {
+		return "read lock " + b
+	}
+	return "lock " + key
+}
+
+// lockTransfer applies one atomic node to the lockset: Lock/RLock
+// acquire, Unlock/RUnlock release, and a deferred unlock marks the
+// entry satisfied on every path past the defer. Function literals are
+// opaque (analyzed separately).
+func lockTransfer(pass *Pass, n ast.Node, s lockMap) {
+	if ds, ok := n.(*ast.DeferStmt); ok {
+		if key, op, ok := lockOp(pass.TypesInfo, ds.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			k := key
+			if op == "RUnlock" {
+				k += "/r"
+			}
+			if st, held := s[k]; held {
+				st.deferred = true
+				s[k] = st
+			}
+		}
+		return
+	}
+	inspectSkippingFuncLits(n, func(x ast.Node) {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		key, op, ok := lockOp(pass.TypesInfo, call)
+		if !ok {
+			return
+		}
+		switch op {
+		case "Lock":
+			s[key] = lockState{pos: call.Pos(), must: true}
+		case "RLock":
+			s[key+"/r"] = lockState{pos: call.Pos(), must: true}
+		case "Unlock":
+			delete(s, key)
+		case "RUnlock":
+			delete(s, key+"/r")
+		}
+	})
+}
+
+// lockOp recognizes a mutex operation call and returns the lock's key
+// (the receiver expression's text) and the operation name.
+func lockOp(info *types.Info, call *ast.CallExpr) (key, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return exprText(sel.X), sel.Sel.Name, true
+}
+
+// checkGuardedAccess reports reads/writes of annotated fields while the
+// named guard is not must-held (in either write or read mode) on the
+// same base expression.
+func checkGuardedAccess(pass *Pass, n ast.Node, s lockMap, guards map[types.Object]string) {
+	inspectSkippingFuncLits(n, func(x ast.Node) {
+		sel, ok := x.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		if obj == nil {
+			return
+		}
+		guard, guarded := guards[obj]
+		if !guarded {
+			return
+		}
+		key := exprText(sel.X) + "." + guard
+		if st, held := s[key]; held && st.must {
+			return
+		}
+		if st, held := s[key+"/r"]; held && st.must {
+			return
+		}
+		pass.Reportf(sel.Pos(),
+			"%s.%s is guarded by %s (//lint:guarded-by) but %s is not held here",
+			exprText(sel.X), sel.Sel.Name, guard, key)
+	})
+}
+
+// inspectSkippingFuncLits walks the node's subtree without descending
+// into function literals: a literal's lock operations belong to its own
+// analysis, not its enclosing function's flow.
+func inspectSkippingFuncLits(n ast.Node, visit func(ast.Node)) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, isLit := x.(*ast.FuncLit); isLit {
+			return false
+		}
+		if x != nil {
+			visit(x)
+		}
+		return true
+	})
+}

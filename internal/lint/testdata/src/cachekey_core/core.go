@@ -1,0 +1,13 @@
+// Package core is the dependency half of the cachekey fixture,
+// impersonating mira/internal/core: the root CacheFormatVersion plus a
+// derived constant whose versioned-ness travels to other packages as a
+// VersionConst fact.
+package core
+
+// CacheFormatVersion is the cache format root: every persistent cache
+// key must incorporate it so format bumps invalidate old artifacts.
+const CacheFormatVersion = 3
+
+// KeyEpoch derives from the root; mentioning it in a key builder is
+// version evidence, carried across the package boundary by the fact.
+const KeyEpoch = CacheFormatVersion * 100

@@ -1,0 +1,94 @@
+// Package engine is the cachekey fixture's consumer half, type-checked
+// as mira/internal/engine: the PR 9 name-vs-content-key poisoning,
+// written the way it originally shipped, next to the versioned shapes
+// that are legal.
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"mira/internal/core"
+)
+
+// Description mirrors the architecture description: content-addressed
+// (it has ContentKey), with a display Name that must never become key
+// material.
+type Description struct {
+	Name      string
+	Bandwidth float64
+}
+
+// ContentKey is the content address: a one-shot digest of the
+// parameters that matter. (Sum256 here is deliberately not a "key
+// builder" — the content key IS the address, no format version
+// applies.)
+func (d *Description) ContentKey() string {
+	raw := sha256.Sum256([]byte(fmt.Sprintf("bw=%v", d.Bandwidth)))
+	return hex.EncodeToString(raw[:])
+}
+
+// badKey is the version bug: a persistent key with no format version,
+// so stale artifacts survive format bumps.
+func badKey(src string) string { // want "badKey builds a cache key"
+	h := sha256.New()
+	h.Write([]byte(src))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// goodKey mixes the root version in directly: legal.
+func goodKey(src string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "v%d|", core.CacheFormatVersion)
+	h.Write([]byte(src))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// epochKey mixes in the derived constant: its versioned-ness arrives
+// as a VersionConst fact exported while analyzing core.
+func epochKey(src string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "e%d|", core.KeyEpoch)
+	h.Write([]byte(src))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// poisonedKey is the PR 9 bug: the version is present, but the mutable
+// display name is key material — two archs sharing a name collide, and
+// a renamed arch warms nothing.
+func poisonedKey(d *Description, src string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "v%d|", core.CacheFormatVersion)
+	h.Write([]byte(d.Name)) // want "d.Name used inside a cache-key builder" "arch name flows into hash key material"
+	h.Write([]byte(src))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// laundered passes the name through a local first: the taint tracking
+// follows the assignment into the hash write.
+func laundered(d *Description) string {
+	label := d.Name // want "d.Name used inside a cache-key builder"
+	h := sha256.New()
+	fmt.Fprintf(h, "v%d|", core.CacheFormatVersion)
+	h.Write([]byte(label)) // want "arch name flows into hash key material"
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// contentKeyed uses the content address: legal.
+func contentKeyed(d *Description, src string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "v%d|", core.CacheFormatVersion)
+	h.Write([]byte(d.ContentKey()))
+	h.Write([]byte(src))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// legacyKey keeps the pre-versioning layout for migration reads.
+//
+//lint:ignore mira/cachekey legacy v2 read path, removed with the migration
+func legacyKey(src string) string {
+	h := sha256.New()
+	h.Write([]byte(src))
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,84 @@
+// Package cachestore is an errdrop fixture type-checked as
+// mira/internal/cachestore: the dropped write-path error bug class —
+// a store that swallows write errors serves stale entries forever.
+package cachestore
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// spill is the original bug shape: both cleanup errors on the write
+// failure path vanish silently.
+func spill(dir string, raw []byte) error {
+	f, err := os.CreateTemp(dir, "tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()           // want "result of f.Close includes an error that is dropped"
+		os.Remove(f.Name()) // want "result of os.Remove includes an error that is dropped"
+		return err
+	}
+	return f.Close()
+}
+
+// spillClean discards explicitly: the underscore is the reviewable
+// record that dropping is deliberate.
+func spillClean(dir string, raw []byte) error {
+	f, err := os.CreateTemp(dir, "tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(raw); err != nil {
+		_ = f.Close()
+		_ = os.Remove(f.Name())
+		return err
+	}
+	return f.Close()
+}
+
+// flush is the dead-store variant: the first error is overwritten
+// before anyone reads it, so a failed write looks like success.
+func flush(dir string, raw []byte) error {
+	err := writePart(dir, raw) // want "error assigned to err is never checked on any path"
+	err = syncDir(dir)
+	return err
+}
+
+func writePart(dir string, raw []byte) error {
+	return os.WriteFile(dir+"/part", raw, 0o644)
+}
+
+func syncDir(dir string) error {
+	_, err := os.Stat(dir)
+	return err
+}
+
+// digest writes into a hash: hash.Hash writes never fail and are
+// exempt.
+func digest(parts []string) [32]byte {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write([]byte(p))
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// banner prints diagnostics (fmt.Print* is exempt) and writes into a
+// strings.Builder (never fails, exempt).
+func banner(b *strings.Builder, msg string) string {
+	fmt.Println("cachestore:", msg)
+	b.WriteString(msg)
+	return b.String()
+}
+
+// bestEffortClean documents a sanctioned drop.
+func bestEffortClean(path string) {
+	//lint:ignore mira/errdrop stray temp files are collected by the next sweep
+	os.Remove(path)
+}

@@ -1,0 +1,55 @@
+// Package engine is a goroleak fixture type-checked as
+// mira/internal/engine: every `go` statement must be tied to a ctx, a
+// WaitGroup, or a channel, including spawns of functions defined in
+// dependency packages (judged through cross-package facts).
+package engine
+
+import (
+	"context"
+	"sync"
+
+	"mira/internal/bgutil"
+)
+
+// fireAndForget is the leak: nothing can join or stop the goroutine,
+// so it outlives its owner and hangs shutdown.
+func fireAndForget() {
+	go func() { // want "goroutine is not tied to a ctx, WaitGroup, or channel"
+		println("orphan")
+	}()
+}
+
+// crossPackageLeak spawns a dependency function with no lifecycle
+// evidence: the missing LifecycleBound fact is the finding.
+func crossPackageLeak() {
+	go bgutil.Fire() // want "goroutine runs Fire"
+}
+
+// crossPackageBound spawns a dependency function whose exported fact
+// records channel evidence: legal.
+func crossPackageBound() {
+	go bgutil.DrainLoop()
+}
+
+// worker joins a WaitGroup: legal.
+func worker(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		println("work")
+	}()
+}
+
+// watcher hands the goroutine a context: lifecycle material passed as
+// an argument sanctions any spawn form.
+func watcher(ctx context.Context) {
+	go func(c context.Context) {
+		<-c.Done()
+	}(ctx)
+}
+
+// daemon documents a sanctioned process-lifetime goroutine.
+func daemon() {
+	//lint:ignore mira/goroleak exits with the process by design
+	go func() { println("daemon") }()
+}

@@ -1,0 +1,19 @@
+// Package bgutil is the dependency half of the goroleak fixture: the
+// LifecycleBound facts exported while analyzing this package must
+// survive the package boundary for spawns in the main fixture to be
+// judged correctly.
+package bgutil
+
+var done = make(chan struct{})
+
+// DrainLoop blocks on the done channel: lifecycle-bound, so the
+// analyzer exports a LifecycleBound fact on it.
+func DrainLoop() {
+	<-done
+}
+
+// Fire runs once with no tie to any lifecycle: no fact is exported,
+// and spawning it is a finding at the go statement.
+func Fire() {
+	println("fired")
+}

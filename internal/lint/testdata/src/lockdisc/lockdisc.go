@@ -1,0 +1,69 @@
+// Package engine is a lockdisc fixture type-checked as
+// mira/internal/engine: the unlock-on-error-path bug class the
+// analyzer exists for, plus the //lint:guarded-by field protocol.
+package engine
+
+import (
+	"errors"
+	"sync"
+)
+
+var errMissing = errors.New("missing")
+
+// table is a guarded map: every access to m must hold mu.
+type table struct {
+	mu sync.Mutex
+	m  map[string]int //lint:guarded-by mu
+}
+
+// lookupLeaky is the original bug shape: the early error return leaves
+// with the mutex still held, and the next caller deadlocks.
+func (t *table) lookupLeaky(k string) (int, error) {
+	t.mu.Lock() // want "lock t.mu acquired here is not released on some path to return"
+	v, ok := t.m[k]
+	if !ok {
+		return 0, errMissing
+	}
+	t.mu.Unlock()
+	return v, nil
+}
+
+// lookupNever forgets the unlock entirely.
+func (t *table) lookupNever(k string) int {
+	t.mu.Lock() // want "lock t.mu acquired here is never released before return"
+	return t.m[k]
+}
+
+// lookup defers the unlock: released on every path, legal.
+func (t *table) lookup(k string) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v, ok := t.m[k]
+	if !ok {
+		return 0, errMissing
+	}
+	return v, nil
+}
+
+// size pairs the lock and unlock in a straight line: legal.
+func (t *table) size() int {
+	t.mu.Lock()
+	n := len(t.m)
+	t.mu.Unlock()
+	return n
+}
+
+// peek reads the guarded map without holding mu.
+func (t *table) peek(k string) int {
+	return t.m[k] // want "t.m is guarded by mu"
+}
+
+// sizeLocked is exempt by convention: the Locked suffix promises the
+// caller already holds mu.
+func (t *table) sizeLocked() int { return len(t.m) }
+
+// raceyLen documents a sanctioned racy read.
+func (t *table) raceyLen() int {
+	//lint:ignore mira/lockdisc stats-only read; a stale length is fine
+	return len(t.m)
+}

@@ -64,8 +64,8 @@ type family struct {
 // All methods are safe for concurrent use.
 type Registry struct {
 	mu       sync.Mutex
-	families []*family
-	byName   map[string]*family
+	families []*family          //lint:guarded-by mu
+	byName   map[string]*family //lint:guarded-by mu
 }
 
 // NewRegistry returns an empty registry.
@@ -147,8 +147,8 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 // observe their elapsed seconds here.
 type Summary struct {
 	mu    sync.Mutex
-	count int64
-	sum   float64
+	count int64   //lint:guarded-by mu
+	sum   float64 //lint:guarded-by mu
 }
 
 // Observe records one observation.
